@@ -1,0 +1,445 @@
+(* Benchmark harness: regenerates every table/figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index) and runs the
+   complexity microbenchmarks backing the O(log N) claim.
+
+     dune exec bench/main.exe            run everything
+     dune exec bench/main.exe -- ID...   run selected ids:
+       fig2 fig4 fig5 fig6 fig7 fig9 wfi bounds complexity heaps refclock e2e
+
+   Absolute numbers are this simulator's, not the 1996 testbed's; the
+   shapes (who wins, by what factor, where crossovers fall) are the
+   reproduction targets recorded in EXPERIMENTS.md. *)
+
+let section title =
+  Printf.printf "\n================ %s ================\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* FIG2: service order walkthrough                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  section "FIG2: GPS vs WFQ vs WF2Q vs WF2Q+ service order";
+  Experiments.Fig2_walkthrough.render Format.std_formatter
+    (Experiments.Fig2_walkthrough.run ())
+
+(* ------------------------------------------------------------------ *)
+(* FIG4/6/7: RT-1 delay under the three scenarios                      *)
+(* ------------------------------------------------------------------ *)
+
+let delay_disciplines =
+  [
+    Hpfq.Disciplines.wf2q_plus;
+    Hpfq.Disciplines.wfq;
+    Hpfq.Disciplines.scfq;
+    Hpfq.Disciplines.sfq;
+  ]
+
+let delay_figure ~id ~scenario () =
+  section
+    (Printf.sprintf "%s: RT-1 delay, %s" id
+       (Experiments.Delay_experiment.scenario_name scenario));
+  let results =
+    List.map
+      (fun factory ->
+        Experiments.Delay_experiment.run ~factory ~scenario ~horizon:12.0 ())
+      delay_disciplines
+  in
+  List.iter (fun r -> print_endline (Experiments.Delay_experiment.summary_row r)) results;
+  Printf.printf "Cor.2 delay bound for RT-1 (H-WF2Q+): %.3f ms\n"
+    (Experiments.Delay_experiment.rt1_delay_bound *. 1e3);
+  (* the figure itself: max delay per 0.5 s window for the headline pair *)
+  (match results with
+  | wf2qp :: wfq :: _ ->
+    let series r =
+      Stats.Delay_stats.series_max_over_windows
+        r.Experiments.Delay_experiment.delays ~window:0.5
+    in
+    let s1 = series wf2qp and s2 = series wfq in
+    Printf.printf "%8s %14s %14s\n" "t(s)" "H-WF2Q+ (ms)" "H-WFQ (ms)";
+    List.iter2
+      (fun (t, d1) (_, d2) -> Printf.printf "%8.1f %14.3f %14.3f\n" t (d1 *. 1e3) (d2 *. 1e3))
+      s1
+      (if List.length s2 = List.length s1 then s2
+       else List.filteri (fun i _ -> i < List.length s1) s2)
+  | _ -> ())
+
+let fig4 = delay_figure ~id:"FIG4" ~scenario:Experiments.Delay_experiment.S1_constant_and_trains
+let fig6 = delay_figure ~id:"FIG6" ~scenario:Experiments.Delay_experiment.S2_overloaded_poisson
+let fig7 = delay_figure ~id:"FIG7" ~scenario:Experiments.Delay_experiment.S3_overload_and_trains
+
+(* ------------------------------------------------------------------ *)
+(* FIG5: service lag (arrivals vs service) close-up                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  section "FIG5: RT-1 arrivals vs service (max lag, packets)";
+  Printf.printf "%-12s %10s %14s\n" "discipline" "max lag" "delay bound ok";
+  List.iter
+    (fun factory ->
+      let r =
+        Experiments.Delay_experiment.run ~factory
+          ~scenario:Experiments.Delay_experiment.S1_constant_and_trains ~horizon:12.0 ()
+      in
+      let ok =
+        Stats.Delay_stats.max_delay r.delays
+        <= Experiments.Delay_experiment.rt1_delay_bound +. 1e-9
+      in
+      Printf.printf "%-12s %10.1f %14s\n" r.discipline
+        (Stats.Service_curve.max_lag r.lag)
+        (if ok then "yes" else "NO"))
+    delay_disciplines;
+  (* close-up: lag trajectory around the worst spike under H-WFQ *)
+  let r =
+    Experiments.Delay_experiment.run ~factory:Hpfq.Disciplines.wfq
+      ~scenario:Experiments.Delay_experiment.S1_constant_and_trains ~horizon:12.0 ()
+  in
+  let lags = Stats.Service_curve.lag_series r.lag in
+  let t_peak, _ =
+    List.fold_left (fun (bt, bl) (t, l) -> if l > bl then (t, l) else (bt, bl)) (0.0, -1.0) lags
+  in
+  Printf.printf "\nH-WFQ lag close-up around t=%.3f s:\n%8s %10s\n" t_peak "t(s)" "lag(pkt)";
+  List.iter
+    (fun (t, l) ->
+      if Float.abs (t -. t_peak) <= 0.05 then Printf.printf "%8.4f %10.1f\n" t l)
+    lags
+
+(* ------------------------------------------------------------------ *)
+(* FIG9: hierarchical link sharing vs ideal H-GPS                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 () =
+  section "FIG9: link-sharing bandwidth vs ideal H-GPS";
+  let r = Experiments.Link_sharing.run () in
+  Experiments.Link_sharing.summary Format.std_formatter r;
+  (* aggregate tracking error over the measured window (paper: curves
+     "track very closely") *)
+  let errs =
+    List.concat_map
+      (fun interval ->
+        if interval.Experiments.Link_sharing.t0 >= 0.5 then
+          List.map
+            (fun (row : Experiments.Link_sharing.interval_row) ->
+              Float.abs (row.measured -. row.ideal) /. Float.max 1.0 row.ideal)
+            interval.Experiments.Link_sharing.rows
+        else [])
+      r.Experiments.Link_sharing.intervals
+  in
+  let mean_err = List.fold_left ( +. ) 0.0 errs /. float_of_int (List.length errs) in
+  Printf.printf "mean |measured-ideal|/ideal over all phases: %.1f%%\n" (mean_err *. 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* WFI: worst-case fair index sweep (Theorem 3/4 + WFQ's N-growth)     *)
+(* ------------------------------------------------------------------ *)
+
+let wfi () =
+  section "WFI: measured T-WFI vs N (unit link, unit packets)";
+  let ns = [ 4; 8; 16; 32; 64; 128 ] in
+  Printf.printf "%-12s" "discipline";
+  List.iter (fun n -> Printf.printf " N=%-8d" n) ns;
+  Printf.printf "  (WF2Q+ bound: %.1f)\n"
+    (let m = Experiments.Wfi_probe.measure ~factory:Hpfq.Disciplines.wf2q_plus ~n:4 in
+     m.wf2q_plus_bound);
+  List.iter
+    (fun factory ->
+      Printf.printf "%-12s" factory.Sched.Sched_intf.kind;
+      List.iter
+        (fun n ->
+          let m = Experiments.Wfi_probe.measure ~factory ~n in
+          Printf.printf " %-10.1f" m.measured_twfi)
+        ns;
+      print_newline ())
+    Hpfq.Disciplines.pfq
+
+(* ------------------------------------------------------------------ *)
+(* BOUNDS: Theorem 4(3) / Corollary 2 delay bounds, adversarial load   *)
+(* ------------------------------------------------------------------ *)
+
+let bounds () =
+  section "BOUNDS: leaky-bucket session delay vs Cor.2 bound (H-WF2Q+)";
+  (* a (sigma, rho)-constrained session inside the Fig. 3 tree, greedy
+     conforming source, everything else saturated *)
+  let module H = Experiments.Paper_hierarchies in
+  let sigma = H.rt1_sigma_bits in
+  let bound = Experiments.Delay_experiment.rt1_delay_bound in
+  Printf.printf "%-12s %14s %14s %8s\n" "discipline" "max delay(ms)" "bound(ms)" "within";
+  List.iter
+    (fun factory ->
+      let sim = Engine.Simulator.create () in
+      let delays = Stats.Delay_stats.create () in
+      let h =
+        Hpfq.Hier.create ~sim ~spec:H.fig3
+          ~make_policy:(Hpfq.Hier.uniform factory)
+          ~on_depart:(fun pkt ~leaf t ->
+            if leaf = "RT-1" then
+              Stats.Delay_stats.record delays ~time:t ~delay:(t -. pkt.Net.Packet.arrival))
+          ()
+      in
+      let emit_to name =
+        let leaf = Hpfq.Hier.leaf_id h name in
+        fun ~size_bits -> ignore (Hpfq.Hier.inject h ~leaf ~size_bits)
+      in
+      ignore
+        (Traffic.Source.leaky_bucket_greedy ~sim ~emit:(emit_to "RT-1") ~sigma_bits:sigma
+           ~rho:H.rt1_rate ~packet_bits:H.fig3_packet_bits ~stop_at:6.0 ());
+      ignore
+        (Traffic.Source.greedy ~sim ~emit:(emit_to "BE-1") ~packet_bits:H.fig3_packet_bits
+           ~backlog_packets:64 ~stop_at:6.0 ());
+      for i = 1 to 10 do
+        ignore
+          (Traffic.Source.greedy ~sim
+             ~emit:(emit_to (Printf.sprintf "CS-%d" i))
+             ~packet_bits:H.fig3_packet_bits ~backlog_packets:16 ~stop_at:6.0 ());
+        ignore
+          (Traffic.Source.greedy ~sim
+             ~emit:(emit_to (Printf.sprintf "PS-%d" i))
+             ~packet_bits:H.fig3_packet_bits ~backlog_packets:16 ~stop_at:6.0 ())
+      done;
+      Engine.Simulator.run ~until:8.0 sim;
+      let max_delay = Stats.Delay_stats.max_delay delays in
+      Printf.printf "%-12s %14.3f %14.3f %8s\n" factory.Sched.Sched_intf.kind
+        (max_delay *. 1e3) (bound *. 1e3)
+        (if max_delay <= bound +. 1e-9 then "yes" else "NO"))
+    delay_disciplines
+
+(* ------------------------------------------------------------------ *)
+(* COMPLEXITY: per-operation cost vs number of sessions (bechamel)     *)
+(* ------------------------------------------------------------------ *)
+
+(* A policy instance with [n] perpetually backlogged sessions; each staged
+   operation is one full scheduling cycle: select + arrive + requeue. *)
+let loaded_policy factory n =
+  let policy = factory.Sched.Sched_intf.make ~rate:1.0 in
+  let rate = 1.0 /. float_of_int n in
+  for _ = 1 to n do
+    ignore (policy.Sched.Sched_intf.add_session ~rate)
+  done;
+  let now = ref 0.0 in
+  for i = 0 to n - 1 do
+    policy.Sched.Sched_intf.arrive ~now:0.0 ~session:i ~size_bits:1.0;
+    policy.Sched.Sched_intf.backlog ~now:0.0 ~session:i ~head_bits:1.0
+  done;
+  fun () ->
+    match policy.Sched.Sched_intf.select ~now:!now with
+    | None -> ()
+    | Some s ->
+      now := !now +. 1.0;
+      policy.Sched.Sched_intf.arrive ~now:!now ~session:s ~size_bits:1.0;
+      policy.Sched.Sched_intf.requeue ~now:!now ~session:s ~head_bits:1.0
+
+let run_bechamel tests =
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  List.sort compare rows
+
+let complexity () =
+  section "COMPLEXITY: ns per scheduling cycle vs N (O(log N) claim)";
+  let sizes = [ 16; 64; 256; 1024; 4096 ] in
+  let factories =
+    [ Hpfq.Disciplines.wf2q_plus; Hpfq.Disciplines.wfq; Hpfq.Disciplines.scfq;
+      Hpfq.Disciplines.drr ]
+  in
+  let tests =
+    List.concat_map
+      (fun factory ->
+        List.map
+          (fun n ->
+            Bechamel.Test.make
+              ~name:(Printf.sprintf "%s/N=%d" factory.Sched.Sched_intf.kind n)
+              (Bechamel.Staged.stage (loaded_policy factory n)))
+          sizes)
+      factories
+  in
+  let grouped = Bechamel.Test.make_grouped ~name:"cycle" tests in
+  let rows = run_bechamel grouped in
+  List.iter (fun (name, ns) -> Printf.printf "%-28s %10.1f ns/cycle\n" name ns) rows;
+  print_endline
+    "(WF2Q+ should grow ~log N; exact-GPS WFQ may show super-log growth; DRR is O(1))"
+
+let heaps () =
+  section "HEAPS: push+pop cost, binary vs pairing vs indexed";
+  let sizes = [ 256; 4096 ] in
+  let tests =
+    List.concat_map
+      (fun n ->
+        let seeds = Array.init n (fun i -> float_of_int ((i * 7919) mod 104729)) in
+        [
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "binary/N=%d" n)
+            (Bechamel.Staged.stage (fun () ->
+                 let h = Prioq.Binary_heap.create ~cmp:compare ~dummy:0.0 () in
+                 Array.iter (Prioq.Binary_heap.push h) seeds;
+                 while not (Prioq.Binary_heap.is_empty h) do
+                   ignore (Prioq.Binary_heap.pop h)
+                 done));
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "pairing/N=%d" n)
+            (Bechamel.Staged.stage (fun () ->
+                 let h = Prioq.Pairing_heap.create ~cmp:compare in
+                 Array.iter (Prioq.Pairing_heap.push h) seeds;
+                 while not (Prioq.Pairing_heap.is_empty h) do
+                   ignore (Prioq.Pairing_heap.pop h)
+                 done));
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "indexed/N=%d" n)
+            (Bechamel.Staged.stage (fun () ->
+                 let h = Prioq.Indexed_heap.create n in
+                 Array.iteri (fun k p -> Prioq.Indexed_heap.add h ~key:k ~prio:p) seeds;
+                 while not (Prioq.Indexed_heap.is_empty h) do
+                   ignore (Prioq.Indexed_heap.pop_min h)
+                 done));
+        ])
+      sizes
+  in
+  let rows = run_bechamel (Bechamel.Test.make_grouped ~name:"heap" tests) in
+  List.iter (fun (name, ns) -> Printf.printf "%-24s %12.1f ns/full-cycle\n" name ns) rows
+
+(* ------------------------------------------------------------------ *)
+(* REFCLOCK: ablation — root policy on real vs reference time          *)
+(* ------------------------------------------------------------------ *)
+
+let refclock () =
+  section "REFCLOCK ablation: root clock real-time vs reference-time";
+  let module H = Experiments.Paper_hierarchies in
+  List.iter
+    (fun root_clock ->
+      let sim = Engine.Simulator.create () in
+      let delays = Stats.Delay_stats.create () in
+      let h =
+        Hpfq.Hier.create ~sim ~spec:H.fig3
+          ~make_policy:(Hpfq.Hier.uniform Hpfq.Disciplines.wf2q_plus)
+          ~root_clock
+          ~on_depart:(fun pkt ~leaf t ->
+            if leaf = "RT-1" then
+              Stats.Delay_stats.record delays ~time:t ~delay:(t -. pkt.Net.Packet.arrival))
+          ()
+      in
+      let emit_to name =
+        let leaf = Hpfq.Hier.leaf_id h name in
+        fun ~size_bits -> ignore (Hpfq.Hier.inject h ~leaf ~size_bits)
+      in
+      (* idle gaps at the root are where the two clocks differ: drive RT-1
+         alone with sparse on/off traffic *)
+      ignore
+        (Traffic.Source.on_off ~sim ~emit:(emit_to "RT-1") ~peak_rate:(4.0 *. H.rt1_rate)
+           ~packet_bits:H.fig3_packet_bits ~on_duration:0.025 ~off_duration:0.075
+           ~start:0.2 ~stop_at:6.0 ());
+      ignore
+        (Traffic.Source.cbr ~sim ~emit:(emit_to "PS-1") ~rate:H.ps_rate
+           ~packet_bits:H.fig3_packet_bits ~stop_at:6.0 ());
+      Engine.Simulator.run ~until:8.0 sim;
+      Printf.printf "root_clock=%-15s max RT-1 delay = %.3f ms over %d pkts\n"
+        (match root_clock with `Real_time -> "real-time" | `Reference_time -> "reference")
+        (Stats.Delay_stats.max_delay delays *. 1e3)
+        (Stats.Delay_stats.count delays))
+    [ `Real_time; `Reference_time ]
+
+(* ------------------------------------------------------------------ *)
+(* E2E: end-to-end delay across chained H-PFQ servers                  *)
+(* ------------------------------------------------------------------ *)
+
+let e2e () =
+  section "E2E: worst end-to-end delay vs hop count (guaranteed flow, saturated hops)";
+  let hop_spec name =
+    Hpfq.Class_tree.node name ~rate:1.0
+      [
+        Hpfq.Class_tree.leaf (name ^ "/flow") ~rate:0.4;
+        Hpfq.Class_tree.leaf (name ^ "/cross") ~rate:0.6;
+      ]
+  in
+  Printf.printf "%-8s %-10s %14s %14s %8s\n" "hops" "discipline" "measured" "bound" "within";
+  List.iter
+    (fun n_hops ->
+      List.iter
+        (fun factory ->
+          let sim = Engine.Simulator.create () in
+          let worst = ref 0.0 in
+          let hops =
+            List.init n_hops (fun k ->
+                let name = Printf.sprintf "h%d" k in
+                (name, hop_spec name))
+          in
+          let p =
+            Netgraph.Pipeline.create ~sim ~hops
+              ~make_policy:(Hpfq.Hier.uniform factory)
+              ~propagation_delay:0.01
+              ~on_deliver:(fun ~flow:_ _ ~injected ~delivered ->
+                worst := Float.max !worst (delivered -. injected))
+              ()
+          in
+          Netgraph.Pipeline.add_flow p ~name:"f"
+            ~route:(List.init n_hops (fun k -> Printf.sprintf "h%d/flow" k));
+          let sigma = 3.0 in
+          ignore
+            (Traffic.Source.leaky_bucket_greedy ~sim
+               ~emit:(fun ~size_bits -> Netgraph.Pipeline.inject p ~flow:"f" ~size_bits)
+               ~sigma_bits:sigma ~rho:0.4 ~packet_bits:1.0 ~stop_at:40.0 ());
+          List.iteri
+            (fun k _ ->
+              let server = Netgraph.Pipeline.hop_server p (Printf.sprintf "h%d" k) in
+              let leaf = Hpfq.Hier.leaf_id server (Printf.sprintf "h%d/cross" k) in
+              ignore
+                (Traffic.Source.greedy ~sim
+                   ~emit:(fun ~size_bits ->
+                     ignore (Hpfq.Hier.inject server ~leaf ~size_bits))
+                   ~packet_bits:1.0 ~backlog_packets:30 ~top_up_every:15.0
+                   ~stop_at:40.0 ()))
+            hops;
+          Engine.Simulator.run ~until:80.0 sim;
+          let bound =
+            match Netgraph.Pipeline.end_to_end_bound p ~flow:"f" ~sigma ~l_max:1.0 with
+            | Ok b -> b
+            | Error e -> failwith e
+          in
+          Printf.printf "%-8d %-10s %14.3f %14.3f %8s\n" n_hops
+            factory.Sched.Sched_intf.kind !worst bound
+            (if !worst <= bound +. 1e-9 then "yes" else "NO"))
+        [ Hpfq.Disciplines.wf2q_plus; Hpfq.Disciplines.wfq ])
+    [ 1; 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
+
+let all_benches =
+  [
+    ("fig2", fig2);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig9", fig9);
+    ("wfi", wfi);
+    ("bounds", bounds);
+    ("complexity", complexity);
+    ("heaps", heaps);
+    ("refclock", refclock);
+    ("e2e", e2e);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> ids
+    | _ -> List.map fst all_benches
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id all_benches with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown bench %S; available: %s\n" id
+          (String.concat " " (List.map fst all_benches));
+        exit 1)
+    requested

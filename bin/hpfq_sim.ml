@@ -1,0 +1,201 @@
+(* hpfq-sim: command-line driver for the paper's experiments.
+
+   Subcommands mirror the per-experiment index in DESIGN.md:
+     fig2          service-order walkthrough (GPS / WFQ / WF2Q / WF2Q+ / SCFQ)
+     delay         Figs. 4-7: RT-1 delay under a chosen H-PFQ discipline
+     link-sharing  Figs. 8-9: TCP sessions vs ideal H-GPS
+     wfi           T-WFI probe sweep over the number of sessions
+     tree          print the paper hierarchies with shares
+     custom        run a user tree file (hpfq syntax) saturated, vs H-GPS
+   Each command can dump CSV series for external plotting. *)
+
+open Cmdliner
+
+let discipline_conv =
+  let parse s =
+    match Hpfq.Disciplines.find s with
+    | Some f -> Ok f
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown discipline %S (try: %s)" s
+              (String.concat ", "
+                 (List.map
+                    (fun f -> f.Sched.Sched_intf.kind)
+                    Hpfq.Disciplines.all))))
+  in
+  let print fmt f = Format.pp_print_string fmt f.Sched.Sched_intf.kind in
+  Arg.conv (parse, print)
+
+let discipline_arg =
+  Arg.(
+    value
+    & opt discipline_conv Hpfq.Disciplines.wf2q_plus
+    & info [ "d"; "discipline" ] ~docv:"NAME" ~doc:"One-level discipline to build the hierarchy from.")
+
+let csv_arg =
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PATH" ~doc:"Dump series to CSV.")
+
+let horizon_arg default =
+  Arg.(value & opt float default & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Simulated time.")
+
+let seed_arg = Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+(* -- fig2 ---------------------------------------------------------------- *)
+
+let fig2_cmd =
+  let run () =
+    let result = Experiments.Fig2_walkthrough.run () in
+    Experiments.Fig2_walkthrough.render Format.std_formatter result
+  in
+  Cmd.v (Cmd.info "fig2" ~doc:"Service order walkthrough (paper Fig. 2).")
+    Term.(const run $ const ())
+
+(* -- delay --------------------------------------------------------------- *)
+
+let delay_cmd =
+  let run discipline scenario_id horizon seed csv =
+    let scenario =
+      match scenario_id with
+      | 1 -> Experiments.Delay_experiment.S1_constant_and_trains
+      | 2 -> Experiments.Delay_experiment.S2_overloaded_poisson
+      | 3 -> Experiments.Delay_experiment.S3_overload_and_trains
+      | n -> invalid_arg (Printf.sprintf "scenario must be 1..3, got %d" n)
+    in
+    let result =
+      Experiments.Delay_experiment.run ~factory:discipline ~scenario ~horizon ~seed ()
+    in
+    print_endline (Experiments.Delay_experiment.summary_row result);
+    Printf.printf "Cor.2 delay bound for RT-1 under H-WF2Q+: %.3f ms\n"
+      (Experiments.Delay_experiment.rt1_delay_bound *. 1e3);
+    Option.iter
+      (fun path ->
+        Stats.Csv.write_named_series ~path
+          ~series:
+            [
+              ( "delay",
+                Stats.Delay_stats.series_max_over_windows result.delays ~window:0.05 );
+              ("lag", Stats.Service_curve.lag_series result.lag);
+            ];
+        Printf.printf "wrote %s\n" path)
+      csv
+  in
+  let scenario_arg =
+    Arg.(value & opt int 1 & info [ "s"; "scenario" ] ~docv:"1|2|3" ~doc:"Traffic scenario.")
+  in
+  Cmd.v (Cmd.info "delay" ~doc:"RT-1 delay experiment (paper Figs. 4-7).")
+    Term.(const run $ discipline_arg $ scenario_arg $ horizon_arg 10.0 $ seed_arg $ csv_arg)
+
+(* -- link-sharing -------------------------------------------------------- *)
+
+let link_sharing_cmd =
+  let run discipline horizon csv =
+    let result = Experiments.Link_sharing.run ~factory:discipline ~horizon () in
+    Experiments.Link_sharing.summary Format.std_formatter result;
+    Option.iter
+      (fun path ->
+        let series =
+          List.map (fun (l, s) -> ("measured:" ^ l, s)) result.Experiments.Link_sharing.measured
+          @ List.map (fun (l, s) -> ("ideal:" ^ l, s)) result.Experiments.Link_sharing.ideal
+        in
+        Stats.Csv.write_named_series ~path ~series;
+        Printf.printf "wrote %s\n" path)
+      csv
+  in
+  Cmd.v (Cmd.info "link-sharing" ~doc:"Hierarchical link sharing with TCP (paper Figs. 8-9).")
+    Term.(const run $ discipline_arg $ horizon_arg Experiments.Paper_hierarchies.fig8_horizon $ csv_arg)
+
+(* -- wfi ----------------------------------------------------------------- *)
+
+let wfi_cmd =
+  let run ns =
+    Printf.printf "%-12s %6s %14s %18s\n" "discipline" "N" "measured T-WFI" "WF2Q+ bound";
+    List.iter
+      (fun factory ->
+        List.iter
+          (fun (m : Experiments.Wfi_probe.measurement) ->
+            Printf.printf "%-12s %6d %14.3f %18.3f\n" m.discipline m.n m.measured_twfi
+              m.wf2q_plus_bound)
+          (Experiments.Wfi_probe.sweep ~factory ~ns))
+      Hpfq.Disciplines.pfq
+  in
+  let ns_arg =
+    Arg.(value & opt (list int) [ 4; 8; 16; 32; 64 ] & info [ "n" ] ~docv:"N,..." ~doc:"Session counts.")
+  in
+  Cmd.v (Cmd.info "wfi" ~doc:"Empirical worst-case fair index sweep.")
+    Term.(const run $ ns_arg)
+
+(* -- custom -------------------------------------------------------------- *)
+
+let custom_cmd =
+  let run discipline tree_file horizon =
+    match Hpfq.Tree_syntax.parse_file tree_file with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+    | Ok spec ->
+      Format.printf "Running all-leaves-saturated workload on:@.%a@."
+        Hpfq.Class_tree.pp spec;
+      let sim = Engine.Simulator.create () in
+      let h =
+        Hpfq.Hier.create ~sim ~spec ~make_policy:(Hpfq.Hier.uniform discipline) ()
+      in
+      let packet = 8.0 *. 1024.0 *. 8.0 in
+      List.iter
+        (fun (name, _) ->
+          let leaf = Hpfq.Hier.leaf_id h name in
+          ignore
+            (Traffic.Source.greedy ~sim
+               ~emit:(fun ~size_bits -> ignore (Hpfq.Hier.inject h ~leaf ~size_bits))
+               ~packet_bits:packet
+               ~backlog_packets:
+                 (max 8 (int_of_float (Hpfq.Class_tree.rate spec *. 0.5 /. packet)))
+               ~top_up_every:0.25 ~stop_at:horizon ()))
+        (Hpfq.Class_tree.leaves spec);
+      Engine.Simulator.run ~until:horizon sim;
+      (* fluid ideal for comparison *)
+      let fluid = Fluid.Hgps.create ~spec () in
+      List.iter
+        (fun (name, _) ->
+          Fluid.Hgps.set_persistent fluid ~at:0.0 ~leaf:(Fluid.Hgps.leaf_id fluid name) true)
+        (Hpfq.Class_tree.leaves spec);
+      Fluid.Hgps.advance fluid ~to_:horizon;
+      Format.printf "@.%-20s %14s %14s@." "leaf" "measured" "H-GPS ideal";
+      List.iter
+        (fun (name, _) ->
+          Format.printf "%-20s %10.3f Mbps %10.3f Mbps@." name
+            (Hpfq.Hier.departed_bits h ~node:name /. horizon /. 1e6)
+            (Fluid.Hgps.served_bits fluid ~node:name /. horizon /. 1e6))
+        (Hpfq.Class_tree.leaves spec)
+  in
+  let tree_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "tree" ] ~docv:"FILE" ~doc:"Class hierarchy in hpfq tree syntax.")
+  in
+  Cmd.v
+    (Cmd.info "custom"
+       ~doc:"Saturate every leaf of a user-defined hierarchy and compare shares to H-GPS.")
+    Term.(const run $ discipline_arg $ tree_arg $ horizon_arg 2.0)
+
+(* -- tree ---------------------------------------------------------------- *)
+
+let tree_cmd =
+  let run () =
+    Format.printf "Fig. 3 hierarchy:@.%a@." Hpfq.Class_tree.pp
+      Experiments.Paper_hierarchies.fig3;
+    Format.printf "Fig. 8 hierarchy:@.%a@." Hpfq.Class_tree.pp
+      Experiments.Paper_hierarchies.fig8
+  in
+  Cmd.v (Cmd.info "tree" ~doc:"Print the paper's class hierarchies.")
+    Term.(const run $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "hpfq-sim" ~version:"1.0.0"
+             ~doc:"Reproduction driver for Bennett & Zhang, SIGCOMM'96.")
+          [ fig2_cmd; delay_cmd; link_sharing_cmd; wfi_cmd; tree_cmd; custom_cmd ]))

@@ -1,0 +1,20 @@
+let wf2q_plus = Wf2q_plus.factory
+let wf2q_plus_per_packet = Wf2q_plus_stamped.factory
+let wfq = Sched.Gps_based.wfq
+let wf2q = Sched.Gps_based.wf2q
+let scfq = Sched.Self_clocked.scfq
+let sfq = Sched.Self_clocked.sfq
+let virtual_clock = Sched.Virtual_clock.factory
+let drr = Sched.Round_robin.drr ()
+let wrr = Sched.Round_robin.wrr ()
+let fifo = Sched.Fifo_sched.factory
+
+let all =
+  [ wf2q_plus; wf2q_plus_per_packet; wfq; wf2q; scfq; sfq; virtual_clock; drr; wrr; fifo ]
+let pfq = [ wf2q_plus; wf2q_plus_per_packet; wfq; wf2q; scfq; sfq ]
+
+let find kind =
+  let kind = String.lowercase_ascii kind in
+  List.find_opt
+    (fun f -> String.lowercase_ascii f.Sched.Sched_intf.kind = kind)
+    all

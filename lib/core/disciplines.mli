@@ -1,0 +1,28 @@
+(** Registry of every one-level discipline in the repository.
+
+    Benches and the CLI iterate over {!all} to compare the paper's WF²Q+
+    against each baseline under identical workloads. *)
+
+val wf2q_plus : Sched.Sched_intf.factory
+
+(** The eq. 6-7 per-packet-stamp ablation of WF²Q+ ({!Wf2q_plus_stamped}). *)
+val wf2q_plus_per_packet : Sched.Sched_intf.factory
+
+val wfq : Sched.Sched_intf.factory
+val wf2q : Sched.Sched_intf.factory
+val scfq : Sched.Sched_intf.factory
+val sfq : Sched.Sched_intf.factory
+val virtual_clock : Sched.Sched_intf.factory
+val drr : Sched.Sched_intf.factory
+val wrr : Sched.Sched_intf.factory
+val fifo : Sched.Sched_intf.factory
+
+val all : Sched.Sched_intf.factory list
+(** Every discipline, WF²Q+ first. *)
+
+val pfq : Sched.Sched_intf.factory list
+(** The PFQ family only (virtual-time based, rate-guaranteeing):
+    WF²Q+, WFQ, WF²Q, SCFQ, SFQ. *)
+
+val find : string -> Sched.Sched_intf.factory option
+(** Lookup by [kind] string, case-insensitive. *)

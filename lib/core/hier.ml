@@ -1,0 +1,294 @@
+open Sched
+
+let log_src = Logs.Src.create "hpfq.hier" ~doc:"H-PFQ hierarchical server"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type kind =
+  | Leaf_node of { fifo : Net.Fifo.t; mutable next_seq : int }
+  | Interior of { policy : Sched_intf.t }
+
+type node = {
+  id : int;
+  name : string;
+  rate : float;
+  level : int;
+  parent : int; (* -1 for root *)
+  mutable children : int array;
+  kind : kind;
+  mutable session_in_parent : int;
+  mutable busy : bool;
+  mutable logical : Net.Packet.t option; (* Q_n: head of this subtree *)
+  mutable active_child : int;               (* node id, -1 when none *)
+  mutable tn : float;                       (* reference time T_n, post-dated *)
+  mutable departed_bits : float;
+}
+
+type t = {
+  sim : Engine.Simulator.t;
+  nodes : node array;
+  root : int;
+  by_name : (string, int) Hashtbl.t;
+  leaf_list : (string * int) list;
+  root_clock : [ `Real_time | `Reference_time ];
+  on_depart : Net.Packet.t -> leaf:string -> float -> unit;
+  on_drop : Net.Packet.t -> leaf:string -> float -> unit;
+  mutable link_busy : bool;
+  mutable drops : int;
+}
+
+let uniform factory ~level:_ ~name:_ ~rate = factory.Sched_intf.make ~rate
+
+let is_root t n = n.id = t.root
+
+(* "now" as seen by node [n]'s own policy: its reference time, except that
+   the root may run on real time (see .mli). *)
+let node_now t n =
+  if is_root t n && t.root_clock = `Real_time then Engine.Simulator.now t.sim
+  else n.tn
+
+let policy_of n =
+  match n.kind with
+  | Interior { policy } -> policy
+  | Leaf_node _ -> invalid_arg "Hier: leaf has no policy"
+
+let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?(on_depart = fun _ ~leaf:_ _ -> ())
+    ?(on_drop = fun _ ~leaf:_ _ -> ()) () =
+  (match Class_tree.validate spec with
+  | Ok () -> ()
+  | Error errors ->
+    invalid_arg ("Hier.create: invalid tree: " ^ String.concat "; " errors));
+  let nodes = ref [] in
+  let counter = ref 0 in
+  let by_name = Hashtbl.create 16 in
+  let leaf_list = ref [] in
+  let rec build ~level ~parent spec =
+    let id = !counter in
+    incr counter;
+    let name = Class_tree.name spec and rate = Class_tree.rate spec in
+    let kind =
+      match spec with
+      | Class_tree.Leaf { queue_capacity_bits; _ } ->
+        leaf_list := (name, id) :: !leaf_list;
+        Leaf_node
+          { fifo = Net.Fifo.create ?capacity_bits:queue_capacity_bits (); next_seq = 1 }
+      | Class_tree.Node _ -> Interior { policy = make_policy ~level ~name ~rate }
+    in
+    let n =
+      {
+        id;
+        name;
+        rate;
+        level;
+        parent;
+        children = [||];
+        kind;
+        session_in_parent = -1;
+        busy = false;
+        logical = None;
+        active_child = -1;
+        tn = 0.0;
+        departed_bits = 0.0;
+      }
+    in
+    nodes := n :: !nodes;
+    Hashtbl.replace by_name name id;
+    let child_ids =
+      List.map (fun c -> (build ~level:(level + 1) ~parent:id c).id) (Class_tree.children spec)
+    in
+    n.children <- Array.of_list child_ids;
+    n
+  in
+  let root_node = build ~level:0 ~parent:(-1) spec in
+  let arr = Array.make !counter root_node in
+  List.iter (fun n -> arr.(n.id) <- n) !nodes;
+  (* register each child as a session of its parent's policy *)
+  Array.iter
+    (fun n ->
+      match n.kind with
+      | Interior { policy } ->
+        Array.iter
+          (fun cid ->
+            let child = arr.(cid) in
+            child.session_in_parent <- policy.Sched_intf.add_session ~rate:child.rate)
+          n.children
+      | Leaf_node _ -> ())
+    arr;
+  Log.info (fun m ->
+      m "created H-PFQ server: %d nodes, %d leaves, root rate %a" !counter
+        (List.length !leaf_list) Engine.Units.pp_rate root_node.rate);
+  {
+    sim;
+    nodes = arr;
+    root = root_node.id;
+    by_name;
+    leaf_list = List.rev !leaf_list;
+    root_clock;
+    on_depart;
+    on_drop;
+    link_busy = false;
+    drops = 0;
+  }
+
+(* -- The three pseudocode procedures ------------------------------------ *)
+
+let rec restart_node t n =
+  let policy = policy_of n in
+  let now = node_now t n in
+  match policy.Sched_intf.select ~now with
+  | Some session ->
+    let child = t.nodes.(n.children.(session)) in
+    let pkt =
+      match child.logical with
+      | Some p -> p
+      | None -> invalid_arg "Hier: policy selected a child with empty logical queue"
+    in
+    n.active_child <- child.id;
+    n.logical <- Some pkt;
+    (* RESTART-NODE line 13: post-date this node's reference clock *)
+    n.tn <- n.tn +. (pkt.Net.Packet.size_bits /. n.rate);
+    let was_busy = n.busy in
+    n.busy <- true;
+    if is_root t n then start_transmission t
+    else begin
+      let q = t.nodes.(n.parent) in
+      let q_now = node_now t q in
+      let bits = pkt.Net.Packet.size_bits in
+      (* the committed head is a fresh logical packet in the parent's system *)
+      (policy_of q).Sched_intf.arrive ~now:q_now ~session:n.session_in_parent ~size_bits:bits;
+      if was_busy then
+        (* line 8: s_n <- f_n *)
+        (policy_of q).Sched_intf.requeue ~now:q_now ~session:n.session_in_parent ~head_bits:bits
+      else
+        (* line 9: s_n <- max(f_n, V_q) *)
+        (policy_of q).Sched_intf.backlog ~now:q_now ~session:n.session_in_parent ~head_bits:bits;
+      (* line 17: keep restarting upward while the parent has no head *)
+      if q.logical = None then restart_node t q
+    end
+  | None ->
+    n.active_child <- -1;
+    let was_busy = n.busy in
+    n.busy <- false;
+    if not (is_root t n) then begin
+      let q = t.nodes.(n.parent) in
+      if was_busy then
+        (policy_of q).Sched_intf.set_idle ~now:(node_now t q) ~session:n.session_in_parent;
+      if was_busy && q.logical = None then restart_node t q
+    end
+
+and start_transmission t =
+  if not t.link_busy then begin
+    let root = t.nodes.(t.root) in
+    match root.logical with
+    | None -> ()
+    | Some pkt ->
+      t.link_busy <- true;
+      let duration = pkt.Net.Packet.size_bits /. root.rate in
+      ignore
+        (Engine.Simulator.schedule_after t.sim ~delay:duration (fun () ->
+             complete_transmission t pkt))
+  end
+
+and complete_transmission t pkt =
+  t.link_busy <- false;
+  let now = Engine.Simulator.now t.sim in
+  (* account W_n along the transmitted packet's leaf-to-root path *)
+  let leaf = t.nodes.(pkt.Net.Packet.flow) in
+  let rec credit n =
+    n.departed_bits <- n.departed_bits +. pkt.Net.Packet.size_bits;
+    if n.parent >= 0 then credit t.nodes.(n.parent)
+  in
+  credit leaf;
+  t.on_depart pkt ~leaf:leaf.name now;
+  reset_path t
+
+(* RESET-PATH: walk down the active path clearing logical queues, dequeue
+   the transmitted packet at its leaf, then restart upward. *)
+and reset_path t =
+  let rec descend n =
+    n.logical <- None;
+    match n.kind with
+    | Interior _ ->
+      let c = n.active_child in
+      n.active_child <- -1;
+      if c < 0 then invalid_arg "Hier: reset_path lost the active child";
+      descend t.nodes.(c)
+    | Leaf_node { fifo; _ } ->
+      (match Net.Fifo.pop fifo with
+      | Some _served -> ()
+      | None -> invalid_arg "Hier: transmitted packet missing from its leaf queue");
+      let q = t.nodes.(n.parent) in
+      let q_now = node_now t q in
+      (match Net.Fifo.peek fifo with
+      | Some next ->
+        n.logical <- Some next;
+        (policy_of q).Sched_intf.requeue ~now:q_now ~session:n.session_in_parent
+          ~head_bits:next.Net.Packet.size_bits
+      | None ->
+        (policy_of q).Sched_intf.set_idle ~now:q_now ~session:n.session_in_parent);
+      restart_node t q
+  in
+  descend t.nodes.(t.root)
+
+(* -- Public operations --------------------------------------------------- *)
+
+let leaf_id t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id when (match t.nodes.(id).kind with Leaf_node _ -> true | Interior _ -> false) ->
+    id
+  | Some _ | None -> raise Not_found
+
+let leaf_name t id = t.nodes.(id).name
+let leaf_ids t = t.leaf_list
+
+let inject ?(mark = 0) t ~leaf ~size_bits =
+  let n = t.nodes.(leaf) in
+  match n.kind with
+  | Interior _ -> invalid_arg "Hier.inject: not a leaf"
+  | Leaf_node l ->
+    let now = Engine.Simulator.now t.sim in
+    let pkt =
+      Net.Packet.make ~mark ~flow:leaf ~seq:l.next_seq ~size_bits ~arrival:now ()
+    in
+    l.next_seq <- l.next_seq + 1;
+    if not (Net.Fifo.push l.fifo pkt) then begin
+      t.drops <- t.drops + 1;
+      Log.debug (fun m ->
+          m "drop at leaf %s: %g bits, queue %g bits full" n.name size_bits
+            (Net.Fifo.bits l.fifo));
+      t.on_drop pkt ~leaf:n.name now;
+      pkt
+    end
+    else begin
+      let q = t.nodes.(n.parent) in
+      let q_now = node_now t q in
+      (policy_of q).Sched_intf.arrive ~now:q_now ~session:n.session_in_parent ~size_bits;
+      (match n.logical with
+      | Some _ -> () (* ARRIVE lines 2-3: subtree already has a head *)
+      | None ->
+        n.logical <- Some pkt;
+        (policy_of q).Sched_intf.backlog ~now:q_now ~session:n.session_in_parent
+          ~head_bits:size_bits;
+        if not q.busy then restart_node t q);
+      pkt
+    end
+
+let queue_bits t ~leaf =
+  match t.nodes.(leaf).kind with
+  | Leaf_node { fifo; _ } -> Net.Fifo.bits fifo
+  | Interior _ -> invalid_arg "Hier.queue_bits: not a leaf"
+
+let node_by_name t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> t.nodes.(id)
+  | None -> raise Not_found
+
+let departed_bits t ~node = (node_by_name t node).departed_bits
+let ref_time t ~node = (node_by_name t node).tn
+
+let node_virtual_time t ~node =
+  let n = node_by_name t node in
+  (policy_of n).Sched_intf.virtual_time ~now:(node_now t n)
+
+let link_busy t = t.link_busy
+let drops t = t.drops

@@ -1,0 +1,67 @@
+(** H-PFQ: a hierarchical packet server assembled from one-level PFQ
+    building blocks (paper §4, pseudocode ARRIVE / RESTART-NODE /
+    RESET-PATH).
+
+    Every interior node of a {!Class_tree.t} runs its own one-level policy
+    over its children; leaves own physical FIFO queues. Logical queues hold
+    only a reference to the packet at the head of each subtree; the packet
+    itself stays in its leaf queue until the link transmits it. Each node is
+    driven in its own {e reference time} [T_n(t) = W_n(0,t)/r_n] (§4.1),
+    post-dated per service exactly as lines 12–13 of RESTART-NODE post-date
+    the node clocks.
+
+    Instantiating every node with {!Wf2q_plus} gives H-WF²Q+; with
+    {!Sched.Gps_based.wfq} gives the H-WFQ the paper compares against; any
+    mix is allowed (e.g. a different discipline per level).
+
+    The [root_clock] option selects what "now" means for the root node's
+    policy: [`Real_time] (default) passes simulation time, matching the
+    standalone WF²Q+ definition of §3.4 where V advances with real time τ;
+    [`Reference_time] passes the stored post-dated T_R, matching the
+    pseudocode to the letter. The two coincide whenever the server is busy
+    (paper eq. 32) and differ only across idle gaps; a bench quantifies the
+    difference. *)
+
+type t
+
+val create :
+  sim:Engine.Simulator.t ->
+  spec:Class_tree.t ->
+  make_policy:(level:int -> name:string -> rate:float -> Sched.Sched_intf.t) ->
+  ?root_clock:[ `Real_time | `Reference_time ] ->
+  ?on_depart:(Net.Packet.t -> leaf:string -> float -> unit) ->
+  ?on_drop:(Net.Packet.t -> leaf:string -> float -> unit) ->
+  unit ->
+  t
+(** The root of [spec] is the physical link; its rate is the link rate.
+    [make_policy] is called once per interior node ([level] 0 = root).
+    @raise Invalid_argument if [spec] fails {!Class_tree.validate}. *)
+
+val uniform : Sched.Sched_intf.factory -> level:int -> name:string -> rate:float -> Sched.Sched_intf.t
+(** Use one discipline at every node:
+    [create ~make_policy:(uniform Wf2q_plus.factory) ...]. *)
+
+val leaf_id : t -> string -> int
+(** @raise Not_found if no leaf has that name. *)
+
+val leaf_name : t -> int -> string
+val leaf_ids : t -> (string * int) list
+
+val inject : ?mark:int -> t -> leaf:int -> size_bits:float -> Net.Packet.t
+(** A packet arrives at the leaf at the current simulation time. Its [flow]
+    field is the leaf id; [mark] is a free-form tag (e.g. a TCP sequence
+    number) carried through to the departure callback. *)
+
+val queue_bits : t -> leaf:int -> float
+val departed_bits : t -> node:string -> float
+(** Cumulative W_n(0, now) for any named node (leaf or interior). *)
+
+val ref_time : t -> node:string -> float
+(** The node's (post-dated) reference time T_n; root only meaningful under
+    [`Reference_time]. *)
+
+val node_virtual_time : t -> node:string -> float
+(** Virtual time of the named interior node's policy (introspection). *)
+
+val link_busy : t -> bool
+val drops : t -> int

@@ -1,0 +1,107 @@
+open Sched
+
+type session = {
+  rate : float;
+  fifo : Net.Fifo.t;
+  mutable next_seq : int;
+  mutable has_head : bool;   (* a packet of ours is registered with the policy *)
+  mutable in_service : bool; (* our head is currently on the link *)
+  mutable departed_bits : float;
+}
+
+type t = {
+  sim : Engine.Simulator.t;
+  rate : float;
+  policy : Sched_intf.t;
+  sessions : session Vec.t;
+  on_depart : Net.Packet.t -> float -> unit;
+  on_drop : Net.Packet.t -> float -> unit;
+  mutable busy : bool;
+  mutable departed_total : float;
+}
+
+let create ~sim ~rate ~policy ?(on_depart = fun _ _ -> ()) ?(on_drop = fun _ _ -> ()) () =
+  if rate <= 0.0 then invalid_arg "Server.create: rate must be positive";
+  {
+    sim;
+    rate;
+    policy;
+    sessions = Vec.create ();
+    on_depart;
+    on_drop;
+    busy = false;
+    departed_total = 0.0;
+  }
+
+let add_session t ~rate ?queue_capacity_bits () =
+  let idx = t.policy.Sched_intf.add_session ~rate in
+  let fifo = Net.Fifo.create ?capacity_bits:queue_capacity_bits () in
+  let idx' =
+    Vec.push t.sessions
+      { rate; fifo; next_seq = 1; has_head = false; in_service = false; departed_bits = 0.0 }
+  in
+  assert (idx = idx');
+  idx
+
+let rec start_transmission t =
+  if not t.busy then begin
+    let now = Engine.Simulator.now t.sim in
+    match t.policy.Sched_intf.select ~now with
+    | None -> ()
+    | Some session ->
+      let s = Vec.get t.sessions session in
+      let pkt =
+        match Net.Fifo.pop s.fifo with
+        | Some p -> p
+        | None -> invalid_arg "Server: policy selected an empty session"
+      in
+      s.in_service <- true;
+      t.busy <- true;
+      let duration = pkt.Net.Packet.size_bits /. t.rate in
+      ignore
+        (Engine.Simulator.schedule_after t.sim ~delay:duration (fun () ->
+             complete t session pkt))
+  end
+
+and complete t session pkt =
+  let now = Engine.Simulator.now t.sim in
+  let s = Vec.get t.sessions session in
+  s.in_service <- false;
+  s.departed_bits <- s.departed_bits +. pkt.Net.Packet.size_bits;
+  t.departed_total <- t.departed_total +. pkt.Net.Packet.size_bits;
+  t.busy <- false;
+  (match Net.Fifo.peek s.fifo with
+  | Some next ->
+    t.policy.Sched_intf.requeue ~now ~session ~head_bits:next.Net.Packet.size_bits
+  | None ->
+    s.has_head <- false;
+    t.policy.Sched_intf.set_idle ~now ~session);
+  t.on_depart pkt now;
+  start_transmission t
+
+let inject t ~session ~size_bits =
+  let now = Engine.Simulator.now t.sim in
+  let s = Vec.get t.sessions session in
+  let pkt =
+    Net.Packet.make ~flow:session ~seq:s.next_seq ~size_bits ~arrival:now ()
+  in
+  s.next_seq <- s.next_seq + 1;
+  if not (Net.Fifo.push s.fifo pkt) then begin
+    t.on_drop pkt now;
+    pkt
+  end
+  else begin
+    t.policy.Sched_intf.arrive ~now ~session ~size_bits;
+    if not s.has_head then begin
+      s.has_head <- true;
+      t.policy.Sched_intf.backlog ~now ~session ~head_bits:size_bits
+    end;
+    start_transmission t;
+    pkt
+  end
+
+let queue_bits t ~session = Net.Fifo.bits (Vec.get t.sessions session).fifo
+let busy t = t.busy
+let policy t = t.policy
+let departed_bits t ~session = (Vec.get t.sessions session).departed_bits
+let departed_bits_total t = t.departed_total

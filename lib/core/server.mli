@@ -1,0 +1,42 @@
+(** Standalone one-level packet server: couples a scheduling policy to real
+    per-session FIFO queues and a transmitting link inside a discrete-event
+    simulation.
+
+    This is the packaging of a {!Sched.Sched_intf.t} building block as a
+    complete router output port: packets are injected per session, queued,
+    selected by the policy, serialised onto the link at the server rate, and
+    handed to the departure callback. Used directly by the one-level
+    experiments (Fig. 2, WFI measurements) and as the reference semantics
+    the hierarchical server must reduce to on a one-level tree. *)
+
+type t
+
+val create :
+  sim:Engine.Simulator.t ->
+  rate:float ->
+  policy:Sched.Sched_intf.t ->
+  ?on_depart:(Net.Packet.t -> float -> unit) ->
+  ?on_drop:(Net.Packet.t -> float -> unit) ->
+  unit ->
+  t
+(** [rate] is the link rate in bits/second. [on_depart pkt time] fires when
+    the last bit of [pkt] leaves the link. *)
+
+val add_session : t -> rate:float -> ?queue_capacity_bits:float -> unit -> int
+(** Register a session with guaranteed rate [r_i]; returns its index. *)
+
+val inject : t -> session:int -> size_bits:float -> Net.Packet.t
+(** A packet of [size_bits] arrives on [session] at the current simulation
+    time. Returns the packet (possibly dropped if the queue is full; the
+    drop callback fires in that case). *)
+
+val queue_bits : t -> session:int -> float
+(** Current backlog Q_i(t) of the session, excluding any packet already
+    committed to the link. *)
+
+val busy : t -> bool
+val policy : t -> Sched.Sched_intf.t
+val departed_bits : t -> session:int -> float
+(** Cumulative W_i(0, now): bits of the session fully transmitted. *)
+
+val departed_bits_total : t -> float

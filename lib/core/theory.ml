@@ -1,0 +1,79 @@
+let bwfi_wf2q ~l_i_max ~l_max ~r_i ~r = l_i_max +. ((l_max -. l_i_max) *. r_i /. r)
+
+let twfi_of_bwfi ~bwfi ~r_i = bwfi /. r_i
+
+let bwfi_wfq_worst_case ~n ~l_max ~r_i ~r =
+  l_max +. (float_of_int n /. 2.0 *. l_max *. r_i /. r)
+
+let delay_bound_standalone_wf2q ~sigma ~r_i ~l_max ~r = (sigma /. r_i) +. (l_max /. r)
+
+type node_alpha = { node : string; alpha : float; rate : float }
+
+let path_to_leaf ~tree ~leaf =
+  match Class_tree.find_path tree leaf with
+  | None -> Error (Printf.sprintf "no node named %S" leaf)
+  | Some path ->
+    let target = List.nth path (List.length path - 1) in
+    if not (Class_tree.is_leaf target) then
+      Error (Printf.sprintf "%S is not a leaf" leaf)
+    else Ok path
+
+let path_rates ~tree ~leaf =
+  (* root-to-leaf order reversed: leaf = p^0 first, root = p^H last *)
+  Result.map
+    (fun path -> List.rev_map Class_tree.rate path)
+    (path_to_leaf ~tree ~leaf)
+
+let hier_bwfi ~tree ~leaf ~alpha_of =
+  match path_to_leaf ~tree ~leaf with
+  | Error _ as e -> e
+  | Ok path ->
+    (* path is root..leaf; pair each non-root node with its parent's rate *)
+    let rec walk parent_rate acc = function
+      | [] -> acc
+      | node :: rest ->
+        let rate = Class_tree.rate node in
+        let alpha = alpha_of ~node:(Class_tree.name node) ~rate ~parent_rate in
+        walk rate ((rate, alpha) :: acc) rest
+    in
+    (match path with
+    | [] -> Error "empty path"
+    | root :: rest ->
+      let terms = walk (Class_tree.rate root) [] rest in
+      (* terms is leaf-first: [(r_{p^0}, α_{p^0}); (r_{p^1}, α_{p^1}); ...] *)
+      let r_i = match terms with (r, _) :: _ -> r | [] -> Class_tree.rate root in
+      Ok (List.fold_left (fun acc (r_h, alpha_h) -> acc +. (r_i /. r_h *. alpha_h)) 0.0 terms))
+
+let sum_lmax_over_path ~tree ~leaf ~l_max =
+  match path_to_leaf ~tree ~leaf with
+  | Error _ as e -> e
+  | Ok path ->
+    (* Corollary 2 sums L_max/r_{p^h(i)} for h = 0..H-1, i.e. every node on
+       the path except the root. *)
+    (match path with
+    | [] -> Error "empty path"
+    | _root :: rest ->
+      Ok (List.fold_left (fun acc node -> acc +. (l_max /. Class_tree.rate node)) 0.0 rest))
+
+let hier_delay_bound ~tree ~leaf ~sigma ~l_max =
+  match path_to_leaf ~tree ~leaf with
+  | Error _ as e -> e
+  | Ok path ->
+    let r_i = Class_tree.rate (List.nth path (List.length path - 1)) in
+    Result.map (fun s -> (sigma /. r_i) +. s) (sum_lmax_over_path ~tree ~leaf ~l_max)
+
+let hier_delay_bound_via_wfi ~tree ~leaf ~sigma ~l_max =
+  match path_to_leaf ~tree ~leaf with
+  | Error _ as e -> e
+  | Ok path ->
+    let r_i = Class_tree.rate (List.nth path (List.length path - 1)) in
+    let alpha_of ~node:_ ~rate ~parent_rate =
+      bwfi_wf2q ~l_i_max:l_max ~l_max ~r_i:rate ~r:parent_rate
+    in
+    Result.map
+      (fun alpha ->
+        (* Corollary 1: σ/r_i + Σ α_{p^h}/r_{p^h}; recover the per-level sum
+           from Theorem 1's α_{i,H-PFQ} = Σ (r_i/r_{p^h}) α_{p^h} by noting
+           both sums share the same terms scaled by r_i. *)
+        (sigma /. r_i) +. (alpha /. r_i))
+      (hier_bwfi ~tree ~leaf ~alpha_of)

@@ -1,0 +1,151 @@
+type token =
+  | Name of string
+  | Rate of float
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+
+exception Syntax_error of string
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '/' || c = '-'
+
+let is_digit c = (c >= '0' && c <= '9') || c = '.'
+
+(* A bare word is a rate iff it parses as FLOAT with an optional K/M/G
+   suffix; otherwise it is a name. "9M" is a rate; "N-1" and "RT-1" are
+   names (the '-' cannot appear in a rate). *)
+let classify word =
+  let n = String.length word in
+  let body, multiplier =
+    match word.[n - 1] with
+    | 'K' | 'k' -> (String.sub word 0 (n - 1), 1.0e3)
+    | 'M' | 'm' -> (String.sub word 0 (n - 1), 1.0e6)
+    | 'G' | 'g' -> (String.sub word 0 (n - 1), 1.0e9)
+    | _ -> (word, 1.0)
+  in
+  if body <> "" && String.for_all is_digit body then
+    match float_of_string_opt body with
+    | Some f -> Rate (f *. multiplier)
+    | None -> Name word
+  else Name word
+
+let tokenize input =
+  let tokens = ref [] in
+  let i = ref 0 in
+  let n = String.length input in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '{' then (tokens := Lbrace :: !tokens; incr i)
+    else if c = '}' then (tokens := Rbrace :: !tokens; incr i)
+    else if c = '[' then (tokens := Lbracket :: !tokens; incr i)
+    else if c = ']' then (tokens := Rbracket :: !tokens; incr i)
+    else if c = ';' then (tokens := Semi :: !tokens; incr i)
+    else if c = '#' then
+      (* comment to end of line *)
+      while !i < n && input.[!i] <> '\n' do incr i done
+    else if is_name_char c then begin
+      let start = !i in
+      while !i < n && is_name_char input.[!i] do incr i done;
+      tokens := classify (String.sub input start (!i - start)) :: !tokens
+    end
+    else
+      raise (Syntax_error (Printf.sprintf "unexpected character %C at offset %d" c !i))
+  done;
+  List.rev !tokens
+
+let describe = function
+  | Name s -> Printf.sprintf "name %S" s
+  | Rate r -> Printf.sprintf "rate %g" r
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Semi -> "';'"
+
+(* recursive descent over the token list *)
+let rec parse_node tokens =
+  match tokens with
+  | Name name :: Rate rate :: rest ->
+    let capacity, rest =
+      match rest with
+      | Lbracket :: Rate cap :: Rbracket :: rest -> (Some cap, rest)
+      | Lbracket :: t :: _ ->
+        raise (Syntax_error ("expected a rate inside [...], got " ^ describe t))
+      | rest -> (None, rest)
+    in
+    (match rest with
+    | Lbrace :: rest ->
+      if capacity <> None then
+        raise (Syntax_error ("interior node " ^ name ^ " cannot carry a queue capacity"));
+      let children, rest = parse_children rest [] in
+      (Class_tree.node name ~rate children, rest)
+    | rest -> (Class_tree.leaf name ~rate ?queue_capacity_bits:capacity, rest))
+  | Name name :: t :: _ ->
+    raise (Syntax_error ("expected a rate after " ^ name ^ ", got " ^ describe t))
+  | t :: _ -> raise (Syntax_error ("expected a node name, got " ^ describe t))
+  | [] -> raise (Syntax_error "unexpected end of input")
+
+and parse_children tokens acc =
+  let child, rest = parse_node tokens in
+  match rest with
+  | Semi :: rest -> parse_children rest (child :: acc)
+  | Rbrace :: rest -> (List.rev (child :: acc), rest)
+  | t :: _ -> raise (Syntax_error ("expected ';' or '}', got " ^ describe t))
+  | [] -> raise (Syntax_error "unterminated '{'")
+
+let parse input =
+  match
+    let tokens = tokenize input in
+    let tree, rest = parse_node tokens in
+    match rest with
+    | [] -> tree
+    | t :: _ -> raise (Syntax_error ("trailing input: " ^ describe t))
+  with
+  | tree -> (
+    match Class_tree.validate tree with
+    | Ok () -> Ok tree
+    | Error errors -> Error ("invalid tree: " ^ String.concat "; " errors))
+  | exception Syntax_error msg -> Error msg
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error msg -> Error msg
+
+let rate_to_string r =
+  if r >= 1.0e9 && Float.rem r 1.0e6 = 0.0 then Printf.sprintf "%gG" (r /. 1.0e9)
+  else if r >= 1.0e6 then Printf.sprintf "%gM" (r /. 1.0e6)
+  else if r >= 1.0e3 then Printf.sprintf "%gK" (r /. 1.0e3)
+  else Printf.sprintf "%g" r
+
+let to_string tree =
+  let buffer = Buffer.create 256 in
+  let rec render indent node =
+    Buffer.add_string buffer indent;
+    Buffer.add_string buffer (Class_tree.name node);
+    Buffer.add_char buffer ' ';
+    Buffer.add_string buffer (rate_to_string (Class_tree.rate node));
+    (match node with
+    | Class_tree.Leaf { queue_capacity_bits = Some cap; _ } ->
+      Buffer.add_string buffer (Printf.sprintf " [%s]" (rate_to_string cap))
+    | Class_tree.Leaf _ -> ()
+    | Class_tree.Node { children; _ } ->
+      Buffer.add_string buffer " {\n";
+      List.iteri
+        (fun i child ->
+          if i > 0 then Buffer.add_string buffer ";\n";
+          render (indent ^ "  ") child)
+        children;
+      Buffer.add_char buffer '\n';
+      Buffer.add_string buffer indent;
+      Buffer.add_char buffer '}')
+  in
+  render "" tree;
+  Buffer.contents buffer

@@ -1,0 +1,31 @@
+(** Textual syntax for class hierarchies, for config files and the CLI.
+
+    Grammar (whitespace-insensitive):
+    {v
+      tree  ::= node
+      node  ::= NAME RATE cap? body?
+      body  ::= '{' node (';' node)* '}'
+      cap   ::= '[' RATE ']'                  (leaf queue capacity, bits)
+      RATE  ::= FLOAT ('' | 'K' | 'M' | 'G')  (bits per second)
+      NAME  ::= [A-Za-z0-9_./-]+
+    v}
+
+    Example:
+    {v
+      link 44.44M {
+        N-2 22.22M {
+          N-1 11.11M { RT-1 9M [512K]; BE-1 2.11M };
+          CS-1 1.111M
+        };
+        PS-1 2.222M
+      }
+    v} *)
+
+val parse : string -> (Class_tree.t, string) result
+(** Parse and {!Class_tree.validate}; the error carries position context. *)
+
+val parse_file : string -> (Class_tree.t, string) result
+
+val to_string : Class_tree.t -> string
+(** Render in the same syntax, indented; [parse (to_string t)] yields a
+    tree equal to [t] (rates within float-printing precision). *)

@@ -1,0 +1,136 @@
+open Sched
+
+type session = {
+  rate : float;
+  mutable start : float;  (* S_i: virtual start of the head packet *)
+  mutable finish : float; (* F_i: virtual finish of the head packet *)
+  mutable head_bits : float;
+  mutable backlogged : bool;
+}
+
+type state = {
+  server_rate : float;
+  sessions : session Vec.t;
+  eligible : Prioq.Indexed_heap.t; (* S_i <= V, keyed by F_i *)
+  waiting : Prioq.Indexed_heap.t;  (* S_i >  V, keyed by S_i *)
+  mutable v : float;               (* V, post-dated to the last selection's completion *)
+  mutable v_time : float;          (* server time of that completion *)
+  mutable backlogged_count : int;
+}
+
+let le_with_slack a b = a <= b +. (1e-9 *. (1.0 +. Float.abs b))
+
+(* The V(t)+τ term of eq. 27. [v] is post-dated to [v_time], the completion
+   of the last committed packet; V is linear (slope 1) through that span and
+   across any idle gap that follows, so V(now) interpolates in both
+   directions: backwards for an arrival landing mid-transmission
+   (now < v_time), forwards across idle time (now > v_time). Clamping the
+   backward case at [v] would inflate eq. 28's S = max(F, V(a)) stamps and
+   leak guaranteed bandwidth (caught by the Thm 4.3 property test). *)
+let linear_v t ~now = t.v +. (now -. t.v_time)
+
+let place t session =
+  let s = Vec.get t.sessions session in
+  if le_with_slack s.start t.v then
+    Prioq.Indexed_heap.add t.eligible ~key:session ~prio:s.finish
+  else Prioq.Indexed_heap.add t.waiting ~key:session ~prio:s.start
+
+let promote t ~threshold =
+  let continue = ref true in
+  while !continue do
+    match Prioq.Indexed_heap.min_binding t.waiting with
+    | Some (session, start) when le_with_slack start threshold ->
+      ignore (Prioq.Indexed_heap.pop_min t.waiting);
+      let s = Vec.get t.sessions session in
+      Prioq.Indexed_heap.add t.eligible ~key:session ~prio:s.finish
+    | Some _ | None -> continue := false
+  done
+
+let make ~rate =
+  if rate <= 0.0 then invalid_arg "Wf2q_plus.make: rate must be positive";
+  let t =
+    {
+      server_rate = rate;
+      sessions = Vec.create ();
+      eligible = Prioq.Indexed_heap.create 16;
+      waiting = Prioq.Indexed_heap.create 16;
+      v = 0.0;
+      v_time = 0.0;
+      backlogged_count = 0;
+    }
+  in
+  let add_session ~rate =
+    if rate <= 0.0 then invalid_arg "Wf2q_plus.add_session: rate must be positive";
+    Vec.push t.sessions
+      { rate; start = 0.0; finish = 0.0; head_bits = 0.0; backlogged = false }
+  in
+  let arrive ~now:_ ~session:_ ~size_bits:_ = () in
+  let backlog ~now ~session ~head_bits =
+    let s = Vec.get t.sessions session in
+    if s.backlogged then invalid_arg "Wf2q_plus: backlog of backlogged session";
+    (* eq. 28, empty-queue branch: S = max(F, V(now)) *)
+    s.start <- Float.max s.finish (linear_v t ~now);
+    s.finish <- s.start +. (head_bits /. s.rate);
+    s.head_bits <- head_bits;
+    s.backlogged <- true;
+    t.backlogged_count <- t.backlogged_count + 1;
+    place t session
+  in
+  let requeue ~now:_ ~session ~head_bits =
+    let s = Vec.get t.sessions session in
+    (* eq. 28, busy branch: S = F *)
+    s.start <- s.finish;
+    s.finish <- s.start +. (head_bits /. s.rate);
+    s.head_bits <- head_bits;
+    Prioq.Indexed_heap.remove t.eligible session;
+    Prioq.Indexed_heap.remove t.waiting session;
+    place t session
+  in
+  let set_idle ~now:_ ~session =
+    let s = Vec.get t.sessions session in
+    if not s.backlogged then invalid_arg "Wf2q_plus: set_idle of idle session";
+    s.backlogged <- false;
+    t.backlogged_count <- t.backlogged_count - 1;
+    Prioq.Indexed_heap.remove t.eligible session;
+    Prioq.Indexed_heap.remove t.waiting session
+  in
+  let select ~now =
+    if t.backlogged_count = 0 then None
+    else begin
+      (* eq. 27: threshold = max(V(t)+τ, min S). When the eligible set is
+         non-empty some S is already <= V, so min S <= V and the max is just
+         the linear term. *)
+      let lin = linear_v t ~now in
+      let threshold =
+        if Prioq.Indexed_heap.is_empty t.eligible then
+          match Prioq.Indexed_heap.min_prio t.waiting with
+          | Some smin -> Float.max lin smin
+          | None -> lin
+        else lin
+      in
+      promote t ~threshold;
+      match Prioq.Indexed_heap.min_key t.eligible with
+      | None -> None (* unreachable: threshold >= min S guarantees a candidate *)
+      | Some session ->
+        let s = Vec.get t.sessions session in
+        let service = s.head_bits /. t.server_rate in
+        (* RESTART-NODE lines 12-13: post-date V and its timestamp to the
+           completion of the packet just committed. *)
+        t.v <- threshold +. service;
+        t.v_time <- now +. service;
+        Some session
+    end
+  in
+  {
+    Sched_intf.name = "WF2Q+";
+    add_session;
+    arrive;
+    backlog;
+    requeue;
+    set_idle;
+    select;
+    virtual_time = (fun ~now -> linear_v t ~now);
+    backlogged_count = (fun () -> t.backlogged_count);
+  }
+
+let factory = { Sched_intf.kind = "WF2Q+"; make }

@@ -1,0 +1,134 @@
+open Sched
+
+type session = {
+  rate : float;
+  stamps : (float * float) Queue.t; (* per-packet (S, F), stamped at arrival *)
+  mutable last_finish : float;      (* F of the session's newest packet *)
+  mutable backlogged : bool;
+}
+
+type state = {
+  server_rate : float;
+  sessions : session Vec.t;
+  eligible : Prioq.Indexed_heap.t; (* head S <= V, keyed by head F *)
+  waiting : Prioq.Indexed_heap.t;  (* keyed by head S *)
+  mutable v : float;
+  mutable v_time : float;
+  mutable backlogged_count : int;
+}
+
+let le_with_slack a b = a <= b +. (1e-9 *. (1.0 +. Float.abs b))
+let linear_v t ~now = t.v +. (now -. t.v_time)
+
+let head_stamps t session =
+  let s = Vec.get t.sessions session in
+  match Queue.peek_opt s.stamps with
+  | Some stamps -> stamps
+  | None -> invalid_arg "Wf2q_plus_stamped: session has no stamped packet"
+
+let place t session =
+  let start, finish = head_stamps t session in
+  if le_with_slack start t.v then
+    Prioq.Indexed_heap.add t.eligible ~key:session ~prio:finish
+  else Prioq.Indexed_heap.add t.waiting ~key:session ~prio:start
+
+let promote t ~threshold =
+  let continue = ref true in
+  while !continue do
+    match Prioq.Indexed_heap.min_binding t.waiting with
+    | Some (session, start) when le_with_slack start threshold ->
+      ignore (Prioq.Indexed_heap.pop_min t.waiting);
+      let _, finish = head_stamps t session in
+      Prioq.Indexed_heap.add t.eligible ~key:session ~prio:finish
+    | Some _ | None -> continue := false
+  done
+
+let make ~rate =
+  if rate <= 0.0 then invalid_arg "Wf2q_plus_stamped.make: rate must be positive";
+  let t =
+    {
+      server_rate = rate;
+      sessions = Vec.create ();
+      eligible = Prioq.Indexed_heap.create 16;
+      waiting = Prioq.Indexed_heap.create 16;
+      v = 0.0;
+      v_time = 0.0;
+      backlogged_count = 0;
+    }
+  in
+  let add_session ~rate =
+    if rate <= 0.0 then invalid_arg "Wf2q_plus_stamped.add_session: bad rate";
+    Vec.push t.sessions
+      { rate; stamps = Queue.create (); last_finish = 0.0; backlogged = false }
+  in
+  (* eq. 6-7: stamp at arrival time with the current virtual time *)
+  let arrive ~now ~session ~size_bits =
+    let s = Vec.get t.sessions session in
+    let start = Float.max s.last_finish (linear_v t ~now) in
+    let finish = start +. (size_bits /. s.rate) in
+    s.last_finish <- finish;
+    Queue.push (start, finish) s.stamps
+  in
+  let backlog ~now:_ ~session ~head_bits:_ =
+    let s = Vec.get t.sessions session in
+    if s.backlogged then invalid_arg "Wf2q_plus_stamped: backlog of backlogged session";
+    s.backlogged <- true;
+    t.backlogged_count <- t.backlogged_count + 1;
+    place t session
+  in
+  let remove_from_heaps session =
+    Prioq.Indexed_heap.remove t.eligible session;
+    Prioq.Indexed_heap.remove t.waiting session
+  in
+  let requeue ~now:_ ~session ~head_bits:_ =
+    ignore (Queue.pop (Vec.get t.sessions session).stamps);
+    remove_from_heaps session;
+    place t session
+  in
+  let set_idle ~now:_ ~session =
+    let s = Vec.get t.sessions session in
+    ignore (Queue.pop s.stamps);
+    remove_from_heaps session;
+    s.backlogged <- false;
+    t.backlogged_count <- t.backlogged_count - 1
+  in
+  let select ~now =
+    if t.backlogged_count = 0 then None
+    else begin
+      let lin = linear_v t ~now in
+      let threshold =
+        if Prioq.Indexed_heap.is_empty t.eligible then
+          match Prioq.Indexed_heap.min_prio t.waiting with
+          | Some smin -> Float.max lin smin
+          | None -> lin
+        else lin
+      in
+      promote t ~threshold;
+      match Prioq.Indexed_heap.min_key t.eligible with
+      | None -> None
+      | Some session ->
+        let s = Vec.get t.sessions session in
+        let head_bits =
+          match Queue.peek_opt s.stamps with
+          | Some (start, finish) -> (finish -. start) *. s.rate
+          | None -> 0.0
+        in
+        let service = head_bits /. t.server_rate in
+        t.v <- threshold +. service;
+        t.v_time <- now +. service;
+        Some session
+    end
+  in
+  {
+    Sched_intf.name = "WF2Q+pp";
+    add_session;
+    arrive;
+    backlog;
+    requeue;
+    set_idle;
+    select;
+    virtual_time = (fun ~now -> linear_v t ~now);
+    backlogged_count = (fun () -> t.backlogged_count);
+  }
+
+let factory = { Sched_intf.kind = "WF2Q+pp"; make }

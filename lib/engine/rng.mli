@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random streams (SplitMix64).
+
+    Every stochastic workload in the repository draws from one of these so
+    experiments are exactly reproducible from a seed. [split] derives an
+    independent stream, letting each traffic source own its own generator
+    without cross-contamination when sources are added or reordered. *)
+
+type t
+
+val create : int64 -> t
+(** Seeded generator. The same seed always yields the same stream. *)
+
+val split : t -> t
+(** Derive an independent child stream (advances the parent). *)
+
+val next_int64 : t -> int64
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val uniform : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean (Poisson inter-arrivals). *)
+
+val bool : t -> bool

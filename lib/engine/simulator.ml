@@ -1,0 +1,88 @@
+type event = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type event_id = event
+
+type t = {
+  queue : event Prioq.Binary_heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable fired : int;
+  mutable live : int; (* pending and not cancelled *)
+}
+
+let compare_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let dummy_event = { time = 0.0; seq = -1; action = ignore; cancelled = true }
+
+let create () =
+  {
+    queue = Prioq.Binary_heap.create ~cmp:compare_event ~dummy:dummy_event ();
+    clock = 0.0;
+    next_seq = 0;
+    fired = 0;
+    live = 0;
+  }
+
+let now t = t.clock
+
+let schedule t ~at action =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Simulator.schedule: time %g is before now %g" at t.clock);
+  let ev = { time = at; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  Prioq.Binary_heap.push t.queue ev;
+  ev
+
+let schedule_after t ~delay action =
+  if delay < 0.0 then invalid_arg "Simulator.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) action
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+(* Pop cancelled events lazily; they stay in the heap until reached. *)
+let rec next_live t =
+  match Prioq.Binary_heap.pop t.queue with
+  | None -> None
+  | Some ev -> if ev.cancelled then next_live t else Some ev
+
+let step t =
+  match next_live t with
+  | None -> false
+  | Some ev ->
+    t.clock <- ev.time;
+    t.live <- t.live - 1;
+    t.fired <- t.fired + 1;
+    ev.action ();
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+    let continue = ref true in
+    while !continue do
+      match Prioq.Binary_heap.peek t.queue with
+      | Some ev when ev.cancelled ->
+        ignore (Prioq.Binary_heap.pop t.queue)
+      | Some ev when ev.time <= horizon -> ignore (step t)
+      | Some _ | None ->
+        continue := false
+    done;
+    if t.clock < horizon then t.clock <- horizon
+
+let events_processed t = t.fired

@@ -1,0 +1,40 @@
+(** Discrete-event simulation core (the NETSIM substitute).
+
+    A simulator owns a virtual clock and a pending-event set. Events fire in
+    non-decreasing time order; events scheduled for the same instant fire in
+    the order they were scheduled (FIFO tie-break by sequence number), which
+    keeps runs deterministic. Event handlers may schedule and cancel further
+    events freely. *)
+
+type t
+
+type event_id
+(** Handle for cancellation. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. Starts at [0.]. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> event_id
+(** Schedule a callback at absolute time [at].
+    @raise Invalid_argument if [at] is in the past. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> event_id
+(** Schedule relative to [now]. Negative delays are rejected. *)
+
+val cancel : t -> event_id -> unit
+(** Cancel a pending event; no-op if it already fired or was cancelled. *)
+
+val pending : t -> int
+(** Number of not-yet-fired, not-cancelled events. *)
+
+val step : t -> bool
+(** Fire the earliest pending event. Returns [false] if none remain. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event set; with [~until] stop once the next event would fire
+    strictly after that time (the clock is then advanced to [until]). *)
+
+val events_processed : t -> int
+(** Total events fired so far (monitoring / tests). *)

@@ -1,0 +1,28 @@
+(** The Fig. 2 worked example: service order of GPS vs WFQ vs WF²Q vs WF²Q+.
+
+    Eleven sessions share a unit-rate link with unit packets; session 1
+    (φ = 0.5) sends 11 back-to-back packets at t = 0, the ten others
+    (φ = 0.05 each) one packet each. GPS interleaves; WFQ bursts session 1's
+    first ten packets; the SEFF disciplines track GPS within one packet. *)
+
+type completion = { session : int; seq : int; finish : float }
+
+type result = {
+  gps : completion list; (* fluid finish times *)
+  packet : (string * completion list) list; (* per packet discipline *)
+}
+
+val run : unit -> result
+(** Disciplines compared: WFQ, WF²Q, WF²Q+, SCFQ. *)
+
+val session1_finishes : completion list -> float list
+(** Finish times of session 1's packets, in sequence order. *)
+
+val max_service_lead : ?session:int -> completion list -> float
+(** Max over time of W_i(packet) − W_i(GPS) for the given session (default
+    session 0/"session 1"): how far ahead of its fluid schedule the
+    discipline ran the session — the paper's measure of WFQ's inaccuracy
+    (≈ N/2 packets for WFQ, < 1 for WF²Q/WF²Q+). *)
+
+val render : Format.formatter -> result -> unit
+(** Timelines, one row per discipline (matches the layout of Fig. 2). *)

@@ -1,0 +1,40 @@
+(** The §5.2 link-sharing experiment (Figs. 8–9): five long-lived TCP
+    sessions at different depths of the Fig. 8 hierarchy, with one on/off
+    source per level toggling per the paper's schedule.
+
+    Two runs over the same schedule:
+    - {e packet}: H-PFQ ({!Hpfq.Hier}) with real {!Tcp.Tcp_reno} sources
+      adapting through queue drops (Fig. 9(a));
+    - {e fluid ideal}: {!Fluid.Hgps} with TCP leaves modelled as
+      persistently backlogged (Fig. 9(b)'s "ideal" curves).
+
+    Bandwidth is measured the paper's way: exponential averaging over 50 ms
+    windows. *)
+
+type series = (float * float) list
+(** [(time, bits-per-second)]. *)
+
+type interval_row = { leaf : string; measured : float; ideal : float }
+
+type interval = {
+  label : string;
+  t0 : float;
+  t1 : float;
+  rows : interval_row list; (* one per measured TCP session *)
+}
+
+type result = {
+  discipline : string;
+  measured : (string * series) list; (** per TCP leaf, packet system *)
+  ideal : (string * series) list;    (** per TCP leaf, fluid H-GPS *)
+  intervals : interval list;         (** steady-state averages per phase *)
+  tcp_stats : (string * int * int) list; (** leaf, retransmits, timeouts *)
+}
+
+val run :
+  ?factory:Sched.Sched_intf.factory -> ?horizon:float -> ?seed:int64 -> unit -> result
+(** Defaults: WF²Q+, {!Paper_hierarchies.fig8_horizon}, seed 1. *)
+
+val summary : Format.formatter -> result -> unit
+(** Per-interval table: measured vs ideal bandwidth for each TCP session
+    (the numeric content of Fig. 9). *)

@@ -1,0 +1,90 @@
+module CT = Hpfq.Class_tree
+
+let mbps = Engine.Units.mbps
+
+(* -- Fig. 1 -------------------------------------------------------------- *)
+
+let fig1 ~link_rate =
+  let a1 = 0.5 *. link_rate in
+  CT.node "link" ~rate:link_rate
+    (CT.node "A1" ~rate:a1
+       [
+         CT.leaf "A1-best-effort" ~rate:(0.2 *. a1);
+         CT.leaf "A1-real-time" ~rate:(0.8 *. a1);
+       ]
+    :: List.init 10 (fun i ->
+           CT.leaf (Printf.sprintf "A%d" (i + 2)) ~rate:(0.05 *. link_rate)))
+
+(* -- Fig. 3 -------------------------------------------------------------- *)
+
+let fig3_link_rate = mbps 44.44
+let fig3_packet_bits = 65536.0 (* 8 KB *)
+
+let n2_rate = fig3_link_rate /. 2.0
+let n1_rate = n2_rate /. 2.0
+let rt1_rate = 0.81 *. n1_rate (* = 9.0 Mbps, as the paper states *)
+let be1_rate = n1_rate -. rt1_rate
+let cs_rate = n2_rate /. 2.0 /. 10.0 (* ten CS leaves beside N-1 under N-2 *)
+let ps_rate = fig3_link_rate /. 2.0 /. 10.0 (* ten PS leaves beside N-2 at the root *)
+
+(* RT-1 sends at 4x its sustained rate for 25 ms of every 100 ms: the excess
+   above the sustained rate accumulated over one on-period. *)
+let rt1_sigma_bits = (4.0 -. 1.0) *. rt1_rate *. 0.025
+
+(* CS-n sit directly beside N-1 under N-2, and PS-n directly beside N-2 at
+   the root, so the servers on RT-1's root path have 11 sessions each — the
+   configuration in which WFQ's session-count-proportional WFI hurts a
+   hierarchical server (and the reason Fig. 4's H-WFQ spikes exist). *)
+let fig3 =
+  CT.node "N-R" ~rate:fig3_link_rate
+    (CT.node "N-2" ~rate:n2_rate
+       (CT.node "N-1" ~rate:n1_rate
+          [ CT.leaf "RT-1" ~rate:rt1_rate; CT.leaf "BE-1" ~rate:be1_rate ]
+       :: List.init 10 (fun i ->
+              CT.leaf (Printf.sprintf "CS-%d" (i + 1)) ~rate:cs_rate))
+    :: List.init 10 (fun i ->
+           CT.leaf (Printf.sprintf "PS-%d" (i + 1)) ~rate:ps_rate))
+
+(* -- Fig. 8 -------------------------------------------------------------- *)
+
+let fig8_link_rate = mbps 40.0
+
+let fig8 =
+  CT.node "link" ~rate:fig8_link_rate
+    [
+      CT.leaf "TCP-1" ~rate:(mbps 4.0) ~queue_capacity_bits:(4.0 *. 65536.0);
+      CT.leaf "OnOff-1" ~rate:(mbps 8.0);
+      CT.node "N-A" ~rate:(mbps 28.0)
+        [
+          CT.leaf "TCP-5" ~rate:(mbps 6.0) ~queue_capacity_bits:(4.0 *. 65536.0);
+          CT.leaf "OnOff-2" ~rate:(mbps 6.0);
+          CT.node "N-B" ~rate:(mbps 16.0)
+            [
+              CT.leaf "TCP-8" ~rate:(mbps 5.0) ~queue_capacity_bits:(4.0 *. 65536.0);
+              CT.leaf "OnOff-3" ~rate:(mbps 5.0);
+              CT.node "N-C" ~rate:(mbps 6.0)
+                [
+                  CT.leaf "TCP-10" ~rate:(mbps 2.0)
+                    ~queue_capacity_bits:(4.0 *. 65536.0);
+                  CT.leaf "TCP-11" ~rate:(mbps 2.0)
+                    ~queue_capacity_bits:(4.0 *. 65536.0);
+                  CT.leaf "OnOff-4" ~rate:(mbps 2.0);
+                ];
+            ];
+        ];
+    ]
+
+let fig8_tcp_leaves = [ "TCP-1"; "TCP-5"; "TCP-8"; "TCP-10"; "TCP-11" ]
+
+(* Active on/off sources send at exactly their class bandwidth (Fig. 8(b)
+   gives each source a bandwidth): their queues stay empty and they fall
+   silent the instant a window closes. Windows follow the §5.2 narrative. *)
+let fig8_onoff_schedule =
+  [
+    ("OnOff-1", mbps 8.0, [ (0.0, 5.25); (6.0, 6.75); (7.5, 8.25); (9.0, 10.0) ]);
+    ("OnOff-2", mbps 6.0, [ (0.0, 5.0) ]);
+    ("OnOff-3", mbps 5.0, [ (0.0, 5.0); (8.0, 10.0) ]);
+    ("OnOff-4", mbps 2.0, [ (5.0, 8.0) ]);
+  ]
+
+let fig8_horizon = 10.0

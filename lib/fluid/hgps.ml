@@ -1,0 +1,224 @@
+type leaf_state = {
+  mutable backlog : float;
+  mutable persistent : bool;
+  (* (packet, cumulative served bits at which it completes) in FIFO order *)
+  boundaries : (Net.Packet.t * float) Queue.t;
+  mutable arrived_bits : float;
+  mutable next_seq : int;
+}
+
+type node = {
+  id : int;
+  name : string;
+  rate : float;
+  parent : int;
+  mutable children : int array;
+  leaf : leaf_state option; (* None for interior nodes *)
+  mutable served : float;   (* W_n(0, now) *)
+  mutable alloc : float;    (* instantaneous allocation, recomputed per epoch *)
+}
+
+type t = {
+  nodes : node array;
+  root : int;
+  by_name : (string, int) Hashtbl.t;
+  on_packet_finish : Net.Packet.t -> float -> unit;
+  mutable now : float;
+}
+
+let eps_bits = 1e-6
+
+let create ~spec ?(on_packet_finish = fun _ _ -> ()) () =
+  (match Hpfq.Class_tree.validate spec with
+  | Ok () -> ()
+  | Error errors ->
+    invalid_arg ("Hgps.create: invalid tree: " ^ String.concat "; " errors));
+  let acc = ref [] in
+  let counter = ref 0 in
+  let by_name = Hashtbl.create 16 in
+  let rec build ~parent spec =
+    let id = !counter in
+    incr counter;
+    let leaf =
+      if Hpfq.Class_tree.is_leaf spec then
+        Some
+          {
+            backlog = 0.0;
+            persistent = false;
+            boundaries = Queue.create ();
+            arrived_bits = 0.0;
+            next_seq = 1;
+          }
+      else None
+    in
+    let n =
+      {
+        id;
+        name = Hpfq.Class_tree.name spec;
+        rate = Hpfq.Class_tree.rate spec;
+        parent;
+        children = [||];
+        leaf;
+        served = 0.0;
+        alloc = 0.0;
+      }
+    in
+    acc := n :: !acc;
+    Hashtbl.replace by_name n.name id;
+    let child_ids =
+      List.map (fun c -> (build ~parent:id c).id) (Hpfq.Class_tree.children spec)
+    in
+    n.children <- Array.of_list child_ids;
+    n
+  in
+  let root = build ~parent:(-1) spec in
+  let nodes = Array.make !counter root in
+  List.iter (fun n -> nodes.(n.id) <- n) !acc;
+  { nodes; root = root.id; by_name; on_packet_finish; now = 0.0 }
+
+let leaf_backlogged l = l.persistent || l.backlog > eps_bits
+
+(* Is the subtree rooted at [n] backlogged? *)
+let rec subtree_backlogged t n =
+  match n.leaf with
+  | Some l -> leaf_backlogged l
+  | None ->
+    Array.exists (fun c -> subtree_backlogged t t.nodes.(c)) n.children
+
+(* Recompute every node's instantaneous allocation (eq. 8 applied top-down):
+   a backlogged node's allocation splits among backlogged children in
+   proportion to their rates. *)
+let recompute_allocations t =
+  let rec assign n amount =
+    n.alloc <- amount;
+    if Array.length n.children > 0 then begin
+      let backlogged_rate_sum = ref 0.0 in
+      Array.iter
+        (fun c ->
+          let child = t.nodes.(c) in
+          if subtree_backlogged t child then
+            backlogged_rate_sum := !backlogged_rate_sum +. child.rate)
+        n.children;
+      Array.iter
+        (fun c ->
+          let child = t.nodes.(c) in
+          let share =
+            if !backlogged_rate_sum > 0.0 && subtree_backlogged t child then
+              amount *. child.rate /. !backlogged_rate_sum
+            else 0.0
+          in
+          assign child share)
+        n.children
+    end
+  in
+  let root = t.nodes.(t.root) in
+  let amount = if subtree_backlogged t root then root.rate else 0.0 in
+  assign root amount
+
+(* Largest dt we may integrate before some packet-mode leaf drains dry. *)
+let time_to_next_drain t =
+  Array.fold_left
+    (fun acc n ->
+      match n.leaf with
+      | Some l when (not l.persistent) && l.backlog > eps_bits && n.alloc > 0.0 ->
+        Float.min acc (l.backlog /. n.alloc)
+      | Some _ | None -> acc)
+    infinity t.nodes
+
+let integrate t dt =
+  Array.iter
+    (fun n ->
+      if n.alloc > 0.0 then begin
+        let served_before = n.served in
+        n.served <- n.served +. (n.alloc *. dt);
+        match n.leaf with
+        | None -> ()
+        | Some l ->
+          if not l.persistent then begin
+            l.backlog <- Float.max 0.0 (l.backlog -. (n.alloc *. dt));
+            if l.backlog <= eps_bits then l.backlog <- 0.0;
+            (* fire finish callbacks for boundaries crossed in this span *)
+            let continue = ref true in
+            while !continue do
+              match Queue.peek_opt l.boundaries with
+              | Some (pkt, boundary) when boundary <= n.served +. eps_bits ->
+                ignore (Queue.pop l.boundaries);
+                let finish_time = t.now +. ((boundary -. served_before) /. n.alloc) in
+                t.on_packet_finish pkt finish_time
+              | Some _ | None -> continue := false
+            done
+          end
+      end)
+    t.nodes;
+  t.now <- t.now +. dt
+
+let advance t ~to_ =
+  if to_ < t.now -. 1e-12 then invalid_arg "Hgps.advance: time went backwards";
+  while to_ -. t.now > 1e-15 do
+    recompute_allocations t;
+    (* time_to_next_drain is strictly positive: drained leaves (backlog
+       <= eps) do not count as backlogged, so the loop always progresses *)
+    let dt = Float.min (time_to_next_drain t) (to_ -. t.now) in
+    integrate t dt
+  done;
+  t.now <- Float.max t.now to_
+
+let now t = t.now
+
+let leaf_id t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id when t.nodes.(id).leaf <> None -> id
+  | Some _ | None -> raise Not_found
+
+let arrive_packet t ~at pkt =
+  advance t ~to_:at;
+  let n = t.nodes.(pkt.Net.Packet.flow) in
+  match n.leaf with
+  | None -> invalid_arg "Hgps.arrive_packet: not a leaf"
+  | Some l ->
+    if l.persistent then invalid_arg "Hgps.arrive_packet: leaf is persistent";
+    l.backlog <- l.backlog +. pkt.Net.Packet.size_bits;
+    l.arrived_bits <- l.arrived_bits +. pkt.Net.Packet.size_bits;
+    Queue.push (pkt, n.served +. l.backlog) l.boundaries
+
+let arrive t ~at ~leaf ~size_bits =
+  let n = t.nodes.(leaf) in
+  match n.leaf with
+  | None -> invalid_arg "Hgps.arrive: not a leaf"
+  | Some l ->
+    let pkt =
+      Net.Packet.make ~flow:leaf ~seq:l.next_seq ~size_bits ~arrival:at ()
+    in
+    l.next_seq <- l.next_seq + 1;
+    arrive_packet t ~at pkt;
+    pkt
+
+let set_persistent t ~at ~leaf on =
+  advance t ~to_:at;
+  let n = t.nodes.(leaf) in
+  match n.leaf with
+  | None -> invalid_arg "Hgps.set_persistent: not a leaf"
+  | Some l ->
+    l.persistent <- on;
+    if not on then begin
+      l.backlog <- 0.0;
+      Queue.clear l.boundaries
+    end
+
+let node_by_name t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> t.nodes.(id)
+  | None -> raise Not_found
+
+let served_bits t ~node = (node_by_name t node).served
+
+let backlog_bits t ~leaf =
+  match t.nodes.(leaf).leaf with
+  | Some l -> l.backlog
+  | None -> invalid_arg "Hgps.backlog_bits: not a leaf"
+
+let current_rate t ~node =
+  recompute_allocations t;
+  (node_by_name t node).alloc
+
+let busy t = subtree_backlogged t t.nodes.(t.root)

@@ -1,0 +1,39 @@
+type t = {
+  q : Packet.t Queue.t;
+  capacity_bits : float;
+  mutable bits : float;
+  mutable drops : int;
+}
+
+let create ?(capacity_bits = infinity) () =
+  if capacity_bits <= 0.0 then invalid_arg "Fifo.create: capacity must be positive";
+  { q = Queue.create (); capacity_bits; bits = 0.0; drops = 0 }
+
+let push t p =
+  if t.bits +. p.Packet.size_bits > t.capacity_bits then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else begin
+    Queue.push p t.q;
+    t.bits <- t.bits +. p.Packet.size_bits;
+    true
+  end
+
+let pop t =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some p ->
+    t.bits <- t.bits -. p.Packet.size_bits;
+    if Queue.is_empty t.q then t.bits <- 0.0;
+    Some p
+
+let peek t = Queue.peek_opt t.q
+let length t = Queue.length t.q
+let bits t = t.bits
+let is_empty t = Queue.is_empty t.q
+let drops t = t.drops
+
+let clear t =
+  Queue.clear t.q;
+  t.bits <- 0.0

@@ -1,0 +1,24 @@
+(** Per-session FIFO packet queue with byte accounting and drop-tail limit.
+
+    This is the physical queue at a leaf node (the paper's Q̂_i). It tracks
+    [bits] = Q_i(t), the backlog in bits including the head packet, which is
+    the quantity appearing in the T-WFI definition (paper eq. 10). *)
+
+type t
+
+val create : ?capacity_bits:float -> unit -> t
+(** Unbounded unless [capacity_bits] is given (drop-tail beyond it). *)
+
+val push : t -> Packet.t -> bool
+(** Append. Returns [false] (and drops the packet) if it would exceed the
+    capacity; the drop counter is incremented. *)
+
+val pop : t -> Packet.t option
+val peek : t -> Packet.t option
+val length : t -> int
+val bits : t -> float
+(** Current backlog in bits. *)
+
+val is_empty : t -> bool
+val drops : t -> int
+val clear : t -> unit

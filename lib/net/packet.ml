@@ -1,0 +1,20 @@
+type t = {
+  uid : int;
+  flow : int;
+  seq : int;
+  size_bits : float;
+  arrival : float;
+  mark : int;
+}
+
+let counter = ref 0
+
+let make ?(mark = 0) ~flow ~seq ~size_bits ~arrival () =
+  if size_bits <= 0.0 then invalid_arg "Packet.make: size must be positive";
+  incr counter;
+  { uid = !counter; flow; seq; size_bits; arrival; mark }
+
+let reset_uid_counter () = counter := 0
+
+let pp fmt p =
+  Format.fprintf fmt "p_%d^%d(%gb@@%g)" p.flow p.seq p.size_bits p.arrival

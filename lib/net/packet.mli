@@ -1,0 +1,23 @@
+(** Packets as seen by the schedulers.
+
+    A packet is pure data: the scheduler never inspects payloads, only the
+    flow it belongs to and its length in bits. [uid] is globally unique and
+    provides a stable identity for traces and tests; [seq] is the 1-based
+    index within its flow (the paper's superscript k in p_i^k). *)
+
+type t = {
+  uid : int;
+  flow : int;            (** leaf/session index the packet belongs to *)
+  seq : int;             (** k-th packet of its flow, starting at 1 *)
+  size_bits : float;     (** length L_i^k in bits *)
+  arrival : float;       (** a_i^k, seconds *)
+  mark : int;            (** free-form tag (e.g. TCP segment number); 0 if unused *)
+}
+
+val make : ?mark:int -> flow:int -> seq:int -> size_bits:float -> arrival:float -> unit -> t
+(** Allocates a fresh [uid]. *)
+
+val reset_uid_counter : unit -> unit
+(** Tests only: make uid sequences reproducible within a test case. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+(** Multi-hop networks of H-PFQ servers.
+
+    The paper's delay results are per-node; end-to-end guarantees follow by
+    composing them across a path of switches (§1 cites the Parekh–Gallager
+    end-to-end analysis). This module wires several {!Hpfq.Hier} servers in
+    sequence: a packet departing hop k's link is re-injected, after a fixed
+    propagation delay, into a designated leaf of hop k+1; the last hop
+    delivers to the flow's sink with its end-to-end delay.
+
+    Each flow follows a static route (one leaf name per hop). Per-flow FIFO
+    order is preserved end to end (FIFO leaf queues, in-order links), which
+    is what lets the end-to-end delay of each packet be matched to its
+    original injection time. *)
+
+type t
+
+val create :
+  sim:Engine.Simulator.t ->
+  hops:(string * Hpfq.Class_tree.t) list ->
+  make_policy:(level:int -> name:string -> rate:float -> Sched.Sched_intf.t) ->
+  ?propagation_delay:float ->
+  ?on_deliver:(flow:string -> Net.Packet.t -> injected:float -> delivered:float -> unit) ->
+  unit ->
+  t
+(** [hops] are (server name, class tree) in path order; every server uses
+    [make_policy] for its interior nodes. [propagation_delay] (default
+    1 ms) applies between consecutive hops. *)
+
+val add_flow : t -> name:string -> route:string list -> unit
+(** [route] names the leaf the flow occupies at each hop (one per hop, in
+    order). Each leaf may carry at most one flow.
+    @raise Invalid_argument on length mismatch or leaf reuse. *)
+
+val inject : t -> flow:string -> size_bits:float -> unit
+(** A flow packet enters the first hop at the current simulation time. *)
+
+val delivered : t -> flow:string -> int
+val in_flight : t -> flow:string -> int
+val hop_server : t -> string -> Hpfq.Hier.t
+(** Access a hop's server by name (for stats and introspection). *)
+
+val end_to_end_bound :
+  t -> flow:string -> sigma:float -> l_max:float -> (float, string) result
+(** Conservative end-to-end bound: the flow's Corollary-2 bound at the
+    first hop plus, for each later hop, the hop's bound with the burst
+    term already absorbed upstream (σ = 0), plus propagation delays.
+    Valid because a (σ,ρ)-flow leaving a bounded-delay hop is
+    (σ + ρ·D, ρ)-constrained; substituting gives the telescoped form. *)

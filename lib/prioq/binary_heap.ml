@@ -1,0 +1,91 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  dummy : 'a;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ?(initial_capacity = 16) ~cmp ~dummy () =
+  let capacity = max 1 initial_capacity in
+  { cmp; dummy; data = Array.make capacity dummy; size = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let grow h =
+  let capacity = Array.length h.data in
+  let data = Array.make (2 * capacity) h.dummy in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.size && h.cmp h.data.(left) h.data.(!smallest) < 0 then
+    smallest := left;
+  if right < h.size && h.cmp h.data.(right) h.data.(!smallest) < 0 then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h x =
+  if h.size = Array.length h.data then grow h;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+let peek_exn h = if h.size = 0 then raise Not_found else h.data.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- h.dummy;
+    if h.size > 0 then sift_down h 0;
+    Some top
+  end
+
+let pop_exn h = match pop h with Some x -> x | None -> raise Not_found
+
+let clear h =
+  for i = 0 to h.size - 1 do
+    h.data.(i) <- h.dummy
+  done;
+  h.size <- 0
+
+let to_sorted_list h =
+  let copy = { h with data = Array.copy h.data } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []
+
+let iter_unordered f h =
+  for i = 0 to h.size - 1 do
+    f h.data.(i)
+  done
+
+let check_invariant h =
+  let ok = ref true in
+  for i = 1 to h.size - 1 do
+    if h.cmp h.data.((i - 1) / 2) h.data.(i) > 0 then ok := false
+  done;
+  !ok

@@ -1,0 +1,39 @@
+(** Resizable array-based binary min-heap.
+
+    The ordering is given by the [cmp] function supplied at creation time:
+    [cmp a b < 0] means [a] has strictly higher priority (pops first).
+    All operations are O(log n) except [peek]/[length], which are O(1). *)
+
+type 'a t
+
+val create : ?initial_capacity:int -> cmp:('a -> 'a -> int) -> dummy:'a -> unit -> 'a t
+(** [create ~cmp ~dummy ()] makes an empty heap. [dummy] is a throwaway value
+    used to fill unused array slots (never observable). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val peek_exn : 'a t -> 'a
+(** @raise Not_found if empty. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Not_found if empty. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive: elements in ascending priority order. O(n log n). *)
+
+val iter_unordered : ('a -> unit) -> 'a t -> unit
+(** Visit every element in unspecified order. O(n). *)
+
+val check_invariant : 'a t -> bool
+(** Heap-order invariant holds (used by tests). *)

@@ -1,0 +1,159 @@
+type t = {
+  mutable keys : int array;       (* heap slot -> key *)
+  mutable prios : float array;    (* heap slot -> priority *)
+  mutable pos : int array;        (* key -> heap slot, or -1 *)
+  mutable size : int;
+}
+
+let create capacity =
+  let capacity = max 1 capacity in
+  {
+    keys = Array.make capacity (-1);
+    prios = Array.make capacity nan;
+    pos = Array.make capacity (-1);
+    size = 0;
+  }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let ensure_key_capacity h key =
+  let n = Array.length h.pos in
+  if key >= n then begin
+    let n' = max (key + 1) (2 * n) in
+    let pos = Array.make n' (-1) in
+    Array.blit h.pos 0 pos 0 n;
+    h.pos <- pos
+  end
+
+let ensure_slot_capacity h =
+  let n = Array.length h.keys in
+  if h.size = n then begin
+    let keys = Array.make (2 * n) (-1) in
+    let prios = Array.make (2 * n) nan in
+    Array.blit h.keys 0 keys 0 n;
+    Array.blit h.prios 0 prios 0 n;
+    h.keys <- keys;
+    h.prios <- prios
+  end
+
+let mem h key = key >= 0 && key < Array.length h.pos && h.pos.(key) >= 0
+
+(* [a] before [b]? Smaller priority wins; ties broken by smaller key for
+   determinism across runs and platforms. *)
+let before h i j =
+  let c = compare h.prios.(i) h.prios.(j) in
+  if c <> 0 then c < 0 else h.keys.(i) < h.keys.(j)
+
+let swap h i j =
+  let ki = h.keys.(i) and kj = h.keys.(j) in
+  h.keys.(i) <- kj;
+  h.keys.(j) <- ki;
+  let p = h.prios.(i) in
+  h.prios.(i) <- h.prios.(j);
+  h.prios.(j) <- p;
+  h.pos.(ki) <- j;
+  h.pos.(kj) <- i
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h i parent then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.size && before h left !smallest then smallest := left;
+  if right < h.size && before h right !smallest then smallest := right;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let add h ~key ~prio =
+  if key < 0 then invalid_arg "Indexed_heap.add: negative key";
+  ensure_key_capacity h key;
+  if h.pos.(key) >= 0 then invalid_arg "Indexed_heap.add: key present";
+  ensure_slot_capacity h;
+  let i = h.size in
+  h.keys.(i) <- key;
+  h.prios.(i) <- prio;
+  h.pos.(key) <- i;
+  h.size <- h.size + 1;
+  sift_up h i
+
+let update h ~key ~prio =
+  if not (mem h key) then invalid_arg "Indexed_heap.update: key absent";
+  let i = h.pos.(key) in
+  h.prios.(i) <- prio;
+  sift_up h i;
+  sift_down h h.pos.(key)
+
+let add_or_update h ~key ~prio =
+  if mem h key then update h ~key ~prio else add h ~key ~prio
+
+let remove_slot h i =
+  let last = h.size - 1 in
+  let key = h.keys.(i) in
+  h.pos.(key) <- -1;
+  if i <> last then begin
+    let moved = h.keys.(last) in
+    h.keys.(i) <- moved;
+    h.prios.(i) <- h.prios.(last);
+    h.pos.(moved) <- i
+  end;
+  h.keys.(last) <- -1;
+  h.prios.(last) <- nan;
+  h.size <- last;
+  if i < h.size then begin
+    sift_up h i;
+    sift_down h h.pos.(h.keys.(i))
+  end
+
+let remove h key = if mem h key then remove_slot h h.pos.(key)
+
+let min_key h = if h.size = 0 then None else Some h.keys.(0)
+let min_prio h = if h.size = 0 then None else Some h.prios.(0)
+
+let min_binding h =
+  if h.size = 0 then None else Some (h.keys.(0), h.prios.(0))
+
+let pop_min h =
+  match min_binding h with
+  | None -> None
+  | Some binding ->
+    remove_slot h 0;
+    Some binding
+
+let prio_of h key = if mem h key then Some h.prios.(h.pos.(key)) else None
+
+let iter f h =
+  for i = 0 to h.size - 1 do
+    f h.keys.(i) h.prios.(i)
+  done
+
+let clear h =
+  for i = 0 to h.size - 1 do
+    h.pos.(h.keys.(i)) <- -1;
+    h.keys.(i) <- -1;
+    h.prios.(i) <- nan
+  done;
+  h.size <- 0
+
+let check_invariant h =
+  let ok = ref true in
+  for i = 1 to h.size - 1 do
+    if before h i ((i - 1) / 2) then ok := false
+  done;
+  for i = 0 to h.size - 1 do
+    if h.pos.(h.keys.(i)) <> i then ok := false
+  done;
+  for key = 0 to Array.length h.pos - 1 do
+    let p = h.pos.(key) in
+    if p >= 0 && (p >= h.size || h.keys.(p) <> key) then ok := false
+  done;
+  !ok

@@ -1,0 +1,55 @@
+type 'a node = Empty | Node of 'a * 'a node list
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable root : 'a node;
+  mutable size : int;
+}
+
+let create ~cmp = { cmp; root = Empty; size = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+
+let meld_nodes cmp a b =
+  match (a, b) with
+  | Empty, n | n, Empty -> n
+  | Node (x, xs), Node (y, ys) ->
+    if cmp x y <= 0 then Node (x, b :: xs) else Node (y, a :: ys)
+
+let push h x =
+  h.root <- meld_nodes h.cmp h.root (Node (x, []));
+  h.size <- h.size + 1
+
+let peek h = match h.root with Empty -> None | Node (x, _) -> Some x
+
+(* Two-pass pairing: meld children pairwise left-to-right, then fold the
+   results right-to-left. This is what gives the amortised O(log n) pop. *)
+let rec merge_pairs cmp = function
+  | [] -> Empty
+  | [ n ] -> n
+  | a :: b :: rest -> meld_nodes cmp (meld_nodes cmp a b) (merge_pairs cmp rest)
+
+let pop h =
+  match h.root with
+  | Empty -> None
+  | Node (x, children) ->
+    h.root <- merge_pairs h.cmp children;
+    h.size <- h.size - 1;
+    Some x
+
+let meld dst src =
+  dst.root <- meld_nodes dst.cmp dst.root src.root;
+  dst.size <- dst.size + src.size;
+  src.root <- Empty;
+  src.size <- 0
+
+let to_sorted_list h =
+  let copy = { h with root = h.root } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []
+
+let clear h =
+  h.root <- Empty;
+  h.size <- 0

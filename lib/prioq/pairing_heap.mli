@@ -1,0 +1,22 @@
+(** Pairing heap: O(1) amortised [push]/[meld], O(log n) amortised [pop].
+
+    Provided as an alternative backing store for scheduler ready-sets; the
+    complexity bench compares it against {!Binary_heap}. Purely functional
+    node structure under a mutable root handle. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+val meld : 'a t -> 'a t -> unit
+(** [meld dst src] moves all of [src]'s elements into [dst], emptying [src].
+    Both heaps must use compatible comparison functions. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Destructive on a copy: elements in ascending order. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,50 @@
+type session = { order : int Queue.t; mutable backlogged : bool }
+
+let make ~rate:_ =
+  let sessions : session Vec.t = Vec.create () in
+  let ready = Prioq.Indexed_heap.create 16 in
+  let backlogged_count = ref 0 in
+  let arrival_counter = ref 0 in
+  let add_session ~rate:_ =
+    Vec.push sessions { order = Queue.create (); backlogged = false }
+  in
+  let arrive ~now:_ ~session ~size_bits:_ =
+    incr arrival_counter;
+    Queue.push !arrival_counter (Vec.get sessions session).order
+  in
+  let head_order session =
+    match Queue.peek_opt (Vec.get sessions session).order with
+    | Some n -> float_of_int n
+    | None -> invalid_arg "Fifo_sched: session has no queued packet"
+  in
+  let backlog ~now:_ ~session ~head_bits:_ =
+    (Vec.get sessions session).backlogged <- true;
+    incr backlogged_count;
+    Prioq.Indexed_heap.add ready ~key:session ~prio:(head_order session)
+  in
+  let requeue ~now:_ ~session ~head_bits:_ =
+    ignore (Queue.pop (Vec.get sessions session).order);
+    Prioq.Indexed_heap.remove ready session;
+    Prioq.Indexed_heap.add ready ~key:session ~prio:(head_order session)
+  in
+  let set_idle ~now:_ ~session =
+    let s = Vec.get sessions session in
+    ignore (Queue.pop s.order);
+    Prioq.Indexed_heap.remove ready session;
+    s.backlogged <- false;
+    decr backlogged_count
+  in
+  let select ~now:_ = Prioq.Indexed_heap.min_key ready in
+  {
+    Sched_intf.name = "FIFO";
+    add_session;
+    arrive;
+    backlog;
+    requeue;
+    set_idle;
+    select;
+    virtual_time = (fun ~now:_ -> float_of_int !arrival_counter);
+    backlogged_count = (fun () -> !backlogged_count);
+  }
+
+let factory = { Sched_intf.kind = "FIFO"; make }

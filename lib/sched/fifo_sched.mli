@@ -1,0 +1,5 @@
+(** Global FIFO across sessions: serve packets strictly in arrival order,
+    ignoring rates. The no-isolation baseline for fairness benches. *)
+
+val make : rate:float -> Sched_intf.t
+val factory : Sched_intf.factory

@@ -1,0 +1,141 @@
+type discipline = Sff | Seff
+
+type session = {
+  rate : float;
+  stamps : (float * float) Queue.t; (* (S, F) per queued packet, FIFO *)
+  mutable backlogged : bool;
+}
+
+type state = {
+  discipline : discipline;
+  clock : Gps_clock.t;
+  sessions : session Vec.t;
+  (* SFF: [ready] holds every backlogged session keyed by head virtual
+     finish. SEFF: [ready] holds eligible sessions keyed by finish and
+     [waiting] holds not-yet-eligible ones keyed by head virtual start. *)
+  ready : Prioq.Indexed_heap.t;
+  waiting : Prioq.Indexed_heap.t;
+  mutable backlogged_count : int;
+}
+
+let head_stamps t session =
+  let s = Vec.get t.sessions session in
+  match Queue.peek_opt s.stamps with
+  | Some stamps -> stamps
+  | None -> invalid_arg "Gps_based: session has no stamped packet"
+
+(* Eligibility comparisons tolerate float noise: a start time within a
+   relative 1e-9 of V counts as eligible. *)
+let le_with_slack a b = a <= b +. (1e-9 *. (1.0 +. Float.abs b))
+
+let enqueue_session t ~now session =
+  let start, finish = head_stamps t session in
+  match t.discipline with
+  | Sff -> Prioq.Indexed_heap.add t.ready ~key:session ~prio:finish
+  | Seff ->
+    let v = Gps_clock.virtual_time t.clock ~now in
+    if le_with_slack start v then
+      Prioq.Indexed_heap.add t.ready ~key:session ~prio:finish
+    else Prioq.Indexed_heap.add t.waiting ~key:session ~prio:start
+
+(* Move every waiting session whose head has started GPS service into the
+   eligible heap. *)
+let promote_eligible t ~v =
+  let continue = ref true in
+  while !continue do
+    match Prioq.Indexed_heap.min_binding t.waiting with
+    | Some (session, start) when le_with_slack start v ->
+      ignore (Prioq.Indexed_heap.pop_min t.waiting);
+      let _, finish = head_stamps t session in
+      Prioq.Indexed_heap.add t.ready ~key:session ~prio:finish
+    | Some _ | None -> continue := false
+  done
+
+let make ~discipline ~name ~rate =
+  let t =
+    {
+      discipline;
+      clock = Gps_clock.create ~rate;
+      sessions = Vec.create ();
+      ready = Prioq.Indexed_heap.create 16;
+      waiting = Prioq.Indexed_heap.create 16;
+      backlogged_count = 0;
+    }
+  in
+  let add_session ~rate =
+    let idx = Gps_clock.add_session t.clock ~rate in
+    let idx' =
+      Vec.push t.sessions { rate; stamps = Queue.create (); backlogged = false }
+    in
+    assert (idx = idx');
+    idx
+  in
+  let arrive ~now ~session ~size_bits =
+    let stamps = Gps_clock.on_arrival t.clock ~now ~session ~size_bits in
+    Queue.push stamps (Vec.get t.sessions session).stamps
+  in
+  let backlog ~now ~session ~head_bits:_ =
+    let s = Vec.get t.sessions session in
+    if s.backlogged then invalid_arg (name ^ ": backlog of backlogged session");
+    s.backlogged <- true;
+    t.backlogged_count <- t.backlogged_count + 1;
+    enqueue_session t ~now session
+  in
+  let drop_served_stamp session =
+    let s = Vec.get t.sessions session in
+    ignore (Queue.pop s.stamps)
+  in
+  let remove_from_heaps session =
+    Prioq.Indexed_heap.remove t.ready session;
+    Prioq.Indexed_heap.remove t.waiting session
+  in
+  let requeue ~now ~session ~head_bits:_ =
+    drop_served_stamp session;
+    remove_from_heaps session;
+    enqueue_session t ~now session
+  in
+  let set_idle ~now:_ ~session =
+    drop_served_stamp session;
+    remove_from_heaps session;
+    let s = Vec.get t.sessions session in
+    if not s.backlogged then invalid_arg (name ^ ": set_idle of idle session");
+    s.backlogged <- false;
+    t.backlogged_count <- t.backlogged_count - 1
+  in
+  let select ~now =
+    (match t.discipline with
+    | Sff -> ()
+    | Seff ->
+      let v = Gps_clock.virtual_time t.clock ~now in
+      promote_eligible t ~v;
+      (* Work-conservation guard: by Property 1 at least one head packet has
+         started GPS service whenever the packet system is backlogged, but
+         float rounding can leave the eligible set momentarily empty. Fall
+         back to the earliest start. *)
+      if Prioq.Indexed_heap.is_empty t.ready then begin
+        match Prioq.Indexed_heap.pop_min t.waiting with
+        | Some (session, _) ->
+          let _, finish = head_stamps t session in
+          Prioq.Indexed_heap.add t.ready ~key:session ~prio:finish
+        | None -> ()
+      end);
+    Prioq.Indexed_heap.min_key t.ready
+  in
+  let virtual_time ~now = Gps_clock.virtual_time t.clock ~now in
+  {
+    Sched_intf.name;
+    add_session;
+    arrive;
+    backlog;
+    requeue;
+    set_idle;
+    select;
+    virtual_time;
+    backlogged_count = (fun () -> t.backlogged_count);
+  }
+
+let wfq =
+  { Sched_intf.kind = "WFQ"; make = (fun ~rate -> make ~discipline:Sff ~name:"WFQ" ~rate) }
+
+let wf2q =
+  { Sched_intf.kind = "WF2Q"; make = (fun ~rate -> make ~discipline:Seff ~name:"WF2Q" ~rate) }

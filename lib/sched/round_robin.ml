@@ -1,0 +1,110 @@
+type session = {
+  rate : float;
+  mutable head_bits : float;
+  mutable deficit : float; (* bits (DRR) or packet credits (WRR) *)
+  mutable topped : bool;   (* quantum already granted on this visit *)
+  mutable backlogged : bool;
+}
+
+type state = {
+  server_rate : float;
+  quantum_of : rate:float -> server_rate:float -> float;
+  serve_cost : head_bits:float -> float;
+  sessions : session Vec.t;
+  active : int Queue.t;
+  mutable backlogged_count : int;
+  mutable rounds : float; (* coarse "virtual time": rounds completed *)
+}
+
+let make_policy ~name ~quantum_of ~serve_cost ~rate =
+  let t =
+    {
+      server_rate = rate;
+      quantum_of;
+      serve_cost;
+      sessions = Vec.create ();
+      active = Queue.create ();
+      backlogged_count = 0;
+      rounds = 0.0;
+    }
+  in
+  let add_session ~rate =
+    Vec.push t.sessions
+      { rate; head_bits = 0.0; deficit = 0.0; topped = false; backlogged = false }
+  in
+  let arrive ~now:_ ~session:_ ~size_bits:_ = () in
+  let backlog ~now:_ ~session ~head_bits =
+    let s = Vec.get t.sessions session in
+    s.backlogged <- true;
+    s.head_bits <- head_bits;
+    s.deficit <- 0.0;
+    s.topped <- false;
+    t.backlogged_count <- t.backlogged_count + 1;
+    Queue.push session t.active
+  in
+  let requeue ~now:_ ~session ~head_bits =
+    (Vec.get t.sessions session).head_bits <- head_bits
+  in
+  let set_idle ~now:_ ~session =
+    let s = Vec.get t.sessions session in
+    s.backlogged <- false;
+    s.deficit <- 0.0;
+    s.topped <- false;
+    t.backlogged_count <- t.backlogged_count - 1;
+    (* The served session is always at the front of the active list. *)
+    match Queue.peek_opt t.active with
+    | Some front when front = session -> ignore (Queue.pop t.active)
+    | Some _ | None -> invalid_arg (name ^ ": set_idle of non-front session")
+  in
+  let rec select ~now =
+    match Queue.peek_opt t.active with
+    | None -> None
+    | Some session ->
+      let s = Vec.get t.sessions session in
+      if not s.topped then begin
+        s.deficit <- s.deficit +. t.quantum_of ~rate:s.rate ~server_rate:t.server_rate;
+        s.topped <- true
+      end;
+      let cost = t.serve_cost ~head_bits:s.head_bits in
+      if s.deficit >= cost then begin
+        s.deficit <- s.deficit -. cost;
+        Some session
+      end
+      else begin
+        (* rotate: quantum carries over (DRR's deficit), freshness resets *)
+        ignore (Queue.pop t.active);
+        s.topped <- false;
+        Queue.push session t.active;
+        t.rounds <- t.rounds +. (1.0 /. float_of_int (max 1 t.backlogged_count));
+        select ~now
+      end
+  in
+  {
+    Sched_intf.name;
+    add_session;
+    arrive;
+    backlog;
+    requeue;
+    set_idle;
+    select;
+    virtual_time = (fun ~now:_ -> t.rounds);
+    backlogged_count = (fun () -> t.backlogged_count);
+  }
+
+let drr ?(frame_bits = 65536.0) () =
+  let quantum_of ~rate ~server_rate = frame_bits *. rate /. server_rate in
+  let serve_cost ~head_bits = head_bits in
+  {
+    Sched_intf.kind = "DRR";
+    make = (fun ~rate -> make_policy ~name:"DRR" ~quantum_of ~serve_cost ~rate);
+  }
+
+let wrr ?(packets_per_round = 16) () =
+  let quantum_of ~rate ~server_rate =
+    Float.max 1.0 (Float.round (float_of_int packets_per_round *. rate /. server_rate))
+  in
+  let serve_cost ~head_bits:_ = 1.0 in
+  {
+    Sched_intf.kind = "WRR";
+    make = (fun ~rate -> make_policy ~name:"WRR" ~quantum_of ~serve_cost ~rate);
+  }

@@ -1,0 +1,16 @@
+(** Frame-based baselines: Deficit Round Robin and Weighted Round Robin.
+
+    Related-work algorithms the paper cites as low-complexity GPS
+    approximations with large WFIs [17]. DRR gives each backlogged session a
+    byte quantum proportional to its rate each round; WRR serves an integer
+    number of packets per round. Both are O(1) per packet and both fail the
+    worst-case-fairness benches — which is the point of including them. *)
+
+val drr : ?frame_bits:float -> unit -> Sched_intf.factory
+(** [frame_bits] is the total quantum handed out per round across a unit of
+    normalized rate; a session of rate [r_i] on a server of rate [r]
+    receives [frame_bits · r_i/r] bits per round. Default 65536. *)
+
+val wrr : ?packets_per_round:int -> unit -> Sched_intf.factory
+(** A session of rate [r_i] gets [max 1 (round(packets_per_round · r_i/r))]
+    packets per round. Default 16. *)

@@ -1,0 +1,68 @@
+(** The one-level Packet-Fair-Queueing building-block interface.
+
+    Every scheduling discipline in this repository — the baselines (WFQ,
+    WF²Q, SCFQ, SFQ, Virtual Clock, DRR, WRR, FIFO) and the paper's WF²Q+ —
+    is exposed as a value of type {!t}: a record of closures over hidden
+    mutable state. This uniform shape is what lets {!Hpfq.Hier} assemble an
+    H-PFQ server out of arbitrary one-level servers, one per interior node,
+    exactly as §4 of the paper prescribes ("one-level PFQ servers as basic
+    building blocks").
+
+    {2 Time domain}
+
+    Every operation takes [now], the {e server time} of the node owning the
+    policy. For a standalone server this is real time; for a server node in
+    a hierarchy it is the node's reference time
+    [T_n(t) = W_n(0,t)/r_n] (paper §4.1). The policy never looks at a wall
+    clock of its own.
+
+    {2 Driving protocol}
+
+    The caller owns the packet queues; the policy only sees per-session head
+    packets. For each session the caller must issue, in order:
+
+    - [arrive] for {e every} packet arrival (lets GPS-exact policies track
+      the fluid system; most policies also compute per-packet stamps here);
+    - [backlog] when a session goes idle→backlogged (its first queued packet
+      becomes the head of its logical queue);
+    - after the server finishes serving a session's head packet: [requeue]
+      if the session has another packet (with the new head), or [set_idle]
+      if it emptied;
+    - [select] whenever the server needs the next session to serve; the
+      policy updates its virtual time and returns the chosen session, whose
+      registered head packet the caller then serves.
+
+    [backlog]/[requeue] correspond to the two branches of eq. 28: a packet
+    reaching the head of a previously-empty queue stamps
+    [S = max(F, V(now))], while one reaching the head of a continuously
+    backlogged queue stamps [S = F]. *)
+
+type t = {
+  name : string;
+  (** Discipline name, e.g. ["WF2Q+"]. Used in reports. *)
+  add_session : rate:float -> int;
+  (** Register a session with guaranteed rate [r_i] (bits per second of
+      server time); returns its session index. Sessions are added before
+      traffic starts. *)
+  arrive : now:float -> session:int -> size_bits:float -> unit;
+  (** Called for every packet arrival, in FIFO order per session. *)
+  backlog : now:float -> session:int -> head_bits:float -> unit;
+  (** Session transitioned idle→backlogged; [head_bits] is its new head. *)
+  requeue : now:float -> session:int -> head_bits:float -> unit;
+  (** The previously selected head was served; the session remains
+      backlogged with a new head packet of [head_bits]. *)
+  set_idle : now:float -> session:int -> unit;
+  (** The previously selected head was served and the session emptied. *)
+  select : now:float -> int option;
+  (** Choose the session whose head to serve next, or [None] if no session
+      is backlogged. Advances the policy's virtual time. *)
+  virtual_time : now:float -> float;
+  (** Introspection for tests: the policy's current virtual time (policies
+      without one report a related quantity; see each module's doc). *)
+  backlogged_count : unit -> int;
+  (** Number of sessions currently registered as backlogged. *)
+}
+
+(** Constructor type shared by all disciplines: a standalone factory taking
+    the server rate in bits/second. *)
+type factory = { kind : string; make : rate:float -> t }

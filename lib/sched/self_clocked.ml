@@ -1,0 +1,113 @@
+type flavour = Scfq | Sfq
+
+type session = {
+  rate : float;
+  stamps : (float * float) Queue.t;
+  mutable last_finish : float;
+  mutable stamp_epoch : int;
+  mutable backlogged : bool;
+}
+
+type state = {
+  flavour : flavour;
+  sessions : session Vec.t;
+  ready : Prioq.Indexed_heap.t; (* keyed by F (SCFQ) or S (SFQ) *)
+  mutable v : float;            (* tag of the packet in service *)
+  mutable epoch : int;
+  mutable in_service : bool;
+  mutable backlogged_count : int;
+}
+
+let key_of state (start, finish) =
+  match state.flavour with Scfq -> finish | Sfq -> start
+
+let make ~flavour ~name ~rate:_ =
+  let t =
+    {
+      flavour;
+      sessions = Vec.create ();
+      ready = Prioq.Indexed_heap.create 16;
+      v = 0.0;
+      epoch = 0;
+      in_service = false;
+      backlogged_count = 0;
+    }
+  in
+  let add_session ~rate =
+    Vec.push t.sessions
+      {
+        rate;
+        stamps = Queue.create ();
+        last_finish = 0.0;
+        stamp_epoch = -1;
+        backlogged = false;
+      }
+  in
+  let arrive ~now:_ ~session ~size_bits =
+    let s = Vec.get t.sessions session in
+    let prev = if s.stamp_epoch = t.epoch then s.last_finish else 0.0 in
+    let start = Float.max prev t.v in
+    let finish = start +. (size_bits /. s.rate) in
+    s.last_finish <- finish;
+    s.stamp_epoch <- t.epoch;
+    Queue.push (start, finish) s.stamps
+  in
+  let head_key session =
+    let s = Vec.get t.sessions session in
+    match Queue.peek_opt s.stamps with
+    | Some stamps -> key_of t stamps
+    | None -> invalid_arg (name ^ ": session has no stamped packet")
+  in
+  let backlog ~now:_ ~session ~head_bits:_ =
+    let s = Vec.get t.sessions session in
+    s.backlogged <- true;
+    t.backlogged_count <- t.backlogged_count + 1;
+    Prioq.Indexed_heap.add t.ready ~key:session ~prio:(head_key session)
+  in
+  let requeue ~now:_ ~session ~head_bits:_ =
+    let s = Vec.get t.sessions session in
+    ignore (Queue.pop s.stamps);
+    Prioq.Indexed_heap.remove t.ready session;
+    Prioq.Indexed_heap.add t.ready ~key:session ~prio:(head_key session)
+  in
+  let set_idle ~now:_ ~session =
+    let s = Vec.get t.sessions session in
+    ignore (Queue.pop s.stamps);
+    Prioq.Indexed_heap.remove t.ready session;
+    s.backlogged <- false;
+    t.backlogged_count <- t.backlogged_count - 1;
+    if t.backlogged_count = 0 then begin
+      (* busy period over: reset the self-clock *)
+      t.in_service <- false;
+      t.v <- 0.0;
+      t.epoch <- t.epoch + 1
+    end
+  in
+  let select ~now:_ =
+    match Prioq.Indexed_heap.min_key t.ready with
+    | None -> None
+    | Some session ->
+      let s = Vec.get t.sessions session in
+      (match Queue.peek_opt s.stamps with
+      | Some stamps -> t.v <- key_of t stamps
+      | None -> assert false);
+      t.in_service <- true;
+      Some session
+  in
+  {
+    Sched_intf.name;
+    add_session;
+    arrive;
+    backlog;
+    requeue;
+    set_idle;
+    select;
+    virtual_time = (fun ~now:_ -> t.v);
+    backlogged_count = (fun () -> t.backlogged_count);
+  }
+
+let scfq =
+  { Sched_intf.kind = "SCFQ"; make = (fun ~rate -> make ~flavour:Scfq ~name:"SCFQ" ~rate) }
+
+let sfq =
+  { Sched_intf.kind = "SFQ"; make = (fun ~rate -> make ~flavour:Sfq ~name:"SFQ" ~rate) }

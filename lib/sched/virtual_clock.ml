@@ -1,0 +1,63 @@
+type session = {
+  rate : float;
+  stamps : float Queue.t;
+  mutable vc : float;
+  mutable backlogged : bool;
+}
+
+let make ~rate:_ =
+  let sessions : session Vec.t = Vec.create () in
+  let ready = Prioq.Indexed_heap.create 16 in
+  let backlogged_count = ref 0 in
+  let last_selected_stamp = ref 0.0 in
+  let add_session ~rate =
+    Vec.push sessions { rate; stamps = Queue.create (); vc = 0.0; backlogged = false }
+  in
+  let arrive ~now ~session ~size_bits =
+    let s = Vec.get sessions session in
+    s.vc <- Float.max now s.vc +. (size_bits /. s.rate);
+    Queue.push s.vc s.stamps
+  in
+  let head_stamp session =
+    let s = Vec.get sessions session in
+    match Queue.peek_opt s.stamps with
+    | Some stamp -> stamp
+    | None -> invalid_arg "Virtual_clock: session has no stamped packet"
+  in
+  let backlog ~now:_ ~session ~head_bits:_ =
+    (Vec.get sessions session).backlogged <- true;
+    incr backlogged_count;
+    Prioq.Indexed_heap.add ready ~key:session ~prio:(head_stamp session)
+  in
+  let requeue ~now:_ ~session ~head_bits:_ =
+    ignore (Queue.pop (Vec.get sessions session).stamps);
+    Prioq.Indexed_heap.remove ready session;
+    Prioq.Indexed_heap.add ready ~key:session ~prio:(head_stamp session)
+  in
+  let set_idle ~now:_ ~session =
+    let s = Vec.get sessions session in
+    ignore (Queue.pop s.stamps);
+    Prioq.Indexed_heap.remove ready session;
+    s.backlogged <- false;
+    decr backlogged_count
+  in
+  let select ~now:_ =
+    match Prioq.Indexed_heap.min_binding ready with
+    | None -> None
+    | Some (session, stamp) ->
+      last_selected_stamp := stamp;
+      Some session
+  in
+  {
+    Sched_intf.name = "VirtualClock";
+    add_session;
+    arrive;
+    backlog;
+    requeue;
+    set_idle;
+    select;
+    virtual_time = (fun ~now:_ -> !last_selected_stamp);
+    backlogged_count = (fun () -> !backlogged_count);
+  }
+
+let factory = { Sched_intf.kind = "VirtualClock"; make }

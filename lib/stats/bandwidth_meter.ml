@@ -1,0 +1,44 @@
+type t = {
+  window : float;
+  alpha : float;
+  bins : (int, float) Hashtbl.t; (* bin index -> bits *)
+  mutable events : (float * float) list; (* (time, bits), reversed *)
+  mutable last_time : float;
+}
+
+let create ?(window = 0.05) ?(alpha = 0.3) () =
+  if window <= 0.0 then invalid_arg "Bandwidth_meter: window must be positive";
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Bandwidth_meter: alpha in (0,1]";
+  { window; alpha; bins = Hashtbl.create 256; events = []; last_time = 0.0 }
+
+let add t ~time ~bits =
+  if time < t.last_time -. 1e-12 then
+    invalid_arg "Bandwidth_meter.add: time went backwards";
+  t.last_time <- Float.max t.last_time time;
+  let bin = int_of_float (time /. t.window) in
+  let cur = Option.value (Hashtbl.find_opt t.bins bin) ~default:0.0 in
+  Hashtbl.replace t.bins bin (cur +. bits);
+  t.events <- (time, bits) :: t.events
+
+let series t ~until =
+  let nbins = int_of_float (ceil (until /. t.window)) in
+  let rec walk bin est acc =
+    if bin >= nbins then List.rev acc
+    else
+      let bits = Option.value (Hashtbl.find_opt t.bins bin) ~default:0.0 in
+      let inst = bits /. t.window in
+      let est = (t.alpha *. inst) +. ((1.0 -. t.alpha) *. est) in
+      let time = float_of_int (bin + 1) *. t.window in
+      walk (bin + 1) est ((time, est) :: acc)
+  in
+  walk 0 0.0 []
+
+let average_rate t ~from_ ~until =
+  if until <= from_ then invalid_arg "Bandwidth_meter.average_rate: empty interval";
+  let total =
+    List.fold_left
+      (fun acc (time, bits) ->
+        if time >= from_ && time < until then acc +. bits else acc)
+      0.0 t.events
+  in
+  total /. (until -. from_)

@@ -1,0 +1,22 @@
+(** Bandwidth measurement by exponential averaging over fixed windows —
+    the paper's Fig. 9 methodology ("measured by exponentially averaging
+    over 50ms windows").
+
+    Departed bits are binned into [window]-second intervals; the reported
+    series is an EWMA across consecutive bins:
+    [est_k = α·(bits_k/window) + (1−α)·est_{k−1}]. *)
+
+type t
+
+val create : ?window:float -> ?alpha:float -> unit -> t
+(** Defaults: [window = 0.05] s, [alpha = 0.3]. *)
+
+val add : t -> time:float -> bits:float -> unit
+(** Account a departure. Times must be non-decreasing. *)
+
+val series : t -> until:float -> (float * float) list
+(** [(window_end_time, smoothed bits/s)] for every window up to [until],
+    including empty ones (which decay the estimate). *)
+
+val average_rate : t -> from_:float -> until:float -> float
+(** Unsmoothed mean rate over the interval (total bits / span). *)

@@ -1,0 +1,25 @@
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write ~path ~header ~rows =
+  let width = List.length header in
+  with_out path (fun oc ->
+      output_string oc (String.concat "," header);
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          if List.length row <> width then invalid_arg "Csv.write: ragged row";
+          output_string oc (String.concat "," (List.map (Printf.sprintf "%.9g") row));
+          output_char oc '\n')
+        rows)
+
+let write_named_series ~path ~series =
+  with_out path (fun oc ->
+      output_string oc "series,x,y\n";
+      List.iter
+        (fun (name, points) ->
+          List.iter
+            (fun (x, y) -> Printf.fprintf oc "%s,%.9g,%.9g\n" name x y)
+            points)
+        series)

@@ -1,0 +1,7 @@
+(** Tiny CSV writer for experiment series (consumed by external plotting). *)
+
+val write : path:string -> header:string list -> rows:float list list -> unit
+(** Overwrites [path]. Row lengths must match the header. *)
+
+val write_named_series : path:string -> series:(string * (float * float) list) list -> unit
+(** Long format: [series,x,y] rows, one block per named series. *)

@@ -1,0 +1,36 @@
+type t = { bin_width : float; counts : (int, int) Hashtbl.t; mutable total : int }
+
+let create ~bin_width =
+  if bin_width <= 0.0 then invalid_arg "Histogram: bin width must be positive";
+  { bin_width; counts = Hashtbl.create 64; total = 0 }
+
+let add t x =
+  let bin = int_of_float (Float.floor (x /. t.bin_width)) in
+  let cur = Option.value (Hashtbl.find_opt t.counts bin) ~default:0 in
+  Hashtbl.replace t.counts bin (cur + 1);
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let bins t =
+  Hashtbl.fold (fun bin c acc -> ((float_of_int bin *. t.bin_width), c) :: acc) t.counts []
+  |> List.sort compare
+
+let mode_bin t =
+  List.fold_left
+    (fun best (edge, c) ->
+      match best with
+      | Some (_, bc) when bc >= c -> best
+      | _ -> Some (edge, c))
+    None (bins t)
+
+let cumulative t =
+  let n = float_of_int (max 1 t.total) in
+  let _, acc =
+    List.fold_left
+      (fun (run, acc) (edge, c) ->
+        let run = run + c in
+        (run, ((edge +. t.bin_width), float_of_int run /. n) :: acc))
+      (0, []) (bins t)
+  in
+  List.rev acc

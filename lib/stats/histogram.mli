@@ -1,0 +1,13 @@
+(** Fixed-bin-width histogram for delay distributions. *)
+
+type t
+
+val create : bin_width:float -> t
+val add : t -> float -> unit
+val count : t -> int
+val bins : t -> (float * int) list
+(** [(bin_lower_edge, count)] for non-empty bins, ascending. *)
+
+val mode_bin : t -> (float * int) option
+val cumulative : t -> (float * float) list
+(** [(bin_upper_edge, fraction ≤ edge)] — an empirical CDF. *)

@@ -1,0 +1,34 @@
+type t = {
+  mutable arrivals : (float * float) list; (* reversed *)
+  mutable services : (float * float) list;
+  mutable lags : (float * float) list;
+  mutable arrived : float;
+  mutable served : float;
+  mutable max_lag : float;
+}
+
+let create () =
+  { arrivals = []; services = []; lags = []; arrived = 0.0; served = 0.0; max_lag = 0.0 }
+
+let note_lag t time =
+  let lag = t.arrived -. t.served in
+  t.lags <- (time, lag) :: t.lags;
+  if lag > t.max_lag then t.max_lag <- lag
+
+let on_arrival t ~time ~units =
+  t.arrived <- t.arrived +. units;
+  t.arrivals <- (time, t.arrived) :: t.arrivals;
+  note_lag t time
+
+let on_service t ~time ~units =
+  t.served <- t.served +. units;
+  t.services <- (time, t.served) :: t.services;
+  note_lag t time
+
+let arrivals t = List.rev t.arrivals
+let services t = List.rev t.services
+let arrived_total t = t.arrived
+let served_total t = t.served
+let lag t = t.arrived -. t.served
+let max_lag t = t.max_lag
+let lag_series t = List.rev t.lags

@@ -1,0 +1,28 @@
+(** Cumulative arrival/service step curves and the {e service lag} between
+    them — the instrument behind Fig. 5, where the paper contrasts how
+    closely H-WF²Q+ service tracks arrivals versus H-WFQ.
+
+    [A(t)] counts arrived units (packets or bits), [W(t)] served units; the
+    lag at a departure is [A(t) − W(t)], the backlog the discipline let
+    accumulate. *)
+
+type t
+
+val create : unit -> t
+val on_arrival : t -> time:float -> units:float -> unit
+val on_service : t -> time:float -> units:float -> unit
+
+val arrivals : t -> (float * float) list
+(** Step curve [(time, cumulative arrived)], in time order. *)
+
+val services : t -> (float * float) list
+val arrived_total : t -> float
+val served_total : t -> float
+val lag : t -> float
+(** Current [A − W]. *)
+
+val max_lag : t -> float
+(** Largest [A − W] observed at any recorded instant. *)
+
+val lag_series : t -> (float * float) list
+(** [(time, A(t) − W(t))] at every recorded event. *)

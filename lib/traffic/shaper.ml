@@ -1,0 +1,67 @@
+type t = {
+  sim : Engine.Simulator.t;
+  sigma : float;
+  rho : float;
+  emit : Source.emit;
+  queue : float Queue.t;
+  mutable tokens : float;
+  mutable tokens_time : float; (* when [tokens] was computed *)
+  mutable release_pending : bool;
+  mutable backlog : float;
+  mutable released : int;
+}
+
+let create ~sim ~sigma_bits ~rho ~emit =
+  if sigma_bits <= 0.0 || rho <= 0.0 then
+    invalid_arg "Shaper.create: sigma and rho must be positive";
+  {
+    sim;
+    sigma = sigma_bits;
+    rho;
+    emit;
+    queue = Queue.create ();
+    tokens = sigma_bits;
+    tokens_time = 0.0;
+    release_pending = false;
+    backlog = 0.0;
+    released = 0;
+  }
+
+let refill t =
+  let now = Engine.Simulator.now t.sim in
+  t.tokens <- Float.min t.sigma (t.tokens +. (t.rho *. (now -. t.tokens_time)));
+  t.tokens_time <- now
+
+(* Release every head packet the bucket can pay for; if one remains,
+   schedule the next attempt for the exact instant its tokens accrue. *)
+let rec drain t =
+  refill t;
+  match Queue.peek_opt t.queue with
+  | None -> ()
+  | Some size when size <= t.tokens +. 1e-12 ->
+    ignore (Queue.pop t.queue);
+    t.tokens <- t.tokens -. size;
+    t.backlog <- t.backlog -. size;
+    t.released <- t.released + 1;
+    t.emit ~size_bits:size;
+    drain t
+  | Some size ->
+    if not t.release_pending then begin
+      t.release_pending <- true;
+      let wait = (size -. t.tokens) /. t.rho in
+      ignore
+        (Engine.Simulator.schedule_after t.sim ~delay:wait (fun () ->
+             t.release_pending <- false;
+             drain t))
+    end
+
+let offer t ~size_bits =
+  if size_bits > t.sigma then
+    invalid_arg "Shaper.offer: packet larger than the bucket can ever hold";
+  Queue.push size_bits t.queue;
+  t.backlog <- t.backlog +. size_bits;
+  drain t
+
+let backlog_bits t = t.backlog
+let queue_length t = Queue.length t.queue
+let released t = t.released

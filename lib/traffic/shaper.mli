@@ -1,0 +1,29 @@
+(** (σ, ρ) token-bucket shaper — the admission-side counterpart of the
+    leaky-bucket constraint of eq. 17.
+
+    The paper's delay bounds hold only for conformant sessions; a shaper is
+    how a real deployment makes arbitrary traffic conformant before it
+    enters a guaranteed class. Packets offered to the shaper are released
+    downstream in FIFO order, each as soon as the bucket holds its size in
+    tokens; the released stream satisfies
+    [A(t1,t2) ≤ σ + ρ(t2−t1)] for every interval. *)
+
+type t
+
+val create :
+  sim:Engine.Simulator.t -> sigma_bits:float -> rho:float -> emit:Source.emit -> t
+(** Tokens accrue at [rho] bits/second up to a cap of [sigma_bits]; the
+    bucket starts full. [emit] receives the conformant stream.
+    @raise Invalid_argument unless [sigma_bits > 0] and [rho > 0]. *)
+
+val offer : t -> size_bits:float -> unit
+(** Queue a packet for shaped release (possibly immediately, in this same
+    simulation event). Packets larger than [sigma_bits] can never conform.
+    @raise Invalid_argument if [size_bits] exceeds the bucket size. *)
+
+val backlog_bits : t -> float
+(** Bits waiting in the shaper. *)
+
+val queue_length : t -> int
+val released : t -> int
+(** Packets released downstream so far. *)

@@ -1,0 +1,122 @@
+type emit = size_bits:float -> unit
+type handle = { mutable stopped : bool }
+
+let stop h = h.stopped <- true
+
+let make_handle () = { stopped = false }
+
+(* Schedule [action] at [at] unless the handle is stopped or [at] exceeds
+   the optional horizon. *)
+let schedule sim handle ?stop_at ~at action =
+  let within_horizon = match stop_at with None -> true | Some h -> at <= h in
+  if within_horizon then
+    ignore
+      (Engine.Simulator.schedule sim ~at (fun () ->
+           if not handle.stopped then action ()))
+
+let cbr ~sim ~emit ~rate ~packet_bits ?(start = 0.0) ?stop_at () =
+  if rate <= 0.0 then invalid_arg "Source.cbr: rate must be positive";
+  let handle = make_handle () in
+  let interval = packet_bits /. rate in
+  let rec tick at () =
+    emit ~size_bits:packet_bits;
+    schedule sim handle ?stop_at ~at:(at +. interval) (tick (at +. interval))
+  in
+  schedule sim handle ?stop_at ~at:start (tick start);
+  handle
+
+let on_off ~sim ~emit ~peak_rate ~packet_bits ~on_duration ~off_duration
+    ?(start = 0.0) ?stop_at () =
+  if peak_rate <= 0.0 then invalid_arg "Source.on_off: rate must be positive";
+  if on_duration <= 0.0 || off_duration < 0.0 then
+    invalid_arg "Source.on_off: bad durations";
+  let handle = make_handle () in
+  let interval = packet_bits /. peak_rate in
+  let period = on_duration +. off_duration in
+  (* [burst_start] is the beginning of the current on-phase *)
+  let rec tick burst_start at () =
+    emit ~size_bits:packet_bits;
+    let next = at +. interval in
+    if next -. burst_start < on_duration then
+      schedule sim handle ?stop_at ~at:next (tick burst_start next)
+    else
+      let next_burst = burst_start +. period in
+      schedule sim handle ?stop_at ~at:next_burst (tick next_burst next_burst)
+  in
+  schedule sim handle ?stop_at ~at:start (tick start start);
+  handle
+
+let poisson ~sim ~emit ~rng ~mean_rate ~packet_bits ?(start = 0.0) ?stop_at () =
+  if mean_rate <= 0.0 then invalid_arg "Source.poisson: rate must be positive";
+  let handle = make_handle () in
+  let mean_gap = packet_bits /. mean_rate in
+  let rec tick at () =
+    emit ~size_bits:packet_bits;
+    let next = at +. Engine.Rng.exponential rng ~mean:mean_gap in
+    schedule sim handle ?stop_at ~at:next (tick next)
+  in
+  let first = start +. Engine.Rng.exponential rng ~mean:mean_gap in
+  schedule sim handle ?stop_at ~at:first (tick first);
+  handle
+
+let packet_train ~sim ~emit ?rng ~burst_packets ~packet_bits ~intra_spacing
+    ~inter_burst ?(start = 0.0) ?stop_at () =
+  if burst_packets <= 0 then invalid_arg "Source.packet_train: empty burst";
+  if inter_burst <= 0.0 then invalid_arg "Source.packet_train: bad burst gap";
+  let handle = make_handle () in
+  let jitter () =
+    match rng with
+    | None -> 0.0
+    | Some rng -> (Engine.Rng.uniform rng -. 0.5) *. 0.4 *. inter_burst
+  in
+  let rec burst burst_start () =
+    let rec packet k () =
+      emit ~size_bits:packet_bits;
+      if k + 1 < burst_packets then
+        schedule sim handle ?stop_at
+          ~at:(burst_start +. (float_of_int (k + 1) *. intra_spacing))
+          (packet (k + 1))
+    in
+    packet 0 ();
+    let next = burst_start +. inter_burst +. jitter () in
+    schedule sim handle ?stop_at ~at:next (burst next)
+  in
+  schedule sim handle ?stop_at ~at:start (burst start);
+  handle
+
+let greedy ~sim ~emit ~packet_bits ~backlog_packets ?(start = 0.0)
+    ?(top_up_every = 0.25) ?stop_at () =
+  if backlog_packets <= 0 then invalid_arg "Source.greedy: empty backlog";
+  let handle = make_handle () in
+  let rec dump at () =
+    for _ = 1 to backlog_packets do
+      emit ~size_bits:packet_bits
+    done;
+    schedule sim handle ?stop_at ~at:(at +. top_up_every) (dump (at +. top_up_every))
+  in
+  schedule sim handle ?stop_at ~at:start (dump start);
+  handle
+
+let leaky_bucket_greedy ~sim ~emit ~sigma_bits ~rho ~packet_bits ?(start = 0.0)
+    ?stop_at () =
+  if rho <= 0.0 then invalid_arg "Source.leaky_bucket_greedy: rho must be positive";
+  let handle = make_handle () in
+  let burst = int_of_float (sigma_bits /. packet_bits) in
+  let interval = packet_bits /. rho in
+  let rec steady at () =
+    emit ~size_bits:packet_bits;
+    schedule sim handle ?stop_at ~at:(at +. interval) (steady (at +. interval))
+  in
+  if burst >= 1 then
+    schedule sim handle ?stop_at ~at:start (fun () ->
+        for _ = 1 to burst do
+          emit ~size_bits:packet_bits
+        done;
+        (* the bucket refills one packet's worth every [interval] *)
+        schedule sim handle ?stop_at ~at:(start +. interval) (steady (start +. interval)))
+  else begin
+    (* σ < L: the first packet conforms once the bucket has accumulated L *)
+    let first = start +. ((packet_bits -. sigma_bits) /. rho) in
+    schedule sim handle ?stop_at ~at:first (steady first)
+  end;
+  handle

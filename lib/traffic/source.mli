@@ -1,0 +1,64 @@
+(** Traffic source models for the paper's workloads (§5.1).
+
+    A source is wired to a queue by an [emit] callback (typically
+    [Hpfq.Hier.inject] partially applied to a leaf); it schedules its own
+    arrival events on the simulator. All sources deliver packets of a fixed
+    size, as the paper assumes ("all sessions transmit 8 KB packets").
+
+    The paper's background traffic maps as:
+    - PS-n (constant rate at guaranteed rate, or 1.5× when overloaded):
+      {!cbr} or {!poisson};
+    - CS-n (multiplexed packet trains "sent by individual users ... with
+      high speed connections"): {!packet_train};
+    - RT-1 (deterministic on/off, 25 ms on / 75 ms off): {!on_off};
+    - BE-1 (continuously backlogged best-effort): {!greedy};
+    - leaky-bucket-constrained real-time sessions: {!leaky_bucket_greedy}. *)
+
+type emit = size_bits:float -> unit
+
+type handle
+(** Cancellation token: {!stop} prevents all future arrivals. *)
+
+val stop : handle -> unit
+
+val cbr :
+  sim:Engine.Simulator.t -> emit:emit -> rate:float -> packet_bits:float ->
+  ?start:float -> ?stop_at:float -> unit -> handle
+(** One packet every [packet_bits/rate] seconds, first at [start]
+    (default 0). *)
+
+val on_off :
+  sim:Engine.Simulator.t -> emit:emit -> peak_rate:float -> packet_bits:float ->
+  on_duration:float -> off_duration:float -> ?start:float -> ?stop_at:float ->
+  unit -> handle
+(** Deterministic on/off: CBR at [peak_rate] for [on_duration], silent for
+    [off_duration], repeating. RT-1 is
+    [on_duration = 25 ms, off_duration = 75 ms, start = 200 ms]. *)
+
+val poisson :
+  sim:Engine.Simulator.t -> emit:emit -> rng:Engine.Rng.t -> mean_rate:float ->
+  packet_bits:float -> ?start:float -> ?stop_at:float -> unit -> handle
+(** Exponential inter-arrivals with mean [packet_bits/mean_rate]. *)
+
+val packet_train :
+  sim:Engine.Simulator.t -> emit:emit -> ?rng:Engine.Rng.t ->
+  burst_packets:int -> packet_bits:float -> intra_spacing:float ->
+  inter_burst:float -> ?start:float -> ?stop_at:float -> unit -> handle
+(** Bursts of [burst_packets] packets [intra_spacing] apart, bursts starting
+    every [inter_burst] seconds (jittered ±20% when [rng] is given) — the
+    CS-n "packet train" sources. *)
+
+val greedy :
+  sim:Engine.Simulator.t -> emit:emit -> packet_bits:float ->
+  backlog_packets:int -> ?start:float -> ?top_up_every:float -> ?stop_at:float ->
+  unit -> handle
+(** Keeps a session persistently backlogged: dumps [backlog_packets]
+    immediately, then re-dumps the same amount every [top_up_every] seconds
+    (default 0.25 s). Callers should size it so the queue never runs dry. *)
+
+val leaky_bucket_greedy :
+  sim:Engine.Simulator.t -> emit:emit -> sigma_bits:float -> rho:float ->
+  packet_bits:float -> ?start:float -> ?stop_at:float -> unit -> handle
+(** The greediest arrival pattern that conforms to a (σ, ρ) leaky bucket
+    (eq. 17): a burst of [⌊σ/L⌋] packets at [start], then one packet every
+    [L/ρ] — the worst case traffic used by delay-bound tests. *)

@@ -1,0 +1,56 @@
+type event = { time : float; leaf : string; size_bits : float }
+
+let compare_event a b = compare (a.time, a.leaf, a.size_bits) (b.time, b.leaf, b.size_bits)
+
+let save ~path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "time,leaf,size_bits\n";
+      List.iter
+        (fun e -> Printf.fprintf oc "%.9f,%s,%.9g\n" e.time e.leaf e.size_bits)
+        (List.stable_sort compare_event events))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let events = ref [] in
+      (try
+         let header = input_line ic in
+         if not (String.equal header "time,leaf,size_bits") then
+           failwith ("Trace.load: bad header in " ^ path);
+         while true do
+           let line = input_line ic in
+           match String.split_on_char ',' line with
+           | [ time; leaf; size ] ->
+             events :=
+               { time = float_of_string time; leaf; size_bits = float_of_string size }
+               :: !events
+           | _ -> failwith ("Trace.load: malformed line: " ^ line)
+         done
+       with End_of_file -> ());
+      List.rev !events)
+
+let recorder ~sim =
+  let events = ref [] in
+  let wrap ~leaf emit ~size_bits =
+    events := { time = Engine.Simulator.now sim; leaf; size_bits } :: !events;
+    emit ~size_bits
+  in
+  let dump () = List.stable_sort compare_event (List.rev !events) in
+  (wrap, dump)
+
+let replay ~sim ~emit_for events =
+  List.fold_left
+    (fun count e ->
+      match emit_for ~leaf:e.leaf with
+      | None -> count
+      | Some emit ->
+        ignore
+          (Engine.Simulator.schedule sim ~at:e.time (fun () ->
+               emit ~size_bits:e.size_bits));
+        count + 1)
+    0 events

@@ -1,0 +1,29 @@
+(** Arrival-trace capture and replay.
+
+    A trace is a time-ordered list of (time, leaf, size) arrival events —
+    the portable form of a workload. Traces let experiments be driven by
+    captured production traffic (or by another simulator's output) instead
+    of synthetic sources, and make any stochastic run replayable bit-for-bit
+    without its generator. Stored as CSV ([time,leaf,size_bits] per line)
+    so external tools can produce and consume them. *)
+
+type event = { time : float; leaf : string; size_bits : float }
+
+val save : path:string -> event list -> unit
+(** Events need not be sorted; they are written in time order. *)
+
+val load : path:string -> event list
+(** @raise Failure on malformed lines. *)
+
+val recorder :
+  sim:Engine.Simulator.t ->
+  (leaf:string -> Source.emit -> Source.emit) * (unit -> event list)
+(** [let wrap, dump = recorder ~sim in ...] — [wrap ~leaf emit] is an emit
+    that records (simulation time, leaf, size) before forwarding to [emit].
+    [dump ()] returns the events recorded so far in time order. Intended
+    use: interpose on each leaf's emit, run, dump, {!save}. *)
+
+val replay :
+  sim:Engine.Simulator.t -> emit_for:(leaf:string -> Source.emit option) -> event list -> int
+(** Schedule every event on the simulator; events whose leaf has no emit
+    are skipped. Returns the number of events scheduled. *)

@@ -1,0 +1,82 @@
+(* Class-tree configuration DSL. *)
+
+module CT = Hpfq.Class_tree
+
+let sample =
+  CT.node "root" ~rate:10.0
+    [
+      CT.node "a" ~rate:6.0 [ CT.leaf "a1" ~rate:2.0; CT.leaf "a2" ~rate:4.0 ];
+      CT.leaf "b" ~rate:4.0;
+    ]
+
+let test_accessors () =
+  Alcotest.(check string) "name" "root" (CT.name sample);
+  Alcotest.(check (float 1e-9)) "rate" 10.0 (CT.rate sample);
+  Alcotest.(check int) "children" 2 (List.length (CT.children sample));
+  Alcotest.(check bool) "leaf check" false (CT.is_leaf sample);
+  Alcotest.(check int) "depth" 3 (CT.depth sample);
+  Alcotest.(check int) "node count" 5 (CT.count_nodes sample);
+  Alcotest.(check (list (pair string (float 1e-9)))) "leaves in order"
+    [ ("a1", 2.0); ("a2", 4.0); ("b", 4.0) ]
+    (CT.leaves sample)
+
+let test_find_path () =
+  (match CT.find_path sample "a2" with
+  | Some path ->
+    Alcotest.(check (list string)) "path root->a2" [ "root"; "a"; "a2" ]
+      (List.map CT.name path)
+  | None -> Alcotest.fail "a2 not found");
+  Alcotest.(check bool) "missing node" true (CT.find_path sample "zz" = None);
+  match CT.find_path sample "root" with
+  | Some [ _ ] -> ()
+  | _ -> Alcotest.fail "root path should be singleton"
+
+let test_node_share () =
+  let t =
+    CT.node_share "half" ~share:0.5 ~parent_rate:10.0 (fun rate ->
+        [ CT.leaf "x" ~rate:(rate /. 2.0); CT.leaf "y" ~rate:(rate /. 2.0) ])
+  in
+  Alcotest.(check (float 1e-9)) "derived rate" 5.0 (CT.rate t);
+  Alcotest.(check (float 1e-9)) "child rate" 2.5 (CT.rate (List.hd (CT.children t)))
+
+let test_validate_catches_errors () =
+  let check_invalid name tree =
+    match CT.validate tree with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail (name ^ " accepted")
+  in
+  check_invalid "overcommit"
+    (CT.node "r" ~rate:1.0 [ CT.leaf "a" ~rate:0.7; CT.leaf "b" ~rate:0.7 ]);
+  check_invalid "duplicate names"
+    (CT.node "r" ~rate:1.0 [ CT.leaf "a" ~rate:0.4; CT.leaf "a" ~rate:0.4 ]);
+  check_invalid "non-positive rate"
+    (CT.node "r" ~rate:1.0 [ CT.leaf "a" ~rate:0.0 ]);
+  check_invalid "childless interior" (CT.node "r" ~rate:1.0 []);
+  check_invalid "bad queue capacity"
+    (CT.node "r" ~rate:1.0 [ CT.leaf "a" ~rate:0.5 ~queue_capacity_bits:(-1.0) ]);
+  match CT.validate sample with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat ";" es)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_pp_smoke () =
+  let rendered = Format.asprintf "%a" CT.pp sample in
+  Alcotest.(check bool) "mentions every node" true
+    (List.for_all (fun n -> contains ~needle:n rendered) [ "root"; "a1"; "a2"; "b" ])
+
+let () =
+  Alcotest.run "class_tree"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "find_path" `Quick test_find_path;
+          Alcotest.test_case "node_share" `Quick test_node_share;
+          Alcotest.test_case "validation" `Quick test_validate_catches_errors;
+          Alcotest.test_case "pp" `Quick test_pp_smoke;
+        ] );
+    ]

@@ -1,0 +1,136 @@
+(* Discrete-event simulator and RNG. *)
+
+module Sim = Engine.Simulator
+module Rng = Engine.Rng
+module Units = Engine.Units
+
+let test_event_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule sim ~at:2.0 (fun () -> log := 2 :: !log));
+  ignore (Sim.schedule sim ~at:1.0 (fun () -> log := 1 :: !log));
+  ignore (Sim.schedule sim ~at:3.0 (fun () -> log := 3 :: !log));
+  Sim.run sim;
+  Alcotest.(check (list int)) "fires in time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check (float 1e-12)) "clock at last event" 3.0 (Sim.now sim)
+
+let test_fifo_tie_break () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Sim.schedule sim ~at:1.0 (fun () -> log := i :: !log))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "same-time events fire FIFO" (List.init 10 Fun.id)
+    (List.rev !log)
+
+let test_schedule_from_handler () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule sim ~at:1.0 (fun () ->
+         log := "a" :: !log;
+         ignore (Sim.schedule_after sim ~delay:0.5 (fun () -> log := "b" :: !log))));
+  Sim.run sim;
+  Alcotest.(check (list string)) "nested scheduling" [ "a"; "b" ] (List.rev !log);
+  Alcotest.(check (float 1e-12)) "time" 1.5 (Sim.now sim)
+
+let test_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let ev = Sim.schedule sim ~at:1.0 (fun () -> fired := true) in
+  Alcotest.(check int) "pending" 1 (Sim.pending sim);
+  Sim.cancel sim ev;
+  Alcotest.(check int) "pending after cancel" 0 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled event did not fire" false !fired
+
+let test_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.schedule sim ~at:(float_of_int i) (fun () -> incr count))
+  done;
+  Sim.run ~until:5.5 sim;
+  Alcotest.(check int) "only events <= horizon" 5 !count;
+  Alcotest.(check (float 1e-12)) "clock advanced to horizon" 5.5 (Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "remaining drain" 10 !count
+
+let test_past_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~at:2.0 ignore);
+  Sim.run sim;
+  Alcotest.(check bool) "scheduling in the past raises" true
+    (try
+       ignore (Sim.schedule sim ~at:1.0 ignore);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  let xs = List.init 100 (fun _ -> Rng.uniform a) in
+  let ys = List.init 100 (fun _ -> Rng.uniform b) in
+  Alcotest.(check bool) "same seed, same stream" true (xs = ys);
+  let c = Rng.create 43L in
+  let zs = List.init 100 (fun _ -> Rng.uniform c) in
+  Alcotest.(check bool) "different seed, different stream" true (xs <> zs)
+
+let test_rng_ranges () =
+  let rng = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let u = Rng.uniform rng in
+    if u < 0.0 || u >= 1.0 then Alcotest.fail "uniform out of range";
+    let i = Rng.int rng 10 in
+    if i < 0 || i >= 10 then Alcotest.fail "int out of range";
+    let e = Rng.exponential rng ~mean:2.0 in
+    if e < 0.0 then Alcotest.fail "exponential negative"
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 11L in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "empirical mean within 5%" true
+    (Float.abs (mean -. 3.0) < 0.15)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5L in
+  let child = Rng.split parent in
+  let xs = List.init 50 (fun _ -> Rng.uniform parent) in
+  let ys = List.init 50 (fun _ -> Rng.uniform child) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_units () =
+  Alcotest.(check (float 1e-9)) "mbps" 1.0e6 (Units.mbps 1.0);
+  Alcotest.(check (float 1e-9)) "ms" 0.001 (Units.ms 1.0);
+  Alcotest.(check (float 1e-9)) "bytes" 800.0 (Units.bits_of_bytes 100.0);
+  Alcotest.(check (float 1e-9)) "8KB packet" 65536.0 (Units.bits_of_kilobytes 8.0);
+  Alcotest.(check (float 1e-12)) "transmission time" 0.065536
+    (Units.transmission_time ~bits:65536.0 ~rate:1.0e6)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "simulator",
+        [
+          Alcotest.test_case "event order" `Quick test_event_order;
+          Alcotest.test_case "FIFO tie break" `Quick test_fifo_tie_break;
+          Alcotest.test_case "nested scheduling" `Quick test_schedule_from_handler;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "past rejected" `Quick test_past_rejected;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        ] );
+      ("units", [ Alcotest.test_case "conversions" `Quick test_units ]);
+    ]

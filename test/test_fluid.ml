@@ -1,0 +1,172 @@
+(* Fluid GPS / H-GPS reference systems against hand-computed scenarios. *)
+
+module Gps = Fluid.Gps
+module Hgps = Fluid.Hgps
+module CT = Hpfq.Class_tree
+
+let feq = Alcotest.float 1e-6
+
+(* Fig. 2's fluid timeline: finish times 2k for p1^k (k<=10), 21 for p1^11,
+   20 for each other session's packet. *)
+let test_fig2_gps_finish_times () =
+  let finishes = Hashtbl.create 32 in
+  let g =
+    Gps.create ~rate:1.0
+      ~session_rates:(0.5 :: List.init 10 (fun _ -> 0.05))
+      ~on_packet_finish:(fun pkt t ->
+        Hashtbl.replace finishes (pkt.Net.Packet.flow, pkt.Net.Packet.seq) t)
+      ()
+  in
+  for _ = 1 to 11 do
+    ignore (Gps.arrive g ~at:0.0 ~session:0 ~size_bits:1.0)
+  done;
+  for s = 1 to 10 do
+    ignore (Gps.arrive g ~at:0.0 ~session:s ~size_bits:1.0)
+  done;
+  Gps.advance g ~to_:25.0;
+  for k = 1 to 10 do
+    Alcotest.check feq
+      (Printf.sprintf "p1^%d finishes at %d" k (2 * k))
+      (2.0 *. float_of_int k)
+      (Hashtbl.find finishes (0, k))
+  done;
+  Alcotest.check feq "p1^11 finishes at 21" 21.0 (Hashtbl.find finishes (0, 11));
+  for s = 1 to 10 do
+    Alcotest.check feq
+      (Printf.sprintf "p%d^1 finishes at 20" (s + 1))
+      20.0
+      (Hashtbl.find finishes (s, 1))
+  done
+
+(* Eq. 3: a backlogged session receives at least its guaranteed rate. *)
+let test_gps_guaranteed_rate () =
+  let g = Gps.create ~rate:1.0 ~session_rates:[ 0.3; 0.7 ] () in
+  ignore (Gps.arrive g ~at:0.0 ~session:0 ~size_bits:100.0);
+  ignore (Gps.arrive g ~at:0.0 ~session:1 ~size_bits:100.0);
+  Gps.advance g ~to_:10.0;
+  Alcotest.check feq "session 0 gets 3" 3.0 (Gps.served_bits g ~session:0);
+  Alcotest.check feq "session 1 gets 7" 7.0 (Gps.served_bits g ~session:1)
+
+(* Excess redistribution: an idle session's share flows to the backlogged
+   ones in proportion. *)
+let test_gps_excess_redistribution () =
+  let g = Gps.create ~rate:1.0 ~session_rates:[ 0.5; 0.25; 0.25 ] () in
+  ignore (Gps.arrive g ~at:0.0 ~session:1 ~size_bits:100.0);
+  ignore (Gps.arrive g ~at:0.0 ~session:2 ~size_bits:100.0);
+  Gps.advance g ~to_:10.0;
+  Alcotest.check feq "equal split of whole link" 5.0 (Gps.served_bits g ~session:1);
+  Alcotest.check feq "equal split of whole link (2)" 5.0 (Gps.served_bits g ~session:2)
+
+(* The §2.2 H-GPS example, including the future-arrival effect that breaks
+   Property 1: A2's rate collapses from 0.8 to 0.05 when A1 wakes up. *)
+let hgps_spec =
+  CT.node "link" ~rate:1.0
+    [
+      CT.node "A" ~rate:0.8 [ CT.leaf "A1" ~rate:0.75; CT.leaf "A2" ~rate:0.05 ];
+      CT.leaf "B" ~rate:0.2;
+    ]
+
+let test_hgps_section22 () =
+  let h = Hgps.create ~spec:hgps_spec () in
+  let a1 = Hgps.leaf_id h "A1" and a2 = Hgps.leaf_id h "A2" and b = Hgps.leaf_id h "B" in
+  Hgps.set_persistent h ~at:0.0 ~leaf:a2 true;
+  Hgps.set_persistent h ~at:0.0 ~leaf:b true;
+  Hgps.advance h ~to_:1.0;
+  (* A1 idle: A2 takes all of A's 80% *)
+  Alcotest.check feq "A2 rate 0.8 before A1 wakes" 0.8 (Hgps.served_bits h ~node:"A2");
+  Alcotest.check feq "B rate 0.2" 0.2 (Hgps.served_bits h ~node:"B");
+  Hgps.set_persistent h ~at:1.0 ~leaf:a1 true;
+  Hgps.advance h ~to_:2.0;
+  Alcotest.check feq "A1 gets 0.75 after waking" 0.75
+    (Hgps.served_bits h ~node:"A1");
+  Alcotest.check feq "A2 collapses to 0.05" (0.8 +. 0.05)
+    (Hgps.served_bits h ~node:"A2");
+  Alcotest.check feq "B unaffected" 0.4 (Hgps.served_bits h ~node:"B");
+  Alcotest.check feq "interior node W" (0.75 +. 0.85) (Hgps.served_bits h ~node:"A")
+
+(* The paper's §2.2 numeric example of packet finish times: A2 packets
+   finish at 1.25, 2.5, ... until A1's arrival at t=1 changes their pace. *)
+let test_hgps_property1_violation () =
+  let finishes = ref [] in
+  let h =
+    Hgps.create ~spec:hgps_spec
+      ~on_packet_finish:(fun pkt t -> finishes := (pkt.Net.Packet.flow, pkt.Net.Packet.seq, t) :: !finishes)
+      ()
+  in
+  let a1 = Hgps.leaf_id h "A1" and a2 = Hgps.leaf_id h "A2" and b = Hgps.leaf_id h "B" in
+  (* A2 and B heavily backlogged with unit packets from t=0 *)
+  for _ = 1 to 30 do
+    ignore (Hgps.arrive h ~at:0.0 ~leaf:a2 ~size_bits:1.0)
+  done;
+  for _ = 1 to 10 do
+    ignore (Hgps.arrive h ~at:0.0 ~leaf:b ~size_bits:1.0)
+  done;
+  Hgps.advance h ~to_:1.0;
+  (* before A1 arrives: A2 at 80% -> first packet finish 1.25 (not yet) *)
+  (* A1's packets arrive at t=1 *)
+  for _ = 1 to 50 do
+    ignore (Hgps.arrive h ~at:1.0 ~leaf:a1 ~size_bits:1.0)
+  done;
+  Hgps.advance h ~to_:30.0;
+  let finish flow seq =
+    let _, _, t = List.find (fun (f, s, _) -> f = flow && s = seq) !finishes in
+    t
+  in
+  (* B's pacing is untouched by A1's arrival: p_B^k finishes at 5k *)
+  Alcotest.check feq "B p1 at 5" 5.0 (finish b 1);
+  Alcotest.check feq "B p2 at 10" 10.0 (finish b 2);
+  (* A2 packet 1 was served 80% of the way by t=1 (0.8 bits), then crawls at
+     0.05: finishes at 1 + 0.2/0.05 = 5 *)
+  Alcotest.check feq "A2 p1 slowed by A1's arrival" 5.0 (finish a2 1);
+  (* before the A1 arrival it was on pace to finish at 1.25 — the relative
+     order with B's packets changed due to a FUTURE arrival *)
+  Alcotest.(check bool) "A2 p2 far behind" true (finish a2 2 > 20.0)
+
+(* Conservation: fluid served by root = sum over leaves; also equals
+   elapsed busy time * rate. *)
+let test_hgps_conservation () =
+  let h = Hgps.create ~spec:hgps_spec () in
+  let a1 = Hgps.leaf_id h "A1" and b = Hgps.leaf_id h "B" in
+  for _ = 1 to 5 do
+    ignore (Hgps.arrive h ~at:0.0 ~leaf:a1 ~size_bits:1.0);
+    ignore (Hgps.arrive h ~at:0.0 ~leaf:b ~size_bits:1.0)
+  done;
+  Hgps.advance h ~to_:100.0;
+  let total = Hgps.served_bits h ~node:"link" in
+  Alcotest.check feq "all fluid served" 10.0 total;
+  let by_leaf =
+    Hgps.served_bits h ~node:"A1" +. Hgps.served_bits h ~node:"A2"
+    +. Hgps.served_bits h ~node:"B"
+  in
+  Alcotest.check feq "root = sum of leaves" total by_leaf;
+  Alcotest.(check bool) "drained" false (Hgps.busy h)
+
+(* A packet-mode leaf empties and its bandwidth flows to its sibling. *)
+let test_hgps_drain_redistribution () =
+  let h = Hgps.create ~spec:hgps_spec () in
+  let a2 = Hgps.leaf_id h "A2" and b = Hgps.leaf_id h "B" in
+  ignore (Hgps.arrive h ~at:0.0 ~leaf:a2 ~size_bits:4.0);
+  Hgps.set_persistent h ~at:0.0 ~leaf:b true;
+  (* A2 alone in A: drains at 0.8 -> empty at t=5; B at 0.2 until then *)
+  Hgps.advance h ~to_:5.0;
+  Alcotest.check feq "B at guaranteed rate while A busy" 1.0 (Hgps.served_bits h ~node:"B");
+  Hgps.advance h ~to_:10.0;
+  Alcotest.check feq "B takes the whole link after" 6.0 (Hgps.served_bits h ~node:"B")
+
+let () =
+  Alcotest.run "fluid"
+    [
+      ( "gps",
+        [
+          Alcotest.test_case "fig2 finish times" `Quick test_fig2_gps_finish_times;
+          Alcotest.test_case "guaranteed rate" `Quick test_gps_guaranteed_rate;
+          Alcotest.test_case "excess redistribution" `Quick test_gps_excess_redistribution;
+        ] );
+      ( "hgps",
+        [
+          Alcotest.test_case "section 2.2 shares" `Quick test_hgps_section22;
+          Alcotest.test_case "property-1 violation" `Quick test_hgps_property1_violation;
+          Alcotest.test_case "conservation" `Quick test_hgps_conservation;
+          Alcotest.test_case "drain redistribution" `Quick test_hgps_drain_redistribution;
+        ] );
+    ]

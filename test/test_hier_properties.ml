@@ -1,0 +1,183 @@
+(* Hierarchy-level property tests: randomized trees and dynamic (bursty,
+   non-saturated) workloads, for every discipline used as a building block. *)
+
+module Q = QCheck
+module Sim = Engine.Simulator
+module Hier = Hpfq.Hier
+module CT = Hpfq.Class_tree
+
+(* random 2-3 level tree plus a packet script over its leaves *)
+let scenario_gen =
+  let open Q.Gen in
+  let* layout = list_size (int_range 2 4) (int_range 1 3) in
+  (* layout.(i) = number of leaves under group i (1 leaf -> group collapses
+     to a bare leaf at level 1, exercising mixed depths) *)
+  let n_leaves = List.fold_left ( + ) 0 layout in
+  let* packets =
+    list_size (int_range 1 80)
+      (let* leaf = int_range 0 (n_leaves - 1) in
+       let* at = float_bound_inclusive 8.0 in
+       let* size = float_range 0.1 2.0 in
+       return (at, leaf, size))
+  in
+  return (layout, packets)
+
+let build_tree layout =
+  let leaf_names = ref [] in
+  let n_groups = List.length layout in
+  let group_rate = 1.0 /. float_of_int n_groups in
+  let groups =
+    List.mapi
+      (fun gi n_leaves ->
+        let names = List.init n_leaves (fun li -> Printf.sprintf "g%d-l%d" gi li) in
+        leaf_names := !leaf_names @ names;
+        if n_leaves = 1 then CT.leaf (List.hd names) ~rate:group_rate
+        else
+          CT.node (Printf.sprintf "g%d" gi) ~rate:group_rate
+            (List.map
+               (fun name -> CT.leaf name ~rate:(group_rate /. float_of_int n_leaves))
+               names))
+      layout
+  in
+  (CT.node "root" ~rate:1.0 groups, !leaf_names)
+
+let run_hier factory (layout, packets) =
+  let spec, leaf_names = build_tree layout in
+  let sim = Sim.create () in
+  let departures = ref [] in
+  let h =
+    Hier.create ~sim ~spec ~make_policy:(Hier.uniform factory)
+      ~on_depart:(fun pkt ~leaf t -> departures := (pkt, leaf, t) :: !departures)
+      ()
+  in
+  let ids = Array.of_list (List.map (fun n -> Hier.leaf_id h n) leaf_names) in
+  List.iter
+    (fun (at, leaf, size) ->
+      ignore
+        (Sim.schedule sim ~at (fun () ->
+             ignore (Hier.inject h ~leaf:ids.(leaf mod Array.length ids) ~size_bits:size))))
+    packets;
+  Sim.run sim;
+  (List.rev !departures, h)
+
+(* 1. Completeness + work conservation through arbitrary hierarchies. *)
+let prop_hier_dynamic factory =
+  Q.Test.make ~count:40
+    ~name:("H-" ^ factory.Sched.Sched_intf.kind ^ ": dynamic tree completeness + work conservation")
+    (Q.make scenario_gen)
+    (fun ((_, packets) as scenario) ->
+      let departures, h = run_hier factory scenario in
+      let complete = List.length departures = List.length packets in
+      (* a work-conserving unit-rate server finishes exactly when a single
+         FIFO queue over the same arrivals would *)
+      let arrivals = List.sort compare (List.map (fun (t, _, z) -> (t, z)) packets) in
+      let expected_finish =
+        List.fold_left (fun clock (t, z) -> Float.max clock t +. z) 0.0 arrivals
+      in
+      let last =
+        List.fold_left (fun acc (_, _, t) -> Float.max acc t) 0.0 departures
+      in
+      complete
+      && Float.abs (last -. expected_finish) < 1e-6
+      && Hier.drops h = 0)
+
+(* 2. Per-leaf FIFO through the hierarchy. *)
+let prop_hier_leaf_fifo factory =
+  Q.Test.make ~count:40
+    ~name:("H-" ^ factory.Sched.Sched_intf.kind ^ ": per-leaf FIFO")
+    (Q.make scenario_gen)
+    (fun scenario ->
+      let departures, _ = run_hier factory scenario in
+      let last_seq = Hashtbl.create 8 in
+      List.for_all
+        (fun (pkt, leaf, _) ->
+          let prev = Option.value (Hashtbl.find_opt last_seq leaf) ~default:0 in
+          Hashtbl.replace last_seq leaf pkt.Net.Packet.seq;
+          pkt.Net.Packet.seq > prev)
+        departures)
+
+(* 3. Finite leaf queues: conservation with drops accounted. *)
+let prop_hier_drop_conservation =
+  Q.Test.make ~count:40 ~name:"H-WF2Q+: injected = departed + dropped (finite queues)"
+    (Q.make scenario_gen)
+    (fun (layout, packets) ->
+      let spec, leaf_names = build_tree layout in
+      (* shrink every leaf queue to 3 bits *)
+      let rec cap node =
+        match node with
+        | CT.Leaf { name; rate; _ } -> CT.leaf name ~rate ~queue_capacity_bits:3.0
+        | CT.Node { name; rate; children } -> CT.node name ~rate (List.map cap children)
+      in
+      let spec = cap spec in
+      let sim = Sim.create () in
+      let departed = ref 0 and dropped = ref 0 in
+      let h =
+        Hier.create ~sim ~spec
+          ~make_policy:(Hier.uniform Hpfq.Disciplines.wf2q_plus)
+          ~on_depart:(fun _ ~leaf:_ _ -> incr departed)
+          ~on_drop:(fun _ ~leaf:_ _ -> incr dropped)
+          ()
+      in
+      let ids = Array.of_list (List.map (fun n -> Hier.leaf_id h n) leaf_names) in
+      List.iter
+        (fun (at, leaf, size) ->
+          ignore
+            (Sim.schedule sim ~at (fun () ->
+                 ignore
+                   (Hier.inject h ~leaf:ids.(leaf mod Array.length ids) ~size_bits:size))))
+        packets;
+      Sim.run sim;
+      !departed + !dropped = List.length packets && Hier.drops h = !dropped)
+
+(* 4. Hierarchical isolation: traffic inside one group never changes the
+   departure times of another group's packets when both groups are within
+   their guarantees (deterministic check over a random scenario pair). *)
+let prop_group_isolation =
+  Q.Test.make ~count:30 ~name:"H-WF2Q+: sibling-group traffic does not starve a paced group"
+    (Q.make Q.Gen.(int_range 1 30))
+    (fun burst ->
+      (* group A: paced CBR within its 0.5 share; group B: bursts [burst]
+         packets at t=0. A's packets must all meet their per-packet bound
+         whatever B does. *)
+      let spec =
+        CT.node "root" ~rate:1.0
+          [
+            CT.node "A" ~rate:0.5 [ CT.leaf "a" ~rate:0.5 ];
+            CT.node "B" ~rate:0.5 [ CT.leaf "b" ~rate:0.5 ];
+          ]
+      in
+      let sim = Sim.create () in
+      let worst = ref 0.0 in
+      let h =
+        Hier.create ~sim ~spec ~make_policy:(Hier.uniform Hpfq.Disciplines.wf2q_plus)
+          ~on_depart:(fun pkt ~leaf t ->
+            if String.equal leaf "a" then
+              worst := Float.max !worst (t -. pkt.Net.Packet.arrival))
+          ()
+      in
+      let a = Hier.leaf_id h "a" and b = Hier.leaf_id h "b" in
+      (* a: one unit packet every 4 time units (1/8 of capacity) *)
+      for k = 0 to 9 do
+        ignore
+          (Sim.schedule sim
+             ~at:(float_of_int k *. 4.0)
+             (fun () -> ignore (Hier.inject h ~leaf:a ~size_bits:1.0)))
+      done;
+      ignore
+        (Sim.schedule sim ~at:0.0 (fun () ->
+             for _ = 1 to burst do
+               ignore (Hier.inject h ~leaf:b ~size_bits:1.0)
+             done));
+      Sim.run sim;
+      (* Cor. 2 for a: sigma/r + L/r_A + L/r_root = 1/0.5... the packet is
+         alone in its queue: bound = L/r_a + L/r_A + L/r = 2 + 2 + 1 *)
+      !worst <= 5.0 +. 1e-9)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    ([ prop_hier_drop_conservation; prop_group_isolation ]
+    @ List.concat_map
+        (fun factory -> [ prop_hier_dynamic factory; prop_hier_leaf_fifo factory ])
+        Hpfq.Disciplines.all)
+
+let () = Alcotest.run "hier_properties" [ ("qcheck", suite) ]

@@ -1,0 +1,58 @@
+(* Packet and FIFO primitives. *)
+
+let mk ?(flow = 0) ?(seq = 1) ?(bits = 100.0) ?(at = 0.0) () =
+  Net.Packet.make ~flow ~seq ~size_bits:bits ~arrival:at ()
+
+let test_packet_uid_unique () =
+  let a = mk () and b = mk () in
+  Alcotest.(check bool) "uids differ" true (a.Net.Packet.uid <> b.Net.Packet.uid)
+
+let test_packet_rejects_empty () =
+  Alcotest.(check bool) "zero size rejected" true
+    (try
+       ignore (mk ~bits:0.0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_fifo_order_and_accounting () =
+  let q = Net.Fifo.create () in
+  let p1 = mk ~seq:1 ~bits:100.0 () and p2 = mk ~seq:2 ~bits:50.0 () in
+  Alcotest.(check bool) "push1" true (Net.Fifo.push q p1);
+  Alcotest.(check bool) "push2" true (Net.Fifo.push q p2);
+  Alcotest.(check (float 1e-9)) "bits" 150.0 (Net.Fifo.bits q);
+  Alcotest.(check int) "length" 2 (Net.Fifo.length q);
+  (match Net.Fifo.pop q with
+  | Some p -> Alcotest.(check int) "FIFO order" 1 p.Net.Packet.seq
+  | None -> Alcotest.fail "pop");
+  Alcotest.(check (float 1e-9)) "bits after pop" 50.0 (Net.Fifo.bits q)
+
+let test_fifo_drop_tail () =
+  let q = Net.Fifo.create ~capacity_bits:120.0 () in
+  Alcotest.(check bool) "fits" true (Net.Fifo.push q (mk ~bits:100.0 ()));
+  Alcotest.(check bool) "overflow dropped" false (Net.Fifo.push q (mk ~bits:100.0 ()));
+  Alcotest.(check int) "drop count" 1 (Net.Fifo.drops q);
+  Alcotest.(check int) "queue intact" 1 (Net.Fifo.length q);
+  Alcotest.(check bool) "small one still fits" true (Net.Fifo.push q (mk ~bits:20.0 ()))
+
+let test_fifo_clear () =
+  let q = Net.Fifo.create () in
+  ignore (Net.Fifo.push q (mk ()));
+  Net.Fifo.clear q;
+  Alcotest.(check bool) "empty" true (Net.Fifo.is_empty q);
+  Alcotest.(check (float 1e-9)) "bits zero" 0.0 (Net.Fifo.bits q)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "uid unique" `Quick test_packet_uid_unique;
+          Alcotest.test_case "rejects empty" `Quick test_packet_rejects_empty;
+        ] );
+      ( "fifo",
+        [
+          Alcotest.test_case "order and accounting" `Quick test_fifo_order_and_accounting;
+          Alcotest.test_case "drop tail" `Quick test_fifo_drop_tail;
+          Alcotest.test_case "clear" `Quick test_fifo_clear;
+        ] );
+    ]

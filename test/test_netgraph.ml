@@ -1,0 +1,136 @@
+(* Multi-hop pipelines of H-PFQ servers: forwarding, ordering, end-to-end
+   delay bounds. *)
+
+module Sim = Engine.Simulator
+module P = Netgraph.Pipeline
+module CT = Hpfq.Class_tree
+
+let hop_spec name =
+  CT.node name ~rate:1.0
+    [ CT.leaf (name ^ "/guaranteed") ~rate:0.4; CT.leaf (name ^ "/cross") ~rate:0.6 ]
+
+let three_hops = [ ("h0", hop_spec "h0"); ("h1", hop_spec "h1"); ("h2", hop_spec "h2") ]
+
+let make_pipeline ?(on_deliver = fun ~flow:_ _ ~injected:_ ~delivered:_ -> ()) sim =
+  let p =
+    P.create ~sim ~hops:three_hops
+      ~make_policy:(Hpfq.Hier.uniform Hpfq.Disciplines.wf2q_plus)
+      ~propagation_delay:0.01 ~on_deliver ()
+  in
+  P.add_flow p ~name:"f"
+    ~route:[ "h0/guaranteed"; "h1/guaranteed"; "h2/guaranteed" ];
+  p
+
+let test_delivery_and_order () =
+  let sim = Sim.create () in
+  let deliveries = ref [] in
+  let p =
+    make_pipeline sim ~on_deliver:(fun ~flow:_ pkt ~injected ~delivered ->
+        deliveries := (pkt.Net.Packet.size_bits, injected, delivered) :: !deliveries)
+  in
+  ignore
+    (Sim.schedule sim ~at:0.0 (fun () ->
+         List.iter (fun size -> P.inject p ~flow:"f" ~size_bits:size) [ 1.0; 2.0; 3.0 ]));
+  Sim.run sim;
+  let deliveries = List.rev !deliveries in
+  Alcotest.(check int) "all delivered" 3 (List.length deliveries);
+  Alcotest.(check int) "counter" 3 (P.delivered p ~flow:"f");
+  Alcotest.(check int) "none in flight" 0 (P.in_flight p ~flow:"f");
+  (* FIFO end-to-end: sizes come out in injection order *)
+  Alcotest.(check (list (float 1e-9))) "order preserved" [ 1.0; 2.0; 3.0 ]
+    (List.map (fun (s, _, _) -> s) deliveries);
+  (* minimum latency: 3 transmissions + 2 propagation hops *)
+  (match deliveries with
+  | (size, injected, delivered) :: _ ->
+    Alcotest.(check bool) "latency >= store-and-forward floor" true
+      (delivered -. injected >= (3.0 *. size) +. 0.02 -. 1e-9)
+  | [] -> ());
+  (* per-hop servers accounted the flow's bits *)
+  Alcotest.(check (float 1e-6)) "hop served bits" 6.0
+    (Hpfq.Hier.departed_bits (P.hop_server p "h1") ~node:"h1/guaranteed")
+
+let test_e2e_bound_under_cross_traffic () =
+  let sim = Sim.create () in
+  let worst = ref 0.0 in
+  let p =
+    make_pipeline sim ~on_deliver:(fun ~flow:_ _ ~injected ~delivered ->
+        worst := Float.max !worst (delivered -. injected))
+  in
+  (* conformant flow: sigma = 3 packets, rho = guaranteed 0.4 *)
+  let sigma = 3.0 in
+  ignore
+    (Traffic.Source.leaky_bucket_greedy ~sim
+       ~emit:(fun ~size_bits -> P.inject p ~flow:"f" ~size_bits)
+       ~sigma_bits:sigma ~rho:0.4 ~packet_bits:1.0 ~stop_at:60.0 ());
+  (* every hop's cross-traffic leaf saturated *)
+  List.iter
+    (fun hop ->
+      let server = P.hop_server p hop in
+      let leaf = Hpfq.Hier.leaf_id server (hop ^ "/cross") in
+      ignore
+        (Traffic.Source.greedy ~sim
+           ~emit:(fun ~size_bits -> ignore (Hpfq.Hier.inject server ~leaf ~size_bits))
+           ~packet_bits:1.0 ~backlog_packets:40 ~top_up_every:20.0 ~stop_at:60.0 ()))
+    [ "h0"; "h1"; "h2" ];
+  Sim.run ~until:90.0 sim;
+  match P.end_to_end_bound p ~flow:"f" ~sigma ~l_max:1.0 with
+  | Error e -> Alcotest.fail e
+  | Ok bound ->
+    Alcotest.(check bool)
+      (Printf.sprintf "measured %.3f <= bound %.3f" !worst bound)
+      true
+      (!worst > 0.0 && !worst <= bound +. 1e-9)
+
+let test_flow_validation () =
+  let sim = Sim.create () in
+  let p = make_pipeline sim in
+  Alcotest.(check bool) "wrong route length rejected" true
+    (try
+       P.add_flow p ~name:"g" ~route:[ "h0/cross" ];
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "leaf reuse rejected" true
+    (try
+       P.add_flow p ~name:"g"
+         ~route:[ "h0/guaranteed"; "h1/cross"; "h2/cross" ];
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown flow rejected" true
+    (try
+       P.inject p ~flow:"nope" ~size_bits:1.0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_cross_traffic_stays_local () =
+  (* packets injected directly into a hop's cross leaf must not be
+     forwarded downstream *)
+  let sim = Sim.create () in
+  let delivered_to_sink = ref 0 in
+  let p =
+    make_pipeline sim ~on_deliver:(fun ~flow:_ _ ~injected:_ ~delivered:_ ->
+        incr delivered_to_sink)
+  in
+  let h1 = P.hop_server p "h1" in
+  let cross = Hpfq.Hier.leaf_id h1 "h1/cross" in
+  ignore
+    (Sim.schedule sim ~at:0.0 (fun () ->
+         ignore (Hpfq.Hier.inject h1 ~leaf:cross ~size_bits:1.0)));
+  Sim.run sim;
+  Alcotest.(check int) "local traffic not delivered to the flow sink" 0
+    !delivered_to_sink;
+  Alcotest.(check (float 1e-9)) "but transmitted locally" 1.0
+    (Hpfq.Hier.departed_bits h1 ~node:"h1/cross")
+
+let () =
+  Alcotest.run "netgraph"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "delivery and order" `Quick test_delivery_and_order;
+          Alcotest.test_case "e2e bound under cross traffic" `Quick
+            test_e2e_bound_under_cross_traffic;
+          Alcotest.test_case "flow validation" `Quick test_flow_validation;
+          Alcotest.test_case "cross traffic stays local" `Quick
+            test_cross_traffic_stays_local;
+        ] );
+    ]

@@ -1,0 +1,149 @@
+(* Priority-queue substrates: ordering, decrease/increase-key, invariants. *)
+
+let check_sorted name xs =
+  let rec ok = function
+    | a :: (b :: _ as rest) -> a <= b && ok rest
+    | _ -> true
+  in
+  Alcotest.(check bool) (name ^ " sorted") true (ok xs)
+
+module BH = Prioq.Binary_heap
+
+let bh_create () = BH.create ~cmp:compare ~dummy:0 ()
+
+let test_bh_basic () =
+  let h = bh_create () in
+  Alcotest.(check bool) "empty" true (BH.is_empty h);
+  List.iter (BH.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  Alcotest.(check int) "length" 7 (BH.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (BH.peek h);
+  Alcotest.(check bool) "invariant" true (BH.check_invariant h);
+  check_sorted "binary heap" (BH.to_sorted_list h);
+  Alcotest.(check int) "non-destructive to_sorted_list" 7 (BH.length h)
+
+let test_bh_pop_order () =
+  let h = bh_create () in
+  let input = List.init 200 (fun i -> (i * 7919) mod 557) in
+  List.iter (BH.push h) input;
+  let rec drain acc = match BH.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  let out = drain [] in
+  Alcotest.(check (list int)) "pop = sort" (List.sort compare input) out
+
+let test_bh_clear () =
+  let h = bh_create () in
+  List.iter (BH.push h) [ 3; 1; 2 ];
+  BH.clear h;
+  Alcotest.(check bool) "cleared" true (BH.is_empty h);
+  Alcotest.(check (option int)) "pop empty" None (BH.pop h)
+
+let test_bh_exn () =
+  let h = bh_create () in
+  Alcotest.check_raises "peek_exn" Not_found (fun () -> ignore (BH.peek_exn h));
+  Alcotest.check_raises "pop_exn" Not_found (fun () -> ignore (BH.pop_exn h))
+
+module IH = Prioq.Indexed_heap
+
+let test_ih_basic () =
+  let h = IH.create 4 in
+  IH.add h ~key:0 ~prio:5.0;
+  IH.add h ~key:7 ~prio:1.0; (* beyond initial capacity: must grow *)
+  IH.add h ~key:3 ~prio:3.0;
+  Alcotest.(check (option int)) "min key" (Some 7) (IH.min_key h);
+  Alcotest.(check (option (pair int (float 1e-12)))) "min binding" (Some (7, 1.0))
+    (IH.min_binding h);
+  Alcotest.(check bool) "mem" true (IH.mem h 3);
+  Alcotest.(check bool) "not mem" false (IH.mem h 2);
+  Alcotest.(check bool) "invariant" true (IH.check_invariant h)
+
+let test_ih_update_both_directions () =
+  let h = IH.create 8 in
+  List.iteri (fun i p -> IH.add h ~key:i ~prio:p) [ 5.0; 4.0; 3.0; 2.0; 1.0 ];
+  Alcotest.(check (option int)) "initial min" (Some 4) (IH.min_key h);
+  IH.update h ~key:4 ~prio:10.0; (* increase-key *)
+  Alcotest.(check (option int)) "after increase" (Some 3) (IH.min_key h);
+  IH.update h ~key:0 ~prio:0.5; (* decrease-key *)
+  Alcotest.(check (option int)) "after decrease" (Some 0) (IH.min_key h);
+  Alcotest.(check bool) "invariant" true (IH.check_invariant h)
+
+let test_ih_remove () =
+  let h = IH.create 8 in
+  List.iteri (fun i p -> IH.add h ~key:i ~prio:p) [ 3.0; 1.0; 2.0 ];
+  IH.remove h 1;
+  Alcotest.(check bool) "removed" false (IH.mem h 1);
+  Alcotest.(check (option int)) "new min" (Some 2) (IH.min_key h);
+  IH.remove h 1; (* no-op *)
+  Alcotest.(check int) "length" 2 (IH.length h);
+  Alcotest.(check bool) "invariant" true (IH.check_invariant h)
+
+let test_ih_pop_min_drain () =
+  let h = IH.create 16 in
+  let prios = [ 9.0; 2.0; 7.0; 2.0; 5.0; 0.1 ] in
+  List.iteri (fun i p -> IH.add h ~key:i ~prio:p) prios;
+  let rec drain acc =
+    match IH.pop_min h with None -> List.rev acc | Some (_, p) -> drain (p :: acc)
+  in
+  check_sorted "indexed heap drain" (drain []);
+  Alcotest.(check bool) "empty after drain" true (IH.is_empty h)
+
+let test_ih_ties_deterministic () =
+  let h = IH.create 8 in
+  List.iter (fun k -> IH.add h ~key:k ~prio:1.0) [ 5; 2; 9; 0 ];
+  Alcotest.(check (option int)) "smallest key wins ties" (Some 0) (IH.min_key h)
+
+let test_ih_add_duplicate_rejected () =
+  let h = IH.create 4 in
+  IH.add h ~key:1 ~prio:1.0;
+  Alcotest.check_raises "duplicate add"
+    (Invalid_argument "Indexed_heap.add: key present") (fun () ->
+      IH.add h ~key:1 ~prio:2.0)
+
+module PH = Prioq.Pairing_heap
+
+let test_ph_basic () =
+  let h = PH.create ~cmp:compare in
+  List.iter (PH.push h) [ 4; 2; 8; 1 ];
+  Alcotest.(check (option int)) "peek" (Some 1) (PH.peek h);
+  check_sorted "pairing heap" (PH.to_sorted_list h)
+
+let test_ph_meld () =
+  let a = PH.create ~cmp:compare and b = PH.create ~cmp:compare in
+  List.iter (PH.push a) [ 5; 3 ];
+  List.iter (PH.push b) [ 4; 1 ];
+  PH.meld a b;
+  Alcotest.(check int) "melded size" 4 (PH.length a);
+  Alcotest.(check int) "src emptied" 0 (PH.length b);
+  Alcotest.(check (option int)) "melded min" (Some 1) (PH.pop a)
+
+let test_ph_pop_order () =
+  let h = PH.create ~cmp:compare in
+  let input = List.init 300 (fun i -> (i * 2654435761) mod 1009) in
+  List.iter (PH.push h) input;
+  let rec drain acc = match PH.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  Alcotest.(check (list int)) "pop = sort" (List.sort compare input) (drain [])
+
+let () =
+  Alcotest.run "prioq"
+    [
+      ( "binary_heap",
+        [
+          Alcotest.test_case "basic" `Quick test_bh_basic;
+          Alcotest.test_case "pop order" `Quick test_bh_pop_order;
+          Alcotest.test_case "clear" `Quick test_bh_clear;
+          Alcotest.test_case "exceptions" `Quick test_bh_exn;
+        ] );
+      ( "indexed_heap",
+        [
+          Alcotest.test_case "basic" `Quick test_ih_basic;
+          Alcotest.test_case "update both directions" `Quick test_ih_update_both_directions;
+          Alcotest.test_case "remove" `Quick test_ih_remove;
+          Alcotest.test_case "pop_min drain" `Quick test_ih_pop_min_drain;
+          Alcotest.test_case "deterministic ties" `Quick test_ih_ties_deterministic;
+          Alcotest.test_case "duplicate add rejected" `Quick test_ih_add_duplicate_rejected;
+        ] );
+      ( "pairing_heap",
+        [
+          Alcotest.test_case "basic" `Quick test_ph_basic;
+          Alcotest.test_case "meld" `Quick test_ph_meld;
+          Alcotest.test_case "pop order" `Quick test_ph_pop_order;
+        ] );
+    ]

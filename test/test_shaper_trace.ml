@@ -1,0 +1,156 @@
+(* Token-bucket shaper and trace capture/replay. *)
+
+module Sim = Engine.Simulator
+module Shaper = Traffic.Shaper
+module Trace = Traffic.Trace
+
+let test_shaper_passthrough_when_conforming () =
+  let sim = Sim.create () in
+  let out = ref [] in
+  let emit ~size_bits = out := (Sim.now sim, size_bits) :: !out in
+  let shaper = Shaper.create ~sim ~sigma_bits:10.0 ~rho:1.0 ~emit in
+  ignore
+    (Sim.schedule sim ~at:0.0 (fun () ->
+         Shaper.offer shaper ~size_bits:3.0;
+         Shaper.offer shaper ~size_bits:3.0));
+  Sim.run sim;
+  (* 6 bits <= sigma: both released instantly *)
+  Alcotest.(check int) "both out" 2 (List.length !out);
+  List.iter (fun (t, _) -> Alcotest.(check (float 1e-9)) "immediate" 0.0 t) !out;
+  Alcotest.(check int) "released counter" 2 (Shaper.released shaper)
+
+let test_shaper_delays_burst () =
+  let sim = Sim.create () in
+  let out = ref [] in
+  let emit ~size_bits = out := (Sim.now sim, size_bits) :: !out in
+  let shaper = Shaper.create ~sim ~sigma_bits:2.0 ~rho:2.0 ~emit in
+  ignore
+    (Sim.schedule sim ~at:0.0 (fun () ->
+         for _ = 1 to 4 do
+           Shaper.offer shaper ~size_bits:2.0
+         done));
+  Sim.run sim;
+  let times = List.rev_map fst !out in
+  (* bucket holds exactly one packet: first at 0, then one per 2/2 = 1 s *)
+  Alcotest.(check (list (float 1e-9))) "paced releases" [ 0.0; 1.0; 2.0; 3.0 ] times
+
+let test_shaper_output_conforms () =
+  let sim = Sim.create () in
+  let out = ref [] in
+  let emit ~size_bits = out := (Sim.now sim, size_bits) :: !out in
+  let sigma = 5.0 and rho = 3.0 in
+  let shaper = Shaper.create ~sim ~sigma_bits:sigma ~rho ~emit in
+  let rng = Engine.Rng.create 17L in
+  (* hostile arrivals: random bursts far above rho *)
+  for k = 0 to 40 do
+    let at = float_of_int k *. 0.13 in
+    ignore
+      (Sim.schedule sim ~at (fun () ->
+           for _ = 1 to 1 + Engine.Rng.int rng 4 do
+             Shaper.offer shaper ~size_bits:(0.5 +. Engine.Rng.float rng 2.0)
+           done))
+  done;
+  Sim.run sim;
+  let events = Array.of_list (List.rev !out) in
+  let n = Array.length events in
+  Alcotest.(check bool) "traffic flowed" true (n > 40);
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let bits = ref 0.0 in
+    for j = i to n - 1 do
+      let tj, sj = events.(j) in
+      bits := !bits +. sj;
+      let ti, _ = events.(i) in
+      if !bits > sigma +. (rho *. (tj -. ti)) +. 1e-6 then ok := false
+    done
+  done;
+  Alcotest.(check bool) "output is (sigma, rho)-conformant" true !ok;
+  Alcotest.(check int) "queue drained" 0 (Shaper.queue_length shaper);
+  Alcotest.(check (float 1e-9)) "backlog zero" 0.0 (Shaper.backlog_bits shaper)
+
+let test_shaper_oversized_rejected () =
+  let sim = Sim.create () in
+  let shaper = Shaper.create ~sim ~sigma_bits:1.0 ~rho:1.0 ~emit:(fun ~size_bits:_ -> ()) in
+  Alcotest.(check bool) "oversize rejected" true
+    (try
+       Shaper.offer shaper ~size_bits:2.0;
+       false
+     with Invalid_argument _ -> true)
+
+let sample_events =
+  [
+    { Trace.time = 0.5; leaf = "a"; size_bits = 100.0 };
+    { Trace.time = 0.25; leaf = "b"; size_bits = 50.0 };
+    { Trace.time = 1.5; leaf = "a"; size_bits = 200.0 };
+  ]
+
+let test_trace_roundtrip () =
+  let path = Filename.temp_file "hpfq_trace" ".csv" in
+  Trace.save ~path sample_events;
+  let loaded = Trace.load ~path in
+  Sys.remove path;
+  Alcotest.(check int) "count" 3 (List.length loaded);
+  (* saved in time order *)
+  Alcotest.(check (list string)) "time-ordered leaves" [ "b"; "a"; "a" ]
+    (List.map (fun e -> e.Trace.leaf) loaded);
+  Alcotest.(check (float 1e-9)) "sizes survive" 50.0
+    (List.hd loaded).Trace.size_bits
+
+let test_trace_replay () =
+  let sim = Sim.create () in
+  let got = ref [] in
+  let emit_for ~leaf =
+    if String.equal leaf "a" then
+      Some (fun ~size_bits -> got := (Sim.now sim, size_bits) :: !got)
+    else None (* "b" unmapped: skipped *)
+  in
+  let scheduled = Trace.replay ~sim ~emit_for sample_events in
+  Sim.run sim;
+  Alcotest.(check int) "scheduled only mapped leaves" 2 scheduled;
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "events fire at recorded times"
+    [ (0.5, 100.0); (1.5, 200.0) ]
+    (List.rev !got)
+
+let test_record_then_replay_identical () =
+  (* record a CBR source, then replay the dump: the replayed arrivals are
+     the originals *)
+  let sim = Sim.create () in
+  let wrap, dump = Trace.recorder ~sim in
+  let sink = ref [] in
+  let emit = wrap ~leaf:"x" (fun ~size_bits -> sink := size_bits :: !sink) in
+  ignore
+    (Traffic.Source.cbr ~sim ~emit ~rate:2.0 ~packet_bits:1.0 ~stop_at:3.0 ());
+  Sim.run sim;
+  let recorded = dump () in
+  Alcotest.(check int) "recorded everything" (List.length !sink) (List.length recorded);
+  let sim2 = Sim.create () in
+  let replayed = ref [] in
+  let emit_for ~leaf:_ =
+    Some (fun ~size_bits -> replayed := (Sim.now sim2, size_bits) :: !replayed)
+  in
+  ignore (Trace.replay ~sim:sim2 ~emit_for recorded);
+  Sim.run sim2;
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "replay = original schedule"
+    (List.map (fun e -> (e.Trace.time, e.Trace.size_bits)) recorded)
+    (List.rev !replayed)
+
+let () =
+  Alcotest.run "shaper_trace"
+    [
+      ( "shaper",
+        [
+          Alcotest.test_case "conforming passthrough" `Quick
+            test_shaper_passthrough_when_conforming;
+          Alcotest.test_case "delays burst" `Quick test_shaper_delays_burst;
+          Alcotest.test_case "output conforms" `Quick test_shaper_output_conforms;
+          Alcotest.test_case "oversized rejected" `Quick test_shaper_oversized_rejected;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "replay" `Quick test_trace_replay;
+          Alcotest.test_case "record then replay" `Quick test_record_then_replay_identical;
+        ] );
+    ]

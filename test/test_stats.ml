@@ -1,0 +1,124 @@
+(* Measurement instruments. *)
+
+let feq = Alcotest.float 1e-9
+
+module D = Stats.Delay_stats
+
+let test_delay_summary () =
+  let d = D.create () in
+  List.iteri (fun i x -> D.record d ~time:(float_of_int i) ~delay:x) [ 1.0; 3.0; 2.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (D.count d);
+  Alcotest.check feq "mean" 2.5 (D.mean d);
+  Alcotest.check feq "max" 4.0 (D.max_delay d);
+  Alcotest.check feq "min" 1.0 (D.min_delay d);
+  Alcotest.check feq "p50" 2.0 (D.percentile d 50.0);
+  Alcotest.check feq "p100" 4.0 (D.percentile d 100.0);
+  Alcotest.check (Alcotest.float 1e-6) "stddev" (sqrt 1.25) (D.stddev d)
+
+let test_delay_empty () =
+  let d = D.create () in
+  Alcotest.check feq "empty mean" 0.0 (D.mean d);
+  Alcotest.check feq "empty max" 0.0 (D.max_delay d);
+  Alcotest.(check bool) "percentile on empty raises" true
+    (try
+       ignore (D.percentile d 50.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_delay_windows () =
+  let d = D.create () in
+  D.record d ~time:0.1 ~delay:1.0;
+  D.record d ~time:0.4 ~delay:3.0;
+  D.record d ~time:1.2 ~delay:2.0;
+  let series = D.series_max_over_windows d ~window:1.0 in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "max per window"
+    [ (0.0, 3.0); (1.0, 2.0) ]
+    series
+
+module B = Stats.Bandwidth_meter
+
+let test_bandwidth_constant_rate () =
+  let m = B.create ~window:0.1 ~alpha:1.0 () in
+  (* 10 bits per 0.1s window = 100 bps, constant; offset the sample times
+     off the bin edges so float rounding cannot move events across bins *)
+  for k = 0 to 99 do
+    B.add m ~time:((float_of_int k +. 0.5) *. 0.01) ~bits:1.0
+  done;
+  let series = B.series m ~until:1.0 in
+  Alcotest.(check int) "10 windows" 10 (List.length series);
+  List.iter (fun (_, r) -> Alcotest.check feq "flat 100 bps" 100.0 r) series
+
+let test_bandwidth_ewma_decay () =
+  let m = B.create ~window:0.1 ~alpha:0.5 () in
+  B.add m ~time:0.05 ~bits:10.0; (* only the first window has traffic *)
+  B.add m ~time:0.95 ~bits:0.001;
+  let series = B.series m ~until:0.4 in
+  match series with
+  | (_, r1) :: (_, r2) :: (_, r3) :: _ ->
+    Alcotest.check feq "first window half of inst" 50.0 r1;
+    Alcotest.check feq "decays" 25.0 r2;
+    Alcotest.check feq "decays again" 12.5 r3
+  | _ -> Alcotest.fail "expected 3+ windows"
+
+let test_bandwidth_average () =
+  let m = B.create () in
+  B.add m ~time:1.0 ~bits:50.0;
+  B.add m ~time:2.0 ~bits:50.0;
+  Alcotest.check feq "average over [0,4)" 25.0 (B.average_rate m ~from_:0.0 ~until:4.0)
+
+module S = Stats.Service_curve
+
+let test_service_curve_lag () =
+  let c = S.create () in
+  S.on_arrival c ~time:0.0 ~units:3.0;
+  Alcotest.check feq "lag after arrivals" 3.0 (S.lag c);
+  S.on_service c ~time:1.0 ~units:1.0;
+  S.on_service c ~time:2.0 ~units:1.0;
+  Alcotest.check feq "lag shrinks" 1.0 (S.lag c);
+  Alcotest.check feq "max lag remembered" 3.0 (S.max_lag c);
+  Alcotest.(check int) "lag series length" 3 (List.length (S.lag_series c));
+  Alcotest.check feq "totals" 3.0 (S.arrived_total c);
+  Alcotest.check feq "served" 2.0 (S.served_total c)
+
+module H = Stats.Histogram
+
+let test_histogram () =
+  let h = H.create ~bin_width:1.0 in
+  List.iter (H.add h) [ 0.1; 0.9; 1.5; 2.2; 2.8; 2.9 ];
+  Alcotest.(check (list (pair (float 1e-9) Alcotest.int)))
+    "bins" [ (0.0, 2); (1.0, 1); (2.0, 3) ] (H.bins h);
+  Alcotest.(check (option (pair (float 1e-9) Alcotest.int))) "mode" (Some (2.0, 3))
+    (H.mode_bin h);
+  match H.cumulative h with
+  | (_, f1) :: _ -> Alcotest.check feq "cdf first" (2.0 /. 6.0) f1
+  | [] -> Alcotest.fail "empty cdf"
+
+let test_csv_roundtrip () =
+  let path = Filename.temp_file "hpfq" ".csv" in
+  Stats.Csv.write ~path ~header:[ "a"; "b" ] ~rows:[ [ 1.0; 2.0 ]; [ 3.0; 4.5 ] ];
+  let ic = open_in path in
+  let lines = List.init 3 (fun _ -> input_line ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check (list string)) "csv content" [ "a,b"; "1,2"; "3,4.5" ] lines
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "delay",
+        [
+          Alcotest.test_case "summary" `Quick test_delay_summary;
+          Alcotest.test_case "empty" `Quick test_delay_empty;
+          Alcotest.test_case "windows" `Quick test_delay_windows;
+        ] );
+      ( "bandwidth",
+        [
+          Alcotest.test_case "constant rate" `Quick test_bandwidth_constant_rate;
+          Alcotest.test_case "ewma decay" `Quick test_bandwidth_ewma_decay;
+          Alcotest.test_case "average" `Quick test_bandwidth_average;
+        ] );
+      ("service_curve", [ Alcotest.test_case "lag" `Quick test_service_curve_lag ]);
+      ("histogram", [ Alcotest.test_case "bins/cdf" `Quick test_histogram ]);
+      ("csv", [ Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip ]);
+    ]

@@ -1,0 +1,175 @@
+(* TCP Reno model: growth, loss recovery, adaptation. The "network" in
+   these tests is a simple rate-limited queue implemented on the simulator,
+   so each mechanism can be checked in isolation. *)
+
+module Sim = Engine.Simulator
+module Tcp = Tcp.Tcp_reno
+
+(* A bottleneck that serializes segments at [rate] with a [capacity]-bits
+   drop-tail queue, delivering to the connection's receiver. *)
+let bottleneck sim ~rate ~capacity =
+  let q = Queue.create () in
+  let bits = ref 0.0 in
+  let busy = ref false in
+  let tcp = ref None in
+  let drops = ref 0 in
+  let rec pump () =
+    if (not !busy) && not (Queue.is_empty q) then begin
+      busy := true;
+      let mark, size = Queue.pop q in
+      bits := !bits -. size;
+      ignore
+        (Sim.schedule_after sim ~delay:(size /. rate) (fun () ->
+             busy := false;
+             Tcp.on_segment_delivered (Option.get !tcp) ~mark;
+             pump ()))
+    end
+  in
+  let send ~mark ~size_bits =
+    if !bits +. size_bits > capacity then begin
+      incr drops;
+      `Dropped
+    end
+    else begin
+      Queue.push (mark, size_bits) q;
+      bits := !bits +. size_bits;
+      pump ();
+      `Queued
+    end
+  in
+  (send, tcp, drops)
+
+let run ~rate ~capacity ~horizon =
+  let sim = Sim.create () in
+  let send, tcp_ref, drops = bottleneck sim ~rate ~capacity in
+  let tcp = Tcp.create ~sim ~send ~segment_bits:1000.0 ~ack_delay:0.001 () in
+  tcp_ref := Some tcp;
+  Sim.run ~until:horizon sim;
+  (tcp, !drops)
+
+let test_slow_start_growth () =
+  (* ample capacity: no losses, cwnd grows exponentially then linearly *)
+  let tcp, drops = run ~rate:1.0e6 ~capacity:1.0e9 ~horizon:0.5 in
+  Alcotest.(check int) "no drops" 0 drops;
+  Alcotest.(check bool) "delivered plenty" true (Tcp.delivered_segments tcp > 100);
+  Alcotest.(check int) "no timeouts" 0 (Tcp.timeouts tcp)
+
+let test_throughput_matches_bottleneck () =
+  let rate = 2.0e6 in
+  let tcp, _ = run ~rate ~capacity:16000.0 ~horizon:5.0 in
+  let goodput = float_of_int (Tcp.delivered_segments tcp) *. 1000.0 /. 5.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "goodput %.0f ~ bottleneck %.0f" goodput rate)
+    true
+    (goodput > 0.85 *. rate && goodput <= 1.01 *. rate)
+
+let test_loss_recovery_without_timeout () =
+  (* finite queue forces periodic drops; NewReno + early retransmit should
+     recover via dupacks, not RTO *)
+  let tcp, drops = run ~rate:1.0e6 ~capacity:8000.0 ~horizon:5.0 in
+  Alcotest.(check bool) "drops occurred" true (drops > 0);
+  Alcotest.(check bool) "retransmitted" true (Tcp.retransmits tcp > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "few timeouts (%d)" (Tcp.timeouts tcp))
+    true
+    (Tcp.timeouts tcp <= 2);
+  (* every drop eventually repaired: receiver got a contiguous prefix *)
+  Alcotest.(check bool) "progress" true (Tcp.delivered_segments tcp > 1000)
+
+let test_cwnd_halves_on_loss () =
+  let sim = Sim.create () in
+  let send_ok = ref true in
+  let tcp = ref None in
+  let send ~mark ~size_bits:_ =
+    if !send_ok then begin
+      ignore
+        (Sim.schedule_after sim ~delay:0.01 (fun () ->
+             Tcp.on_segment_delivered (Option.get !tcp) ~mark));
+      `Queued
+    end
+    else `Dropped
+  in
+  let t = Tcp.create ~sim ~send ~segment_bits:1000.0 ~ack_delay:0.001 () in
+  tcp := Some t;
+  (* let it grow, then force one loss *)
+  Sim.run ~until:0.3 sim;
+  let cwnd_before = Tcp.cwnd t in
+  send_ok := false;
+  ignore (Sim.schedule sim ~at:0.31 (fun () -> send_ok := true));
+  Sim.run ~until:1.0 sim;
+  Alcotest.(check bool)
+    (Printf.sprintf "cwnd dropped (%.1f -> %.1f)" cwnd_before (Tcp.ssthresh t))
+    true
+    (Tcp.ssthresh t < cwnd_before)
+
+let test_rto_fires_when_everything_lost () =
+  let sim = Sim.create () in
+  let tcp = ref None in
+  (* black hole: everything dropped *)
+  let send ~mark:_ ~size_bits:_ = `Dropped in
+  let t = Tcp.create ~sim ~send ~segment_bits:1000.0 () in
+  tcp := Some t;
+  Sim.run ~until:3.0 sim;
+  Alcotest.(check bool) "timeouts fired" true (Tcp.timeouts t >= 2);
+  Alcotest.(check (float 0.01)) "cwnd back to 1" 1.0 (Tcp.cwnd t)
+
+let test_two_flows_share_bottleneck () =
+  (* two connections through one bottleneck (FIFO): AIMD drives them toward
+     an even split *)
+  let sim = Sim.create () in
+  let q = Queue.create () in
+  let bits = ref 0.0 in
+  let busy = ref false in
+  let conns = Hashtbl.create 2 in
+  let rate = 2.0e6 in
+  let rec pump () =
+    if (not !busy) && not (Queue.is_empty q) then begin
+      busy := true;
+      let owner, mark, size = Queue.pop q in
+      bits := !bits -. size;
+      ignore
+        (Sim.schedule_after sim ~delay:(size /. rate) (fun () ->
+             busy := false;
+             Tcp.on_segment_delivered (Hashtbl.find conns owner) ~mark;
+             pump ()))
+    end
+  in
+  let send owner ~mark ~size_bits =
+    if !bits +. size_bits > 12000.0 then `Dropped
+    else begin
+      Queue.push (owner, mark, size_bits) q;
+      bits := !bits +. size_bits;
+      pump ();
+      `Queued
+    end
+  in
+  Hashtbl.replace conns 0 (Tcp.create ~sim ~send:(send 0) ~segment_bits:1000.0 ~ack_delay:0.001 ());
+  Hashtbl.replace conns 1
+    (Tcp.create ~sim ~send:(send 1) ~segment_bits:1000.0 ~ack_delay:0.0013 ~start:0.05 ());
+  Sim.run ~until:10.0 sim;
+  let d0 = Tcp.delivered_segments (Hashtbl.find conns 0) in
+  let d1 = Tcp.delivered_segments (Hashtbl.find conns 1) in
+  let total = float_of_int (d0 + d1) *. 1000.0 /. 10.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "bottleneck saturated (%.0f bps)" total)
+    true (total > 0.8 *. rate);
+  (* Reno is RTT-biased through a FIFO bottleneck; only gross starvation
+     would indicate a bug *)
+  Alcotest.(check bool)
+    (Printf.sprintf "no starvation (%d vs %d)" d0 d1)
+    true
+    (float_of_int (min d0 d1) /. float_of_int (max d0 d1) > 0.1)
+
+let () =
+  Alcotest.run "tcp"
+    [
+      ( "mechanisms",
+        [
+          Alcotest.test_case "slow start growth" `Quick test_slow_start_growth;
+          Alcotest.test_case "throughput = bottleneck" `Quick test_throughput_matches_bottleneck;
+          Alcotest.test_case "dupack recovery" `Quick test_loss_recovery_without_timeout;
+          Alcotest.test_case "cwnd halves on loss" `Quick test_cwnd_halves_on_loss;
+          Alcotest.test_case "RTO on black hole" `Quick test_rto_fires_when_everything_lost;
+          Alcotest.test_case "two flows share" `Quick test_two_flows_share_bottleneck;
+        ] );
+    ]

@@ -1,0 +1,106 @@
+(* Theory module: closed-form bounds from Theorems 1-4 and Corollaries 1-2. *)
+
+module T = Hpfq.Theory
+module CT = Hpfq.Class_tree
+
+let feq = Alcotest.float 1e-9
+
+let test_bwfi_formula () =
+  (* equal packet sizes: alpha = L_max *)
+  Alcotest.check feq "equal sizes" 100.0
+    (T.bwfi_wf2q ~l_i_max:100.0 ~l_max:100.0 ~r_i:0.3 ~r:1.0);
+  (* smaller own packets: alpha = L_i + (L - L_i) r_i/r *)
+  Alcotest.check feq "mixed sizes" (50.0 +. (50.0 *. 0.2))
+    (T.bwfi_wf2q ~l_i_max:50.0 ~l_max:100.0 ~r_i:0.2 ~r:1.0)
+
+let test_twfi_conversion () =
+  Alcotest.check feq "alpha / r_i" 4.0 (T.twfi_of_bwfi ~bwfi:2.0 ~r_i:0.5)
+
+let test_standalone_delay_bound () =
+  Alcotest.check feq "sigma/r + L/r" (10.0 +. 0.1)
+    (T.delay_bound_standalone_wf2q ~sigma:5.0 ~r_i:0.5 ~l_max:0.1 ~r:1.0)
+
+let tree =
+  CT.node "root" ~rate:1.0
+    [
+      CT.node "mid" ~rate:0.5
+        [ CT.leaf "leaf" ~rate:0.25; CT.leaf "other" ~rate:0.25 ];
+      CT.leaf "rest" ~rate:0.5;
+    ]
+
+let test_path_rates () =
+  match T.path_rates ~tree ~leaf:"leaf" with
+  | Ok rates ->
+    Alcotest.(check (list (float 1e-9))) "leaf to root" [ 0.25; 0.5; 1.0 ] rates
+  | Error e -> Alcotest.fail e
+
+let test_hier_bwfi_theorem1 () =
+  (* alpha = L at every level: Theorem 1 gives
+     sum_h (r_i / r_{p^h}) alpha_{p^h} = L*(1 + .25/.5) = with L=1:
+     h=0 (leaf, alpha_leaf within mid): r_i/r_leaf * alpha = 1*1
+     h=1 (mid within root): (0.25/0.5)*1 = 0.5 -> total 1.5 *)
+  match T.hier_bwfi ~tree ~leaf:"leaf" ~alpha_of:(fun ~node:_ ~rate:_ ~parent_rate:_ -> 1.0) with
+  | Ok alpha -> Alcotest.check feq "weighted sum over path" 1.5 alpha
+  | Error e -> Alcotest.fail e
+
+let test_hier_delay_bound_cor2 () =
+  (* sigma/r_i + L/r_leaf + L/r_mid (root excluded... Cor. 2 sums h=0..H-1
+     over the node rates on the path below the root): with L=1:
+     4/0.25 + 1/0.25 + 1/0.5 = 16 + 4 + 2 = 22 *)
+  match T.hier_delay_bound ~tree ~leaf:"leaf" ~sigma:4.0 ~l_max:1.0 with
+  | Ok bound -> Alcotest.check feq "Cor.2" 22.0 bound
+  | Error e -> Alcotest.fail e
+
+let test_cor1_dominates_cor2 () =
+  (* Corollary 1 (WFI-based) is the looser bound *)
+  let c1 = Result.get_ok (T.hier_delay_bound_via_wfi ~tree ~leaf:"leaf" ~sigma:4.0 ~l_max:1.0) in
+  let c2 = Result.get_ok (T.hier_delay_bound ~tree ~leaf:"leaf" ~sigma:4.0 ~l_max:1.0) in
+  Alcotest.(check bool) (Printf.sprintf "Cor1 %.3f >= Cor2 %.3f" c1 c2) true (c1 >= c2 -. 1e-9)
+
+let test_errors () =
+  (match T.hier_delay_bound ~tree ~leaf:"nope" ~sigma:1.0 ~l_max:1.0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing leaf accepted");
+  match T.hier_delay_bound ~tree ~leaf:"mid" ~sigma:1.0 ~l_max:1.0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "interior node accepted as leaf"
+
+let test_wfq_worst_case_grows () =
+  let w n = T.bwfi_wfq_worst_case ~n ~l_max:1.0 ~r_i:0.5 ~r:1.0 in
+  Alcotest.(check bool) "monotone in N" true (w 10 < w 20 && w 20 < w 40);
+  Alcotest.(check bool) "linear order" true (w 40 -. w 20 > 0.9 *. (w 20 -. w 10) *. 2.0 -. 1e-9)
+
+(* Cross-check Theorem 1 against the paper's Corollary 2 special case:
+   with alpha_of = Theorem 4's formula and equal packet sizes,
+   alpha_{p^h} = L, so hier_bwfi / r_i = sum L / r_{p^h}. *)
+let test_theorem1_cor2_consistency () =
+  let l = 1.0 in
+  let alpha_of ~node:_ ~rate ~parent_rate =
+    T.bwfi_wf2q ~l_i_max:l ~l_max:l ~r_i:rate ~r:parent_rate
+  in
+  let alpha = Result.get_ok (T.hier_bwfi ~tree ~leaf:"leaf" ~alpha_of) in
+  let via_cor2 =
+    Result.get_ok (T.hier_delay_bound ~tree ~leaf:"leaf" ~sigma:0.0 ~l_max:l)
+  in
+  Alcotest.check feq "alpha/r_i = sum L/r_ph" via_cor2 (alpha /. 0.25)
+
+let () =
+  Alcotest.run "theory"
+    [
+      ( "formulas",
+        [
+          Alcotest.test_case "B-WFI (Thm 4)" `Quick test_bwfi_formula;
+          Alcotest.test_case "T-WFI conversion" `Quick test_twfi_conversion;
+          Alcotest.test_case "standalone bound" `Quick test_standalone_delay_bound;
+          Alcotest.test_case "WFQ worst case grows" `Quick test_wfq_worst_case_grows;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "path rates" `Quick test_path_rates;
+          Alcotest.test_case "Theorem 1" `Quick test_hier_bwfi_theorem1;
+          Alcotest.test_case "Corollary 2" `Quick test_hier_delay_bound_cor2;
+          Alcotest.test_case "Cor1 dominates Cor2" `Quick test_cor1_dominates_cor2;
+          Alcotest.test_case "Thm1/Cor2 consistency" `Quick test_theorem1_cor2_consistency;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+    ]

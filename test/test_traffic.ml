@@ -1,0 +1,134 @@
+(* Traffic sources: arrival patterns, rates, leaky-bucket conformance. *)
+
+module Sim = Engine.Simulator
+module Src = Traffic.Source
+
+let collect_arrivals f =
+  let sim = Sim.create () in
+  let arrivals = ref [] in
+  let emit ~size_bits = arrivals := (Sim.now sim, size_bits) :: !arrivals in
+  let handle = f sim emit in
+  Sim.run ~until:10.0 sim;
+  (List.rev !arrivals, handle)
+
+let test_cbr_spacing () =
+  let arrivals, _ =
+    collect_arrivals (fun sim emit ->
+        Src.cbr ~sim ~emit ~rate:2.0 ~packet_bits:1.0 ~start:0.5 ~stop_at:3.0 ())
+  in
+  (* one packet every 0.5s from 0.5 to 3.0 inclusive: 0.5,1.0,...,3.0 *)
+  Alcotest.(check int) "count" 6 (List.length arrivals);
+  List.iteri
+    (fun k (t, _) ->
+      Alcotest.(check (float 1e-9)) "spacing" (0.5 +. (0.5 *. float_of_int k)) t)
+    arrivals
+
+let test_on_off_duty_cycle () =
+  let arrivals, _ =
+    collect_arrivals (fun sim emit ->
+        Src.on_off ~sim ~emit ~peak_rate:10.0 ~packet_bits:1.0 ~on_duration:0.5
+          ~off_duration:0.5 ~start:0.0 ~stop_at:2.9 ())
+  in
+  (* periods [0,0.5), [1,1.5), [2,2.5): 5 packets each at 0.1 spacing *)
+  Alcotest.(check int) "three bursts of five" 15 (List.length arrivals);
+  List.iter
+    (fun (t, _) ->
+      let phase = Float.rem t 1.0 in
+      Alcotest.(check bool) "inside on-phase" true (phase < 0.5 -. 1e-9 || phase < 0.5))
+    arrivals;
+  Alcotest.(check bool) "nothing in off-phase" true
+    (List.for_all (fun (t, _) -> Float.rem t 1.0 < 0.5) arrivals)
+
+let test_poisson_mean_rate () =
+  let arrivals, _ =
+    collect_arrivals (fun sim emit ->
+        Src.poisson ~sim ~emit ~rng:(Engine.Rng.create 3L) ~mean_rate:100.0
+          ~packet_bits:1.0 ~stop_at:10.0 ())
+  in
+  let n = List.length arrivals in
+  (* ~1000 arrivals expected; 3 sigma ~ 95 *)
+  Alcotest.(check bool) (Printf.sprintf "poisson count %d near 1000" n) true
+    (n > 880 && n < 1120)
+
+let test_packet_train_shape () =
+  let arrivals, _ =
+    collect_arrivals (fun sim emit ->
+        Src.packet_train ~sim ~emit ~burst_packets:3 ~packet_bits:1.0
+          ~intra_spacing:0.01 ~inter_burst:1.0 ~start:0.0 ~stop_at:2.5 ())
+  in
+  Alcotest.(check int) "three bursts" 9 (List.length arrivals);
+  (* packets 0-2 at 0, 0.01, 0.02; 3-5 at 1.0 ... *)
+  let times = List.map fst arrivals in
+  Alcotest.(check (float 1e-9)) "burst 2 start" 1.0 (List.nth times 3);
+  Alcotest.(check (float 1e-9)) "burst 2 second packet" 1.01 (List.nth times 4)
+
+let test_stop_handle () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let emit ~size_bits:_ = incr count in
+  let handle = Src.cbr ~sim ~emit ~rate:1.0 ~packet_bits:1.0 () in
+  ignore (Sim.schedule sim ~at:3.5 (fun () -> Src.stop handle));
+  Sim.run ~until:10.0 sim;
+  Alcotest.(check int) "stopped after 4 packets (t=0..3)" 4 !count
+
+let test_leaky_bucket_conformance () =
+  (* arrivals must satisfy A(t1,t2) <= sigma + rho (t2-t1) for all windows *)
+  let sigma = 5.0 and rho = 2.0 in
+  let arrivals, _ =
+    collect_arrivals (fun sim emit ->
+        Src.leaky_bucket_greedy ~sim ~emit ~sigma_bits:sigma ~rho ~packet_bits:1.0
+          ~stop_at:9.0 ())
+  in
+  let times = Array.of_list (List.map fst arrivals) in
+  let n = Array.length times in
+  Alcotest.(check bool) "emits a burst then paces" true (n > 10);
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let bits = float_of_int (j - i + 1) in
+      let span = times.(j) -. times.(i) in
+      if bits > sigma +. (rho *. span) +. 1e-9 then ok := false
+    done
+  done;
+  Alcotest.(check bool) "conforms to (sigma, rho)" true !ok;
+  (* and it is greedy: the initial burst is exactly floor(sigma) packets *)
+  let at_zero = List.length (List.filter (fun (t, _) -> t = 0.0) arrivals) in
+  Alcotest.(check int) "initial burst" 5 at_zero
+
+let test_leaky_bucket_small_sigma () =
+  let arrivals, _ =
+    collect_arrivals (fun sim emit ->
+        Src.leaky_bucket_greedy ~sim ~emit ~sigma_bits:0.25 ~rho:1.0 ~packet_bits:1.0
+          ~stop_at:5.0 ())
+  in
+  match arrivals with
+  | (t, _) :: _ ->
+    Alcotest.(check (float 1e-9)) "first packet waits for tokens" 0.75 t
+  | [] -> Alcotest.fail "no arrivals"
+
+let test_greedy_tops_up () =
+  let arrivals, _ =
+    collect_arrivals (fun sim emit ->
+        Src.greedy ~sim ~emit ~packet_bits:1.0 ~backlog_packets:10 ~top_up_every:1.0
+          ~stop_at:2.5 ())
+  in
+  Alcotest.(check int) "three dumps" 30 (List.length arrivals)
+
+let () =
+  Alcotest.run "traffic"
+    [
+      ( "sources",
+        [
+          Alcotest.test_case "cbr spacing" `Quick test_cbr_spacing;
+          Alcotest.test_case "on/off duty cycle" `Quick test_on_off_duty_cycle;
+          Alcotest.test_case "poisson mean rate" `Quick test_poisson_mean_rate;
+          Alcotest.test_case "packet train shape" `Quick test_packet_train_shape;
+          Alcotest.test_case "stop handle" `Quick test_stop_handle;
+          Alcotest.test_case "greedy top-up" `Quick test_greedy_tops_up;
+        ] );
+      ( "leaky-bucket",
+        [
+          Alcotest.test_case "conformance" `Quick test_leaky_bucket_conformance;
+          Alcotest.test_case "small sigma" `Quick test_leaky_bucket_small_sigma;
+        ] );
+    ]
