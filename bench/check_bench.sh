@@ -1,0 +1,25 @@
+#!/bin/sh
+# Smoke-check the perf harness: run it at quick (tiny-iteration) settings
+# and verify the emitted JSON carries every key the perf-regression
+# tooling diffs between PRs. The same check runs in-process from
+# test/test_bench_smoke.ml as part of `dune runtest`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_hotpath_quick.json
+rm -f "$out"
+
+dune build bench/main.exe
+dune exec bench/main.exe -- perf-quick
+
+[ -f "$out" ] || { echo "check_bench: $out was not produced" >&2; exit 1; }
+
+for key in schema one_level hier pkts_per_sec ns_per_select minor_words_per_pkt; do
+  grep -q "\"$key\"" "$out" || {
+    echo "check_bench: $out is missing key \"$key\"" >&2
+    exit 1
+  }
+done
+
+echo "check_bench: OK ($out)"

@@ -411,6 +411,13 @@ let e2e () =
     [ 1; 2; 3; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* PERF: hot-path throughput baseline (see lib/bench_kit/perf.ml)      *)
+(* ------------------------------------------------------------------ *)
+
+let perf () = Bench_kit.Perf.run ()
+let perf_quick () = Bench_kit.Perf.run ~quick:true ~out:"BENCH_hotpath_quick.json" ()
+
+(* ------------------------------------------------------------------ *)
 
 let all_benches =
   [
@@ -426,7 +433,14 @@ let all_benches =
     ("heaps", heaps);
     ("refclock", refclock);
     ("e2e", e2e);
+    ("perf", perf);
   ]
+
+(* runnable by id but not part of the no-argument "run everything" set *)
+let perf_headline () =
+  Printf.printf "headline_pkts_per_sec %.0f\n%!" (Bench_kit.Perf.headline ())
+
+let extra_benches = [ ("perf-quick", perf_quick); ("perf-headline", perf_headline) ]
 
 let () =
   let requested =
@@ -436,10 +450,10 @@ let () =
   in
   List.iter
     (fun id ->
-      match List.assoc_opt id all_benches with
+      match List.assoc_opt id (all_benches @ extra_benches) with
       | Some f -> f ()
       | None ->
         Printf.eprintf "unknown bench %S; available: %s\n" id
-          (String.concat " " (List.map fst all_benches));
+          (String.concat " " (List.map fst (all_benches @ extra_benches)));
         exit 1)
     requested

@@ -1,0 +1,318 @@
+(* Hot-path throughput benchmark (bench id "perf").
+
+   Two workloads, both dominated by the per-packet scheduling cycle whose
+   O(log N) cost is the paper's headline complexity claim (eqs. 27-29):
+
+   - one-level WF2Q+ with N perpetually backlogged sessions,
+     N in 2^4 .. 2^14: packets/second through select+arrive+requeue,
+     ns/cycle via bechamel, and minor words allocated per packet;
+   - end-to-end H-WF2Q+ through the full Hier + Simulator stack for
+     uniform trees of depth {2,4,6} x fan-out {4,16,64} (combinations
+     whose leaf count exceeds a cap are reported as skipped).
+
+   Results go to BENCH_hotpath.json at the invocation directory (the repo
+   root under `dune exec bench/main.exe -- perf`) so successive PRs can
+   diff machine-readable before/after numbers. *)
+
+type one_level_row = {
+  n : int;
+  pkts_per_sec : float;
+  ns_per_select : float; (* ns per full scheduling cycle (select-dominated) *)
+  minor_words_per_pkt : float;
+}
+
+type hier_row = {
+  depth : int;
+  fanout : int;
+  leaves : int;
+  h_pkts_per_sec : float;
+  h_minor_words_per_pkt : float;
+}
+
+let max_hier_leaves = 4096
+
+(* -- one-level workload -------------------------------------------------- *)
+
+(* N perpetually backlogged unit-packet sessions; each step is one full
+   scheduling cycle: select the next session, then hand it its next head
+   packet (arrive + requeue). Mirrors the `complexity` bench. *)
+let loaded_policy factory n =
+  let policy = factory.Sched.Sched_intf.make ~rate:1.0 in
+  let rate = 1.0 /. float_of_int n in
+  for _ = 1 to n do
+    ignore (policy.Sched.Sched_intf.add_session ~rate)
+  done;
+  for i = 0 to n - 1 do
+    policy.Sched.Sched_intf.arrive ~now:0.0 ~session:i ~size_bits:1.0;
+    policy.Sched.Sched_intf.backlog ~now:0.0 ~session:i ~head_bits:1.0
+  done;
+  let now = ref 0.0 in
+  fun () ->
+    match policy.Sched.Sched_intf.select ~now:!now with
+    | None -> ()
+    | Some s ->
+      now := !now +. 1.0;
+      policy.Sched.Sched_intf.arrive ~now:!now ~session:s ~size_bits:1.0;
+      policy.Sched.Sched_intf.requeue ~now:!now ~session:s ~head_bits:1.0
+
+let time_loop cycle ~iters =
+  for _ = 1 to min 1000 iters do
+    cycle () (* warm caches, grow heaps to steady state *)
+  done;
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    cycle ()
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor = Gc.minor_words () -. m0 in
+  (wall, minor)
+
+let bechamel_ns_per_cycle ~quick tests =
+  let open Bechamel in
+  let quota = Time.second (if quick then 0.02 else 0.25) in
+  let cfg = Benchmark.cfg ~limit:(if quick then 20 else 300) ~quota ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let ns = match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan in
+      (name, ns) :: acc)
+    results []
+
+let one_level ~quick ~factory =
+  let sizes =
+    if quick then [ 16; 64 ]
+    else List.init 11 (fun i -> 1 lsl (i + 4)) (* 2^4 .. 2^14 *)
+  in
+  let iters = if quick then 2_000 else 200_000 in
+  let tests =
+    Bechamel.Test.make_grouped ~name:"cycle"
+      (List.map
+         (fun n ->
+           Bechamel.Test.make
+             ~name:(string_of_int n)
+             (Bechamel.Staged.stage (loaded_policy factory n)))
+         sizes)
+  in
+  let ns_by_size = bechamel_ns_per_cycle ~quick tests in
+  List.map
+    (fun n ->
+      let cycle = loaded_policy factory n in
+      let wall, minor = time_loop cycle ~iters in
+      let ns =
+        match List.assoc_opt (Printf.sprintf "cycle/%d" n) ns_by_size with
+        | Some x -> x
+        | None -> wall /. float_of_int iters *. 1e9
+      in
+      {
+        n;
+        pkts_per_sec = float_of_int iters /. wall;
+        ns_per_select = ns;
+        minor_words_per_pkt = minor /. float_of_int iters;
+      })
+    sizes
+
+(* -- hierarchical workload ----------------------------------------------- *)
+
+let rec uniform_spec ~depth ~fanout ~name ~rate =
+  if depth = 0 then Hpfq.Class_tree.leaf name ~rate
+  else
+    Hpfq.Class_tree.node name ~rate
+      (List.init fanout (fun i ->
+           uniform_spec ~depth:(depth - 1) ~fanout
+             ~name:(Printf.sprintf "%s.%d" name i)
+             ~rate:(rate /. float_of_int fanout)))
+
+(* Every leaf kept at a steady backlog of two unit packets: prime with two,
+   re-inject one on each departure. Root rate 1 bit/s and 1-bit packets
+   make the simulated horizon equal the departure count. *)
+let hier_throughput ~depth ~fanout ~factory ~target_pkts =
+  let leaves = ref [] in
+  let sim = Engine.Simulator.create () in
+  let departs = ref 0 in
+  let h = ref None in
+  let reinject_name = Hashtbl.create 256 in
+  let hier =
+    Hpfq.Hier.create ~sim
+      ~spec:(uniform_spec ~depth ~fanout ~name:"root" ~rate:1.0)
+      ~make_policy:(Hpfq.Hier.uniform factory)
+      ~on_depart:(fun _pkt ~leaf _t ->
+        incr departs;
+        match Hashtbl.find_opt reinject_name leaf with
+        | Some id -> ignore (Hpfq.Hier.inject (Option.get !h) ~leaf:id ~size_bits:1.0)
+        | None -> ())
+      ()
+  in
+  h := Some hier;
+  List.iter
+    (fun (name, id) ->
+      Hashtbl.replace reinject_name name id;
+      leaves := id :: !leaves)
+    (Hpfq.Hier.leaf_ids hier);
+  List.iter
+    (fun id ->
+      ignore (Hpfq.Hier.inject hier ~leaf:id ~size_bits:1.0);
+      ignore (Hpfq.Hier.inject hier ~leaf:id ~size_bits:1.0))
+    !leaves;
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  Engine.Simulator.run ~until:(float_of_int target_pkts) sim;
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor = Gc.minor_words () -. m0 in
+  let pkts = float_of_int !departs in
+  ( float_of_int (List.length !leaves),
+    pkts /. wall,
+    minor /. Float.max 1.0 pkts )
+
+let hier_rows ~quick ~factory =
+  let combos =
+    if quick then [ (2, 4) ]
+    else
+      List.concat_map (fun d -> List.map (fun f -> (d, f)) [ 4; 16; 64 ]) [ 2; 4; 6 ]
+  in
+  let target_pkts = if quick then 500 else 100_000 in
+  List.partition_map
+    (fun (depth, fanout) ->
+      let leaves = int_of_float (float_of_int fanout ** float_of_int depth) in
+      if leaves > max_hier_leaves then Right (depth, fanout, leaves)
+      else begin
+        let n_leaves, pps, words = hier_throughput ~depth ~fanout ~factory ~target_pkts in
+        Left
+          {
+            depth;
+            fanout;
+            leaves = int_of_float n_leaves;
+            h_pkts_per_sec = pps;
+            h_minor_words_per_pkt = words;
+          }
+      end)
+    combos
+
+(* -- JSON report --------------------------------------------------------- *)
+
+let json_of_run ~quick ~one_level_rows ~hier_done ~hier_skipped =
+  let one_level_json =
+    Json.Arr
+      (List.map
+         (fun r ->
+           Json.Obj
+             [
+               ("n", Json.Num (float_of_int r.n));
+               ("pkts_per_sec", Json.Num r.pkts_per_sec);
+               ("ns_per_select", Json.Num r.ns_per_select);
+               ("minor_words_per_pkt", Json.Num r.minor_words_per_pkt);
+             ])
+         one_level_rows)
+  in
+  let hier_json =
+    Json.Arr
+      (List.map
+         (fun r ->
+           Json.Obj
+             [
+               ("depth", Json.Num (float_of_int r.depth));
+               ("fanout", Json.Num (float_of_int r.fanout));
+               ("leaves", Json.Num (float_of_int r.leaves));
+               ("pkts_per_sec", Json.Num r.h_pkts_per_sec);
+               ("minor_words_per_pkt", Json.Num r.h_minor_words_per_pkt);
+             ])
+         hier_done)
+  in
+  let skipped_json =
+    Json.Arr
+      (List.map
+         (fun (d, f, leaves) ->
+           Json.Obj
+             [
+               ("depth", Json.Num (float_of_int d));
+               ("fanout", Json.Num (float_of_int f));
+               ("leaves", Json.Num (float_of_int leaves));
+             ])
+         hier_skipped)
+  in
+  let headline =
+    match List.find_opt (fun r -> r.n = 4096) one_level_rows with
+    | Some r ->
+      Json.Obj
+        [
+          ("workload", Json.Str "one_level_wf2q_plus_n4096");
+          ("pkts_per_sec", Json.Num r.pkts_per_sec);
+          ("ns_per_select", Json.Num r.ns_per_select);
+          ("minor_words_per_pkt", Json.Num r.minor_words_per_pkt);
+        ]
+    | None -> Json.Null
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "hpfq-bench-hotpath-v1");
+      ("bench", Json.Str "perf");
+      ("quick", Json.Bool quick);
+      ("headline", headline);
+      ("one_level", one_level_json);
+      ("hier", hier_json);
+      ("hier_skipped", skipped_json);
+    ]
+
+let required_keys = [ "schema"; "one_level"; "hier" ]
+let required_row_keys = [ "pkts_per_sec"; "ns_per_select"; "minor_words_per_pkt" ]
+
+let validate json =
+  let missing =
+    List.filter (fun k -> Json.member k json = None) required_keys
+    @
+    match Json.member "one_level" json with
+    | Some rows ->
+      (match Json.to_list rows with
+      | Some (row :: _) ->
+        List.filter (fun k -> Json.member k row = None) required_row_keys
+      | Some [] | None -> [ "one_level rows" ])
+    | None -> []
+  in
+  if missing = [] then Ok () else Error missing
+
+let run ?(quick = false) ?(out = "BENCH_hotpath.json") () =
+  let factory = Hpfq.Disciplines.wf2q_plus in
+  Printf.printf "\n================ PERF: hot-path throughput ================\n%!";
+  let one_level_rows = one_level ~quick ~factory in
+  Printf.printf "%8s %16s %14s %12s\n" "N" "pkts/sec" "ns/select" "words/pkt";
+  List.iter
+    (fun r ->
+      Printf.printf "%8d %16.0f %14.1f %12.2f\n" r.n r.pkts_per_sec r.ns_per_select
+        r.minor_words_per_pkt)
+    one_level_rows;
+  let hier_done, hier_skipped = hier_rows ~quick ~factory in
+  Printf.printf "\n%6s %7s %7s %16s %12s\n" "depth" "fanout" "leaves" "pkts/sec" "words/pkt";
+  List.iter
+    (fun r ->
+      Printf.printf "%6d %7d %7d %16.0f %12.2f\n" r.depth r.fanout r.leaves r.h_pkts_per_sec
+        r.h_minor_words_per_pkt)
+    hier_done;
+  List.iter
+    (fun (d, f, leaves) ->
+      Printf.printf "%6d %7d %7d %16s (skipped: > %d leaves)\n" d f leaves "-"
+        max_hier_leaves)
+    hier_skipped;
+  let json = json_of_run ~quick ~one_level_rows ~hier_done ~hier_skipped in
+  Json.to_file out json;
+  (match validate json with
+  | Ok () -> ()
+  | Error missing ->
+    failwith ("Perf.run: emitted JSON is missing keys: " ^ String.concat ", " missing));
+  Printf.printf "\nwrote %s\n%!" out
+
+(* Single-number probe for comparing two builds of the scheduler under
+   identical machine conditions (run alternately against a baseline
+   checkout carrying this same harness): median over [runs] one-level
+   WF2Q+ throughput measurements at [n] sessions. *)
+let headline ?(n = 4096) ?(iters = 400_000) ?(runs = 5) () =
+  let factory = Hpfq.Disciplines.wf2q_plus in
+  let samples =
+    List.init runs (fun _ ->
+        let cycle = loaded_policy factory n in
+        let wall, _ = time_loop cycle ~iters in
+        float_of_int iters /. wall)
+  in
+  let sorted = List.sort compare samples in
+  List.nth sorted (runs / 2)

@@ -1,0 +1,24 @@
+(** Hot-path throughput benchmark backing `dune exec bench/main.exe -- perf`.
+
+    Measures packets/second, ns per scheduling cycle and minor-heap words
+    per packet for one-level WF²Q+ (N = 2⁴..2¹⁴) and end-to-end H-WF²Q+
+    (uniform trees, depth × fan-out grid), then writes a machine-readable
+    report so successive PRs can diff perf baselines. *)
+
+val run : ?quick:bool -> ?out:string -> unit -> unit
+(** Run the benchmark and write the JSON report to [out]
+    (default ["BENCH_hotpath.json"] in the invocation directory).
+    [quick] shrinks sizes/iterations to smoke-test levels (used by
+    [bench/check_bench.sh] and the test suite).
+    @raise Failure if the emitted report fails {!validate}. *)
+
+val required_keys : string list
+val required_row_keys : string list
+
+val validate : Json.t -> (unit, string list) result
+(** Check a parsed report for the required top-level and per-row keys. *)
+
+val headline : ?n:int -> ?iters:int -> ?runs:int -> unit -> float
+(** Median one-level WF²Q+ packets/second at [n] sessions (default 4096)
+    over [runs] measurements — a stable single number for back-to-back
+    comparison of two builds on the same machine. *)

@@ -20,13 +20,17 @@ type node = {
   mutable busy : bool;
   mutable logical : Net.Packet.t option; (* Q_n: head of this subtree *)
   mutable active_child : int;               (* node id, -1 when none *)
-  mutable tn : float;                       (* reference time T_n, post-dated *)
-  mutable departed_bits : float;
 }
 
 type t = {
   sim : Engine.Simulator.t;
   nodes : node array;
+  (* Per-node reference clocks T_n and work counters W_n live in plain
+     float arrays indexed by node id, not in the (mixed) node records:
+     both are written on every packet along the whole leaf-to-root path,
+     and mutable floats in a mixed record would box on each store. *)
+  tn : float array;                         (* reference time T_n, post-dated *)
+  departed_bits : float array;              (* W_n(0, now) *)
   root : int;
   by_name : (string, int) Hashtbl.t;
   leaf_list : (string * int) list;
@@ -35,6 +39,11 @@ type t = {
   on_drop : Net.Packet.t -> leaf:string -> float -> unit;
   mutable link_busy : bool;
   mutable drops : int;
+  (* The single packet on the wire (the link serves one packet at a time),
+     plus a preallocated completion callback so steady-state transmission
+     scheduling allocates nothing per packet. *)
+  mutable in_flight : Net.Packet.t option;
+  mutable complete_cb : unit -> unit;
 }
 
 let uniform factory ~level:_ ~name:_ ~rate = factory.Sched_intf.make ~rate
@@ -45,90 +54,12 @@ let is_root t n = n.id = t.root
    the root may run on real time (see .mli). *)
 let node_now t n =
   if is_root t n && t.root_clock = `Real_time then Engine.Simulator.now t.sim
-  else n.tn
+  else t.tn.(n.id)
 
 let policy_of n =
   match n.kind with
   | Interior { policy } -> policy
   | Leaf_node _ -> invalid_arg "Hier: leaf has no policy"
-
-let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?(on_depart = fun _ ~leaf:_ _ -> ())
-    ?(on_drop = fun _ ~leaf:_ _ -> ()) () =
-  (match Class_tree.validate spec with
-  | Ok () -> ()
-  | Error errors ->
-    invalid_arg ("Hier.create: invalid tree: " ^ String.concat "; " errors));
-  let nodes = ref [] in
-  let counter = ref 0 in
-  let by_name = Hashtbl.create 16 in
-  let leaf_list = ref [] in
-  let rec build ~level ~parent spec =
-    let id = !counter in
-    incr counter;
-    let name = Class_tree.name spec and rate = Class_tree.rate spec in
-    let kind =
-      match spec with
-      | Class_tree.Leaf { queue_capacity_bits; _ } ->
-        leaf_list := (name, id) :: !leaf_list;
-        Leaf_node
-          { fifo = Net.Fifo.create ?capacity_bits:queue_capacity_bits (); next_seq = 1 }
-      | Class_tree.Node _ -> Interior { policy = make_policy ~level ~name ~rate }
-    in
-    let n =
-      {
-        id;
-        name;
-        rate;
-        level;
-        parent;
-        children = [||];
-        kind;
-        session_in_parent = -1;
-        busy = false;
-        logical = None;
-        active_child = -1;
-        tn = 0.0;
-        departed_bits = 0.0;
-      }
-    in
-    nodes := n :: !nodes;
-    Hashtbl.replace by_name name id;
-    let child_ids =
-      List.map (fun c -> (build ~level:(level + 1) ~parent:id c).id) (Class_tree.children spec)
-    in
-    n.children <- Array.of_list child_ids;
-    n
-  in
-  let root_node = build ~level:0 ~parent:(-1) spec in
-  let arr = Array.make !counter root_node in
-  List.iter (fun n -> arr.(n.id) <- n) !nodes;
-  (* register each child as a session of its parent's policy *)
-  Array.iter
-    (fun n ->
-      match n.kind with
-      | Interior { policy } ->
-        Array.iter
-          (fun cid ->
-            let child = arr.(cid) in
-            child.session_in_parent <- policy.Sched_intf.add_session ~rate:child.rate)
-          n.children
-      | Leaf_node _ -> ())
-    arr;
-  Log.info (fun m ->
-      m "created H-PFQ server: %d nodes, %d leaves, root rate %a" !counter
-        (List.length !leaf_list) Engine.Units.pp_rate root_node.rate);
-  {
-    sim;
-    nodes = arr;
-    root = root_node.id;
-    by_name;
-    leaf_list = List.rev !leaf_list;
-    root_clock;
-    on_depart;
-    on_drop;
-    link_busy = false;
-    drops = 0;
-  }
 
 (* -- The three pseudocode procedures ------------------------------------ *)
 
@@ -146,7 +77,7 @@ let rec restart_node t n =
     n.active_child <- child.id;
     n.logical <- Some pkt;
     (* RESTART-NODE line 13: post-date this node's reference clock *)
-    n.tn <- n.tn +. (pkt.Net.Packet.size_bits /. n.rate);
+    t.tn.(n.id) <- t.tn.(n.id) +. (pkt.Net.Packet.size_bits /. n.rate);
     let was_busy = n.busy in
     n.busy <- true;
     if is_root t n then start_transmission t
@@ -183,10 +114,11 @@ and start_transmission t =
     | None -> ()
     | Some pkt ->
       t.link_busy <- true;
+      (* reuse [root.logical]'s option cell and the preallocated callback:
+         no closure or option allocation per transmitted packet *)
+      t.in_flight <- root.logical;
       let duration = pkt.Net.Packet.size_bits /. root.rate in
-      ignore
-        (Engine.Simulator.schedule_after t.sim ~delay:duration (fun () ->
-             complete_transmission t pkt))
+      ignore (Engine.Simulator.schedule_after t.sim ~delay:duration t.complete_cb)
   end
 
 and complete_transmission t pkt =
@@ -195,7 +127,7 @@ and complete_transmission t pkt =
   (* account W_n along the transmitted packet's leaf-to-root path *)
   let leaf = t.nodes.(pkt.Net.Packet.flow) in
   let rec credit n =
-    n.departed_bits <- n.departed_bits +. pkt.Net.Packet.size_bits;
+    t.departed_bits.(n.id) <- t.departed_bits.(n.id) +. pkt.Net.Packet.size_bits;
     if n.parent >= 0 then credit t.nodes.(n.parent)
   in
   credit leaf;
@@ -229,6 +161,96 @@ and reset_path t =
       restart_node t q
   in
   descend t.nodes.(t.root)
+
+let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?(on_depart = fun _ ~leaf:_ _ -> ())
+    ?(on_drop = fun _ ~leaf:_ _ -> ()) () =
+  (match Class_tree.validate spec with
+  | Ok () -> ()
+  | Error errors ->
+    invalid_arg ("Hier.create: invalid tree: " ^ String.concat "; " errors));
+  let nodes = ref [] in
+  let counter = ref 0 in
+  let by_name = Hashtbl.create 16 in
+  let leaf_list = ref [] in
+  let rec build ~level ~parent spec =
+    let id = !counter in
+    incr counter;
+    let name = Class_tree.name spec and rate = Class_tree.rate spec in
+    let kind =
+      match spec with
+      | Class_tree.Leaf { queue_capacity_bits; _ } ->
+        leaf_list := (name, id) :: !leaf_list;
+        Leaf_node
+          { fifo = Net.Fifo.create ?capacity_bits:queue_capacity_bits (); next_seq = 1 }
+      | Class_tree.Node _ -> Interior { policy = make_policy ~level ~name ~rate }
+    in
+    let n =
+      {
+        id;
+        name;
+        rate;
+        level;
+        parent;
+        children = [||];
+        kind;
+        session_in_parent = -1;
+        busy = false;
+        logical = None;
+        active_child = -1;
+      }
+    in
+    nodes := n :: !nodes;
+    Hashtbl.replace by_name name id;
+    let child_ids =
+      List.map (fun c -> (build ~level:(level + 1) ~parent:id c).id) (Class_tree.children spec)
+    in
+    n.children <- Array.of_list child_ids;
+    n
+  in
+  let root_node = build ~level:0 ~parent:(-1) spec in
+  let arr = Array.make !counter root_node in
+  List.iter (fun n -> arr.(n.id) <- n) !nodes;
+  (* register each child as a session of its parent's policy *)
+  Array.iter
+    (fun n ->
+      match n.kind with
+      | Interior { policy } ->
+        Array.iter
+          (fun cid ->
+            let child = arr.(cid) in
+            child.session_in_parent <- policy.Sched_intf.add_session ~rate:child.rate)
+          n.children
+      | Leaf_node _ -> ())
+    arr;
+  Log.info (fun m ->
+      m "created H-PFQ server: %d nodes, %d leaves, root rate %a" !counter
+        (List.length !leaf_list) Engine.Units.pp_rate root_node.rate);
+  let t =
+    {
+      sim;
+      nodes = arr;
+      tn = Array.make !counter 0.0;
+      departed_bits = Array.make !counter 0.0;
+      root = root_node.id;
+      by_name;
+      leaf_list = List.rev !leaf_list;
+      root_clock;
+      on_depart;
+      on_drop;
+      link_busy = false;
+      drops = 0;
+      in_flight = None;
+      complete_cb = ignore;
+    }
+  in
+  t.complete_cb <-
+    (fun () ->
+      match t.in_flight with
+      | Some pkt ->
+        t.in_flight <- None;
+        complete_transmission t pkt
+      | None -> invalid_arg "Hier: transmission completed with nothing in flight");
+  t
 
 (* -- Public operations --------------------------------------------------- *)
 
@@ -283,8 +305,8 @@ let node_by_name t name =
   | Some id -> t.nodes.(id)
   | None -> raise Not_found
 
-let departed_bits t ~node = (node_by_name t node).departed_bits
-let ref_time t ~node = (node_by_name t node).tn
+let departed_bits t ~node = t.departed_bits.((node_by_name t node).id)
+let ref_time t ~node = t.tn.((node_by_name t node).id)
 
 let node_virtual_time t ~node =
   let n = node_by_name t node in

@@ -1,24 +1,29 @@
 open Sched
 
-type session = {
-  rate : float;
-  mutable start : float;  (* S_i: virtual start of the head packet *)
-  mutable finish : float; (* F_i: virtual finish of the head packet *)
-  mutable head_bits : float;
-  mutable backlogged : bool;
-}
-
+(* Session state lives in a struct-of-arrays layout rather than an array of
+   records: a mixed int/float record boxes every float field, so each stamp
+   update (`s.start <- ...`) allocates a fresh boxed float on the minor
+   heap and every read chases a pointer. With one plain [float array] per
+   field the floats are unboxed, stamp updates are in-place stores, and
+   [select]/[promote] walk contiguous memory. The per-session fields are
+   indexed by the session id handed out by [add_session]. *)
 type state = {
   server_rate : float;
-  sessions : session Vec.t;
-  eligible : Prioq.Indexed_heap.t; (* S_i <= V, keyed by F_i *)
-  waiting : Prioq.Indexed_heap.t;  (* S_i >  V, keyed by S_i *)
-  mutable v : float;               (* V, post-dated to the last selection's completion *)
-  mutable v_time : float;          (* server time of that completion *)
+  mutable rates : float array;      (* r_i *)
+  mutable starts : float array;     (* S_i: virtual start of the head packet *)
+  mutable finishes : float array;   (* F_i: virtual finish of the head packet *)
+  mutable head_bits : float array;
+  mutable backlogged : Bytes.t;     (* '\001' when backlogged *)
+  mutable n_sessions : int;
+  eligible : Prioq.Indexed_heap4.t; (* S_i <= V, keyed by F_i *)
+  waiting : Prioq.Indexed_heap4.t;  (* S_i >  V, keyed by S_i *)
+  vv : float array;                 (* [|V; server time of V|]: V is post-dated to the
+                                       last selection's completion and timestamped with
+                                       that completion; a float array keeps both unboxed
+                                       (mutable floats in this mixed record would box on
+                                       every store). *)
   mutable backlogged_count : int;
 }
-
-let le_with_slack a b = a <= b +. (1e-9 *. (1.0 +. Float.abs b))
 
 (* The V(t)+τ term of eq. 27. [v] is post-dated to [v_time], the completion
    of the last committed packet; V is linear (slope 1) through that span and
@@ -27,23 +32,45 @@ let le_with_slack a b = a <= b +. (1e-9 *. (1.0 +. Float.abs b))
    (now < v_time), forwards across idle time (now > v_time). Clamping the
    backward case at [v] would inflate eq. 28's S = max(F, V(a)) stamps and
    leak guaranteed bandwidth (caught by the Thm 4.3 property test). *)
-let linear_v t ~now = t.v +. (now -. t.v_time)
+let linear_v t ~now = t.vv.(0) +. (now -. t.vv.(1))
+
+let check_session t session =
+  if session < 0 || session >= t.n_sessions then
+    invalid_arg "Wf2q_plus: unknown session"
+
+let ensure_capacity t =
+  let cap = Array.length t.rates in
+  if t.n_sessions = cap then begin
+    let cap' = max 16 (2 * cap) in
+    let grow a =
+      let b = Array.make cap' 0.0 in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    t.rates <- grow t.rates;
+    t.starts <- grow t.starts;
+    t.finishes <- grow t.finishes;
+    t.head_bits <- grow t.head_bits;
+    let b = Bytes.make cap' '\000' in
+    Bytes.blit t.backlogged 0 b 0 cap;
+    t.backlogged <- b
+  end
 
 let place t session =
-  let s = Vec.get t.sessions session in
-  if le_with_slack s.start t.v then
-    Prioq.Indexed_heap.add t.eligible ~key:session ~prio:s.finish
-  else Prioq.Indexed_heap.add t.waiting ~key:session ~prio:s.start
+  if Float_cmp.le_with_slack t.starts.(session) t.vv.(0) then
+    Prioq.Indexed_heap4.add t.eligible ~key:session ~prio:t.finishes.(session)
+  else Prioq.Indexed_heap4.add t.waiting ~key:session ~prio:t.starts.(session)
 
 let promote t ~threshold =
   let continue = ref true in
-  while !continue do
-    match Prioq.Indexed_heap.min_binding t.waiting with
-    | Some (session, start) when le_with_slack start threshold ->
-      ignore (Prioq.Indexed_heap.pop_min t.waiting);
-      let s = Vec.get t.sessions session in
-      Prioq.Indexed_heap.add t.eligible ~key:session ~prio:s.finish
-    | Some _ | None -> continue := false
+  while !continue && not (Prioq.Indexed_heap4.is_empty t.waiting) do
+    let start = Prioq.Indexed_heap4.min_prio_unsafe t.waiting in
+    if Float_cmp.le_with_slack start threshold then begin
+      let session = Prioq.Indexed_heap4.min_key_unsafe t.waiting in
+      Prioq.Indexed_heap4.drop_min t.waiting;
+      Prioq.Indexed_heap4.add t.eligible ~key:session ~prio:t.finishes.(session)
+    end
+    else continue := false
   done
 
 let make ~rate =
@@ -51,48 +78,71 @@ let make ~rate =
   let t =
     {
       server_rate = rate;
-      sessions = Vec.create ();
-      eligible = Prioq.Indexed_heap.create 16;
-      waiting = Prioq.Indexed_heap.create 16;
-      v = 0.0;
-      v_time = 0.0;
+      rates = [||];
+      starts = [||];
+      finishes = [||];
+      head_bits = [||];
+      backlogged = Bytes.create 0;
+      n_sessions = 0;
+      eligible = Prioq.Indexed_heap4.create 16;
+      waiting = Prioq.Indexed_heap4.create 16;
+      vv = [| 0.0; 0.0 |];
       backlogged_count = 0;
     }
   in
   let add_session ~rate =
     if rate <= 0.0 then invalid_arg "Wf2q_plus.add_session: rate must be positive";
-    Vec.push t.sessions
-      { rate; start = 0.0; finish = 0.0; head_bits = 0.0; backlogged = false }
+    ensure_capacity t;
+    let session = t.n_sessions in
+    t.rates.(session) <- rate;
+    t.n_sessions <- session + 1;
+    session
   in
   let arrive ~now:_ ~session:_ ~size_bits:_ = () in
   let backlog ~now ~session ~head_bits =
-    let s = Vec.get t.sessions session in
-    if s.backlogged then invalid_arg "Wf2q_plus: backlog of backlogged session";
+    check_session t session;
+    if Bytes.get t.backlogged session <> '\000' then
+      invalid_arg "Wf2q_plus: backlog of backlogged session";
     (* eq. 28, empty-queue branch: S = max(F, V(now)) *)
-    s.start <- Float.max s.finish (linear_v t ~now);
-    s.finish <- s.start +. (head_bits /. s.rate);
-    s.head_bits <- head_bits;
-    s.backlogged <- true;
+    let start = Float.max t.finishes.(session) (linear_v t ~now) in
+    t.starts.(session) <- start;
+    t.finishes.(session) <- start +. (head_bits /. t.rates.(session));
+    t.head_bits.(session) <- head_bits;
+    Bytes.set t.backlogged session '\001';
     t.backlogged_count <- t.backlogged_count + 1;
     place t session
   in
   let requeue ~now:_ ~session ~head_bits =
-    let s = Vec.get t.sessions session in
+    check_session t session;
     (* eq. 28, busy branch: S = F *)
-    s.start <- s.finish;
-    s.finish <- s.start +. (head_bits /. s.rate);
-    s.head_bits <- head_bits;
-    Prioq.Indexed_heap.remove t.eligible session;
-    Prioq.Indexed_heap.remove t.waiting session;
-    place t session
+    let start = t.finishes.(session) in
+    let finish = start +. (head_bits /. t.rates.(session)) in
+    t.starts.(session) <- start;
+    t.finishes.(session) <- finish;
+    t.head_bits.(session) <- head_bits;
+    (* The requeued session usually sits in the eligible set (it was just
+       selected from there); when it stays eligible an in-place increase-key
+       replaces the remove+add pair. *)
+    if Prioq.Indexed_heap4.mem t.eligible session then
+      if Float_cmp.le_with_slack start t.vv.(0) then
+        Prioq.Indexed_heap4.update t.eligible ~key:session ~prio:finish
+      else begin
+        Prioq.Indexed_heap4.remove t.eligible session;
+        Prioq.Indexed_heap4.add t.waiting ~key:session ~prio:start
+      end
+    else begin
+      Prioq.Indexed_heap4.remove t.waiting session;
+      place t session
+    end
   in
   let set_idle ~now:_ ~session =
-    let s = Vec.get t.sessions session in
-    if not s.backlogged then invalid_arg "Wf2q_plus: set_idle of idle session";
-    s.backlogged <- false;
+    check_session t session;
+    if Bytes.get t.backlogged session = '\000' then
+      invalid_arg "Wf2q_plus: set_idle of idle session";
+    Bytes.set t.backlogged session '\000';
     t.backlogged_count <- t.backlogged_count - 1;
-    Prioq.Indexed_heap.remove t.eligible session;
-    Prioq.Indexed_heap.remove t.waiting session
+    Prioq.Indexed_heap4.remove t.eligible session;
+    Prioq.Indexed_heap4.remove t.waiting session
   in
   let select ~now =
     if t.backlogged_count = 0 then None
@@ -102,23 +152,23 @@ let make ~rate =
          the linear term. *)
       let lin = linear_v t ~now in
       let threshold =
-        if Prioq.Indexed_heap.is_empty t.eligible then
-          match Prioq.Indexed_heap.min_prio t.waiting with
-          | Some smin -> Float.max lin smin
-          | None -> lin
+        if
+          Prioq.Indexed_heap4.is_empty t.eligible
+          && not (Prioq.Indexed_heap4.is_empty t.waiting)
+        then Float.max lin (Prioq.Indexed_heap4.min_prio_unsafe t.waiting)
         else lin
       in
       promote t ~threshold;
-      match Prioq.Indexed_heap.min_key t.eligible with
-      | None -> None (* unreachable: threshold >= min S guarantees a candidate *)
-      | Some session ->
-        let s = Vec.get t.sessions session in
-        let service = s.head_bits /. t.server_rate in
+      let session = Prioq.Indexed_heap4.min_key_unsafe t.eligible in
+      if session < 0 then None (* unreachable: threshold >= min S guarantees a candidate *)
+      else begin
+        let service = t.head_bits.(session) /. t.server_rate in
         (* RESTART-NODE lines 12-13: post-date V and its timestamp to the
            completion of the packet just committed. *)
-        t.v <- threshold +. service;
-        t.v_time <- now +. service;
+        t.vv.(0) <- threshold +. service;
+        t.vv.(1) <- now +. service;
         Some session
+      end
     end
   in
   {

@@ -10,14 +10,13 @@ type session = {
 type state = {
   server_rate : float;
   sessions : session Vec.t;
-  eligible : Prioq.Indexed_heap.t; (* head S <= V, keyed by head F *)
-  waiting : Prioq.Indexed_heap.t;  (* keyed by head S *)
+  eligible : Prioq.Indexed_heap4.t; (* head S <= V, keyed by head F *)
+  waiting : Prioq.Indexed_heap4.t;  (* keyed by head S *)
   mutable v : float;
   mutable v_time : float;
   mutable backlogged_count : int;
 }
 
-let le_with_slack a b = a <= b +. (1e-9 *. (1.0 +. Float.abs b))
 let linear_v t ~now = t.v +. (now -. t.v_time)
 
 let head_stamps t session =
@@ -28,18 +27,18 @@ let head_stamps t session =
 
 let place t session =
   let start, finish = head_stamps t session in
-  if le_with_slack start t.v then
-    Prioq.Indexed_heap.add t.eligible ~key:session ~prio:finish
-  else Prioq.Indexed_heap.add t.waiting ~key:session ~prio:start
+  if Float_cmp.le_with_slack start t.v then
+    Prioq.Indexed_heap4.add t.eligible ~key:session ~prio:finish
+  else Prioq.Indexed_heap4.add t.waiting ~key:session ~prio:start
 
 let promote t ~threshold =
   let continue = ref true in
   while !continue do
-    match Prioq.Indexed_heap.min_binding t.waiting with
-    | Some (session, start) when le_with_slack start threshold ->
-      ignore (Prioq.Indexed_heap.pop_min t.waiting);
+    match Prioq.Indexed_heap4.min_binding t.waiting with
+    | Some (session, start) when Float_cmp.le_with_slack start threshold ->
+      ignore (Prioq.Indexed_heap4.pop_min t.waiting);
       let _, finish = head_stamps t session in
-      Prioq.Indexed_heap.add t.eligible ~key:session ~prio:finish
+      Prioq.Indexed_heap4.add t.eligible ~key:session ~prio:finish
     | Some _ | None -> continue := false
   done
 
@@ -49,8 +48,8 @@ let make ~rate =
     {
       server_rate = rate;
       sessions = Vec.create ();
-      eligible = Prioq.Indexed_heap.create 16;
-      waiting = Prioq.Indexed_heap.create 16;
+      eligible = Prioq.Indexed_heap4.create 16;
+      waiting = Prioq.Indexed_heap4.create 16;
       v = 0.0;
       v_time = 0.0;
       backlogged_count = 0;
@@ -77,8 +76,8 @@ let make ~rate =
     place t session
   in
   let remove_from_heaps session =
-    Prioq.Indexed_heap.remove t.eligible session;
-    Prioq.Indexed_heap.remove t.waiting session
+    Prioq.Indexed_heap4.remove t.eligible session;
+    Prioq.Indexed_heap4.remove t.waiting session
   in
   let requeue ~now:_ ~session ~head_bits:_ =
     ignore (Queue.pop (Vec.get t.sessions session).stamps);
@@ -97,14 +96,14 @@ let make ~rate =
     else begin
       let lin = linear_v t ~now in
       let threshold =
-        if Prioq.Indexed_heap.is_empty t.eligible then
-          match Prioq.Indexed_heap.min_prio t.waiting with
+        if Prioq.Indexed_heap4.is_empty t.eligible then
+          match Prioq.Indexed_heap4.min_prio t.waiting with
           | Some smin -> Float.max lin smin
           | None -> lin
         else lin
       in
       promote t ~threshold;
-      match Prioq.Indexed_heap.min_key t.eligible with
+      match Prioq.Indexed_heap4.min_key t.eligible with
       | None -> None
       | Some session ->
         let s = Vec.get t.sessions session in

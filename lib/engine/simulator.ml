@@ -1,29 +1,77 @@
-type event = {
-  time : float;
-  seq : int;
-  action : unit -> unit;
-  mutable cancelled : bool;
-}
+(* Pooled event loop. The original implementation allocated a four-field
+   record per scheduled event and pushed it through a polymorphic binary
+   heap, so every schedule cost a minor-heap record plus heap-internal
+   writes, and cancelled events lingered until popped. Here events live in
+   a struct-of-arrays pool indexed by slot:
 
-type event_id = event
+   - [times]/[seqs]/[actions] hold the event fields unboxed (the float
+     array keeps fire times unboxed; no per-event record exists);
+   - freed slots are threaded through [next_free] as a freelist, so a
+     steady schedule/fire workload reuses the same few slots and the
+     event loop allocates nothing per event beyond the caller's closure;
+   - the pending set is a heap of slot indices ordered by
+     (time, sequence) — same FIFO tie-break as before;
+   - an [event_id] is an int packing (slot, generation). The generation
+     bumps every time a slot is freed, so a cancel holding a stale id
+     (event already fired, or slot since reused) is detected and ignored
+     instead of killing an unrelated event;
+   - cancelled events are dropped lazily, but when they outnumber the
+     live events (i.e. exceed half the heap) the heap is compacted in
+     place and re-heapified, bounding memory under cancel-heavy
+     workloads such as TCP retransmit-timer churn. *)
+
+type event_id = int
+
+(* id = slot in the high bits, generation in the low 31. OCaml ints are
+   63-bit here, so slots up to 2^31 fit without collision. *)
+let gen_mask = 0x7FFFFFFF
+let pack ~slot ~gen = (slot lsl 31) lor (gen land gen_mask)
+let id_slot id = id lsr 31
+let id_gen id = id land gen_mask
+
+(* Slot states. *)
+let st_free = '\000'
+let st_live = '\001'
+let st_cancelled = '\002'
+
+let no_action = ignore
 
 type t = {
-  queue : event Prioq.Binary_heap.t;
+  (* event pool, slot-indexed *)
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable actions : (unit -> unit) array;
+  mutable gens : int array;
+  mutable state : Bytes.t;
+  mutable next_free : int array; (* freelist link, -1 ends the list *)
+  mutable free_head : int;
+  (* pending set: heap of slots ordered by (times.(slot), seqs.(slot)) *)
+  mutable heap : int array;
+  mutable heap_size : int;
   mutable clock : float;
   mutable next_seq : int;
   mutable fired : int;
   mutable live : int; (* pending and not cancelled *)
 }
 
-let compare_event a b =
-  let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+let initial_capacity = 16
 
-let dummy_event = { time = 0.0; seq = -1; action = ignore; cancelled = true }
+(* Below this heap size compaction is not worth the re-heapify. *)
+let compact_min_heap = 64
 
 let create () =
+  let cap = initial_capacity in
+  let next_free = Array.init cap (fun i -> if i = cap - 1 then -1 else i + 1) in
   {
-    queue = Prioq.Binary_heap.create ~cmp:compare_event ~dummy:dummy_event ();
+    times = Array.make cap 0.0;
+    seqs = Array.make cap 0;
+    actions = Array.make cap no_action;
+    gens = Array.make cap 0;
+    state = Bytes.make cap st_free;
+    next_free;
+    free_head = 0;
+    heap = Array.make cap (-1);
+    heap_size = 0;
     clock = 0.0;
     next_seq = 0;
     fired = 0;
@@ -32,43 +80,196 @@ let create () =
 
 let now t = t.clock
 
+let grow_pool t =
+  let cap = Array.length t.times in
+  let cap' = 2 * cap in
+  let grow_f a = let b = Array.make cap' 0.0 in Array.blit a 0 b 0 cap; b in
+  let grow_i ~fill a = let b = Array.make cap' fill in Array.blit a 0 b 0 cap; b in
+  t.times <- grow_f t.times;
+  t.seqs <- grow_i ~fill:0 t.seqs;
+  t.gens <- grow_i ~fill:0 t.gens;
+  let actions = Array.make cap' no_action in
+  Array.blit t.actions 0 actions 0 cap;
+  t.actions <- actions;
+  let state = Bytes.make cap' st_free in
+  Bytes.blit t.state 0 state 0 cap;
+  t.state <- state;
+  let next_free = Array.make cap' (-1) in
+  Array.blit t.next_free 0 next_free 0 cap;
+  (* thread the new slots onto the freelist *)
+  for i = cap to cap' - 1 do
+    next_free.(i) <- (if i = cap' - 1 then t.free_head else i + 1)
+  done;
+  t.next_free <- next_free;
+  t.free_head <- cap
+
+let alloc_slot t =
+  if t.free_head < 0 then grow_pool t;
+  let slot = t.free_head in
+  t.free_head <- t.next_free.(slot);
+  slot
+
+let free_slot t slot =
+  Bytes.set t.state slot st_free;
+  t.actions.(slot) <- no_action; (* release the closure *)
+  t.gens.(slot) <- (t.gens.(slot) + 1) land gen_mask; (* invalidate old ids *)
+  t.next_free.(slot) <- t.free_head;
+  t.free_head <- slot
+
+(* ---- slot heap, ordered by (time, seq) ---- *)
+
+let slot_before t a b =
+  let ta = t.times.(a) and tb = t.times.(b) in
+  ta < tb || (ta = tb && t.seqs.(a) < t.seqs.(b))
+
+let heap_push t slot =
+  let n = Array.length t.heap in
+  if t.heap_size = n then begin
+    let heap = Array.make (2 * n) (-1) in
+    Array.blit t.heap 0 heap 0 n;
+    t.heap <- heap
+  end;
+  (* hole sift-up: slide ancestors down, write [slot] once *)
+  let heap = t.heap in
+  let i = ref t.heap_size in
+  t.heap_size <- t.heap_size + 1;
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let p = Array.unsafe_get heap parent in
+    if slot_before t slot p then begin
+      Array.unsafe_set heap !i p;
+      i := parent
+    end
+    else moving := false
+  done;
+  Array.unsafe_set heap !i slot
+
+(* Sift the slot at heap position [i] down to its place. *)
+let heap_sift_down t i =
+  let heap = t.heap in
+  let size = t.heap_size in
+  let slot = Array.unsafe_get heap i in
+  let i = ref i in
+  let moving = ref true in
+  while !moving do
+    let l = (2 * !i) + 1 in
+    if l >= size then moving := false
+    else begin
+      let r = l + 1 in
+      let best =
+        if r < size && slot_before t (Array.unsafe_get heap r) (Array.unsafe_get heap l)
+        then r
+        else l
+      in
+      let b = Array.unsafe_get heap best in
+      if slot_before t b slot then begin
+        Array.unsafe_set heap !i b;
+        i := best
+      end
+      else moving := false
+    end
+  done;
+  Array.unsafe_set heap !i slot
+
+(* Remove the heap minimum (caller checks non-empty). *)
+let heap_pop t =
+  let top = t.heap.(0) in
+  let last = t.heap_size - 1 in
+  t.heap_size <- last;
+  if last > 0 then begin
+    t.heap.(0) <- t.heap.(last);
+    heap_sift_down t 0
+  end;
+  t.heap.(last) <- -1;
+  top
+
+(* Drop every cancelled slot from the heap and rebuild it bottom-up
+   (Floyd heapify, O(n)). Triggered from [cancel] when cancelled entries
+   outnumber live ones. *)
+let compact t =
+  let heap = t.heap in
+  let j = ref 0 in
+  for i = 0 to t.heap_size - 1 do
+    let slot = heap.(i) in
+    if Bytes.get t.state slot = st_live then begin
+      heap.(!j) <- slot;
+      incr j
+    end
+    else free_slot t slot
+  done;
+  for i = !j to t.heap_size - 1 do
+    heap.(i) <- -1
+  done;
+  t.heap_size <- !j;
+  for i = (!j / 2) - 1 downto 0 do
+    heap_sift_down t i
+  done
+
+(* ---- public API ---- *)
+
 let schedule t ~at action =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Simulator.schedule: time %g is before now %g" at t.clock);
-  let ev = { time = at; seq = t.next_seq; action; cancelled = false } in
+  let slot = alloc_slot t in
+  t.times.(slot) <- at;
+  t.seqs.(slot) <- t.next_seq;
+  t.actions.(slot) <- action;
+  Bytes.set t.state slot st_live;
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
-  Prioq.Binary_heap.push t.queue ev;
-  ev
+  heap_push t slot;
+  pack ~slot ~gen:t.gens.(slot)
 
 let schedule_after t ~delay action =
   if delay < 0.0 then invalid_arg "Simulator.schedule_after: negative delay";
   schedule t ~at:(t.clock +. delay) action
 
-let cancel t ev =
-  if not ev.cancelled then begin
-    ev.cancelled <- true;
-    t.live <- t.live - 1
+let cancel t id =
+  let slot = id_slot id in
+  if
+    slot < Array.length t.times
+    && t.gens.(slot) = id_gen id
+    && Bytes.get t.state slot = st_live
+  then begin
+    Bytes.set t.state slot st_cancelled;
+    t.actions.(slot) <- no_action; (* release the closure eagerly *)
+    t.live <- t.live - 1;
+    (* cancelled-in-heap = heap_size - live; compact once they exceed
+       half the heap (and the heap is big enough to be worth it) *)
+    if t.heap_size >= compact_min_heap && t.heap_size - t.live > t.live then
+      compact t
   end
 
 let pending t = t.live
 
-(* Pop cancelled events lazily; they stay in the heap until reached. *)
+(* Pop cancelled events lazily; compaction keeps their number bounded. *)
 let rec next_live t =
-  match Prioq.Binary_heap.pop t.queue with
-  | None -> None
-  | Some ev -> if ev.cancelled then next_live t else Some ev
+  if t.heap_size = 0 then -1
+  else begin
+    let slot = heap_pop t in
+    if Bytes.get t.state slot = st_live then slot
+    else begin
+      free_slot t slot;
+      next_live t
+    end
+  end
 
 let step t =
-  match next_live t with
-  | None -> false
-  | Some ev ->
-    t.clock <- ev.time;
+  let slot = next_live t in
+  if slot < 0 then false
+  else begin
+    t.clock <- t.times.(slot);
     t.live <- t.live - 1;
     t.fired <- t.fired + 1;
-    ev.action ();
+    let action = t.actions.(slot) in
+    (* free before firing: the handler may schedule (reusing this slot)
+       or cancel (the bumped generation makes its own id stale) *)
+    free_slot t slot;
+    action ();
     true
+  end
 
 let run ?until t =
   match until with
@@ -76,12 +277,16 @@ let run ?until t =
   | Some horizon ->
     let continue = ref true in
     while !continue do
-      match Prioq.Binary_heap.peek t.queue with
-      | Some ev when ev.cancelled ->
-        ignore (Prioq.Binary_heap.pop t.queue)
-      | Some ev when ev.time <= horizon -> ignore (step t)
-      | Some _ | None ->
-        continue := false
+      if t.heap_size = 0 then continue := false
+      else begin
+        let slot = t.heap.(0) in
+        if Bytes.get t.state slot <> st_live then begin
+          ignore (heap_pop t);
+          free_slot t slot
+        end
+        else if t.times.(slot) <= horizon then ignore (step t)
+        else continue := false
+      end
     done;
     if t.clock < horizon then t.clock <- horizon
 

@@ -110,8 +110,15 @@ let remove_slot h i =
   h.prios.(last) <- nan;
   h.size <- last;
   if i < h.size then begin
+    (* The replacement parachuted into slot [i] may violate heap order in
+       either direction; fix both on slot [i] itself. If [sift_up] moved
+       the replacement away, the element now occupying slot [i] is one of
+       its former ancestors, which was already <= everything in [i]'s
+       subtree, so the following [sift_down i] is a cheap no-op; if it
+       didn't move, [sift_down i] restores the downward invariant. Either
+       way there is no need to re-read [pos] to chase the replacement. *)
     sift_up h i;
-    sift_down h h.pos.(h.keys.(i))
+    sift_down h i
   end
 
 let remove h key = if mem h key then remove_slot h h.pos.(key)

@@ -1,0 +1,236 @@
+(* 4-ary indexed min-heap: same contract as {!Indexed_heap}, tuned for the
+   scheduler hot path. Rationale:
+
+   - a 4-ary tree halves the depth, so increase-key/sift-down (the common
+     direction under the WF2Q+ churn of remove-min + re-add) touches half
+     as many levels;
+   - each slot's (priority, key) pair is interleaved in one float array
+     ([data.(2i)] = priority, [data.(2i+1)] = key), so the four children
+     of slot [i] occupy the 64 contiguous bytes [data.(8i+2 .. 8i+9)] —
+     one or two cache lines for the whole comparison fan, against four
+     with parallel key/priority arrays;
+   - sifts are iterative hole-moves: the displaced element is held in
+     locals and written back once, instead of pairwise [swap]s that write
+     every element twice and bounce through [pos] at each level;
+   - the element being sifted enters through the [scratch] buffer rather
+     than float function arguments: without flambda every float argument
+     to a non-inlined call is boxed on the minor heap, and the sifts are
+     far too big to inline.
+
+   Keys are stored as floats; they are validated non-negative and in
+   practice are session/node indices, so they are exactly representable
+   (any key that indexes the [pos] array is far below 2^53) and float
+   comparison of key values coincides with integer comparison. Ordering
+   is identical to {!Indexed_heap} (priority, then key), so the two
+   structures pop identical sequences on identical op traces — the
+   model-based test in test/test_prioq.ml drives both against a reference
+   model and against each other. Priorities must not be NaN. *)
+
+type t = {
+  mutable data : float array;
+  (* data.(2i) = priority of heap slot i; data.(2i+1) = its key.
+     Slots >= size hold the sentinels (nan, -1.). *)
+  mutable pos : int array; (* key -> heap slot, or -1 *)
+  mutable size : int;
+  scratch : float array; (* [| prio; key |] handoff into the sifts *)
+}
+
+let create capacity =
+  let capacity = max 1 capacity in
+  let data = Array.make (2 * capacity) nan in
+  for i = 0 to capacity - 1 do
+    data.((2 * i) + 1) <- -1.0
+  done;
+  { data; pos = Array.make capacity (-1); size = 0; scratch = [| nan; -1.0 |] }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let ensure_key_capacity h key =
+  let n = Array.length h.pos in
+  if key >= n then begin
+    let n' = max (key + 1) (2 * n) in
+    let pos = Array.make n' (-1) in
+    Array.blit h.pos 0 pos 0 n;
+    h.pos <- pos
+  end
+
+let ensure_slot_capacity h =
+  let n = Array.length h.data / 2 in
+  if h.size = n then begin
+    let data = Array.make (4 * n) nan in
+    Array.blit h.data 0 data 0 (2 * n);
+    for i = n to (2 * n) - 1 do
+      data.((2 * i) + 1) <- -1.0
+    done;
+    h.data <- data
+  end
+
+let mem h key = key >= 0 && key < Array.length h.pos && h.pos.(key) >= 0
+
+(* Both sifts move the element waiting in [scratch]. Indices stay within
+   [0, size) and keys within [0, length pos) by the structure's
+   invariants, so the loop bodies use unsafe accesses; the public entry
+   points validate keys before calling in. *)
+
+(* Slide ancestors down until (prio, key) fits, then write the held
+   element once. [i]'s slot contents are treated as a hole throughout.
+   Returns the final slot. *)
+let sift_up h i =
+  let data = h.data and pos = h.pos in
+  let prio = h.scratch.(0) and keyf = h.scratch.(1) in
+  let i = ref i in
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let parent = (!i - 1) / 4 in
+    let pp = Array.unsafe_get data (2 * parent) in
+    let pk = Array.unsafe_get data ((2 * parent) + 1) in
+    if prio < pp || (prio = pp && keyf < pk) then begin
+      Array.unsafe_set data (2 * !i) pp;
+      Array.unsafe_set data ((2 * !i) + 1) pk;
+      Array.unsafe_set pos (int_of_float pk) !i;
+      i := parent
+    end
+    else moving := false
+  done;
+  Array.unsafe_set data (2 * !i) prio;
+  Array.unsafe_set data ((2 * !i) + 1) keyf;
+  Array.unsafe_set pos (int_of_float keyf) !i;
+  !i
+
+(* Slide the smallest child up into the hole until (prio, key) fits. The
+   children of [i] occupy the contiguous slots [4i+1 .. 4i+4], i.e. the 64
+   adjacent bytes [data.(8i+2 .. 8i+9)]. *)
+let sift_down h i =
+  let data = h.data and pos = h.pos in
+  let size = h.size in
+  let prio = h.scratch.(0) and keyf = h.scratch.(1) in
+  let i = ref i in
+  let moving = ref true in
+  while !moving do
+    let base = (4 * !i) + 1 in
+    if base >= size then moving := false
+    else begin
+      let last = if base + 3 < size then base + 3 else size - 1 in
+      let best = ref base in
+      let best_prio = ref (Array.unsafe_get data (2 * base)) in
+      let best_key = ref (Array.unsafe_get data ((2 * base) + 1)) in
+      for c = base + 1 to last do
+        let cp = Array.unsafe_get data (2 * c) in
+        let ck = Array.unsafe_get data ((2 * c) + 1) in
+        if cp < !best_prio || (cp = !best_prio && ck < !best_key) then begin
+          best := c;
+          best_prio := cp;
+          best_key := ck
+        end
+      done;
+      if !best_prio < prio || (!best_prio = prio && !best_key < keyf) then begin
+        Array.unsafe_set data (2 * !i) !best_prio;
+        Array.unsafe_set data ((2 * !i) + 1) !best_key;
+        Array.unsafe_set pos (int_of_float !best_key) !i;
+        i := !best
+      end
+      else moving := false
+    end
+  done;
+  Array.unsafe_set data (2 * !i) prio;
+  Array.unsafe_set data ((2 * !i) + 1) keyf;
+  Array.unsafe_set pos (int_of_float keyf) !i
+
+let add h ~key ~prio =
+  if key < 0 then invalid_arg "Indexed_heap4.add: negative key";
+  ensure_key_capacity h key;
+  if h.pos.(key) >= 0 then invalid_arg "Indexed_heap4.add: key present";
+  ensure_slot_capacity h;
+  let i = h.size in
+  h.size <- h.size + 1;
+  h.scratch.(0) <- prio;
+  h.scratch.(1) <- float_of_int key;
+  ignore (sift_up h i)
+
+let update h ~key ~prio =
+  if not (mem h key) then invalid_arg "Indexed_heap4.update: key absent";
+  let i = h.pos.(key) in
+  h.scratch.(0) <- prio;
+  h.scratch.(1) <- float_of_int key;
+  let i = sift_up h i in
+  sift_down h i
+
+let add_or_update h ~key ~prio =
+  if mem h key then update h ~key ~prio else add h ~key ~prio
+
+let remove_slot h i =
+  let last = h.size - 1 in
+  h.pos.(int_of_float h.data.((2 * i) + 1)) <- -1;
+  h.size <- last;
+  if i <> last then begin
+    (* Re-insert the former last element at the hole [i]; as in
+       {!Indexed_heap.remove_slot}, sift_up-then-sift_down on slot [i]
+       fixes both possible violation directions. *)
+    h.scratch.(0) <- h.data.(2 * last);
+    h.scratch.(1) <- h.data.((2 * last) + 1);
+    let i = sift_up h i in
+    sift_down h i
+  end;
+  h.data.(2 * last) <- nan;
+  h.data.((2 * last) + 1) <- -1.0
+
+let remove h key = if mem h key then remove_slot h h.pos.(key)
+
+let min_key h = if h.size = 0 then None else Some (int_of_float h.data.(1))
+let min_prio h = if h.size = 0 then None else Some h.data.(0)
+
+let min_binding h =
+  if h.size = 0 then None else Some (int_of_float h.data.(1), h.data.(0))
+
+(* Allocation-free variants for hot paths: slots beyond [size] always hold
+   the (nan, -1.) sentinels, so reading slot 0 of an empty heap yields
+   them directly. *)
+let min_key_unsafe h = int_of_float h.data.(1)
+let min_prio_unsafe h = h.data.(0)
+
+let drop_min h = if h.size > 0 then remove_slot h 0
+
+let pop_min h =
+  match min_binding h with
+  | None -> None
+  | Some binding ->
+    remove_slot h 0;
+    Some binding
+
+let prio_of h key = if mem h key then Some h.data.(2 * h.pos.(key)) else None
+
+let iter f h =
+  for i = 0 to h.size - 1 do
+    f (int_of_float h.data.((2 * i) + 1)) h.data.(2 * i)
+  done
+
+let clear h =
+  for i = 0 to h.size - 1 do
+    h.pos.(int_of_float h.data.((2 * i) + 1)) <- -1;
+    h.data.(2 * i) <- nan;
+    h.data.((2 * i) + 1) <- -1.0
+  done;
+  h.size <- 0
+
+let check_invariant h =
+  let prio i = h.data.(2 * i) and key i = int_of_float h.data.((2 * i) + 1) in
+  let before i j =
+    let c = compare (prio i) (prio j) in
+    if c <> 0 then c < 0 else key i < key j
+  in
+  let ok = ref true in
+  for i = 1 to h.size - 1 do
+    if before i ((i - 1) / 4) then ok := false
+  done;
+  for i = 0 to h.size - 1 do
+    if h.pos.(key i) <> i then ok := false
+  done;
+  for i = h.size to (Array.length h.data / 2) - 1 do
+    if key i <> -1 then ok := false
+  done;
+  for k = 0 to Array.length h.pos - 1 do
+    let p = h.pos.(k) in
+    if p >= 0 && (p >= h.size || key p <> k) then ok := false
+  done;
+  !ok

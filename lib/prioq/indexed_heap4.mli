@@ -1,0 +1,54 @@
+(** 4-ary indexed min-heap over integer keys — the hot-path default for the
+    WF²Q+ eligible/waiting session sets.
+
+    Same contract and ordering (priority, then key, deterministic) as
+    {!Indexed_heap}; the two agree pop-for-pop on any operation trace, and
+    the test suite cross-checks them on randomized traces. Differences are
+    purely mechanical: half the tree depth, children contiguous in memory,
+    and iterative single-write hole sifts instead of pairwise swaps.
+
+    Priorities must not be NaN (NaN is the internal empty-slot sentinel). *)
+
+type t
+
+val create : int -> t
+(** [create capacity] handles keys [0 .. capacity-1]; grows on demand. *)
+
+val length : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+val add : t -> key:int -> prio:float -> unit
+(** @raise Invalid_argument if [key] is already present or negative. *)
+
+val update : t -> key:int -> prio:float -> unit
+(** Change the priority of a present key (either direction).
+    @raise Invalid_argument if [key] is absent. *)
+
+val add_or_update : t -> key:int -> prio:float -> unit
+
+val remove : t -> int -> unit
+(** Remove [key] if present; no-op otherwise. *)
+
+val min_key : t -> int option
+(** Key with smallest priority (ties: smallest key). *)
+
+val min_prio : t -> float option
+val min_binding : t -> (int * float) option
+val pop_min : t -> (int * float) option
+
+val min_key_unsafe : t -> int
+(** Allocation-free [min_key]: the minimum key, or [-1] when empty. *)
+
+val min_prio_unsafe : t -> float
+(** Allocation-free [min_prio]: the minimum priority, or NaN when empty. *)
+
+val drop_min : t -> unit
+(** Remove the minimum binding; no-op when empty. *)
+
+val prio_of : t -> int -> float option
+val iter : (int -> float -> unit) -> t -> unit
+val clear : t -> unit
+
+val check_invariant : t -> bool
+(** Heap order + position-table + beyond-size-sentinel consistency. *)

@@ -1,0 +1,14 @@
+(* The one floating-point slack used by every virtual-time eligibility
+   comparison in the repository (WF2Q+, its per-packet-stamp ablation, and
+   the exact-GPS SEFF schedulers). Kept in a single place so all
+   disciplines agree on what "S_i <= V" means at float precision. *)
+
+(* Relative tolerance. Start/finish stamps are sums of [L/r] terms, so two
+   mathematically equal stamps computed along different association orders
+   differ by a few ulps; 1e-9 relative (plus 1e-9 absolute for values near
+   zero) is orders of magnitude above that noise yet far below any real
+   stamp gap (the smallest inter-stamp spacing is one packet's worth of
+   virtual time). *)
+let epsilon = 1e-9
+
+let le_with_slack a b = a <= b +. (epsilon *. (1.0 +. Float.abs b))

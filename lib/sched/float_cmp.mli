@@ -1,0 +1,15 @@
+(** Shared floating-point slack for virtual-time comparisons.
+
+    All schedulers that split sessions into eligible ([S_i ≤ V]) and
+    waiting sets must use the same tolerance, otherwise two disciplines
+    fed identical arrivals can disagree about eligibility at float
+    precision. *)
+
+val epsilon : float
+(** Relative tolerance ([1e-9]); see the implementation comment for why
+    this value. *)
+
+val le_with_slack : float -> float -> bool
+(** [le_with_slack a b] is [a <= b] up to [epsilon] relative (and
+    absolute, for values near zero) slack:
+    [a <= b + epsilon * (1 + |b|)]. *)

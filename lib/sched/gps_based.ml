@@ -13,8 +13,8 @@ type state = {
   (* SFF: [ready] holds every backlogged session keyed by head virtual
      finish. SEFF: [ready] holds eligible sessions keyed by finish and
      [waiting] holds not-yet-eligible ones keyed by head virtual start. *)
-  ready : Prioq.Indexed_heap.t;
-  waiting : Prioq.Indexed_heap.t;
+  ready : Prioq.Indexed_heap4.t;
+  waiting : Prioq.Indexed_heap4.t;
   mutable backlogged_count : int;
 }
 
@@ -24,30 +24,30 @@ let head_stamps t session =
   | Some stamps -> stamps
   | None -> invalid_arg "Gps_based: session has no stamped packet"
 
-(* Eligibility comparisons tolerate float noise: a start time within a
-   relative 1e-9 of V counts as eligible. *)
-let le_with_slack a b = a <= b +. (1e-9 *. (1.0 +. Float.abs b))
+(* Eligibility comparisons tolerate float noise: a start time within
+   {!Float_cmp.epsilon} relative of V counts as eligible. *)
+let le_with_slack = Float_cmp.le_with_slack
 
 let enqueue_session t ~now session =
   let start, finish = head_stamps t session in
   match t.discipline with
-  | Sff -> Prioq.Indexed_heap.add t.ready ~key:session ~prio:finish
+  | Sff -> Prioq.Indexed_heap4.add t.ready ~key:session ~prio:finish
   | Seff ->
     let v = Gps_clock.virtual_time t.clock ~now in
     if le_with_slack start v then
-      Prioq.Indexed_heap.add t.ready ~key:session ~prio:finish
-    else Prioq.Indexed_heap.add t.waiting ~key:session ~prio:start
+      Prioq.Indexed_heap4.add t.ready ~key:session ~prio:finish
+    else Prioq.Indexed_heap4.add t.waiting ~key:session ~prio:start
 
 (* Move every waiting session whose head has started GPS service into the
    eligible heap. *)
 let promote_eligible t ~v =
   let continue = ref true in
   while !continue do
-    match Prioq.Indexed_heap.min_binding t.waiting with
+    match Prioq.Indexed_heap4.min_binding t.waiting with
     | Some (session, start) when le_with_slack start v ->
-      ignore (Prioq.Indexed_heap.pop_min t.waiting);
+      ignore (Prioq.Indexed_heap4.pop_min t.waiting);
       let _, finish = head_stamps t session in
-      Prioq.Indexed_heap.add t.ready ~key:session ~prio:finish
+      Prioq.Indexed_heap4.add t.ready ~key:session ~prio:finish
     | Some _ | None -> continue := false
   done
 
@@ -57,8 +57,8 @@ let make ~discipline ~name ~rate =
       discipline;
       clock = Gps_clock.create ~rate;
       sessions = Vec.create ();
-      ready = Prioq.Indexed_heap.create 16;
-      waiting = Prioq.Indexed_heap.create 16;
+      ready = Prioq.Indexed_heap4.create 16;
+      waiting = Prioq.Indexed_heap4.create 16;
       backlogged_count = 0;
     }
   in
@@ -86,8 +86,8 @@ let make ~discipline ~name ~rate =
     ignore (Queue.pop s.stamps)
   in
   let remove_from_heaps session =
-    Prioq.Indexed_heap.remove t.ready session;
-    Prioq.Indexed_heap.remove t.waiting session
+    Prioq.Indexed_heap4.remove t.ready session;
+    Prioq.Indexed_heap4.remove t.waiting session
   in
   let requeue ~now ~session ~head_bits:_ =
     drop_served_stamp session;
@@ -112,14 +112,14 @@ let make ~discipline ~name ~rate =
          started GPS service whenever the packet system is backlogged, but
          float rounding can leave the eligible set momentarily empty. Fall
          back to the earliest start. *)
-      if Prioq.Indexed_heap.is_empty t.ready then begin
-        match Prioq.Indexed_heap.pop_min t.waiting with
+      if Prioq.Indexed_heap4.is_empty t.ready then begin
+        match Prioq.Indexed_heap4.pop_min t.waiting with
         | Some (session, _) ->
           let _, finish = head_stamps t session in
-          Prioq.Indexed_heap.add t.ready ~key:session ~prio:finish
+          Prioq.Indexed_heap4.add t.ready ~key:session ~prio:finish
         | None -> ()
       end);
-    Prioq.Indexed_heap.min_key t.ready
+    Prioq.Indexed_heap4.min_key t.ready
   in
   let virtual_time ~now = Gps_clock.virtual_time t.clock ~now in
   {

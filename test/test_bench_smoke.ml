@@ -1,0 +1,70 @@
+(* Smoke test for the perf harness: run it at quick settings, re-parse the
+   emitted JSON and validate the schema the perf-regression tooling relies
+   on ([bench/check_bench.sh] does the same from the shell). *)
+
+module Json = Bench_kit.Json
+module Perf = Bench_kit.Perf
+
+let test_quick_run_emits_valid_report () =
+  let out = Filename.temp_file "bench_smoke" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      Perf.run ~quick:true ~out ();
+      let report = Json.of_file out in
+      (match Perf.validate report with
+      | Ok () -> ()
+      | Error problems ->
+        Alcotest.failf "invalid report: %s" (String.concat "; " problems));
+      (* spot-check the metrics are sane, not just present *)
+      let get name j =
+        match Json.member name j with
+        | Some v -> v
+        | None -> Alcotest.failf "missing field %S" name
+      in
+      let get_float name j =
+        match Json.to_float (get name j) with
+        | Some f -> f
+        | None -> Alcotest.failf "field %S is not a number" name
+      in
+      let rows =
+        match Json.to_list (get "one_level" report) with
+        | Some rows -> rows
+        | None -> Alcotest.fail "one_level is not an array"
+      in
+      Alcotest.(check bool) "has one-level rows" true (rows <> []);
+      List.iter
+        (fun row ->
+          if get_float "pkts_per_sec" row <= 0.0 then
+            Alcotest.fail "pkts_per_sec not positive";
+          if get_float "ns_per_select" row <= 0.0 then
+            Alcotest.fail "ns_per_select not positive")
+        rows)
+
+let test_json_roundtrip () =
+  let t =
+    Json.Obj
+      [
+        ("schema", Json.Str "x");
+        ("xs", Json.Arr [ Json.Num 1.5; Json.Bool true; Json.Null ]);
+        ("nan_becomes_null", Json.Num Float.nan);
+      ]
+  in
+  let s = Json.to_string t in
+  let t' = Json.of_string s in
+  Alcotest.(check string) "schema survives"
+    "x"
+    (match Json.member "schema" t' with Some (Json.Str s) -> s | _ -> "?");
+  Alcotest.(check bool) "nan serialized as null" true
+    (Json.member "nan_becomes_null" t' = Some Json.Null)
+
+let () =
+  Alcotest.run "bench_smoke"
+    [
+      ( "perf",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "quick run emits valid report" `Quick
+            test_quick_run_emits_valid_report;
+        ] );
+    ]

@@ -67,6 +67,70 @@ let test_past_rejected () =
        false
      with Invalid_argument _ -> true)
 
+(* Regression for the pooled event loop: 10k schedules with heavy random
+   cancellation (including stale cancels of already-fired events, which must
+   be no-ops even after their pool slot is reused) interleaved with bounded
+   [run ~until] drains. Checks [pending]/[events_processed] accounting and
+   clock monotonicity throughout. *)
+let test_cancel_churn () =
+  let sim = Sim.create () in
+  let rng = Random.State.make [| 0xC0FFEE |] in
+  let n = 10_000 in
+  let ids = Array.make n None in
+  let fired = Array.make n false in
+  let cancelled = Array.make n false in
+  let fired_count = ref 0 in
+  let cancelled_count = ref 0 in
+  let last_time = ref 0.0 in
+  let monotone = ref true in
+  for i = 0 to n - 1 do
+    let at = Sim.now sim +. Random.State.float rng 5.0 in
+    ids.(i) <-
+      Some
+        (Sim.schedule sim ~at (fun () ->
+             if Sim.now sim < !last_time then monotone := false;
+             last_time := Sim.now sim;
+             fired.(i) <- true;
+             incr fired_count));
+    (* cancel a random earlier (or this) event: live, already-cancelled and
+       already-fired ids are all fair game *)
+    if Random.State.int rng 100 < 40 then begin
+      let j = Random.State.int rng (i + 1) in
+      match ids.(j) with
+      | None -> ()
+      | Some id ->
+        let before = Sim.pending sim in
+        Sim.cancel sim id;
+        let after = Sim.pending sim in
+        if fired.(j) || cancelled.(j) then begin
+          if after <> before then
+            Alcotest.failf "stale/duplicate cancel of %d changed pending" j
+        end
+        else begin
+          if after <> before - 1 then
+            Alcotest.failf "cancel of live event %d did not drop pending" j;
+          cancelled.(j) <- true;
+          incr cancelled_count
+        end
+    end;
+    (* periodically drain a bounded window so schedule/cancel interleave
+       with firing and slot reuse *)
+    if i mod 100 = 99 then Sim.run ~until:(Sim.now sim +. 1.0) sim
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "nothing pending after full drain" 0 (Sim.pending sim);
+  Alcotest.(check int) "fired = scheduled - cancelled" (n - !cancelled_count)
+    !fired_count;
+  Alcotest.(check int) "events_processed counts every fire" !fired_count
+    (Sim.events_processed sim);
+  Alcotest.(check bool) "clock monotone across drains" true !monotone;
+  let partitioned = ref true in
+  for i = 0 to n - 1 do
+    (* every event either fired or was (effectively) cancelled, never both *)
+    if cancelled.(i) = fired.(i) then partitioned := false
+  done;
+  Alcotest.(check bool) "fired xor cancelled for every event" true !partitioned
+
 let test_rng_deterministic () =
   let a = Rng.create 42L and b = Rng.create 42L in
   let xs = List.init 100 (fun _ -> Rng.uniform a) in
@@ -124,6 +188,7 @@ let () =
           Alcotest.test_case "cancel" `Quick test_cancel;
           Alcotest.test_case "run until" `Quick test_run_until;
           Alcotest.test_case "past rejected" `Quick test_past_rejected;
+          Alcotest.test_case "cancel churn (pooled loop)" `Quick test_cancel_churn;
         ] );
       ( "rng",
         [

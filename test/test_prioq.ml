@@ -97,6 +97,153 @@ let test_ih_add_duplicate_rejected () =
     (Invalid_argument "Indexed_heap.add: key present") (fun () ->
       IH.add h ~key:1 ~prio:2.0)
 
+module IH4 = Prioq.Indexed_heap4
+
+(* ---- model-based qcheck: both indexed heaps against a sorted-assoc
+   reference.  The model is a plain association list; the expected minimum
+   is the lexicographically smallest (prio, key) pair, matching the
+   deterministic tie-break both heaps implement. ---- *)
+
+module type INDEXED_HEAP = sig
+  type t
+
+  val create : int -> t
+  val length : t -> int
+  val mem : t -> int -> bool
+  val add : t -> key:int -> prio:float -> unit
+  val update : t -> key:int -> prio:float -> unit
+  val remove : t -> int -> unit
+  val min_binding : t -> (int * float) option
+  val pop_min : t -> (int * float) option
+  val check_invariant : t -> bool
+end
+
+type heap_op = Add of int * float | Update of int * float | Remove of int | Pop
+
+let heap_op_gen =
+  let open QCheck.Gen in
+  let key = int_bound 15 in
+  let prio = float_bound_inclusive 100.0 in
+  frequency
+    [
+      (4, map2 (fun k p -> Add (k, p)) key prio);
+      (3, map2 (fun k p -> Update (k, p)) key prio);
+      (2, map (fun k -> Remove k) key);
+      (2, return Pop);
+    ]
+
+let heap_op_print = function
+  | Add (k, p) -> Printf.sprintf "Add(%d,%g)" k p
+  | Update (k, p) -> Printf.sprintf "Update(%d,%g)" k p
+  | Remove k -> Printf.sprintf "Remove %d" k
+  | Pop -> "Pop"
+
+let heap_ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map heap_op_print ops))
+    QCheck.Gen.(list_size (int_range 1 200) heap_op_gen)
+
+let model_min model =
+  List.fold_left
+    (fun acc (k, p) ->
+      match acc with
+      | None -> Some (k, p)
+      | Some (bk, bp) -> if p < bp || (p = bp && k < bk) then Some (k, p) else acc)
+    None model
+
+let model_apply op model =
+  match op with
+  | Add (k, p) -> (k, p) :: List.remove_assoc k model
+  | Update (k, p) ->
+    if List.mem_assoc k model then (k, p) :: List.remove_assoc k model else model
+  | Remove k -> List.remove_assoc k model
+  | Pop -> (
+    match model_min model with
+    | None -> model
+    | Some (k, _) -> List.remove_assoc k model)
+
+let prop_heap_matches_model (type h) (module H : INDEXED_HEAP with type t = h) name =
+  QCheck.Test.make ~count:300 ~name:(name ^ " matches sorted-assoc model")
+    heap_ops_arb
+    (fun ops ->
+      let h = H.create 4 in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Add (k, p) ->
+            if H.mem h k then H.update h ~key:k ~prio:p else H.add h ~key:k ~prio:p
+          | Update (k, p) -> if H.mem h k then H.update h ~key:k ~prio:p
+          | Remove k -> H.remove h k
+          | Pop -> ignore (H.pop_min h));
+          model := model_apply op !model;
+          H.check_invariant h
+          && H.length h = List.length !model
+          && H.min_binding h = model_min !model
+          && List.for_all
+               (fun k -> H.mem h k = List.mem_assoc k !model)
+               (List.init 16 Fun.id))
+        ops)
+
+(* Randomized 100k-op trace driving the binary and 4-ary heaps in lockstep:
+   their (prio, key) ordering is defined to be identical, so every pop and
+   every min must agree exactly. *)
+let test_binary_vs_4ary_trace () =
+  let rng = Random.State.make [| 0x5EED |] in
+  let ih = IH.create 16 and ih4 = IH4.create 16 in
+  let n_keys = 256 in
+  for step = 1 to 100_000 do
+    let k = Random.State.int rng n_keys in
+    let p = Random.State.float rng 1000.0 in
+    (match Random.State.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+      if IH.mem ih k then begin
+        IH.update ih ~key:k ~prio:p;
+        IH4.update ih4 ~key:k ~prio:p
+      end
+      else begin
+        IH.add ih ~key:k ~prio:p;
+        IH4.add ih4 ~key:k ~prio:p
+      end
+    | 4 | 5 ->
+      IH.remove ih k;
+      IH4.remove ih4 k
+    | 6 | 7 ->
+      let a = IH.pop_min ih and b = IH4.pop_min ih4 in
+      if a <> b then Alcotest.failf "pop mismatch at step %d" step
+    | _ ->
+      IH.add_or_update ih ~key:k ~prio:p;
+      IH4.add_or_update ih4 ~key:k ~prio:p);
+    if IH.min_binding ih <> IH4.min_binding ih4 then
+      Alcotest.failf "min mismatch at step %d" step;
+    if IH.length ih <> IH4.length ih4 then
+      Alcotest.failf "length mismatch at step %d" step
+  done;
+  Alcotest.(check bool) "invariants after trace" true
+    (IH.check_invariant ih && IH4.check_invariant ih4);
+  let rec drain n =
+    let a = IH.pop_min ih and b = IH4.pop_min ih4 in
+    if a <> b then Alcotest.fail "drain mismatch";
+    if a = None then n else drain (n + 1)
+  in
+  ignore (drain 0);
+  Alcotest.(check bool) "both drained" true (IH.is_empty ih && IH4.is_empty ih4)
+
+let test_ih4_unsafe_accessors () =
+  let h = IH4.create 4 in
+  Alcotest.(check int) "empty min_key_unsafe" (-1) (IH4.min_key_unsafe h);
+  Alcotest.(check bool) "empty min_prio_unsafe is nan" true
+    (Float.is_nan (IH4.min_prio_unsafe h));
+  IH4.add h ~key:3 ~prio:2.5;
+  IH4.add h ~key:1 ~prio:7.0;
+  Alcotest.(check int) "min_key_unsafe" 3 (IH4.min_key_unsafe h);
+  Alcotest.(check (float 1e-12)) "min_prio_unsafe" 2.5 (IH4.min_prio_unsafe h);
+  IH4.drop_min h;
+  Alcotest.(check int) "after drop_min" 1 (IH4.min_key_unsafe h);
+  IH4.drop_min h;
+  IH4.drop_min h; (* no-op on empty *)
+  Alcotest.(check bool) "empty again" true (IH4.is_empty h)
+
 module PH = Prioq.Pairing_heap
 
 let test_ph_basic () =
@@ -139,6 +286,16 @@ let () =
           Alcotest.test_case "pop_min drain" `Quick test_ih_pop_min_drain;
           Alcotest.test_case "deterministic ties" `Quick test_ih_ties_deterministic;
           Alcotest.test_case "duplicate add rejected" `Quick test_ih_add_duplicate_rejected;
+        ] );
+      ( "indexed_heap_model",
+        [
+          QCheck_alcotest.to_alcotest
+            (prop_heap_matches_model (module Prioq.Indexed_heap) "binary indexed heap");
+          QCheck_alcotest.to_alcotest
+            (prop_heap_matches_model (module Prioq.Indexed_heap4) "4-ary indexed heap");
+          Alcotest.test_case "binary vs 4-ary 100k-op trace" `Quick
+            test_binary_vs_4ary_trace;
+          Alcotest.test_case "4-ary unsafe accessors" `Quick test_ih4_unsafe_accessors;
         ] );
       ( "pairing_heap",
         [
