@@ -23,3 +23,13 @@ for key in schema one_level hier pkts_per_sec ns_per_select minor_words_per_pkt;
 done
 
 echo "check_bench: OK ($out)"
+
+# Tracing-disabled overhead guard: with no observer installed, the scheduler
+# hot path must stay within HPFQ_PERF_TOL (default 5%) of the committed
+# perf baseline — the observability layer is free unless switched on.
+# Skipped when no baseline has been committed yet.
+if [ -f BENCH_hotpath.json ]; then
+  dune exec bench/main.exe -- perf-guard
+else
+  echo "check_bench: no BENCH_hotpath.json baseline; skipping perf-guard"
+fi

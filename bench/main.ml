@@ -5,6 +5,8 @@
      dune exec bench/main.exe            run everything
      dune exec bench/main.exe -- ID...   run selected ids:
        fig2 fig4 fig5 fig6 fig7 fig9 wfi bounds complexity heaps refclock e2e
+     plus extras outside the default set:
+       perf-quick perf-headline trace-overhead perf-guard
 
    Absolute numbers are this simulator's, not the 1996 testbed's; the
    shapes (who wins, by what factor, where crossovers fall) are the
@@ -418,6 +420,90 @@ let perf () = Bench_kit.Perf.run ()
 let perf_quick () = Bench_kit.Perf.run ~quick:true ~out:"BENCH_hotpath_quick.json" ()
 
 (* ------------------------------------------------------------------ *)
+(* TRACE-OVERHEAD: cost of the observer hook, off and on              *)
+(* ------------------------------------------------------------------ *)
+
+(* The observability contract (Sched_intf): observer = None must be a single
+   load+branch per operation. Three variants of the one-level WF2Q+ cycle:
+   never-installed, installed-then-removed (must match never-installed), and
+   an active observer recording into the obs ring buffer (the real price of
+   tracing, paid only when asked for). *)
+let trace_overhead () =
+  section "TRACE-OVERHEAD: one-level WF2Q+ cycle, observer off vs on";
+  let n = 4096 and iters = 200_000 in
+  let factory = Hpfq.Disciplines.wf2q_plus in
+  let run name setup =
+    let policy, cycle = Bench_kit.Perf.loaded_policy_with factory n in
+    setup policy;
+    let wall, minor = Bench_kit.Perf.time_loop cycle ~iters in
+    let pps = float_of_int iters /. wall in
+    Printf.printf "%-24s %16.0f pkts/sec %10.3f words/pkt\n" name pps
+      (minor /. float_of_int iters);
+    pps
+  in
+  let never = run "never installed" (fun _ -> ()) in
+  let disabled =
+    run "installed then removed" (fun p ->
+        p.Sched.Sched_intf.set_observer (Some Sched.Sched_intf.null_observer);
+        p.Sched.Sched_intf.set_observer None)
+  in
+  let recorder = Obs.Recorder.create ~capacity:(1 lsl 16) () in
+  let record kind ~now ~vtime ~session ~bits =
+    Obs.Recorder.record recorder ~kind ~node:0 ~session ~time:now ~vtime ~bits
+  in
+  let ring_observer =
+    {
+      Sched.Sched_intf.on_arrive =
+        (fun ~now ~vtime ~session ~size_bits ->
+          record Obs.Event.Arrive ~now ~vtime ~session ~bits:size_bits);
+      on_backlog =
+        (fun ~now ~vtime ~session ~head_bits ->
+          record Obs.Event.Backlog ~now ~vtime ~session ~bits:head_bits);
+      on_requeue =
+        (fun ~now ~vtime ~session ~head_bits ->
+          record Obs.Event.Requeue ~now ~vtime ~session ~bits:head_bits);
+      on_idle =
+        (fun ~now ~vtime ~session ->
+          record Obs.Event.Idle ~now ~vtime ~session ~bits:0.0);
+      on_select =
+        (fun ~now ~vtime ~session ->
+          record Obs.Event.Select ~now ~vtime ~session ~bits:0.0);
+    }
+  in
+  let active =
+    run "active ring recorder" (fun p ->
+        p.Sched.Sched_intf.set_observer (Some ring_observer))
+  in
+  Printf.printf "\nremoved-observer overhead vs never-installed: %+.2f%%\n"
+    ((never /. disabled -. 1.0) *. 100.0);
+  Printf.printf "active tracing cost vs never-installed:       %+.2f%%\n"
+    ((never /. active -. 1.0) *. 100.0);
+  Printf.printf "(ring retained %d events, dropped %d)\n"
+    (Obs.Recorder.length recorder) (Obs.Recorder.dropped recorder)
+
+(* ------------------------------------------------------------------ *)
+(* PERF-GUARD: fresh headline vs the committed baseline               *)
+(* ------------------------------------------------------------------ *)
+
+let perf_guard () =
+  section "PERF-GUARD: tracing-disabled hot path vs BENCH_hotpath.json";
+  match Bench_kit.Perf.guard () with
+  | Error e ->
+    Printf.eprintf "perf-guard: %s\n" e;
+    exit 1
+  | Ok g ->
+    Printf.printf
+      "baseline %16.0f pkts/sec\nfresh    %16.0f pkts/sec\nratio    %16.3f (tolerance -%.0f%%)\n"
+      g.Bench_kit.Perf.baseline_pps g.fresh_pps g.ratio (g.tol *. 100.0);
+    if g.within then print_endline "perf-guard: OK"
+    else begin
+      Printf.eprintf
+        "perf-guard: FAIL — untraced hot path is more than %.0f%% below the committed baseline\n"
+        (g.tol *. 100.0);
+      exit 1
+    end
+
+(* ------------------------------------------------------------------ *)
 
 let all_benches =
   [
@@ -440,7 +526,13 @@ let all_benches =
 let perf_headline () =
   Printf.printf "headline_pkts_per_sec %.0f\n%!" (Bench_kit.Perf.headline ())
 
-let extra_benches = [ ("perf-quick", perf_quick); ("perf-headline", perf_headline) ]
+let extra_benches =
+  [
+    ("perf-quick", perf_quick);
+    ("perf-headline", perf_headline);
+    ("trace-overhead", trace_overhead);
+    ("perf-guard", perf_guard);
+  ]
 
 let () =
   let requested =

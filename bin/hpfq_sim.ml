@@ -2,6 +2,7 @@
 
    Subcommands mirror the per-experiment index in DESIGN.md:
      fig2          service-order walkthrough (GPS / WFQ / WF2Q / WF2Q+ / SCFQ)
+     trace         structured packet/virtual-time trace of a paper hierarchy
      delay         Figs. 4-7: RT-1 delay under a chosen H-PFQ discipline
      link-sharing  Figs. 8-9: TCP sessions vs ideal H-GPS
      wfi           T-WFI probe sweep over the number of sessions
@@ -50,6 +51,79 @@ let fig2_cmd =
   in
   Cmd.v (Cmd.info "fig2" ~doc:"Service order walkthrough (paper Fig. 2).")
     Term.(const run $ const ())
+
+(* -- trace --------------------------------------------------------------- *)
+
+let trace_cmd =
+  let run discipline horizon out format capacity metrics_out =
+    let spec = Experiments.Paper_hierarchies.fig3 in
+    let sim = Engine.Simulator.create () in
+    let h =
+      Hpfq.Hier.create ~sim ~spec ~make_policy:(Hpfq.Hier.uniform discipline) ()
+    in
+    let trace = Obs.Trace.attach_hier ~capacity h in
+    Obs.Trace.attach_sim trace sim;
+    (* deterministic saturation: every leaf keeps a fixed backlog topped up
+       on a fixed schedule, so the same command always emits the same trace *)
+    let packet = 8.0 *. 1024.0 *. 8.0 in
+    List.iter
+      (fun (name, _) ->
+        let leaf = Hpfq.Hier.leaf_id h name in
+        ignore
+          (Traffic.Source.greedy ~sim
+             ~emit:(fun ~size_bits -> ignore (Hpfq.Hier.inject h ~leaf ~size_bits))
+             ~packet_bits:packet ~backlog_packets:8 ~top_up_every:0.25
+             ~stop_at:horizon ()))
+      (Hpfq.Class_tree.leaves spec);
+    Engine.Simulator.run ~until:horizon sim;
+    (match format with
+    | "jsonl" -> Obs.Trace.write_jsonl trace ~path:out
+    | "csv" -> Obs.Trace.write_csv trace ~path:out
+    | f -> invalid_arg (Printf.sprintf "unknown trace format %S (jsonl|csv)" f));
+    let scheduled, fired, cancelled = Obs.Trace.sim_counters trace in
+    Printf.printf "wrote %s: %d events retained, %d dropped by the ring\n" out
+      (Obs.Recorder.length (Obs.Trace.recorder trace))
+      (Obs.Recorder.dropped (Obs.Trace.recorder trace));
+    Printf.printf "event loop: %d scheduled, %d fired, %d cancelled\n" scheduled fired
+      cancelled;
+    Option.iter
+      (fun path ->
+        Stats.Report.to_csv (Obs.Trace.metrics_report trace) ~path;
+        Printf.printf "wrote %s\n" path)
+      metrics_out
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "trace.jsonl"
+      & info [ "o"; "out" ] ~docv:"PATH" ~doc:"Trace output file.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt string "jsonl"
+      & info [ "format" ] ~docv:"jsonl|csv" ~doc:"Trace output format.")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt int 262144
+      & info [ "capacity" ] ~docv:"N" ~doc:"Event ring capacity (oldest dropped beyond).")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"PATH" ~doc:"Also dump per-node metric counters as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the Fig. 3 hierarchy saturated and dump the structured \
+          packet/virtual-time event trace.")
+    Term.(
+      const run $ discipline_arg $ horizon_arg 0.5 $ out_arg $ format_arg $ capacity_arg
+      $ metrics_arg)
 
 (* -- delay --------------------------------------------------------------- *)
 
@@ -198,4 +272,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "hpfq-sim" ~version:"1.0.0"
              ~doc:"Reproduction driver for Bennett & Zhang, SIGCOMM'96.")
-          [ fig2_cmd; delay_cmd; link_sharing_cmd; wfi_cmd; tree_cmd; custom_cmd ]))
+          [ fig2_cmd; trace_cmd; delay_cmd; link_sharing_cmd; wfi_cmd; tree_cmd; custom_cmd ]))

@@ -20,6 +20,7 @@ module CT = Hpfq.Class_tree
 let strict_priority ~rate:_ : Sched.Sched_intf.t =
   let backlogged = Hashtbl.create 8 in
   let count = ref 0 and sessions = ref 0 in
+  let observer : Sched.Sched_intf.observer option ref = ref None in
   let select ~now:_ =
     (* smallest session index wins: linear scan is fine for an example *)
     let best = ref None in
@@ -47,6 +48,7 @@ let strict_priority ~rate:_ : Sched.Sched_intf.t =
     select;
     virtual_time = (fun ~now -> now);
     backlogged_count = (fun () -> !count);
+    set_observer = (fun o -> observer := o);
   }
 
 let spec =

@@ -72,6 +72,47 @@ let rec emit b ~indent ~level v =
     Buffer.add_string b (pad level);
     Buffer.add_char b '}'
 
+(* Single-line emission for JSON-lines streams: no newlines anywhere, one
+   value per call. Writes into the caller's buffer so a trace exporter can
+   reuse one scratch buffer across millions of events. *)
+let rec emit_compact b v =
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (string_of_bool x)
+  | Num x ->
+    if not (Float.is_finite x) then Buffer.add_string b "null"
+    else Buffer.add_string b (number_to_string x)
+  | Str s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (escape_string s);
+    Buffer.add_char b '"'
+  | Arr xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        emit_compact b x)
+      xs;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, x) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape_string k);
+        Buffer.add_string b "\":";
+        emit_compact b x)
+      fields;
+    Buffer.add_char b '}'
+
+let to_buffer_compact b v = emit_compact b v
+
+let to_string_compact v =
+  let b = Buffer.create 256 in
+  emit_compact b v;
+  Buffer.contents b
+
 let to_string ?(indent = 2) v =
   let b = Buffer.create 4096 in
   emit b ~indent ~level:0 v;

@@ -36,7 +36,7 @@ let max_hier_leaves = 4096
 (* N perpetually backlogged unit-packet sessions; each step is one full
    scheduling cycle: select the next session, then hand it its next head
    packet (arrive + requeue). Mirrors the `complexity` bench. *)
-let loaded_policy factory n =
+let loaded_policy_with factory n =
   let policy = factory.Sched.Sched_intf.make ~rate:1.0 in
   let rate = 1.0 /. float_of_int n in
   for _ = 1 to n do
@@ -47,13 +47,17 @@ let loaded_policy factory n =
     policy.Sched.Sched_intf.backlog ~now:0.0 ~session:i ~head_bits:1.0
   done;
   let now = ref 0.0 in
-  fun () ->
+  let cycle () =
     match policy.Sched.Sched_intf.select ~now:!now with
     | None -> ()
     | Some s ->
       now := !now +. 1.0;
       policy.Sched.Sched_intf.arrive ~now:!now ~session:s ~size_bits:1.0;
       policy.Sched.Sched_intf.requeue ~now:!now ~session:s ~head_bits:1.0
+  in
+  (policy, cycle)
+
+let loaded_policy factory n = snd (loaded_policy_with factory n)
 
 let time_loop cycle ~iters =
   for _ = 1 to min 1000 iters do
@@ -316,3 +320,50 @@ let headline ?(n = 4096) ?(iters = 400_000) ?(runs = 5) () =
   in
   let sorted = List.sort compare samples in
   List.nth sorted (runs / 2)
+
+(* -- perf-regression guard ------------------------------------------------ *)
+
+let headline_of_report json =
+  match Json.member "headline" json with
+  | None -> Error "report has no \"headline\" object"
+  | Some h ->
+    (match Json.member "pkts_per_sec" h with
+    | None -> Error "headline has no \"pkts_per_sec\" field"
+    | Some v ->
+      (match Json.to_float v with
+      | Some f when f > 0.0 -> Ok f
+      | _ -> Error "headline \"pkts_per_sec\" is not a positive number"))
+
+type guard_result = {
+  baseline_pps : float;
+  fresh_pps : float;
+  ratio : float;
+  tol : float;
+  within : bool;
+}
+
+let default_guard_tol () =
+  match Sys.getenv_opt "HPFQ_PERF_TOL" with
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some t when t > 0.0 -> t
+    | _ -> 0.05)
+  | None -> 0.05
+
+let guard ?(baseline = "BENCH_hotpath.json") ?tol ?n ?iters ?runs () =
+  let tol = match tol with Some t -> t | None -> default_guard_tol () in
+  if not (Sys.file_exists baseline) then
+    Error (Printf.sprintf "baseline %s not found (run `bench perf` first)" baseline)
+  else
+    let parsed =
+      match Json.of_file baseline with
+      | json -> headline_of_report json
+      | exception Json.Parse_error msg -> Error msg
+      | exception Sys_error msg -> Error msg
+    in
+    match parsed with
+    | Error e -> Error (Printf.sprintf "%s: %s" baseline e)
+    | Ok baseline_pps ->
+      let fresh_pps = headline ?n ?iters ?runs () in
+      let ratio = fresh_pps /. baseline_pps in
+      Ok { baseline_pps; fresh_pps; ratio; tol; within = ratio >= 1.0 -. tol }

@@ -22,3 +22,45 @@ val headline : ?n:int -> ?iters:int -> ?runs:int -> unit -> float
 (** Median one-level WF²Q+ packets/second at [n] sessions (default 4096)
     over [runs] measurements — a stable single number for back-to-back
     comparison of two builds on the same machine. *)
+
+val loaded_policy_with :
+  Sched.Sched_intf.factory -> int -> Sched.Sched_intf.t * (unit -> unit)
+(** A policy instance with [n] perpetually backlogged unit-packet sessions
+    plus a closure running one full scheduling cycle
+    (select + arrive + requeue) per call. The policy is returned alongside
+    the cycle so callers can install an observer on it — the tracing-overhead
+    bench measures the same loop with and without one. *)
+
+val loaded_policy : Sched.Sched_intf.factory -> int -> unit -> unit
+(** [snd (loaded_policy_with factory n)]. *)
+
+val time_loop : (unit -> unit) -> iters:int -> float * float
+(** Warm the closure (up to 1000 calls), then run it [iters] times:
+    [(wall seconds, minor-heap words allocated)]. *)
+
+val headline_of_report : Json.t -> (float, string) result
+(** Extract [headline.pkts_per_sec] from a parsed perf report. *)
+
+type guard_result = {
+  baseline_pps : float;  (** headline recorded in the baseline file *)
+  fresh_pps : float;  (** headline measured just now *)
+  ratio : float;  (** [fresh_pps /. baseline_pps] *)
+  tol : float;  (** relative slowdown tolerated *)
+  within : bool;  (** [ratio >= 1 - tol] *)
+}
+
+val guard :
+  ?baseline:string ->
+  ?tol:float ->
+  ?n:int ->
+  ?iters:int ->
+  ?runs:int ->
+  unit ->
+  (guard_result, string) result
+(** Perf-regression gate: measure a fresh {!headline} (with tracing
+    disabled — no observer is ever installed) and compare it against the
+    [headline.pkts_per_sec] recorded in [baseline] (default
+    ["BENCH_hotpath.json"]). [tol] defaults to the [HPFQ_PERF_TOL]
+    environment variable, or 0.05 — the observability layer must not cost
+    the untraced hot path more than 5%. [Error] means the baseline is
+    missing or unreadable, not a perf failure. *)

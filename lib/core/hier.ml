@@ -35,8 +35,9 @@ type t = {
   by_name : (string, int) Hashtbl.t;
   leaf_list : (string * int) list;
   root_clock : [ `Real_time | `Reference_time ];
-  on_depart : Net.Packet.t -> leaf:string -> float -> unit;
-  on_drop : Net.Packet.t -> leaf:string -> float -> unit;
+  mutable on_depart : Net.Packet.t -> leaf:string -> float -> unit;
+  mutable on_drop : Net.Packet.t -> leaf:string -> float -> unit;
+  mutable on_transmit_start : Net.Packet.t -> leaf:string -> float -> unit;
   mutable link_busy : bool;
   mutable drops : int;
   (* The single packet on the wire (the link serves one packet at a time),
@@ -47,6 +48,8 @@ type t = {
 }
 
 let uniform factory ~level:_ ~name:_ ~rate = factory.Sched_intf.make ~rate
+
+let nop_leaf_cb _ ~leaf:_ _ = ()
 
 let is_root t n = n.id = t.root
 
@@ -117,6 +120,9 @@ and start_transmission t =
       (* reuse [root.logical]'s option cell and the preallocated callback:
          no closure or option allocation per transmitted packet *)
       t.in_flight <- root.logical;
+      if t.on_transmit_start != nop_leaf_cb then
+        t.on_transmit_start pkt ~leaf:t.nodes.(pkt.Net.Packet.flow).name
+          (Engine.Simulator.now t.sim);
       let duration = pkt.Net.Packet.size_bits /. root.rate in
       ignore (Engine.Simulator.schedule_after t.sim ~delay:duration t.complete_cb)
   end
@@ -162,8 +168,9 @@ and reset_path t =
   in
   descend t.nodes.(t.root)
 
-let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?(on_depart = fun _ ~leaf:_ _ -> ())
-    ?(on_drop = fun _ ~leaf:_ _ -> ()) () =
+let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?on_depart ?on_drop () =
+  let on_depart = Option.value on_depart ~default:nop_leaf_cb in
+  let on_drop = Option.value on_drop ~default:nop_leaf_cb in
   (match Class_tree.validate spec with
   | Ok () -> ()
   | Error errors ->
@@ -237,6 +244,7 @@ let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?(on_depart = fun 
       root_clock;
       on_depart;
       on_drop;
+      on_transmit_start = nop_leaf_cb;
       link_busy = false;
       drops = 0;
       in_flight = None;
@@ -314,3 +322,29 @@ let node_virtual_time t ~node =
 
 let link_busy t = t.link_busy
 let drops t = t.drops
+
+(* -- Observability ------------------------------------------------------- *)
+
+let compose_leaf_cb f g =
+  if f == nop_leaf_cb then g else fun pkt ~leaf now -> f pkt ~leaf now; g pkt ~leaf now
+
+let add_depart_hook t f = t.on_depart <- compose_leaf_cb t.on_depart f
+let add_drop_hook t f = t.on_drop <- compose_leaf_cb t.on_drop f
+let add_transmit_start_hook t f = t.on_transmit_start <- compose_leaf_cb t.on_transmit_start f
+let root_name t = t.nodes.(t.root).name
+let node_name t id = t.nodes.(id).name
+
+let iter_interior t f =
+  Array.iter
+    (fun n ->
+      match n.kind with
+      | Leaf_node _ -> ()
+      | Interior { policy } ->
+        f ~id:n.id ~name:n.name ~level:n.level ~children:n.children ~policy)
+    t.nodes
+
+let node_count t = Array.length t.nodes
+
+let set_node_observer t ~node observer =
+  let n = node_by_name t node in
+  (policy_of n).Sched_intf.set_observer observer

@@ -65,3 +65,45 @@ val node_virtual_time : t -> node:string -> float
 
 val link_busy : t -> bool
 val drops : t -> int
+
+(** {2 Observability}
+
+    The tracing layer ([lib/obs]) attaches to a hierarchy through these: the
+    packet-level hooks see link events, and [iter_interior] exposes every
+    node's policy so a per-node {!Sched.Sched_intf.observer} can be
+    installed. All hooks compose with (run after) the callbacks given at
+    creation; with none installed the hot path is unchanged. *)
+
+val add_depart_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
+(** Append a departure callback (fires when the last bit leaves the link). *)
+
+val add_drop_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
+(** Append a drop callback. *)
+
+val add_transmit_start_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
+(** Append a callback fired when a packet's first bit goes onto the link. *)
+
+val root_name : t -> string
+
+val node_name : t -> int -> string
+(** Name of any node id (leaves included; total over ids handed out). *)
+
+val node_count : t -> int
+(** Total nodes (interior + leaves); ids are [0 .. node_count - 1]. *)
+
+val iter_interior :
+  t ->
+  (id:int ->
+  name:string ->
+  level:int ->
+  children:int array ->
+  policy:Sched.Sched_intf.t ->
+  unit) ->
+  unit
+(** Visit every interior node in id (preorder) order. [children.(s)] is the
+    node id behind the policy's session index [s]. *)
+
+val set_node_observer : t -> node:string -> Sched.Sched_intf.observer option -> unit
+(** Install or remove an observer on the named interior node's policy.
+    @raise Not_found if no such node.
+    @raise Invalid_argument if the node is a leaf. *)

@@ -14,13 +14,18 @@ type t = {
   rate : float;
   policy : Sched_intf.t;
   sessions : session Vec.t;
-  on_depart : Net.Packet.t -> float -> unit;
-  on_drop : Net.Packet.t -> float -> unit;
+  mutable on_depart : Net.Packet.t -> float -> unit;
+  mutable on_drop : Net.Packet.t -> float -> unit;
+  mutable on_transmit_start : Net.Packet.t -> float -> unit;
   mutable busy : bool;
   mutable departed_total : float;
 }
 
-let create ~sim ~rate ~policy ?(on_depart = fun _ _ -> ()) ?(on_drop = fun _ _ -> ()) () =
+let nop2 _ _ = ()
+
+let create ~sim ~rate ~policy ?on_depart ?on_drop () =
+  let on_depart = Option.value on_depart ~default:nop2 in
+  let on_drop = Option.value on_drop ~default:nop2 in
   if rate <= 0.0 then invalid_arg "Server.create: rate must be positive";
   {
     sim;
@@ -29,9 +34,17 @@ let create ~sim ~rate ~policy ?(on_depart = fun _ _ -> ()) ?(on_drop = fun _ _ -
     sessions = Vec.create ();
     on_depart;
     on_drop;
+    on_transmit_start = nop2;
     busy = false;
     departed_total = 0.0;
   }
+
+(* Hook setters compose with (run after) whatever is installed, so tracing
+   can piggyback on a server whose owner already registered callbacks. *)
+let compose2 f g = if f == nop2 then g else fun a b -> f a b; g a b
+let add_depart_hook t f = t.on_depart <- compose2 t.on_depart f
+let add_drop_hook t f = t.on_drop <- compose2 t.on_drop f
+let add_transmit_start_hook t f = t.on_transmit_start <- compose2 t.on_transmit_start f
 
 let add_session t ~rate ?queue_capacity_bits () =
   let idx = t.policy.Sched_intf.add_session ~rate in
@@ -57,6 +70,7 @@ let rec start_transmission t =
       in
       s.in_service <- true;
       t.busy <- true;
+      t.on_transmit_start pkt now;
       let duration = pkt.Net.Packet.size_bits /. t.rate in
       ignore
         (Engine.Simulator.schedule_after t.sim ~delay:duration (fun () ->
@@ -101,6 +115,7 @@ let inject t ~session ~size_bits =
   end
 
 let queue_bits t ~session = Net.Fifo.bits (Vec.get t.sessions session).fifo
+let session_count t = Vec.length t.sessions
 let busy t = t.busy
 let policy t = t.policy
 let departed_bits t ~session = (Vec.get t.sessions session).departed_bits

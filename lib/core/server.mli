@@ -36,6 +36,19 @@ val queue_bits : t -> session:int -> float
 
 val busy : t -> bool
 val policy : t -> Sched.Sched_intf.t
+val session_count : t -> int
+
+val add_depart_hook : t -> (Net.Packet.t -> float -> unit) -> unit
+(** Append a departure callback, composed after any existing ones (including
+    the [on_depart] given at creation). Used by the tracing layer. *)
+
+val add_drop_hook : t -> (Net.Packet.t -> float -> unit) -> unit
+(** Append a drop callback; same composition rule as {!add_depart_hook}. *)
+
+val add_transmit_start_hook : t -> (Net.Packet.t -> float -> unit) -> unit
+(** Append a callback fired when a packet's first bit goes onto the link
+    (i.e. right after the policy selected it and the server committed). *)
+
 val departed_bits : t -> session:int -> float
 (** Cumulative W_i(0, now): bits of the session fully transmitted. *)
 

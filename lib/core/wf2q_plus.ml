@@ -23,6 +23,7 @@ type state = {
                                        (mutable floats in this mixed record would box on
                                        every store). *)
   mutable backlogged_count : int;
+  mutable observer : Sched_intf.observer option;
 }
 
 (* The V(t)+τ term of eq. 27. [v] is post-dated to [v_time], the completion
@@ -88,6 +89,7 @@ let make ~rate =
       waiting = Prioq.Indexed_heap4.create 16;
       vv = [| 0.0; 0.0 |];
       backlogged_count = 0;
+      observer = None;
     }
   in
   let add_session ~rate =
@@ -98,7 +100,11 @@ let make ~rate =
     t.n_sessions <- session + 1;
     session
   in
-  let arrive ~now:_ ~session:_ ~size_bits:_ = () in
+  let arrive ~now ~session ~size_bits =
+    match t.observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_arrive ~now ~vtime:(linear_v t ~now) ~session ~size_bits
+  in
   let backlog ~now ~session ~head_bits =
     check_session t session;
     if Bytes.get t.backlogged session <> '\000' then
@@ -110,9 +116,12 @@ let make ~rate =
     t.head_bits.(session) <- head_bits;
     Bytes.set t.backlogged session '\001';
     t.backlogged_count <- t.backlogged_count + 1;
-    place t session
+    place t session;
+    match t.observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_backlog ~now ~vtime:(linear_v t ~now) ~session ~head_bits
   in
-  let requeue ~now:_ ~session ~head_bits =
+  let requeue ~now ~session ~head_bits =
     check_session t session;
     (* eq. 28, busy branch: S = F *)
     let start = t.finishes.(session) in
@@ -133,16 +142,22 @@ let make ~rate =
     else begin
       Prioq.Indexed_heap4.remove t.waiting session;
       place t session
-    end
+    end;
+    match t.observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_requeue ~now ~vtime:(linear_v t ~now) ~session ~head_bits
   in
-  let set_idle ~now:_ ~session =
+  let set_idle ~now ~session =
     check_session t session;
     if Bytes.get t.backlogged session = '\000' then
       invalid_arg "Wf2q_plus: set_idle of idle session";
     Bytes.set t.backlogged session '\000';
     t.backlogged_count <- t.backlogged_count - 1;
     Prioq.Indexed_heap4.remove t.eligible session;
-    Prioq.Indexed_heap4.remove t.waiting session
+    Prioq.Indexed_heap4.remove t.waiting session;
+    match t.observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_idle ~now ~vtime:(linear_v t ~now) ~session
   in
   let select ~now =
     if t.backlogged_count = 0 then None
@@ -167,6 +182,9 @@ let make ~rate =
            completion of the packet just committed. *)
         t.vv.(0) <- threshold +. service;
         t.vv.(1) <- now +. service;
+        (match t.observer with
+        | None -> ()
+        | Some o -> o.Sched_intf.on_select ~now ~vtime:t.vv.(0) ~session);
         Some session
       end
     end
@@ -181,6 +199,7 @@ let make ~rate =
     select;
     virtual_time = (fun ~now -> linear_v t ~now);
     backlogged_count = (fun () -> t.backlogged_count);
+    set_observer = (fun o -> t.observer <- o);
   }
 
 let factory = { Sched_intf.kind = "WF2Q+"; make }

@@ -15,6 +15,7 @@ type state = {
   mutable v : float;
   mutable v_time : float;
   mutable backlogged_count : int;
+  mutable observer : Sched_intf.observer option;
 }
 
 let linear_v t ~now = t.v +. (now -. t.v_time)
@@ -53,6 +54,7 @@ let make ~rate =
       v = 0.0;
       v_time = 0.0;
       backlogged_count = 0;
+      observer = None;
     }
   in
   let add_session ~rate =
@@ -66,30 +68,42 @@ let make ~rate =
     let start = Float.max s.last_finish (linear_v t ~now) in
     let finish = start +. (size_bits /. s.rate) in
     s.last_finish <- finish;
-    Queue.push (start, finish) s.stamps
+    Queue.push (start, finish) s.stamps;
+    match t.observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_arrive ~now ~vtime:(linear_v t ~now) ~session ~size_bits
   in
-  let backlog ~now:_ ~session ~head_bits:_ =
+  let backlog ~now ~session ~head_bits =
     let s = Vec.get t.sessions session in
     if s.backlogged then invalid_arg "Wf2q_plus_stamped: backlog of backlogged session";
     s.backlogged <- true;
     t.backlogged_count <- t.backlogged_count + 1;
-    place t session
+    place t session;
+    match t.observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_backlog ~now ~vtime:(linear_v t ~now) ~session ~head_bits
   in
   let remove_from_heaps session =
     Prioq.Indexed_heap4.remove t.eligible session;
     Prioq.Indexed_heap4.remove t.waiting session
   in
-  let requeue ~now:_ ~session ~head_bits:_ =
+  let requeue ~now ~session ~head_bits =
     ignore (Queue.pop (Vec.get t.sessions session).stamps);
     remove_from_heaps session;
-    place t session
+    place t session;
+    match t.observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_requeue ~now ~vtime:(linear_v t ~now) ~session ~head_bits
   in
-  let set_idle ~now:_ ~session =
+  let set_idle ~now ~session =
     let s = Vec.get t.sessions session in
     ignore (Queue.pop s.stamps);
     remove_from_heaps session;
     s.backlogged <- false;
-    t.backlogged_count <- t.backlogged_count - 1
+    t.backlogged_count <- t.backlogged_count - 1;
+    match t.observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_idle ~now ~vtime:(linear_v t ~now) ~session
   in
   let select ~now =
     if t.backlogged_count = 0 then None
@@ -115,6 +129,9 @@ let make ~rate =
         let service = head_bits /. t.server_rate in
         t.v <- threshold +. service;
         t.v_time <- now +. service;
+        (match t.observer with
+        | None -> ()
+        | Some o -> o.Sched_intf.on_select ~now ~vtime:t.v ~session);
         Some session
     end
   in
@@ -128,6 +145,7 @@ let make ~rate =
     select;
     virtual_time = (fun ~now -> linear_v t ~now);
     backlogged_count = (fun () -> t.backlogged_count);
+    set_observer = (fun o -> t.observer <- o);
   }
 
 let factory = { Sched_intf.kind = "WF2Q+pp"; make }

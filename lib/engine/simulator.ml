@@ -36,6 +36,12 @@ let st_cancelled = '\002'
 
 let no_action = ignore
 
+type probe = {
+  on_schedule : at:float -> now:float -> unit;
+  on_fire : at:float -> unit;
+  on_cancel : at:float -> now:float -> unit;
+}
+
 type t = {
   (* event pool, slot-indexed *)
   mutable times : float array;
@@ -52,6 +58,7 @@ type t = {
   mutable next_seq : int;
   mutable fired : int;
   mutable live : int; (* pending and not cancelled *)
+  mutable probe : probe option; (* observability hook; None must stay free *)
 }
 
 let initial_capacity = 16
@@ -76,6 +83,7 @@ let create () =
     next_seq = 0;
     fired = 0;
     live = 0;
+    probe = None;
   }
 
 let now t = t.clock
@@ -220,6 +228,9 @@ let schedule t ~at action =
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
   heap_push t slot;
+  (match t.probe with
+  | None -> ()
+  | Some p -> p.on_schedule ~at ~now:t.clock);
   pack ~slot ~gen:t.gens.(slot)
 
 let schedule_after t ~delay action =
@@ -236,6 +247,9 @@ let cancel t id =
     Bytes.set t.state slot st_cancelled;
     t.actions.(slot) <- no_action; (* release the closure eagerly *)
     t.live <- t.live - 1;
+    (match t.probe with
+    | None -> ()
+    | Some p -> p.on_cancel ~at:t.times.(slot) ~now:t.clock);
     (* cancelled-in-heap = heap_size - live; compact once they exceed
        half the heap (and the heap is big enough to be worth it) *)
     if t.heap_size >= compact_min_heap && t.heap_size - t.live > t.live then
@@ -267,6 +281,9 @@ let step t =
     (* free before firing: the handler may schedule (reusing this slot)
        or cancel (the bumped generation makes its own id stale) *)
     free_slot t slot;
+    (match t.probe with
+    | None -> ()
+    | Some p -> p.on_fire ~at:t.clock);
     action ();
     true
   end
@@ -291,3 +308,4 @@ let run ?until t =
     if t.clock < horizon then t.clock <- horizon
 
 let events_processed t = t.fired
+let set_probe t p = t.probe <- p

@@ -38,3 +38,23 @@ val run : ?until:float -> t -> unit
 
 val events_processed : t -> int
 (** Total events fired so far (monitoring / tests). *)
+
+(** {2 Observability}
+
+    A probe sees the event loop's lifecycle: every schedule, fire, and
+    effective cancel (stale cancels are invisible, as they change nothing).
+    Probes power the tracing layer's real-time axis; [None] (the default)
+    costs one branch per operation and allocates nothing. *)
+
+type probe = {
+  on_schedule : at:float -> now:float -> unit;
+  (** An event was scheduled for absolute time [at] while the clock read
+      [now]. *)
+  on_fire : at:float -> unit;
+  (** An event is about to fire; the clock has already advanced to [at]. *)
+  on_cancel : at:float -> now:float -> unit;
+  (** A live event destined for [at] was cancelled at [now]. *)
+}
+
+val set_probe : t -> probe option -> unit
+(** Install or remove the probe. Replaces any previous probe. *)

@@ -50,6 +50,35 @@ let run_packet factory =
   Engine.Simulator.run sim;
   List.rev !finishes
 
+let run_traced factory =
+  let sim = Engine.Simulator.create () in
+  let finishes = ref [] in
+  let server =
+    Hpfq.Server.create ~sim ~rate:1.0
+      ~policy:(factory.Sched.Sched_intf.make ~rate:1.0)
+      ~on_depart:(fun pkt t ->
+        finishes :=
+          { session = pkt.Net.Packet.flow; seq = pkt.Net.Packet.seq; finish = t }
+          :: !finishes)
+      ()
+  in
+  List.iter (fun r -> ignore (Hpfq.Server.add_session server ~rate:r ())) session_rates;
+  let session_names =
+    Array.init (List.length session_rates) (fun i -> Printf.sprintf "s%d" (i + 1))
+  in
+  let trace = Obs.Trace.attach_server ~name:"fig2-link" ~session_names server in
+  Obs.Trace.attach_sim trace sim;
+  ignore
+    (Engine.Simulator.schedule sim ~at:0.0 (fun () ->
+         for _ = 1 to 11 do
+           ignore (Hpfq.Server.inject server ~session:0 ~size_bits:1.0)
+         done;
+         for s = 1 to 10 do
+           ignore (Hpfq.Server.inject server ~session:s ~size_bits:1.0)
+         done));
+  Engine.Simulator.run sim;
+  (List.rev !finishes, trace)
+
 let run () =
   let disciplines =
     [

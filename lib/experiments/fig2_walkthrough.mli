@@ -15,6 +15,13 @@ type result = {
 val run : unit -> result
 (** Disciplines compared: WFQ, WF²Q, WF²Q+, SCFQ. *)
 
+val run_traced : Sched.Sched_intf.factory -> completion list * Obs.Trace.t
+(** Run the same scenario under one discipline with the observability layer
+    attached: every scheduler operation, link event, and per-session metric
+    of the walkthrough ends up in the returned trace. Sessions are labelled
+    [s1 … s11] ([s1] is the φ = 0.5 burst session). The golden-trace test
+    pins this trace for WF²Q+. *)
+
 val session1_finishes : completion list -> float list
 (** Finish times of session 1's packets, in sequence order. *)
 

@@ -1,0 +1,64 @@
+type kind =
+  | Arrive
+  | Backlog
+  | Requeue
+  | Idle
+  | Select
+  | Transmit_start
+  | Depart
+  | Drop
+
+type t = {
+  kind : kind;
+  node : int;
+  session : int;
+  time : float;
+  vtime : float;
+  bits : float;
+}
+
+let kind_code = function
+  | Arrive -> '\000'
+  | Backlog -> '\001'
+  | Requeue -> '\002'
+  | Idle -> '\003'
+  | Select -> '\004'
+  | Transmit_start -> '\005'
+  | Depart -> '\006'
+  | Drop -> '\007'
+
+let kind_of_code = function
+  | '\000' -> Arrive
+  | '\001' -> Backlog
+  | '\002' -> Requeue
+  | '\003' -> Idle
+  | '\004' -> Select
+  | '\005' -> Transmit_start
+  | '\006' -> Depart
+  | '\007' -> Drop
+  | c -> invalid_arg (Printf.sprintf "Event.kind_of_code: %d" (Char.code c))
+
+let kind_to_string = function
+  | Arrive -> "arrive"
+  | Backlog -> "backlog"
+  | Requeue -> "requeue"
+  | Idle -> "idle"
+  | Select -> "select"
+  | Transmit_start -> "transmit_start"
+  | Depart -> "depart"
+  | Drop -> "drop"
+
+let kind_of_string = function
+  | "arrive" -> Some Arrive
+  | "backlog" -> Some Backlog
+  | "requeue" -> Some Requeue
+  | "idle" -> Some Idle
+  | "select" -> Some Select
+  | "transmit_start" -> Some Transmit_start
+  | "depart" -> Some Depart
+  | "drop" -> Some Drop
+  | _ -> None
+
+let is_link_level = function
+  | Transmit_start | Depart | Drop -> true
+  | Arrive | Backlog | Requeue | Idle | Select -> false

@@ -1,0 +1,48 @@
+(** The packet-lifecycle event vocabulary of the tracing layer.
+
+    Two families share one record shape:
+
+    - {e scheduler events} ([Arrive] … [Select]) mirror the five
+      driving-protocol operations of {!Sched.Sched_intf.t}, one per
+      interior node. [node] is the node id, [session] the session index
+      within that node's policy, [vtime] the policy's virtual time when the
+      operation completed.
+    - {e link events} ([Transmit_start], [Depart], [Drop]) come from the
+      physical server. [node] is the packet's leaf id, [session] is [-1]
+      and [vtime] is [nan] (a link has no virtual clock).
+
+    [time] is always real (simulation) time; [bits] the packet or head size
+    involved (0 when not applicable). *)
+
+type kind =
+  | Arrive
+  | Backlog
+  | Requeue
+  | Idle
+  | Select
+  | Transmit_start
+  | Depart
+  | Drop
+
+type t = {
+  kind : kind;
+  node : int;
+  session : int;
+  time : float;
+  vtime : float;
+  bits : float;
+}
+
+val kind_code : kind -> char
+(** Dense byte encoding for struct-of-arrays storage. *)
+
+val kind_of_code : char -> kind
+(** @raise Invalid_argument on a byte outside the encoding. *)
+
+val kind_to_string : kind -> string
+(** Wire name used by the JSONL/CSV exporters (e.g. ["transmit_start"]). *)
+
+val kind_of_string : string -> kind option
+
+val is_link_level : kind -> bool
+(** True for [Transmit_start]/[Depart]/[Drop]. *)

@@ -1,0 +1,52 @@
+(** Allocation-conscious ring buffer of trace events.
+
+    Events live in struct-of-arrays storage (unboxed floats, no per-event
+    record), so {!record} allocates nothing and an enabled trace perturbs
+    the scheduler hot path as little as possible. {!Event.t} records are
+    built only when the buffer is read back ({!iter} / {!to_list} /
+    {!drain}). *)
+
+type on_full =
+  | Drop_oldest  (** Ring semantics: keep the newest [capacity] events. *)
+  | Drop_newest  (** Freeze: keep the first [capacity] events. *)
+  | Grow  (** Double the storage; never drops (unbounded memory). *)
+
+type t
+
+val create : ?capacity:int -> ?on_full:on_full -> unit -> t
+(** Defaults: [capacity = 65536] events, [on_full = Drop_oldest].
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val record :
+  t ->
+  kind:Event.kind ->
+  node:int ->
+  session:int ->
+  time:float ->
+  vtime:float ->
+  bits:float ->
+  unit
+(** Append an event. Allocation-free except when [on_full = Grow] doubles
+    the arrays. *)
+
+val length : t -> int
+(** Events currently retained. *)
+
+val capacity : t -> int
+val dropped : t -> int
+(** Events lost to [Drop_oldest]/[Drop_newest] so far. *)
+
+val get : t -> int -> Event.t
+(** [get t i] is the [i]-th oldest retained event.
+    @raise Invalid_argument out of range. *)
+
+val iter : t -> (Event.t -> unit) -> unit
+(** Oldest first. *)
+
+val to_list : t -> Event.t list
+val clear : t -> unit
+(** Forget all retained events and reset the drop counter. *)
+
+val drain : t -> Sink.t -> unit
+(** Emit every retained event into the sink (oldest first), flush it, then
+    {!clear}. *)

@@ -1,0 +1,72 @@
+type names = {
+  node_label : int -> string;
+  session_label : node:int -> session:int -> string;
+}
+
+let numeric_names =
+  {
+    node_label = string_of_int;
+    session_label = (fun ~node:_ ~session -> string_of_int session);
+  }
+
+type t = { emit : Event.t -> unit; flush : unit -> unit }
+
+let emit t ev = t.emit ev
+let flush t = t.flush ()
+let null = { emit = (fun _ -> ()); flush = (fun () -> ()) }
+
+let memory () =
+  let acc = ref [] in
+  ( { emit = (fun ev -> acc := ev :: !acc); flush = (fun () -> ()) },
+    fun () -> List.rev !acc )
+
+let json_of_event names (ev : Event.t) =
+  let open Bench_kit.Json in
+  let link = Event.is_link_level ev.kind in
+  Obj
+    [
+      ("ev", Str (Event.kind_to_string ev.kind));
+      ("t", Num ev.time);
+      ("node", Str (names.node_label ev.node));
+      ( "session",
+        if link then Null else Str (names.session_label ~node:ev.node ~session:ev.session)
+      );
+      ("v", if link then Null else Num ev.vtime);
+      ("bits", Num ev.bits);
+    ]
+
+let jsonl ?(names = numeric_names) oc =
+  let buf = Buffer.create 256 in
+  {
+    emit =
+      (fun ev ->
+        Buffer.clear buf;
+        Bench_kit.Json.to_buffer_compact buf (json_of_event names ev);
+        Buffer.add_char buf '\n';
+        Buffer.output_buffer oc buf);
+    flush = (fun () -> Stdlib.flush oc);
+  }
+
+let csv_header = [ "event"; "time"; "node"; "session"; "vtime"; "bits" ]
+
+let csv_row names (ev : Event.t) =
+  let link = Event.is_link_level ev.kind in
+  [
+    Event.kind_to_string ev.kind;
+    Printf.sprintf "%.9g" ev.time;
+    names.node_label ev.node;
+    (if link then "" else names.session_label ~node:ev.node ~session:ev.session);
+    (if link then "" else Printf.sprintf "%.9g" ev.vtime);
+    Printf.sprintf "%.9g" ev.bits;
+  ]
+
+let csv ?(names = numeric_names) oc =
+  output_string oc (String.concat "," csv_header);
+  output_char oc '\n';
+  {
+    emit =
+      (fun ev ->
+        output_string oc (String.concat "," (csv_row names ev));
+        output_char oc '\n');
+    flush = (fun () -> Stdlib.flush oc);
+  }

@@ -1,0 +1,198 @@
+module Sched_intf = Sched.Sched_intf
+
+type t = {
+  recorder : Recorder.t;
+  metrics : Metrics.t;
+  node_names : string array;
+  session_nodes : int array array; (* interior id -> session idx -> child node id *)
+  parents : int array;             (* node id -> parent id, -1 at the root *)
+  mutable detach_fns : (unit -> unit) list;
+  mutable sim_scheduled : int;
+  mutable sim_fired : int;
+  mutable sim_cancelled : int;
+}
+
+let recorder t = t.recorder
+let metrics t = t.metrics
+
+let names t =
+  let node_label id =
+    if id >= 0 && id < Array.length t.node_names then t.node_names.(id)
+    else string_of_int id
+  in
+  {
+    Sink.node_label;
+    session_label =
+      (fun ~node ~session ->
+        if node >= 0 && node < Array.length t.session_nodes then begin
+          let children = t.session_nodes.(node) in
+          if session >= 0 && session < Array.length children then
+            node_label children.(session)
+          else string_of_int session
+        end
+        else string_of_int session);
+  }
+
+let observer t ~node =
+  {
+    Sched_intf.on_arrive =
+      (fun ~now ~vtime ~session ~size_bits ->
+        Recorder.record t.recorder ~kind:Event.Arrive ~node ~session ~time:now ~vtime
+          ~bits:size_bits;
+        Metrics.on_arrive t.metrics ~node ~vtime ~bits:size_bits);
+    on_backlog =
+      (fun ~now ~vtime ~session ~head_bits ->
+        Recorder.record t.recorder ~kind:Event.Backlog ~node ~session ~time:now ~vtime
+          ~bits:head_bits;
+        Metrics.on_backlog t.metrics ~node ~vtime);
+    on_requeue =
+      (fun ~now ~vtime ~session ~head_bits ->
+        Recorder.record t.recorder ~kind:Event.Requeue ~node ~session ~time:now ~vtime
+          ~bits:head_bits;
+        Metrics.note_vtime t.metrics ~node ~vtime);
+    on_idle =
+      (fun ~now ~vtime ~session ->
+        Recorder.record t.recorder ~kind:Event.Idle ~node ~session ~time:now ~vtime
+          ~bits:0.0;
+        Metrics.on_idle t.metrics ~node ~vtime);
+    on_select =
+      (fun ~now ~vtime ~session ->
+        Recorder.record t.recorder ~kind:Event.Select ~node ~session ~time:now ~vtime
+          ~bits:0.0;
+        Metrics.on_select t.metrics ~node ~vtime);
+  }
+
+let record_link t ~kind ~leaf_node ~time ~bits =
+  Recorder.record t.recorder ~kind ~node:leaf_node ~session:(-1) ~time ~vtime:Float.nan
+    ~bits
+
+let credit_path t ~leaf_node ~bits =
+  let node = ref leaf_node in
+  while !node >= 0 do
+    Metrics.credit_served t.metrics ~node:!node ~bits;
+    node := t.parents.(!node)
+  done
+
+let make ~recorder ~node_names ~session_nodes ~parents =
+  {
+    recorder;
+    metrics = Metrics.create ~names:node_names;
+    node_names;
+    session_nodes;
+    parents;
+    detach_fns = [];
+    sim_scheduled = 0;
+    sim_fired = 0;
+    sim_cancelled = 0;
+  }
+
+let attach_hier ?(capacity = 65536) ?(on_full = Recorder.Drop_oldest) h =
+  let n = Hpfq.Hier.node_count h in
+  let node_names = Array.init n (Hpfq.Hier.node_name h) in
+  let session_nodes = Array.make n [||] in
+  let parents = Array.make n (-1) in
+  Hpfq.Hier.iter_interior h (fun ~id ~name:_ ~level:_ ~children ~policy:_ ->
+      session_nodes.(id) <- children;
+      Array.iter (fun cid -> parents.(cid) <- id) children);
+  let t =
+    make ~recorder:(Recorder.create ~capacity ~on_full ()) ~node_names ~session_nodes
+      ~parents
+  in
+  Hpfq.Hier.iter_interior h (fun ~id ~name:_ ~level:_ ~children:_ ~policy ->
+      policy.Sched_intf.set_observer (Some (observer t ~node:id));
+      t.detach_fns <- (fun () -> policy.Sched_intf.set_observer None) :: t.detach_fns);
+  Hpfq.Hier.add_transmit_start_hook h (fun pkt ~leaf:_ time ->
+      record_link t ~kind:Event.Transmit_start ~leaf_node:pkt.Net.Packet.flow ~time
+        ~bits:pkt.Net.Packet.size_bits);
+  Hpfq.Hier.add_depart_hook h (fun pkt ~leaf:_ time ->
+      let leaf_node = pkt.Net.Packet.flow in
+      let bits = pkt.Net.Packet.size_bits in
+      record_link t ~kind:Event.Depart ~leaf_node ~time ~bits;
+      credit_path t ~leaf_node ~bits);
+  Hpfq.Hier.add_drop_hook h (fun pkt ~leaf:_ time ->
+      record_link t ~kind:Event.Drop ~leaf_node:pkt.Net.Packet.flow ~time
+        ~bits:pkt.Net.Packet.size_bits;
+      Metrics.on_drop t.metrics ~node:pkt.Net.Packet.flow);
+  t
+
+let attach_server ?(capacity = 65536) ?(on_full = Recorder.Drop_oldest)
+    ?(name = "server") ?session_names srv =
+  let sessions = Hpfq.Server.session_count srv in
+  let session_name i =
+    match session_names with
+    | Some a when i < Array.length a -> a.(i)
+    | Some _ | None -> Printf.sprintf "s%d" i
+  in
+  (* Node id space mirrors a one-level hierarchy: 0 is the server node,
+     1 + i stands for session i (the "leaves" link events belong to). *)
+  let node_names =
+    Array.init (1 + sessions) (fun id -> if id = 0 then name else session_name (id - 1))
+  in
+  let session_nodes = Array.make (1 + sessions) [||] in
+  session_nodes.(0) <- Array.init sessions (fun i -> 1 + i);
+  let parents = Array.init (1 + sessions) (fun id -> if id = 0 then -1 else 0) in
+  let t =
+    make ~recorder:(Recorder.create ~capacity ~on_full ()) ~node_names ~session_nodes
+      ~parents
+  in
+  let policy = Hpfq.Server.policy srv in
+  policy.Sched_intf.set_observer (Some (observer t ~node:0));
+  t.detach_fns <- [ (fun () -> policy.Sched_intf.set_observer None) ];
+  Hpfq.Server.add_transmit_start_hook srv (fun pkt time ->
+      record_link t ~kind:Event.Transmit_start ~leaf_node:(1 + pkt.Net.Packet.flow)
+        ~time ~bits:pkt.Net.Packet.size_bits);
+  Hpfq.Server.add_depart_hook srv (fun pkt time ->
+      let leaf_node = 1 + pkt.Net.Packet.flow in
+      let bits = pkt.Net.Packet.size_bits in
+      record_link t ~kind:Event.Depart ~leaf_node ~time ~bits;
+      credit_path t ~leaf_node ~bits);
+  Hpfq.Server.add_drop_hook srv (fun pkt time ->
+      record_link t ~kind:Event.Drop ~leaf_node:(1 + pkt.Net.Packet.flow) ~time
+        ~bits:pkt.Net.Packet.size_bits;
+      Metrics.on_drop t.metrics ~node:(1 + pkt.Net.Packet.flow));
+  t
+
+let attach_sim t sim =
+  Engine.Simulator.set_probe sim
+    (Some
+       {
+         Engine.Simulator.on_schedule =
+           (fun ~at:_ ~now:_ -> t.sim_scheduled <- t.sim_scheduled + 1);
+         on_fire = (fun ~at:_ -> t.sim_fired <- t.sim_fired + 1);
+         on_cancel = (fun ~at:_ ~now:_ -> t.sim_cancelled <- t.sim_cancelled + 1);
+       });
+  t.detach_fns <- (fun () -> Engine.Simulator.set_probe sim None) :: t.detach_fns
+
+let sim_counters t = (t.sim_scheduled, t.sim_fired, t.sim_cancelled)
+
+let detach t =
+  List.iter (fun f -> f ()) t.detach_fns;
+  t.detach_fns <- []
+
+let events t = Recorder.to_list t.recorder
+let drain t sink = Recorder.drain t.recorder sink
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write_jsonl t ~path =
+  with_out path (fun oc ->
+      let sink = Sink.jsonl ~names:(names t) oc in
+      Recorder.iter t.recorder (Sink.emit sink);
+      Sink.flush sink)
+
+let write_csv t ~path =
+  with_out path (fun oc ->
+      let sink = Sink.csv ~names:(names t) oc in
+      Recorder.iter t.recorder (Sink.emit sink);
+      Sink.flush sink)
+
+let events_report ?(name = "trace-events") t =
+  Stats.Report.make ~name ~columns:Sink.csv_header ~rows:(fun () ->
+      let ns = names t in
+      let acc = ref [] in
+      Recorder.iter t.recorder (fun ev -> acc := Sink.csv_row ns ev :: !acc);
+      List.rev !acc)
+
+let metrics_report ?name t = Metrics.report ?name t.metrics

@@ -5,36 +5,64 @@ let make ~rate:_ =
   let ready = Prioq.Indexed_heap.create 16 in
   let backlogged_count = ref 0 in
   let arrival_counter = ref 0 in
+  let observer : Sched_intf.observer option ref = ref None in
   let add_session ~rate:_ =
     Vec.push sessions { order = Queue.create (); backlogged = false }
   in
-  let arrive ~now:_ ~session ~size_bits:_ =
+  let arrive ~now ~session ~size_bits =
     incr arrival_counter;
-    Queue.push !arrival_counter (Vec.get sessions session).order
+    Queue.push !arrival_counter (Vec.get sessions session).order;
+    match !observer with
+    | None -> ()
+    | Some o ->
+      o.Sched_intf.on_arrive ~now ~vtime:(float_of_int !arrival_counter) ~session
+        ~size_bits
   in
   let head_order session =
     match Queue.peek_opt (Vec.get sessions session).order with
     | Some n -> float_of_int n
     | None -> invalid_arg "Fifo_sched: session has no queued packet"
   in
-  let backlog ~now:_ ~session ~head_bits:_ =
+  let backlog ~now ~session ~head_bits =
     (Vec.get sessions session).backlogged <- true;
     incr backlogged_count;
-    Prioq.Indexed_heap.add ready ~key:session ~prio:(head_order session)
+    Prioq.Indexed_heap.add ready ~key:session ~prio:(head_order session);
+    match !observer with
+    | None -> ()
+    | Some o ->
+      o.Sched_intf.on_backlog ~now ~vtime:(float_of_int !arrival_counter) ~session
+        ~head_bits
   in
-  let requeue ~now:_ ~session ~head_bits:_ =
+  let requeue ~now ~session ~head_bits =
     ignore (Queue.pop (Vec.get sessions session).order);
     Prioq.Indexed_heap.remove ready session;
-    Prioq.Indexed_heap.add ready ~key:session ~prio:(head_order session)
+    Prioq.Indexed_heap.add ready ~key:session ~prio:(head_order session);
+    match !observer with
+    | None -> ()
+    | Some o ->
+      o.Sched_intf.on_requeue ~now ~vtime:(float_of_int !arrival_counter) ~session
+        ~head_bits
   in
-  let set_idle ~now:_ ~session =
+  let set_idle ~now ~session =
     let s = Vec.get sessions session in
     ignore (Queue.pop s.order);
     Prioq.Indexed_heap.remove ready session;
     s.backlogged <- false;
-    decr backlogged_count
+    decr backlogged_count;
+    match !observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_idle ~now ~vtime:(float_of_int !arrival_counter) ~session
   in
-  let select ~now:_ = Prioq.Indexed_heap.min_key ready in
+  let select ~now =
+    match Prioq.Indexed_heap.min_key ready with
+    | None -> None
+    | Some session ->
+      (match !observer with
+      | None -> ()
+      | Some o ->
+        o.Sched_intf.on_select ~now ~vtime:(float_of_int !arrival_counter) ~session);
+      Some session
+  in
   {
     Sched_intf.name = "FIFO";
     add_session;
@@ -45,6 +73,7 @@ let make ~rate:_ =
     select;
     virtual_time = (fun ~now:_ -> float_of_int !arrival_counter);
     backlogged_count = (fun () -> !backlogged_count);
+    set_observer = (fun o -> observer := o);
   }
 
 let factory = { Sched_intf.kind = "FIFO"; make }

@@ -16,6 +16,7 @@ type state = {
   ready : Prioq.Indexed_heap4.t;
   waiting : Prioq.Indexed_heap4.t;
   mutable backlogged_count : int;
+  mutable observer : Sched_intf.observer option;
 }
 
 let head_stamps t session =
@@ -60,6 +61,7 @@ let make ~discipline ~name ~rate =
       ready = Prioq.Indexed_heap4.create 16;
       waiting = Prioq.Indexed_heap4.create 16;
       backlogged_count = 0;
+      observer = None;
     }
   in
   let add_session ~rate =
@@ -72,14 +74,26 @@ let make ~discipline ~name ~rate =
   in
   let arrive ~now ~session ~size_bits =
     let stamps = Gps_clock.on_arrival t.clock ~now ~session ~size_bits in
-    Queue.push stamps (Vec.get t.sessions session).stamps
+    Queue.push stamps (Vec.get t.sessions session).stamps;
+    match t.observer with
+    | None -> ()
+    | Some o ->
+      o.Sched_intf.on_arrive ~now
+        ~vtime:(Gps_clock.virtual_time t.clock ~now)
+        ~session ~size_bits
   in
-  let backlog ~now ~session ~head_bits:_ =
+  let backlog ~now ~session ~head_bits =
     let s = Vec.get t.sessions session in
     if s.backlogged then invalid_arg (name ^ ": backlog of backlogged session");
     s.backlogged <- true;
     t.backlogged_count <- t.backlogged_count + 1;
-    enqueue_session t ~now session
+    enqueue_session t ~now session;
+    match t.observer with
+    | None -> ()
+    | Some o ->
+      o.Sched_intf.on_backlog ~now
+        ~vtime:(Gps_clock.virtual_time t.clock ~now)
+        ~session ~head_bits
   in
   let drop_served_stamp session =
     let s = Vec.get t.sessions session in
@@ -89,18 +103,28 @@ let make ~discipline ~name ~rate =
     Prioq.Indexed_heap4.remove t.ready session;
     Prioq.Indexed_heap4.remove t.waiting session
   in
-  let requeue ~now ~session ~head_bits:_ =
+  let requeue ~now ~session ~head_bits =
     drop_served_stamp session;
     remove_from_heaps session;
-    enqueue_session t ~now session
+    enqueue_session t ~now session;
+    match t.observer with
+    | None -> ()
+    | Some o ->
+      o.Sched_intf.on_requeue ~now
+        ~vtime:(Gps_clock.virtual_time t.clock ~now)
+        ~session ~head_bits
   in
-  let set_idle ~now:_ ~session =
+  let set_idle ~now ~session =
     drop_served_stamp session;
     remove_from_heaps session;
     let s = Vec.get t.sessions session in
     if not s.backlogged then invalid_arg (name ^ ": set_idle of idle session");
     s.backlogged <- false;
-    t.backlogged_count <- t.backlogged_count - 1
+    t.backlogged_count <- t.backlogged_count - 1;
+    match t.observer with
+    | None -> ()
+    | Some o ->
+      o.Sched_intf.on_idle ~now ~vtime:(Gps_clock.virtual_time t.clock ~now) ~session
   in
   let select ~now =
     (match t.discipline with
@@ -119,7 +143,16 @@ let make ~discipline ~name ~rate =
           Prioq.Indexed_heap4.add t.ready ~key:session ~prio:finish
         | None -> ()
       end);
-    Prioq.Indexed_heap4.min_key t.ready
+    match Prioq.Indexed_heap4.min_key t.ready with
+    | None -> None
+    | Some session ->
+      (match t.observer with
+      | None -> ()
+      | Some o ->
+        o.Sched_intf.on_select ~now
+          ~vtime:(Gps_clock.virtual_time t.clock ~now)
+          ~session);
+      Some session
   in
   let virtual_time ~now = Gps_clock.virtual_time t.clock ~now in
   {
@@ -132,6 +165,7 @@ let make ~discipline ~name ~rate =
     select;
     virtual_time;
     backlogged_count = (fun () -> t.backlogged_count);
+    set_observer = (fun o -> t.observer <- o);
   }
 
 let wfq =

@@ -14,6 +14,7 @@ type state = {
   active : int Queue.t;
   mutable backlogged_count : int;
   mutable rounds : float; (* coarse "virtual time": rounds completed *)
+  mutable observer : Sched_intf.observer option;
 }
 
 let make_policy ~name ~quantum_of ~serve_cost ~rate =
@@ -26,35 +27,49 @@ let make_policy ~name ~quantum_of ~serve_cost ~rate =
       active = Queue.create ();
       backlogged_count = 0;
       rounds = 0.0;
+      observer = None;
     }
   in
   let add_session ~rate =
     Vec.push t.sessions
       { rate; head_bits = 0.0; deficit = 0.0; topped = false; backlogged = false }
   in
-  let arrive ~now:_ ~session:_ ~size_bits:_ = () in
-  let backlog ~now:_ ~session ~head_bits =
+  let arrive ~now ~session ~size_bits =
+    match t.observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_arrive ~now ~vtime:t.rounds ~session ~size_bits
+  in
+  let backlog ~now ~session ~head_bits =
     let s = Vec.get t.sessions session in
     s.backlogged <- true;
     s.head_bits <- head_bits;
     s.deficit <- 0.0;
     s.topped <- false;
     t.backlogged_count <- t.backlogged_count + 1;
-    Queue.push session t.active
+    Queue.push session t.active;
+    match t.observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_backlog ~now ~vtime:t.rounds ~session ~head_bits
   in
-  let requeue ~now:_ ~session ~head_bits =
-    (Vec.get t.sessions session).head_bits <- head_bits
+  let requeue ~now ~session ~head_bits =
+    (Vec.get t.sessions session).head_bits <- head_bits;
+    match t.observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_requeue ~now ~vtime:t.rounds ~session ~head_bits
   in
-  let set_idle ~now:_ ~session =
+  let set_idle ~now ~session =
     let s = Vec.get t.sessions session in
     s.backlogged <- false;
     s.deficit <- 0.0;
     s.topped <- false;
     t.backlogged_count <- t.backlogged_count - 1;
     (* The served session is always at the front of the active list. *)
-    match Queue.peek_opt t.active with
+    (match Queue.peek_opt t.active with
     | Some front when front = session -> ignore (Queue.pop t.active)
-    | Some _ | None -> invalid_arg (name ^ ": set_idle of non-front session")
+    | Some _ | None -> invalid_arg (name ^ ": set_idle of non-front session"));
+    match t.observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_idle ~now ~vtime:t.rounds ~session
   in
   let rec select ~now =
     match Queue.peek_opt t.active with
@@ -68,6 +83,9 @@ let make_policy ~name ~quantum_of ~serve_cost ~rate =
       let cost = t.serve_cost ~head_bits:s.head_bits in
       if s.deficit >= cost then begin
         s.deficit <- s.deficit -. cost;
+        (match t.observer with
+        | None -> ()
+        | Some o -> o.Sched_intf.on_select ~now ~vtime:t.rounds ~session);
         Some session
       end
       else begin
@@ -89,6 +107,7 @@ let make_policy ~name ~quantum_of ~serve_cost ~rate =
     select;
     virtual_time = (fun ~now:_ -> t.rounds);
     backlogged_count = (fun () -> t.backlogged_count);
+    set_observer = (fun o -> t.observer <- o);
   }
 
 let drr ?(frame_bits = 65536.0) () =

@@ -35,7 +35,44 @@
     [backlog]/[requeue] correspond to the two branches of eq. 28: a packet
     reaching the head of a previously-empty queue stamps
     [S = max(F, V(now))], while one reaching the head of a continuously
-    backlogged queue stamps [S = F]. *)
+    backlogged queue stamps [S = F].
+
+    {2 Observability}
+
+    Every discipline carries one optional {!observer}: a set of callbacks
+    fired after each driving-protocol operation, stamped with the operation
+    time and the policy's virtual time at that instant. Installing an
+    observer is the uniform instrumentation point of the building-block
+    contract — {!Hpfq.Hier} installs one per interior node to trace a whole
+    hierarchy, and [lib/obs] records the callbacks into an event stream.
+
+    The disabled state is [None], and disciplines must keep that state
+    branch-cheap and allocation-free: the hot path does a single
+    [match observer with None -> ()] per operation and computes the
+    virtual-time stamp only on the [Some] branch. *)
+
+type observer = {
+  on_arrive : now:float -> vtime:float -> session:int -> size_bits:float -> unit;
+  (** After [arrive]: a packet joined [session]'s queue. *)
+  on_backlog : now:float -> vtime:float -> session:int -> head_bits:float -> unit;
+  (** After [backlog]: the session went idle→backlogged. *)
+  on_requeue : now:float -> vtime:float -> session:int -> head_bits:float -> unit;
+  (** After [requeue]: a new head was stamped on a still-backlogged session. *)
+  on_idle : now:float -> vtime:float -> session:int -> unit;
+  (** After [set_idle]: the session drained. *)
+  on_select : now:float -> vtime:float -> session:int -> unit;
+  (** After a successful [select]; [vtime] is the post-update virtual time
+      (for WF²Q+, the post-dated V of RESTART-NODE lines 12-13). *)
+}
+
+let null_observer =
+  {
+    on_arrive = (fun ~now:_ ~vtime:_ ~session:_ ~size_bits:_ -> ());
+    on_backlog = (fun ~now:_ ~vtime:_ ~session:_ ~head_bits:_ -> ());
+    on_requeue = (fun ~now:_ ~vtime:_ ~session:_ ~head_bits:_ -> ());
+    on_idle = (fun ~now:_ ~vtime:_ ~session:_ -> ());
+    on_select = (fun ~now:_ ~vtime:_ ~session:_ -> ());
+  }
 
 type t = {
   name : string;
@@ -61,6 +98,11 @@ type t = {
       without one report a related quantity; see each module's doc). *)
   backlogged_count : unit -> int;
   (** Number of sessions currently registered as backlogged. *)
+  set_observer : observer option -> unit;
+  (** Install ([Some]) or remove ([None]) the policy's observer. [None] is
+      the default; installing must not wrap or replace the operation
+      closures (so removing an observer restores the exact untraced hot
+      path). *)
 }
 
 (** Constructor type shared by all disciplines: a standalone factory taking

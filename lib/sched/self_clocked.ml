@@ -16,6 +16,7 @@ type state = {
   mutable epoch : int;
   mutable in_service : bool;
   mutable backlogged_count : int;
+  mutable observer : Sched_intf.observer option;
 }
 
 let key_of state (start, finish) =
@@ -31,6 +32,7 @@ let make ~flavour ~name ~rate:_ =
       epoch = 0;
       in_service = false;
       backlogged_count = 0;
+      observer = None;
     }
   in
   let add_session ~rate =
@@ -43,14 +45,17 @@ let make ~flavour ~name ~rate:_ =
         backlogged = false;
       }
   in
-  let arrive ~now:_ ~session ~size_bits =
+  let arrive ~now ~session ~size_bits =
     let s = Vec.get t.sessions session in
     let prev = if s.stamp_epoch = t.epoch then s.last_finish else 0.0 in
     let start = Float.max prev t.v in
     let finish = start +. (size_bits /. s.rate) in
     s.last_finish <- finish;
     s.stamp_epoch <- t.epoch;
-    Queue.push (start, finish) s.stamps
+    Queue.push (start, finish) s.stamps;
+    match t.observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_arrive ~now ~vtime:t.v ~session ~size_bits
   in
   let head_key session =
     let s = Vec.get t.sessions session in
@@ -58,19 +63,25 @@ let make ~flavour ~name ~rate:_ =
     | Some stamps -> key_of t stamps
     | None -> invalid_arg (name ^ ": session has no stamped packet")
   in
-  let backlog ~now:_ ~session ~head_bits:_ =
+  let backlog ~now ~session ~head_bits =
     let s = Vec.get t.sessions session in
     s.backlogged <- true;
     t.backlogged_count <- t.backlogged_count + 1;
-    Prioq.Indexed_heap.add t.ready ~key:session ~prio:(head_key session)
+    Prioq.Indexed_heap.add t.ready ~key:session ~prio:(head_key session);
+    match t.observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_backlog ~now ~vtime:t.v ~session ~head_bits
   in
-  let requeue ~now:_ ~session ~head_bits:_ =
+  let requeue ~now ~session ~head_bits =
     let s = Vec.get t.sessions session in
     ignore (Queue.pop s.stamps);
     Prioq.Indexed_heap.remove t.ready session;
-    Prioq.Indexed_heap.add t.ready ~key:session ~prio:(head_key session)
+    Prioq.Indexed_heap.add t.ready ~key:session ~prio:(head_key session);
+    match t.observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_requeue ~now ~vtime:t.v ~session ~head_bits
   in
-  let set_idle ~now:_ ~session =
+  let set_idle ~now ~session =
     let s = Vec.get t.sessions session in
     ignore (Queue.pop s.stamps);
     Prioq.Indexed_heap.remove t.ready session;
@@ -81,9 +92,12 @@ let make ~flavour ~name ~rate:_ =
       t.in_service <- false;
       t.v <- 0.0;
       t.epoch <- t.epoch + 1
-    end
+    end;
+    match t.observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_idle ~now ~vtime:t.v ~session
   in
-  let select ~now:_ =
+  let select ~now =
     match Prioq.Indexed_heap.min_key t.ready with
     | None -> None
     | Some session ->
@@ -92,6 +106,9 @@ let make ~flavour ~name ~rate:_ =
       | Some stamps -> t.v <- key_of t stamps
       | None -> assert false);
       t.in_service <- true;
+      (match t.observer with
+      | None -> ()
+      | Some o -> o.Sched_intf.on_select ~now ~vtime:t.v ~session);
       Some session
   in
   {
@@ -104,6 +121,7 @@ let make ~flavour ~name ~rate:_ =
     select;
     virtual_time = (fun ~now:_ -> t.v);
     backlogged_count = (fun () -> t.backlogged_count);
+    set_observer = (fun o -> t.observer <- o);
   }
 
 let scfq =

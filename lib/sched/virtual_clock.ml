@@ -10,13 +10,17 @@ let make ~rate:_ =
   let ready = Prioq.Indexed_heap.create 16 in
   let backlogged_count = ref 0 in
   let last_selected_stamp = ref 0.0 in
+  let observer : Sched_intf.observer option ref = ref None in
   let add_session ~rate =
     Vec.push sessions { rate; stamps = Queue.create (); vc = 0.0; backlogged = false }
   in
   let arrive ~now ~session ~size_bits =
     let s = Vec.get sessions session in
     s.vc <- Float.max now s.vc +. (size_bits /. s.rate);
-    Queue.push s.vc s.stamps
+    Queue.push s.vc s.stamps;
+    match !observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_arrive ~now ~vtime:!last_selected_stamp ~session ~size_bits
   in
   let head_stamp session =
     let s = Vec.get sessions session in
@@ -24,28 +28,40 @@ let make ~rate:_ =
     | Some stamp -> stamp
     | None -> invalid_arg "Virtual_clock: session has no stamped packet"
   in
-  let backlog ~now:_ ~session ~head_bits:_ =
+  let backlog ~now ~session ~head_bits =
     (Vec.get sessions session).backlogged <- true;
     incr backlogged_count;
-    Prioq.Indexed_heap.add ready ~key:session ~prio:(head_stamp session)
+    Prioq.Indexed_heap.add ready ~key:session ~prio:(head_stamp session);
+    match !observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_backlog ~now ~vtime:!last_selected_stamp ~session ~head_bits
   in
-  let requeue ~now:_ ~session ~head_bits:_ =
+  let requeue ~now ~session ~head_bits =
     ignore (Queue.pop (Vec.get sessions session).stamps);
     Prioq.Indexed_heap.remove ready session;
-    Prioq.Indexed_heap.add ready ~key:session ~prio:(head_stamp session)
+    Prioq.Indexed_heap.add ready ~key:session ~prio:(head_stamp session);
+    match !observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_requeue ~now ~vtime:!last_selected_stamp ~session ~head_bits
   in
-  let set_idle ~now:_ ~session =
+  let set_idle ~now ~session =
     let s = Vec.get sessions session in
     ignore (Queue.pop s.stamps);
     Prioq.Indexed_heap.remove ready session;
     s.backlogged <- false;
-    decr backlogged_count
+    decr backlogged_count;
+    match !observer with
+    | None -> ()
+    | Some o -> o.Sched_intf.on_idle ~now ~vtime:!last_selected_stamp ~session
   in
-  let select ~now:_ =
+  let select ~now =
     match Prioq.Indexed_heap.min_binding ready with
     | None -> None
     | Some (session, stamp) ->
       last_selected_stamp := stamp;
+      (match !observer with
+      | None -> ()
+      | Some o -> o.Sched_intf.on_select ~now ~vtime:stamp ~session);
       Some session
   in
   {
@@ -58,6 +74,7 @@ let make ~rate:_ =
     select;
     virtual_time = (fun ~now:_ -> !last_selected_stamp);
     backlogged_count = (fun () -> !backlogged_count);
+    set_observer = (fun o -> observer := o);
   }
 
 let factory = { Sched_intf.kind = "VirtualClock"; make }

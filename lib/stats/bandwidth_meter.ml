@@ -33,6 +33,9 @@ let series t ~until =
   in
   walk 0 0.0 []
 
+let report ?(name = "bandwidth") t ~until =
+  Report.of_points ~name ~x:"time" ~y:"rate" (series t ~until)
+
 let average_rate t ~from_ ~until =
   if until <= from_ then invalid_arg "Bandwidth_meter.average_rate: empty interval";
   let total =

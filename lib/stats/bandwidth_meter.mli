@@ -20,3 +20,6 @@ val series : t -> until:float -> (float * float) list
 
 val average_rate : t -> from_:float -> until:float -> float
 (** Unsmoothed mean rate over the interval (total bits / span). *)
+
+val report : ?name:string -> t -> until:float -> Report.t
+(** The smoothed series as a [time,rate] table. *)

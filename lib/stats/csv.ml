@@ -14,6 +14,18 @@ let write ~path ~header ~rows =
           output_char oc '\n')
         rows)
 
+let write_strings ~path ~header ~rows =
+  let width = List.length header in
+  with_out path (fun oc ->
+      output_string oc (String.concat "," header);
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          if List.length row <> width then invalid_arg "Csv.write_strings: ragged row";
+          output_string oc (String.concat "," row);
+          output_char oc '\n')
+        rows)
+
 let write_named_series ~path ~series =
   with_out path (fun oc ->
       output_string oc "series,x,y\n";

@@ -3,5 +3,8 @@
 val write : path:string -> header:string list -> rows:float list list -> unit
 (** Overwrites [path]. Row lengths must match the header. *)
 
+val write_strings : path:string -> header:string list -> rows:string list list -> unit
+(** Same, with preformatted cells (mixed numeric/text tables). *)
+
 val write_named_series : path:string -> series:(string * (float * float) list) list -> unit
 (** Long format: [series,x,y] rows, one block per named series. *)

@@ -24,3 +24,9 @@ val samples : t -> (float * float) list
 val series_max_over_windows : t -> window:float -> (float * float) list
 (** Max delay per [window]-second bin of departure time — the shape plotted
     in the paper's delay figures. *)
+
+val report : ?name:string -> t -> Report.t
+(** The samples as a [time,delay] table. *)
+
+val summary_report : ?name:string -> t -> Report.t
+(** One-row-per-statistic table: count, mean, stddev, min, max. *)

@@ -24,6 +24,10 @@ let mode_bin t =
       | _ -> Some (edge, c))
     None (bins t)
 
+let report ?(name = "histogram") t =
+  Report.of_points ~name ~x:"bin_edge" ~y:"count"
+    (List.map (fun (edge, c) -> (edge, float_of_int c)) (bins t))
+
 let cumulative t =
   let n = float_of_int (max 1 t.total) in
   let _, acc =

@@ -11,3 +11,6 @@ val bins : t -> (float * int) list
 val mode_bin : t -> (float * int) option
 val cumulative : t -> (float * float) list
 (** [(bin_upper_edge, fraction ≤ edge)] — an empirical CDF. *)
+
+val report : ?name:string -> t -> Report.t
+(** Non-empty bins as a [bin_edge,count] table. *)

@@ -1,0 +1,43 @@
+type t = { name : string; columns : string list; rows : unit -> string list list }
+
+let make ~name ~columns ~rows =
+  if columns = [] then invalid_arg "Report.make: empty column list";
+  { name; columns; rows }
+
+let name t = t.name
+let columns t = t.columns
+
+let rows t =
+  let width = List.length t.columns in
+  let rows = t.rows () in
+  List.iter
+    (fun row ->
+      if List.length row <> width then
+        invalid_arg (Printf.sprintf "Report %s: ragged row" t.name))
+    rows;
+  rows
+
+let cell x = Printf.sprintf "%.9g" x
+
+let of_points ~name ~x ~y points =
+  make ~name ~columns:[ x; y ] ~rows:(fun () ->
+      List.map (fun (px, py) -> [ cell px; cell py ]) points)
+
+let of_named_series ~name series =
+  make ~name ~columns:[ "series"; "x"; "y" ] ~rows:(fun () ->
+      List.concat_map
+        (fun (s, points) -> List.map (fun (x, y) -> [ s; cell x; cell y ]) points)
+        series)
+
+let to_csv t ~path = Csv.write_strings ~path ~header:t.columns ~rows:(rows t)
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "," t.columns);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," row);
+      Buffer.add_char buf '\n')
+    (rows t);
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** The shared tabular-output shape every measurement instrument exports.
+
+    A report is a named table: column headers plus a thunk producing the
+    rows on demand (so building one is free until it is written). Each
+    instrument in this library ({!Delay_stats}, {!Histogram},
+    {!Service_curve}, {!Bandwidth_meter}) offers a [report] function, and
+    the tracing layer's exporters produce the same shape — one sink API for
+    everything an experiment might want on disk. *)
+
+type t
+
+val make : name:string -> columns:string list -> rows:(unit -> string list list) -> t
+(** [rows] is evaluated lazily, at {!rows}/{!to_csv}/{!to_string} time.
+    @raise Invalid_argument if [columns] is empty. *)
+
+val name : t -> string
+val columns : t -> string list
+
+val rows : t -> string list list
+(** Materialise the rows.
+    @raise Invalid_argument if any row length differs from the header. *)
+
+val of_points : name:string -> x:string -> y:string -> (float * float) list -> t
+(** Two-column table from an [(x, y)] series; [x]/[y] are the headers. *)
+
+val of_named_series : name:string -> (string * (float * float) list) list -> t
+(** Long format ([series,x,y]) from several named series, matching
+    {!Csv.write_named_series}. *)
+
+val to_csv : t -> path:string -> unit
+(** Overwrite [path] with the table as CSV. *)
+
+val to_string : t -> string
+(** The same CSV text in memory (tests, stdout). *)

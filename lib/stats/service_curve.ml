@@ -32,3 +32,7 @@ let served_total t = t.served
 let lag t = t.arrived -. t.served
 let max_lag t = t.max_lag
 let lag_series t = List.rev t.lags
+
+let report ?(name = "service-curve") t =
+  Report.of_named_series ~name
+    [ ("arrivals", arrivals t); ("services", services t); ("lag", lag_series t) ]

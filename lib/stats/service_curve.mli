@@ -26,3 +26,6 @@ val max_lag : t -> float
 
 val lag_series : t -> (float * float) list
 (** [(time, A(t) − W(t))] at every recorded event. *)
+
+val report : ?name:string -> t -> Report.t
+(** The three curves as one long-format [series,x,y] table. *)

@@ -58,6 +58,84 @@ let test_json_roundtrip () =
   Alcotest.(check bool) "nan serialized as null" true
     (Json.member "nan_becomes_null" t' = Some Json.Null)
 
+(* -- perf-regression guard ------------------------------------------------ *)
+
+let fake_report pps =
+  Json.Obj
+    [
+      ("schema", Json.Str "hpfq-bench-hotpath-v1");
+      ( "headline",
+        Json.Obj
+          [
+            ("workload", Json.Str "one_level_wf2q_plus_n4096");
+            ("pkts_per_sec", Json.Num pps);
+          ] );
+    ]
+
+let test_headline_of_report () =
+  (match Perf.headline_of_report (fake_report 123.0) with
+  | Ok pps -> Alcotest.(check (float 1e-9)) "extracted" 123.0 pps
+  | Error e -> Alcotest.failf "unexpected error: %s" e);
+  (match Perf.headline_of_report (Json.Obj [ ("schema", Json.Str "x") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing headline should be an error");
+  match Perf.headline_of_report (fake_report (-1.0)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-positive headline should be an error"
+
+(* The guard itself, at smoke scale: any real measurement beats a 1 pkt/sec
+   baseline and loses to an absurd one; a missing baseline is a setup error,
+   not a perf verdict. *)
+let test_guard_verdicts () =
+  let with_baseline pps f =
+    let path = Filename.temp_file "bench_guard" ".json" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Json.to_file path (fake_report pps);
+        f path)
+  in
+  let run_guard path =
+    Perf.guard ~baseline:path ~tol:0.05 ~n:64 ~iters:2_000 ~runs:1 ()
+  in
+  with_baseline 1.0 (fun path ->
+      match run_guard path with
+      | Ok g ->
+        Alcotest.(check bool) "beats trivial baseline" true g.Perf.within
+      | Error e -> Alcotest.failf "guard errored: %s" e);
+  with_baseline 1e15 (fun path ->
+      match run_guard path with
+      | Ok g ->
+        Alcotest.(check bool) "loses to absurd baseline" false g.Perf.within
+      | Error e -> Alcotest.failf "guard errored: %s" e);
+  match Perf.guard ~baseline:"/nonexistent/BENCH.json" ~tol:0.05 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing baseline should be an error"
+
+(* Tracing-disabled overhead, the deterministic half: installing and then
+   removing an observer must leave the cycle's allocation behaviour exactly
+   as if one had never been installed (Sched_intf contract: set_observer
+   must not wrap the operation closures). Wall-clock comparisons live in
+   `bench/main.exe -- trace-overhead` / `perf-guard`, where the environment
+   is controlled; an alcotest run only checks the allocation-free claim. *)
+let test_tracing_disabled_allocates_nothing () =
+  let factory = Hpfq.Disciplines.wf2q_plus in
+  let iters = 10_000 in
+  let measure setup =
+    let policy, cycle = Perf.loaded_policy_with factory 64 in
+    setup policy;
+    let _, minor = Perf.time_loop cycle ~iters in
+    minor
+  in
+  let never = measure (fun _ -> ()) in
+  let disabled =
+    measure (fun p ->
+        p.Sched.Sched_intf.set_observer (Some Sched.Sched_intf.null_observer);
+        p.Sched.Sched_intf.set_observer None)
+  in
+  Alcotest.(check (float 0.0))
+    "removed observer allocates exactly like never-installed" never disabled
+
 let () =
   Alcotest.run "bench_smoke"
     [
@@ -66,5 +144,12 @@ let () =
           Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "quick run emits valid report" `Quick
             test_quick_run_emits_valid_report;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "headline extraction" `Quick test_headline_of_report;
+          Alcotest.test_case "guard verdicts" `Quick test_guard_verdicts;
+          Alcotest.test_case "tracing disabled allocates nothing" `Quick
+            test_tracing_disabled_allocates_nothing;
         ] );
     ]
