@@ -24,6 +24,24 @@ done
 
 echo "check_bench: OK ($out)"
 
+# Same drill for the event-set churn suite: quick run, then verify the
+# report shape the events-guard diffs.
+events_out=BENCH_events_quick.json
+rm -f "$events_out"
+
+dune exec bench/main.exe -- events-quick
+
+[ -f "$events_out" ] || { echo "check_bench: $events_out was not produced" >&2; exit 1; }
+
+for key in schema headline rows ratios events_per_sec minor_words_per_event calendar_over_heap; do
+  grep -q "\"$key\"" "$events_out" || {
+    echo "check_bench: $events_out is missing key \"$key\"" >&2
+    exit 1
+  }
+done
+
+echo "check_bench: OK ($events_out)"
+
 # Tracing-disabled overhead guard: with no observer installed, the scheduler
 # hot path must stay within HPFQ_PERF_TOL (default 5%) of the committed
 # perf baseline — the observability layer is free unless switched on.
@@ -32,4 +50,14 @@ if [ -f BENCH_hotpath.json ]; then
   dune exec bench/main.exe -- perf-guard
 else
   echo "check_bench: no BENCH_hotpath.json baseline; skipping perf-guard"
+fi
+
+# Event-set regression guard: the calendar headline (cancel-heavy, 64k
+# pending) must stay within HPFQ_EVENTS_TOL (default 20%) of the committed
+# BENCH_events.json, and the fresh calendar/heap speedup must clear
+# HPFQ_EVENTS_RATIO (default 1.0). Skipped when no baseline is committed.
+if [ -f BENCH_events.json ]; then
+  dune exec bench/main.exe -- events-guard
+else
+  echo "check_bench: no BENCH_events.json baseline; skipping events-guard"
 fi

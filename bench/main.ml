@@ -420,6 +420,37 @@ let perf () = Bench_kit.Perf.run ()
 let perf_quick () = Bench_kit.Perf.run ~quick:true ~out:"BENCH_hotpath_quick.json" ()
 
 (* ------------------------------------------------------------------ *)
+(* EVENTS: pending-set churn, slot heap vs calendar queue             *)
+(* ------------------------------------------------------------------ *)
+
+let events () = ignore (Bench_kit.Events.run ())
+let events_quick () =
+  ignore (Bench_kit.Events.run ~quick:true ~out:"BENCH_events_quick.json" ())
+
+let events_guard () =
+  section "EVENTS-GUARD: churn headline vs BENCH_events.json";
+  match Bench_kit.Events.guard () with
+  | Error e ->
+    Printf.eprintf "events-guard: %s\n" e;
+    exit 1
+  | Ok g ->
+    Printf.printf
+      "baseline %16.0f events/sec\n\
+       fresh    %16.0f events/sec\n\
+       ratio    %16.3f (tolerance -%.0f%%)\n\
+       speedup  %15.2fx calendar/heap (floor %.2fx)\n"
+      g.Bench_kit.Events.baseline_eps g.fresh_eps g.perf_ratio (g.tol *. 100.0)
+      g.speedup g.min_speedup;
+    if g.within then print_endline "events-guard: OK"
+    else begin
+      Printf.eprintf
+        "events-guard: FAIL — churn headline regressed beyond %.0f%% or the \
+         calendar fell under %.2fx the heap\n"
+        (g.tol *. 100.0) g.min_speedup;
+      exit 1
+    end
+
+(* ------------------------------------------------------------------ *)
 (* TRACE-OVERHEAD: cost of the observer hook, off and on              *)
 (* ------------------------------------------------------------------ *)
 
@@ -520,6 +551,7 @@ let all_benches =
     ("refclock", refclock);
     ("e2e", e2e);
     ("perf", perf);
+    ("events", events);
   ]
 
 (* runnable by id but not part of the no-argument "run everything" set *)
@@ -532,6 +564,8 @@ let extra_benches =
     ("perf-headline", perf_headline);
     ("trace-overhead", trace_overhead);
     ("perf-guard", perf_guard);
+    ("events-quick", events_quick);
+    ("events-guard", events_guard);
   ]
 
 let () =

@@ -37,6 +37,28 @@ let discipline_arg =
 let csv_arg =
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PATH" ~doc:"Dump series to CSV.")
 
+let backend_conv =
+  let parse s =
+    match Engine.Simulator.backend_of_string s with
+    | Ok b -> Ok b
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt b = Format.pp_print_string fmt (Engine.Simulator.backend_name b) in
+  Arg.conv (parse, print)
+
+let event_set_arg =
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "event-set" ] ~docv:"heap|calendar"
+        ~doc:
+          "Pending-event-set backend for every simulator this run creates \
+           (default: calendar, or the HPFQ_EVENT_SET environment variable).")
+
+(* experiments build their simulators internally, so the knob sets the
+   process-wide default rather than threading a parameter through each *)
+let set_event_set = Option.iter Engine.Simulator.set_default_backend
+
 let horizon_arg default =
   Arg.(value & opt float default & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Simulated time.")
 
@@ -55,7 +77,8 @@ let fig2_cmd =
 (* -- trace --------------------------------------------------------------- *)
 
 let trace_cmd =
-  let run discipline horizon out format capacity metrics_out =
+  let run event_set discipline horizon out format capacity metrics_out =
+    set_event_set event_set;
     let spec = Experiments.Paper_hierarchies.fig3 in
     let sim = Engine.Simulator.create () in
     let h =
@@ -86,6 +109,14 @@ let trace_cmd =
       (Obs.Recorder.dropped (Obs.Trace.recorder trace));
     Printf.printf "event loop: %d scheduled, %d fired, %d cancelled\n" scheduled fired
       cancelled;
+    let st = Engine.Simulator.stats sim in
+    Printf.printf
+      "event set: backend=%s pending=%d garbage=%d capacity=%d pool=%d \
+       compactions=%d resizes=%d\n"
+      (Engine.Simulator.backend_name st.Engine.Simulator.stat_backend)
+      st.Engine.Simulator.live st.Engine.Simulator.cancelled_in_set
+      st.Engine.Simulator.set_capacity st.Engine.Simulator.pool_capacity
+      st.Engine.Simulator.compactions st.Engine.Simulator.resizes;
     Option.iter
       (fun path ->
         Stats.Report.to_csv (Obs.Trace.metrics_report trace) ~path;
@@ -122,13 +153,14 @@ let trace_cmd =
          "Run the Fig. 3 hierarchy saturated and dump the structured \
           packet/virtual-time event trace.")
     Term.(
-      const run $ discipline_arg $ horizon_arg 0.5 $ out_arg $ format_arg $ capacity_arg
-      $ metrics_arg)
+      const run $ event_set_arg $ discipline_arg $ horizon_arg 0.5 $ out_arg
+      $ format_arg $ capacity_arg $ metrics_arg)
 
 (* -- delay --------------------------------------------------------------- *)
 
 let delay_cmd =
-  let run discipline scenario_id horizon seed csv =
+  let run event_set discipline scenario_id horizon seed csv =
+    set_event_set event_set;
     let scenario =
       match scenario_id with
       | 1 -> Experiments.Delay_experiment.S1_constant_and_trains
@@ -158,12 +190,15 @@ let delay_cmd =
     Arg.(value & opt int 1 & info [ "s"; "scenario" ] ~docv:"1|2|3" ~doc:"Traffic scenario.")
   in
   Cmd.v (Cmd.info "delay" ~doc:"RT-1 delay experiment (paper Figs. 4-7).")
-    Term.(const run $ discipline_arg $ scenario_arg $ horizon_arg 10.0 $ seed_arg $ csv_arg)
+    Term.(
+      const run $ event_set_arg $ discipline_arg $ scenario_arg $ horizon_arg 10.0
+      $ seed_arg $ csv_arg)
 
 (* -- link-sharing -------------------------------------------------------- *)
 
 let link_sharing_cmd =
-  let run discipline horizon csv =
+  let run event_set discipline horizon csv =
+    set_event_set event_set;
     let result = Experiments.Link_sharing.run ~factory:discipline ~horizon () in
     Experiments.Link_sharing.summary Format.std_formatter result;
     Option.iter
@@ -177,12 +212,15 @@ let link_sharing_cmd =
       csv
   in
   Cmd.v (Cmd.info "link-sharing" ~doc:"Hierarchical link sharing with TCP (paper Figs. 8-9).")
-    Term.(const run $ discipline_arg $ horizon_arg Experiments.Paper_hierarchies.fig8_horizon $ csv_arg)
+    Term.(
+      const run $ event_set_arg $ discipline_arg
+      $ horizon_arg Experiments.Paper_hierarchies.fig8_horizon $ csv_arg)
 
 (* -- wfi ----------------------------------------------------------------- *)
 
 let wfi_cmd =
-  let run ns =
+  let run event_set ns =
+    set_event_set event_set;
     Printf.printf "%-12s %6s %14s %18s\n" "discipline" "N" "measured T-WFI" "WF2Q+ bound";
     List.iter
       (fun factory ->
@@ -197,12 +235,13 @@ let wfi_cmd =
     Arg.(value & opt (list int) [ 4; 8; 16; 32; 64 ] & info [ "n" ] ~docv:"N,..." ~doc:"Session counts.")
   in
   Cmd.v (Cmd.info "wfi" ~doc:"Empirical worst-case fair index sweep.")
-    Term.(const run $ ns_arg)
+    Term.(const run $ event_set_arg $ ns_arg)
 
 (* -- custom -------------------------------------------------------------- *)
 
 let custom_cmd =
-  let run discipline tree_file horizon =
+  let run event_set discipline tree_file horizon =
+    set_event_set event_set;
     match Hpfq.Tree_syntax.parse_file tree_file with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -251,7 +290,7 @@ let custom_cmd =
   Cmd.v
     (Cmd.info "custom"
        ~doc:"Saturate every leaf of a user-defined hierarchy and compare shares to H-GPS.")
-    Term.(const run $ discipline_arg $ tree_arg $ horizon_arg 2.0)
+    Term.(const run $ event_set_arg $ discipline_arg $ tree_arg $ horizon_arg 2.0)
 
 (* -- tree ---------------------------------------------------------------- *)
 

@@ -1,0 +1,325 @@
+(* Event-set churn benchmark (bench id "events").
+
+   The paper's evaluation runs on a NETSIM-derived discrete event
+   simulator under timer-heavy workloads — TCP retransmit-timer churn,
+   on/off sources — so the pending-event set is the simulator's hottest
+   structure after the scheduler itself. This suite A/Bs the two
+   Event_set backends (slot heap vs calendar queue) on a classic "hold
+   model": [n] self-perpetuating timers, each fire rescheduling itself
+   with an increment drawn from one of four distributions:
+
+   - uniform:       U(0, 2T) — the textbook steady-state hold model;
+   - bursty:        90% short U(0, 0.2T), 10% long (1..19)T — clumped
+                    arrivals, uneven bucket occupancy;
+   - cancel-heavy:  uniform increments, but every fire also cancels and
+                    re-arms one random other timer — TCP retransmit-timer
+                    reset churn (one effective cancel per fire);
+   - wide-horizon:  99% U(0, 2T), 1% up to 2000T — a heavy far-future
+                    tail, the calendar queue's known adversary.
+
+   Every run reports events/second through the full simulator loop
+   (schedule + fire, plus cancel + re-arm for cancel-heavy) and GC minor
+   words per event; timer actions are pre-allocated so the loop itself
+   allocates nothing and the words/event column is a pure backend
+   comparison. Results go to BENCH_events.json (same machine-readable
+   role as BENCH_hotpath.json) with per-workload calendar/heap ratios and
+   a cancel-heavy 64k-timer headline; [guard] re-measures the headline
+   against the committed file, mirroring Perf.guard. *)
+
+module Sim = Engine.Simulator
+
+type dist = Uniform | Bursty | Cancel_heavy | Wide_horizon
+
+let dist_name = function
+  | Uniform -> "uniform"
+  | Bursty -> "bursty"
+  | Cancel_heavy -> "cancel_heavy"
+  | Wide_horizon -> "wide_horizon"
+
+let all_dists = [ Uniform; Bursty; Cancel_heavy; Wide_horizon ]
+
+type row = {
+  dist : dist;
+  n : int; (* steady-state pending timers *)
+  row_backend : Sim.backend;
+  events_per_sec : float;
+  minor_words_per_event : float;
+  fired : int;
+  cancelled : int;
+  compactions : int;
+  resizes : int;
+}
+
+(* One churn run: prime [n] timers, then let each fire re-arm itself until
+   the fire budget is spent; the final generation drains un-rearmed.
+   Deterministic per (dist, n): the PRNG seed ignores the backend, so both
+   backends replay the same increment stream. *)
+let run_churn ~backend ~dist ~n ~events =
+  let sim = Sim.create ~backend () in
+  let rng = Random.State.make [| 0xCA1E17; Hashtbl.hash (dist_name dist); n |] in
+  let mean = 1.0 in
+  let draw () =
+    match dist with
+    | Uniform | Cancel_heavy -> Random.State.float rng (2.0 *. mean)
+    | Bursty ->
+      if Random.State.float rng 1.0 < 0.9 then Random.State.float rng (0.2 *. mean)
+      else mean *. (1.0 +. Random.State.float rng 18.0)
+    | Wide_horizon ->
+      if Random.State.float rng 1.0 < 0.99 then Random.State.float rng (2.0 *. mean)
+      else mean *. Random.State.float rng 2000.0
+  in
+  let ids = Array.make n Sim.stale_id in
+  let have_id = Array.make n false in
+  let actions = Array.make n ignore in
+  let remaining = ref events in
+  let cancelled = ref 0 in
+  let arm i =
+    ids.(i) <- Sim.schedule_after sim ~delay:(draw ()) actions.(i);
+    have_id.(i) <- true
+  in
+  for i = 0 to n - 1 do
+    actions.(i) <-
+      (fun () ->
+        if !remaining > 0 then begin
+          decr remaining;
+          arm i;
+          match dist with
+          | Cancel_heavy ->
+            (* retransmit-timer reset: kill one random pending timer and
+               re-arm it. [ids.(j)] always names j's latest armed event,
+               which is pending (even when j = i: just re-armed above), so
+               every cancel is effective. *)
+            let j = Random.State.int rng n in
+            if have_id.(j) then begin
+              Sim.cancel sim ids.(j);
+              incr cancelled;
+              arm j
+            end
+          | Uniform | Bursty | Wide_horizon -> ()
+        end
+        else have_id.(i) <- false)
+  done;
+  for i = 0 to n - 1 do
+    arm i
+  done;
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  Sim.run sim;
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor = Gc.minor_words () -. m0 in
+  let fired = Sim.events_processed sim in
+  let st = Sim.stats sim in
+  {
+    dist;
+    n;
+    row_backend = backend;
+    events_per_sec = float_of_int fired /. wall;
+    minor_words_per_event = minor /. float_of_int (max 1 fired);
+    fired;
+    cancelled = !cancelled;
+    compactions = st.Sim.compactions;
+    resizes = st.Sim.resizes;
+  }
+
+let headline_dist = Cancel_heavy
+let headline_n = 65536
+
+let sizes ~quick = if quick then [ 256 ] else [ 1024; 16384; 65536 ]
+let budget ~quick n = if quick then 4_000 else max 200_000 (4 * n)
+
+(* -- JSON report --------------------------------------------------------- *)
+
+let row_json r =
+  Json.Obj
+    [
+      ("dist", Json.Str (dist_name r.dist));
+      ("n", Json.Num (float_of_int r.n));
+      ("backend", Json.Str (Sim.backend_name r.row_backend));
+      ("events_per_sec", Json.Num r.events_per_sec);
+      ("minor_words_per_event", Json.Num r.minor_words_per_event);
+      ("fired", Json.Num (float_of_int r.fired));
+      ("cancelled", Json.Num (float_of_int r.cancelled));
+      ("compactions", Json.Num (float_of_int r.compactions));
+      ("resizes", Json.Num (float_of_int r.resizes));
+    ]
+
+let find_row rows ~dist ~n ~backend =
+  List.find_opt
+    (fun r -> r.dist = dist && r.n = n && r.row_backend = backend)
+    rows
+
+let ratios rows =
+  List.filter_map
+    (fun (dist, n) ->
+      match
+        ( find_row rows ~dist ~n ~backend:Sim.Calendar,
+          find_row rows ~dist ~n ~backend:Sim.Slot_heap )
+      with
+      | Some c, Some h ->
+        Some (dist, n, c.events_per_sec /. h.events_per_sec)
+      | _ -> None)
+    (List.sort_uniq compare (List.map (fun r -> (r.dist, r.n)) rows))
+
+let json_of_run ~quick rows =
+  let headline =
+    match
+      ( find_row rows ~dist:headline_dist ~n:headline_n ~backend:Sim.Calendar,
+        find_row rows ~dist:headline_dist ~n:headline_n ~backend:Sim.Slot_heap )
+    with
+    | Some c, Some h ->
+      Json.Obj
+        [
+          ("workload", Json.Str "cancel_heavy_n65536");
+          ("calendar_events_per_sec", Json.Num c.events_per_sec);
+          ("heap_events_per_sec", Json.Num h.events_per_sec);
+          ("ratio", Json.Num (c.events_per_sec /. h.events_per_sec));
+        ]
+    | _ -> Json.Null
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "hpfq-bench-events-v1");
+      ("bench", Json.Str "events");
+      ("quick", Json.Bool quick);
+      ("headline", headline);
+      ("rows", Json.Arr (List.map row_json rows));
+      ( "ratios",
+        Json.Arr
+          (List.map
+             (fun (dist, n, ratio) ->
+               Json.Obj
+                 [
+                   ("dist", Json.Str (dist_name dist));
+                   ("n", Json.Num (float_of_int n));
+                   ("calendar_over_heap", Json.Num ratio);
+                 ])
+             (ratios rows)) );
+    ]
+
+let required_keys = [ "schema"; "rows"; "ratios" ]
+
+let required_row_keys =
+  [ "dist"; "n"; "backend"; "events_per_sec"; "minor_words_per_event" ]
+
+let validate json =
+  let missing =
+    List.filter (fun k -> Json.member k json = None) required_keys
+    @
+    match Json.member "rows" json with
+    | Some rows -> (
+      match Json.to_list rows with
+      | Some (row :: _) ->
+        List.filter (fun k -> Json.member k row = None) required_row_keys
+      | Some [] | None -> [ "rows entries" ])
+    | None -> []
+  in
+  if missing = [] then Ok () else Error missing
+
+let run ?(quick = false) ?(out = "BENCH_events.json") () =
+  Printf.printf
+    "\n================ EVENTS: pending-set churn, heap vs calendar \
+     ================\n%!";
+  let rows =
+    List.concat_map
+      (fun dist ->
+        List.concat_map
+          (fun n ->
+            let events = budget ~quick n in
+            List.map
+              (fun backend -> run_churn ~backend ~dist ~n ~events)
+              [ Sim.Slot_heap; Sim.Calendar ])
+          (sizes ~quick))
+      all_dists
+  in
+  Printf.printf "%-14s %8s %10s %16s %12s %8s %8s\n" "dist" "n" "backend"
+    "events/sec" "words/event" "compact" "resize";
+  List.iter
+    (fun r ->
+      Printf.printf "%-14s %8d %10s %16.0f %12.3f %8d %8d\n" (dist_name r.dist)
+        r.n
+        (Sim.backend_name r.row_backend)
+        r.events_per_sec r.minor_words_per_event r.compactions r.resizes)
+    rows;
+  Printf.printf "\n%-14s %8s %22s\n" "dist" "n" "calendar/heap speedup";
+  List.iter
+    (fun (dist, n, ratio) ->
+      Printf.printf "%-14s %8d %22.2fx\n" (dist_name dist) n ratio)
+    (ratios rows);
+  let json = json_of_run ~quick rows in
+  Json.to_file out json;
+  (match validate json with
+  | Ok () -> ()
+  | Error missing ->
+    failwith ("Events.run: emitted JSON is missing keys: " ^ String.concat ", " missing));
+  Printf.printf "\nwrote %s\n%!" out;
+  rows
+
+(* -- regression guard ------------------------------------------------------ *)
+
+let headline_of_report json =
+  match Json.member "headline" json with
+  | None -> Error "report has no \"headline\" object"
+  | Some h -> (
+    match Json.member "calendar_events_per_sec" h with
+    | None -> Error "headline has no \"calendar_events_per_sec\" field"
+    | Some v -> (
+      match Json.to_float v with
+      | Some f when f > 0.0 -> Ok f
+      | _ -> Error "headline \"calendar_events_per_sec\" is not a positive number"))
+
+type guard_result = {
+  baseline_eps : float;
+  fresh_eps : float;
+  perf_ratio : float;
+  speedup : float; (* fresh calendar / fresh heap on the headline workload *)
+  tol : float;
+  min_speedup : float;
+  within : bool;
+}
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+    match float_of_string_opt s with Some t when t >= 0.0 -> t | _ -> default)
+  | None -> default
+
+(* Timer churn is noisier than the policy-cycle headline, so the default
+   tolerance is looser than Perf.guard's 5%. HPFQ_EVENTS_RATIO is the
+   floor on the fresh calendar/heap speedup (default 1.0: the calendar
+   must at least not lose; the committed baseline documents the real
+   margin, CI relaxes both knobs). *)
+let guard ?(baseline = "BENCH_events.json") ?tol ?min_speedup ?n ?events () =
+  let tol = match tol with Some t -> t | None -> env_float "HPFQ_EVENTS_TOL" 0.2 in
+  let min_speedup =
+    match min_speedup with
+    | Some r -> r
+    | None -> env_float "HPFQ_EVENTS_RATIO" 1.0
+  in
+  if not (Sys.file_exists baseline) then
+    Error (Printf.sprintf "baseline %s not found (run `bench events` first)" baseline)
+  else
+    let parsed =
+      match Json.of_file baseline with
+      | json -> headline_of_report json
+      | exception Json.Parse_error msg -> Error msg
+      | exception Sys_error msg -> Error msg
+    in
+    match parsed with
+    | Error e -> Error (Printf.sprintf "%s: %s" baseline e)
+    | Ok baseline_eps ->
+      let n = match n with Some n -> n | None -> headline_n in
+      let events = match events with Some e -> e | None -> budget ~quick:false n in
+      let cal = run_churn ~backend:Sim.Calendar ~dist:headline_dist ~n ~events in
+      let heap = run_churn ~backend:Sim.Slot_heap ~dist:headline_dist ~n ~events in
+      let fresh_eps = cal.events_per_sec in
+      let speedup = cal.events_per_sec /. heap.events_per_sec in
+      Ok
+        {
+          baseline_eps;
+          fresh_eps;
+          perf_ratio = fresh_eps /. baseline_eps;
+          speedup;
+          tol;
+          min_speedup;
+          within = fresh_eps /. baseline_eps >= 1.0 -. tol && speedup >= min_speedup;
+        }

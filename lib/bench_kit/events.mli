@@ -1,0 +1,71 @@
+(** Event-set churn benchmark backing `dune exec bench/main.exe -- events`.
+
+    A/Bs the simulator's pending-set backends (slot heap vs calendar
+    queue) on hold-model timer workloads — uniform, bursty, cancel-heavy
+    (TCP retransmit-timer reset churn) and wide-horizon increment
+    distributions — at steady-state populations up to 64k pending timers,
+    then writes a machine-readable report (BENCH_events.json) with
+    per-workload calendar/heap speedups and a cancel-heavy 64k headline. *)
+
+type dist = Uniform | Bursty | Cancel_heavy | Wide_horizon
+
+val dist_name : dist -> string
+val all_dists : dist list
+
+type row = {
+  dist : dist;
+  n : int;  (** steady-state pending timers *)
+  row_backend : Engine.Simulator.backend;
+  events_per_sec : float;
+  minor_words_per_event : float;  (** GC minor words per fired event *)
+  fired : int;
+  cancelled : int;  (** effective cancels issued by the workload *)
+  compactions : int;  (** from [Simulator.stats] at the end of the run *)
+  resizes : int;
+}
+
+val run_churn :
+  backend:Engine.Simulator.backend -> dist:dist -> n:int -> events:int -> row
+(** One deterministic churn run: [n] self-perpetuating timers re-arming
+    until [events] fires are spent, then draining. The PRNG seed depends
+    only on [(dist, n)], so both backends replay the same increments. *)
+
+val run : ?quick:bool -> ?out:string -> unit -> row list
+(** Run the full grid (4 distributions x sizes x both backends), print a
+    table plus speedups, and write the JSON report to [out] (default
+    ["BENCH_events.json"]). [quick] shrinks sizes/budgets to smoke-test
+    levels. @raise Failure if the emitted report fails {!validate}. *)
+
+val required_keys : string list
+val required_row_keys : string list
+
+val validate : Json.t -> (unit, string list) result
+
+val headline_of_report : Json.t -> (float, string) result
+(** Extract [headline.calendar_events_per_sec] from a parsed report. *)
+
+type guard_result = {
+  baseline_eps : float;  (** headline recorded in the baseline file *)
+  fresh_eps : float;  (** calendar headline measured just now *)
+  perf_ratio : float;  (** [fresh_eps /. baseline_eps] *)
+  speedup : float;  (** fresh calendar/heap ratio on the headline workload *)
+  tol : float;  (** relative slowdown tolerated vs the baseline *)
+  min_speedup : float;  (** floor on [speedup] *)
+  within : bool;
+      (** [perf_ratio >= 1 - tol && speedup >= min_speedup] *)
+}
+
+val guard :
+  ?baseline:string ->
+  ?tol:float ->
+  ?min_speedup:float ->
+  ?n:int ->
+  ?events:int ->
+  unit ->
+  (guard_result, string) result
+(** Regression gate, mirroring [Perf.guard]: re-measure the cancel-heavy
+    headline on both backends and compare the calendar number against the
+    committed [baseline] (default ["BENCH_events.json"]). [tol] defaults
+    to [HPFQ_EVENTS_TOL] or 0.2; [min_speedup] to [HPFQ_EVENTS_RATIO] or
+    1.0. [Error] means the baseline is missing or unreadable, not a perf
+    failure. *)

@@ -1,0 +1,67 @@
+(* The pending-event-set contract every simulator backend implements.
+
+   A backend orders bare slot indices of an Event_pool by the pool's
+   (time, seq) key. Cancellation is *not* a backend operation: the
+   simulator flips the slot's pool state to [st_cancelled] in O(1) and the
+   backend drops cancelled entries lazily — while searching for the next
+   live event ([peek_live]/[pop_live] free any cancelled entry standing
+   between the current position and the answer) and wholesale under
+   [compact], which the simulator triggers whenever cancelled entries
+   outnumber live ones so memory stays bounded under cancel churn.
+
+   Two implementations ship:
+
+   - [Slot_heap] — the PR-1 binary heap of slots, O(log n) per
+     schedule/extract, no tuning, kept as the cross-checked reference
+     (the lockstep qcheck differential in test/test_event_set.ml drives
+     both backends through identical op sequences);
+   - [Calendar_queue] — a Brown-style bucketed circular calendar,
+     amortized O(1) per schedule/extract on the near-future-timer
+     distributions discrete event simulation actually produces, the
+     default since it wins every churn workload in `bench events`.
+
+   The simulator dispatches over a two-constructor variant rather than a
+   first-class module so backend calls stay direct (one predictable
+   branch); this module type pins the contract both must satisfy and is
+   checked by the [module _ : Event_set.S] ascriptions below each
+   implementation's use site in Simulator. *)
+
+module type S = sig
+  type t
+
+  val create : Event_pool.t -> t
+  (** Empty set over [pool]. The backend keeps the pool handle: ordering
+      reads and lazy reclamation ([Event_pool.free] of cancelled slots it
+      removes) go through it. *)
+
+  val add : t -> int -> unit
+  (** Insert a slot whose pool fields (time, seq, state = live) are
+      already set. The slot's time must be >= the time of the last slot
+      returned by [pop_live] (the simulator rejects past schedules). *)
+
+  val peek_live : t -> int
+  (** Earliest live slot without removing it, or [-1] if none. Cancelled
+      entries encountered on the way are removed and freed back to the
+      pool. A subsequent [pop_live] with no interleaved [add] is O(1). *)
+
+  val pop_live : t -> int
+  (** Remove and return the earliest live slot, or [-1] if none. Frees
+      cancelled entries it passes, like [peek_live]. *)
+
+  val size : t -> int
+  (** Entries currently held, including not-yet-reclaimed cancelled
+      ones. [size t - live] (the simulator tracks [live]) is the garbage
+      the next [compact] would reclaim. *)
+
+  val capacity : t -> int
+  (** Allocated extent of the ordering structure (heap array length /
+      calendar bucket count) — exposed through [Simulator.stats] so
+      resize behaviour is observable. *)
+
+  val compact : t -> unit
+  (** Drop every cancelled entry and free its slot. *)
+
+  val resizes : t -> int
+  (** Internal structural resizes so far (0 for backends that never
+      restructure; bucket-array rebuilds for the calendar). *)
+end

@@ -1,40 +1,45 @@
-(* Pooled event loop. The original implementation allocated a four-field
-   record per scheduled event and pushed it through a polymorphic binary
-   heap, so every schedule cost a minor-heap record plus heap-internal
-   writes, and cancelled events lingered until popped. Here events live in
-   a struct-of-arrays pool indexed by slot:
+(* Pooled event loop over a pluggable pending-event set.
 
-   - [times]/[seqs]/[actions] hold the event fields unboxed (the float
-     array keeps fire times unboxed; no per-event record exists);
-   - freed slots are threaded through [next_free] as a freelist, so a
-     steady schedule/fire workload reuses the same few slots and the
-     event loop allocates nothing per event beyond the caller's closure;
-   - the pending set is a heap of slot indices ordered by
-     (time, sequence) — same FIFO tie-break as before;
-   - an [event_id] is an int packing (slot, generation). The generation
-     bumps every time a slot is freed, so a cancel holding a stale id
-     (event already fired, or slot since reused) is detected and ignored
-     instead of killing an unrelated event;
-   - cancelled events are dropped lazily, but when they outnumber the
-     live events (i.e. exceed half the heap) the heap is compacted in
-     place and re-heapified, bounding memory under cancel-heavy
-     workloads such as TCP retransmit-timer churn. *)
+   Events live in a struct-of-arrays pool ([Event_pool]) indexed by slot:
+   fire times stay unboxed, freed slots recycle through a freelist, and a
+   steady schedule/fire workload allocates nothing per event beyond the
+   caller's closure. An [event_id] packs (slot, generation); the
+   generation bumps every time a slot is freed, so a cancel holding a
+   stale id (event already fired, or slot since reused) is detected and
+   ignored instead of killing an unrelated event.
+
+   The *order* over pending slots is a backend behind the [Event_set.S]
+   contract — a binary slot heap (the O(log n) reference) or a calendar
+   queue (amortized O(1) on timer-churn workloads, the default). Both
+   drop cancelled events lazily; when cancelled entries outnumber live
+   ones the structure is compacted, bounding memory under cancel-heavy
+   workloads such as TCP retransmit-timer churn. `bench events` A/Bs the
+   backends and test/test_event_set.ml drives both through identical op
+   sequences in lockstep. *)
+
+(* [pack] puts the slot index in bits 31+ of an OCaml int. On a 63-bit
+   platform slots up to 2^31 coexist with 31 generation bits; on a 32-bit
+   platform every slot would alias slot 0 and stale cancels could kill
+   unrelated events — fail loudly at startup instead. *)
+let () =
+  if Sys.int_size < 63 then
+    failwith
+      (Printf.sprintf
+         "Engine.Simulator: event ids pack (slot, generation) into a 63-bit \
+          int; %d-bit platforms are unsupported"
+         (Sys.int_size + 1))
 
 type event_id = int
 
-(* id = slot in the high bits, generation in the low 31. OCaml ints are
-   63-bit here, so slots up to 2^31 fit without collision. *)
-let gen_mask = 0x7FFFFFFF
+let gen_mask = Event_pool.gen_mask
 let pack ~slot ~gen = (slot lsl 31) lor (gen land gen_mask)
 let id_slot id = id lsr 31
 let id_gen id = id land gen_mask
 
-(* Slot states. *)
-let st_free = '\000'
-let st_live = '\001'
-let st_cancelled = '\002'
-
-let no_action = ignore
+(* All bits set decodes to a slot index beyond any reachable pool capacity,
+   so [cancel] treats it as stale. Lets callers pre-size id arrays without
+   an option box. *)
+let stale_id : event_id = -1
 
 type probe = {
   on_schedule : at:float -> now:float -> unit;
@@ -42,177 +47,118 @@ type probe = {
   on_cancel : at:float -> now:float -> unit;
 }
 
+(* ---- pending-set backends ---- *)
+
+type backend = Slot_heap | Calendar
+
+(* Compile-time check that both implementations satisfy the contract. *)
+module _ : Event_set.S = Slot_heap
+module _ : Event_set.S = Calendar_queue
+
+(* Dispatch over a two-constructor variant keeps backend calls direct
+   (one predictable branch) instead of going through a first-class
+   module's closure record. *)
+type event_set = Heap of Slot_heap.t | Cal of Calendar_queue.t
+
+let backend_name = function Slot_heap -> "heap" | Calendar -> "calendar"
+
+let backend_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "heap" | "slot-heap" | "slot_heap" | "binary" -> Ok Slot_heap
+  | "calendar" | "calendar-queue" | "calendar_queue" | "cq" -> Ok Calendar
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown event-set backend %S (expected \"heap\" or \"calendar\")"
+         other)
+
+(* Process-wide default, so drivers (bench, hpfq_sim) can A/B every
+   simulator an experiment creates without threading a parameter through
+   each one: the HPFQ_EVENT_SET environment variable seeds it, and
+   [set_default_backend] backs the CLI knob. *)
+let default_backend_ref =
+  ref
+    (match Sys.getenv_opt "HPFQ_EVENT_SET" with
+    | None -> Calendar
+    | Some s -> (
+      match backend_of_string s with
+      | Ok b -> b
+      | Error msg ->
+        Printf.eprintf "warning: HPFQ_EVENT_SET: %s; using calendar\n%!" msg;
+        Calendar))
+
+let default_backend () = !default_backend_ref
+let set_default_backend b = default_backend_ref := b
+
 type t = {
-  (* event pool, slot-indexed *)
-  mutable times : float array;
-  mutable seqs : int array;
-  mutable actions : (unit -> unit) array;
-  mutable gens : int array;
-  mutable state : Bytes.t;
-  mutable next_free : int array; (* freelist link, -1 ends the list *)
-  mutable free_head : int;
-  (* pending set: heap of slots ordered by (times.(slot), seqs.(slot)) *)
-  mutable heap : int array;
-  mutable heap_size : int;
+  pool : Event_pool.t;
+  es : event_set;
   mutable clock : float;
+      (* A mutable float field of a mixed record boxes on every store (one
+         per fired event) — but [now] then returns the existing box for
+         free, and handlers read the clock more often than the loop writes
+         it. A flat 1-element float array inverts the trade: free stores,
+         a fresh 2-word box per [now] read — measurably worse (+6
+         words/pkt on the hier bench, which reads [now] ~3x per packet). *)
   mutable next_seq : int;
   mutable fired : int;
   mutable live : int; (* pending and not cancelled *)
+  mutable compactions : int;
   mutable probe : probe option; (* observability hook; None must stay free *)
 }
 
-let initial_capacity = 16
-
-(* Below this heap size compaction is not worth the re-heapify. *)
-let compact_min_heap = 64
-
-let create () =
-  let cap = initial_capacity in
-  let next_free = Array.init cap (fun i -> if i = cap - 1 then -1 else i + 1) in
+let create ?backend () =
+  let backend = match backend with Some b -> b | None -> !default_backend_ref in
+  let pool = Event_pool.create () in
+  let es =
+    match backend with
+    | Slot_heap -> Heap (Slot_heap.create pool)
+    | Calendar -> Cal (Calendar_queue.create pool)
+  in
   {
-    times = Array.make cap 0.0;
-    seqs = Array.make cap 0;
-    actions = Array.make cap no_action;
-    gens = Array.make cap 0;
-    state = Bytes.make cap st_free;
-    next_free;
-    free_head = 0;
-    heap = Array.make cap (-1);
-    heap_size = 0;
+    pool;
+    es;
     clock = 0.0;
     next_seq = 0;
     fired = 0;
     live = 0;
+    compactions = 0;
     probe = None;
   }
 
+let backend t = match t.es with Heap _ -> Slot_heap | Cal _ -> Calendar
 let now t = t.clock
 
-let grow_pool t =
-  let cap = Array.length t.times in
-  let cap' = 2 * cap in
-  let grow_f a = let b = Array.make cap' 0.0 in Array.blit a 0 b 0 cap; b in
-  let grow_i ~fill a = let b = Array.make cap' fill in Array.blit a 0 b 0 cap; b in
-  t.times <- grow_f t.times;
-  t.seqs <- grow_i ~fill:0 t.seqs;
-  t.gens <- grow_i ~fill:0 t.gens;
-  let actions = Array.make cap' no_action in
-  Array.blit t.actions 0 actions 0 cap;
-  t.actions <- actions;
-  let state = Bytes.make cap' st_free in
-  Bytes.blit t.state 0 state 0 cap;
-  t.state <- state;
-  let next_free = Array.make cap' (-1) in
-  Array.blit t.next_free 0 next_free 0 cap;
-  (* thread the new slots onto the freelist *)
-  for i = cap to cap' - 1 do
-    next_free.(i) <- (if i = cap' - 1 then t.free_head else i + 1)
-  done;
-  t.next_free <- next_free;
-  t.free_head <- cap
+let es_add t slot =
+  match t.es with Heap h -> Slot_heap.add h slot | Cal c -> Calendar_queue.add c slot
 
-let alloc_slot t =
-  if t.free_head < 0 then grow_pool t;
-  let slot = t.free_head in
-  t.free_head <- t.next_free.(slot);
-  slot
+let es_peek_live t =
+  match t.es with
+  | Heap h -> Slot_heap.peek_live h
+  | Cal c -> Calendar_queue.peek_live c
 
-let free_slot t slot =
-  Bytes.set t.state slot st_free;
-  t.actions.(slot) <- no_action; (* release the closure *)
-  t.gens.(slot) <- (t.gens.(slot) + 1) land gen_mask; (* invalidate old ids *)
-  t.next_free.(slot) <- t.free_head;
-  t.free_head <- slot
+let es_pop_live t =
+  match t.es with
+  | Heap h -> Slot_heap.pop_live h
+  | Cal c -> Calendar_queue.pop_live c
 
-(* ---- slot heap, ordered by (time, seq) ---- *)
+let es_size t =
+  match t.es with Heap h -> Slot_heap.size h | Cal c -> Calendar_queue.size c
 
-let slot_before t a b =
-  let ta = t.times.(a) and tb = t.times.(b) in
-  ta < tb || (ta = tb && t.seqs.(a) < t.seqs.(b))
+let es_capacity t =
+  match t.es with
+  | Heap h -> Slot_heap.capacity h
+  | Cal c -> Calendar_queue.capacity c
 
-let heap_push t slot =
-  let n = Array.length t.heap in
-  if t.heap_size = n then begin
-    let heap = Array.make (2 * n) (-1) in
-    Array.blit t.heap 0 heap 0 n;
-    t.heap <- heap
-  end;
-  (* hole sift-up: slide ancestors down, write [slot] once *)
-  let heap = t.heap in
-  let i = ref t.heap_size in
-  t.heap_size <- t.heap_size + 1;
-  let moving = ref true in
-  while !moving && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    let p = Array.unsafe_get heap parent in
-    if slot_before t slot p then begin
-      Array.unsafe_set heap !i p;
-      i := parent
-    end
-    else moving := false
-  done;
-  Array.unsafe_set heap !i slot
+let es_compact t =
+  match t.es with
+  | Heap h -> Slot_heap.compact h
+  | Cal c -> Calendar_queue.compact c
 
-(* Sift the slot at heap position [i] down to its place. *)
-let heap_sift_down t i =
-  let heap = t.heap in
-  let size = t.heap_size in
-  let slot = Array.unsafe_get heap i in
-  let i = ref i in
-  let moving = ref true in
-  while !moving do
-    let l = (2 * !i) + 1 in
-    if l >= size then moving := false
-    else begin
-      let r = l + 1 in
-      let best =
-        if r < size && slot_before t (Array.unsafe_get heap r) (Array.unsafe_get heap l)
-        then r
-        else l
-      in
-      let b = Array.unsafe_get heap best in
-      if slot_before t b slot then begin
-        Array.unsafe_set heap !i b;
-        i := best
-      end
-      else moving := false
-    end
-  done;
-  Array.unsafe_set heap !i slot
-
-(* Remove the heap minimum (caller checks non-empty). *)
-let heap_pop t =
-  let top = t.heap.(0) in
-  let last = t.heap_size - 1 in
-  t.heap_size <- last;
-  if last > 0 then begin
-    t.heap.(0) <- t.heap.(last);
-    heap_sift_down t 0
-  end;
-  t.heap.(last) <- -1;
-  top
-
-(* Drop every cancelled slot from the heap and rebuild it bottom-up
-   (Floyd heapify, O(n)). Triggered from [cancel] when cancelled entries
-   outnumber live ones. *)
-let compact t =
-  let heap = t.heap in
-  let j = ref 0 in
-  for i = 0 to t.heap_size - 1 do
-    let slot = heap.(i) in
-    if Bytes.get t.state slot = st_live then begin
-      heap.(!j) <- slot;
-      incr j
-    end
-    else free_slot t slot
-  done;
-  for i = !j to t.heap_size - 1 do
-    heap.(i) <- -1
-  done;
-  t.heap_size <- !j;
-  for i = (!j / 2) - 1 downto 0 do
-    heap_sift_down t i
-  done
+let es_resizes t =
+  match t.es with
+  | Heap h -> Slot_heap.resizes h
+  | Cal c -> Calendar_queue.resizes c
 
 (* ---- public API ---- *)
 
@@ -220,67 +166,64 @@ let schedule t ~at action =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Simulator.schedule: time %g is before now %g" at t.clock);
-  let slot = alloc_slot t in
-  t.times.(slot) <- at;
-  t.seqs.(slot) <- t.next_seq;
-  t.actions.(slot) <- action;
-  Bytes.set t.state slot st_live;
+  let slot = Event_pool.alloc t.pool in
+  let pool = t.pool in
+  pool.Event_pool.times.(slot) <- at;
+  pool.Event_pool.seqs.(slot) <- t.next_seq;
+  pool.Event_pool.actions.(slot) <- action;
+  Bytes.set pool.Event_pool.state slot Event_pool.st_live;
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
-  heap_push t slot;
+  es_add t slot;
   (match t.probe with
   | None -> ()
   | Some p -> p.on_schedule ~at ~now:t.clock);
-  pack ~slot ~gen:t.gens.(slot)
+  pack ~slot ~gen:pool.Event_pool.gens.(slot)
 
 let schedule_after t ~delay action =
   if delay < 0.0 then invalid_arg "Simulator.schedule_after: negative delay";
   schedule t ~at:(t.clock +. delay) action
 
+(* Below this occupancy compaction is not worth the sweep. *)
+let compact_min_size = 64
+
 let cancel t id =
   let slot = id_slot id in
+  let pool = t.pool in
   if
-    slot < Array.length t.times
-    && t.gens.(slot) = id_gen id
-    && Bytes.get t.state slot = st_live
+    slot < Event_pool.capacity pool
+    && pool.Event_pool.gens.(slot) = id_gen id
+    && Event_pool.is_live pool slot
   then begin
-    Bytes.set t.state slot st_cancelled;
-    t.actions.(slot) <- no_action; (* release the closure eagerly *)
+    Bytes.set pool.Event_pool.state slot Event_pool.st_cancelled;
+    pool.Event_pool.actions.(slot) <- Event_pool.no_action; (* release eagerly *)
     t.live <- t.live - 1;
     (match t.probe with
     | None -> ()
-    | Some p -> p.on_cancel ~at:t.times.(slot) ~now:t.clock);
-    (* cancelled-in-heap = heap_size - live; compact once they exceed
-       half the heap (and the heap is big enough to be worth it) *)
-    if t.heap_size >= compact_min_heap && t.heap_size - t.live > t.live then
-      compact t
+    | Some p -> p.on_cancel ~at:pool.Event_pool.times.(slot) ~now:t.clock);
+    (* cancelled-in-structure = size - live; compact once they exceed the
+       live population (and the structure is big enough to be worth it) *)
+    let size = es_size t in
+    if size >= compact_min_size && size - t.live > t.live then begin
+      es_compact t;
+      t.compactions <- t.compactions + 1
+    end
   end
 
 let pending t = t.live
 
-(* Pop cancelled events lazily; compaction keeps their number bounded. *)
-let rec next_live t =
-  if t.heap_size = 0 then -1
-  else begin
-    let slot = heap_pop t in
-    if Bytes.get t.state slot = st_live then slot
-    else begin
-      free_slot t slot;
-      next_live t
-    end
-  end
-
 let step t =
-  let slot = next_live t in
+  let slot = es_pop_live t in
   if slot < 0 then false
   else begin
-    t.clock <- t.times.(slot);
+    let pool = t.pool in
+    t.clock <- pool.Event_pool.times.(slot);
     t.live <- t.live - 1;
     t.fired <- t.fired + 1;
-    let action = t.actions.(slot) in
+    let action = pool.Event_pool.actions.(slot) in
     (* free before firing: the handler may schedule (reusing this slot)
        or cancel (the bumped generation makes its own id stale) *)
-    free_slot t slot;
+    Event_pool.free pool slot;
     (match t.probe with
     | None -> ()
     | Some p -> p.on_fire ~at:t.clock);
@@ -294,18 +237,35 @@ let run ?until t =
   | Some horizon ->
     let continue = ref true in
     while !continue do
-      if t.heap_size = 0 then continue := false
-      else begin
-        let slot = t.heap.(0) in
-        if Bytes.get t.state slot <> st_live then begin
-          ignore (heap_pop t);
-          free_slot t slot
-        end
-        else if t.times.(slot) <= horizon then ignore (step t)
-        else continue := false
-      end
+      let slot = es_peek_live t in
+      if slot < 0 then continue := false
+      else if t.pool.Event_pool.times.(slot) <= horizon then ignore (step t)
+      else continue := false
     done;
     if t.clock < horizon then t.clock <- horizon
 
 let events_processed t = t.fired
 let set_probe t p = t.probe <- p
+
+(* ---- occupancy / structure stats ---- *)
+
+type stats = {
+  stat_backend : backend;
+  live : int;
+  cancelled_in_set : int;
+  set_capacity : int;
+  pool_capacity : int;
+  compactions : int;
+  resizes : int;
+}
+
+let stats t =
+  {
+    stat_backend = backend t;
+    live = t.live;
+    cancelled_in_set = es_size t - t.live;
+    set_capacity = es_capacity t;
+    pool_capacity = Event_pool.capacity t.pool;
+    compactions = t.compactions;
+    resizes = es_resizes t;
+  }

@@ -4,14 +4,51 @@
     non-decreasing time order; events scheduled for the same instant fire in
     the order they were scheduled (FIFO tie-break by sequence number), which
     keeps runs deterministic. Event handlers may schedule and cancel further
-    events freely. *)
+    events freely.
+
+    The pending set is pluggable ({!backend}): a binary slot heap (O(log n)
+    per operation, the audited reference) or a Brown-style calendar queue
+    (amortized O(1) on timer-churn workloads, the default). Both preserve
+    the same fire order, clock behaviour and trace output; `bench events`
+    A/Bs them and a lockstep differential test pins their equivalence. *)
 
 type t
 
 type event_id
 (** Handle for cancellation. *)
 
-val create : unit -> t
+val stale_id : event_id
+(** An id that matches no event, past or future: {!cancel} on it is always
+    a no-op. Useful as the initial value of a pre-sized id array. *)
+
+(** {2 Pending-set backends} *)
+
+type backend =
+  | Slot_heap  (** binary heap of event slots: O(log n), no tuning *)
+  | Calendar  (** bucketed calendar queue: amortized O(1), adaptive width *)
+
+val backend_name : backend -> string
+(** ["heap"] / ["calendar"]. *)
+
+val backend_of_string : string -> (backend, string) result
+(** Accepts ["heap"]/["slot-heap"]/["binary"] and
+    ["calendar"]/["calendar-queue"]/["cq"], case-insensitively. *)
+
+val default_backend : unit -> backend
+(** Backend used by {!create} when none is passed. Seeded from the
+    [HPFQ_EVENT_SET] environment variable ("heap" or "calendar"; invalid
+    values warn on stderr), otherwise {!Calendar}. *)
+
+val set_default_backend : backend -> unit
+(** Override the process-wide default — the hook behind CLI knobs, so a
+    driver can A/B every simulator an experiment creates internally. *)
+
+val create : ?backend:backend -> unit -> t
+(** New simulator at time [0.] with an empty pending set.
+    [backend] defaults to {!default_backend}[ ()]. *)
+
+val backend : t -> backend
+(** The backend this simulator was created with. *)
 
 val now : t -> float
 (** Current virtual time in seconds. Starts at [0.]. *)
@@ -34,10 +71,32 @@ val step : t -> bool
 
 val run : ?until:float -> t -> unit
 (** Drain the event set; with [~until] stop once the next event would fire
-    strictly after that time (the clock is then advanced to [until]). *)
+    strictly after that time (the clock is then advanced to [until]).
+    An event scheduled exactly at the horizon fires. *)
 
 val events_processed : t -> int
 (** Total events fired so far (monitoring / tests). *)
+
+(** {2 Occupancy and structure statistics}
+
+    Snapshot of the pending set's internals, surfaced so compaction and
+    resize behaviour is observable in traces (see [Obs.Trace.sim_report]). *)
+
+type stats = {
+  stat_backend : backend;
+  live : int;  (** pending and not cancelled (= {!pending}) *)
+  cancelled_in_set : int;
+      (** cancelled entries still occupying the structure: garbage the
+          next compaction reclaims; kept below the live count *)
+  set_capacity : int;
+      (** allocated extent of the ordering structure (heap array length /
+          calendar bucket count) *)
+  pool_capacity : int;  (** event-pool slots (free + in use) *)
+  compactions : int;  (** cancelled-entry sweeps triggered so far *)
+  resizes : int;  (** backend structural resizes (calendar rebuilds) *)
+}
+
+val stats : t -> stats
 
 (** {2 Observability}
 

@@ -7,6 +7,7 @@ type t = {
   session_nodes : int array array; (* interior id -> session idx -> child node id *)
   parents : int array;             (* node id -> parent id, -1 at the root *)
   mutable detach_fns : (unit -> unit) list;
+  mutable sims : Engine.Simulator.t list; (* attach order, oldest last *)
   mutable sim_scheduled : int;
   mutable sim_fired : int;
   mutable sim_cancelled : int;
@@ -81,6 +82,7 @@ let make ~recorder ~node_names ~session_nodes ~parents =
     session_nodes;
     parents;
     detach_fns = [];
+    sims = [];
     sim_scheduled = 0;
     sim_fired = 0;
     sim_cancelled = 0;
@@ -153,6 +155,7 @@ let attach_server ?(capacity = 65536) ?(on_full = Recorder.Drop_oldest)
   t
 
 let attach_sim t sim =
+  t.sims <- sim :: t.sims;
   Engine.Simulator.set_probe sim
     (Some
        {
@@ -164,6 +167,37 @@ let attach_sim t sim =
   t.detach_fns <- (fun () -> Engine.Simulator.set_probe sim None) :: t.detach_fns
 
 let sim_counters t = (t.sim_scheduled, t.sim_fired, t.sim_cancelled)
+
+let sim_report ?(name = "sim-events") t =
+  Stats.Report.make ~name ~columns:[ "metric"; "value" ] ~rows:(fun () ->
+      let counters =
+        [
+          [ "scheduled"; string_of_int t.sim_scheduled ];
+          [ "fired"; string_of_int t.sim_fired ];
+          [ "cancelled"; string_of_int t.sim_cancelled ];
+        ]
+      in
+      let occupancy i sim =
+        let st = Engine.Simulator.stats sim in
+        (* one attached simulator is the normal case; suffix only beyond *)
+        let key k = if i = 0 then k else Printf.sprintf "%s#%d" k i in
+        [
+          [
+            key "backend";
+            Engine.Simulator.backend_name st.Engine.Simulator.stat_backend;
+          ];
+          [ key "pending"; string_of_int st.Engine.Simulator.live ];
+          [
+            key "cancelled_in_set";
+            string_of_int st.Engine.Simulator.cancelled_in_set;
+          ];
+          [ key "set_capacity"; string_of_int st.Engine.Simulator.set_capacity ];
+          [ key "pool_capacity"; string_of_int st.Engine.Simulator.pool_capacity ];
+          [ key "compactions"; string_of_int st.Engine.Simulator.compactions ];
+          [ key "resizes"; string_of_int st.Engine.Simulator.resizes ];
+        ]
+      in
+      counters @ List.concat (List.mapi occupancy (List.rev t.sims)))
 
 let detach t =
   List.iter (fun f -> f ()) t.detach_fns;

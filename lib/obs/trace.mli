@@ -41,6 +41,13 @@ val attach_sim : t -> Engine.Simulator.t -> unit
 val sim_counters : t -> int * int * int
 (** [(scheduled, fired, cancelled)] since {!attach_sim}. *)
 
+val sim_report : ?name:string -> t -> Stats.Report.t
+(** Event-loop activity as a [metric,value] table: the probe counters
+    plus, per attached simulator, a live {!Engine.Simulator.stats}
+    snapshot (backend, pending, cancelled-in-structure, capacities,
+    compactions, resizes). Rows are computed when the report is written,
+    so take the snapshot at the moment of interest. *)
+
 val detach : t -> unit
 (** Remove every installed observer and probe. Recorded events and metrics
     remain readable. *)

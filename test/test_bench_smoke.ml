@@ -4,6 +4,7 @@
 
 module Json = Bench_kit.Json
 module Perf = Bench_kit.Perf
+module Events = Bench_kit.Events
 
 let test_quick_run_emits_valid_report () =
   let out = Filename.temp_file "bench_smoke" ".json" in
@@ -57,6 +58,66 @@ let test_json_roundtrip () =
     (match Json.member "schema" t' with Some (Json.Str s) -> s | _ -> "?");
   Alcotest.(check bool) "nan serialized as null" true
     (Json.member "nan_becomes_null" t' = Some Json.Null)
+
+(* -- event-set churn suite ------------------------------------------------ *)
+
+let test_events_quick_run_emits_valid_report () =
+  let out = Filename.temp_file "bench_events_smoke" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let rows = Events.run ~quick:true ~out () in
+      (* quick grid: 4 distributions x 1 size x 2 backends *)
+      Alcotest.(check int) "row count" 8 (List.length rows);
+      List.iter
+        (fun r ->
+          if r.Events.events_per_sec <= 0.0 then
+            Alcotest.fail "events_per_sec not positive";
+          if r.Events.fired <= 0 then Alcotest.fail "nothing fired")
+        rows;
+      let report = Json.of_file out in
+      match Events.validate report with
+      | Ok () -> ()
+      | Error problems ->
+        Alcotest.failf "invalid events report: %s" (String.concat "; " problems))
+
+let fake_events_report eps =
+  Json.Obj
+    [
+      ("schema", Json.Str "hpfq-bench-events-v1");
+      ( "headline",
+        Json.Obj
+          [
+            ("workload", Json.Str "cancel_heavy_n65536");
+            ("calendar_events_per_sec", Json.Num eps);
+          ] );
+    ]
+
+let test_events_guard_verdicts () =
+  let with_baseline eps f =
+    let path = Filename.temp_file "bench_events_guard" ".json" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Json.to_file path (fake_events_report eps);
+        f path)
+  in
+  let run_guard path =
+    Events.guard ~baseline:path ~tol:0.05 ~min_speedup:0.0 ~n:256 ~events:4_000 ()
+  in
+  with_baseline 1.0 (fun path ->
+      match run_guard path with
+      | Ok g ->
+        Alcotest.(check bool) "beats trivial baseline" true g.Events.within
+      | Error e -> Alcotest.failf "events guard errored: %s" e);
+  with_baseline 1e15 (fun path ->
+      match run_guard path with
+      | Ok g ->
+        Alcotest.(check bool) "loses to absurd baseline" false g.Events.within
+      | Error e -> Alcotest.failf "events guard errored: %s" e);
+  match Events.guard ~baseline:"/nonexistent/BENCH_events.json" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing baseline should be an error"
 
 (* -- perf-regression guard ------------------------------------------------ *)
 
@@ -144,6 +205,12 @@ let () =
           Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "quick run emits valid report" `Quick
             test_quick_run_emits_valid_report;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "quick run emits valid report" `Quick
+            test_events_quick_run_emits_valid_report;
+          Alcotest.test_case "guard verdicts" `Quick test_events_guard_verdicts;
         ] );
       ( "guard",
         [

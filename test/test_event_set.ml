@@ -1,0 +1,276 @@
+(* Pending-set backends: slot heap vs calendar queue.
+
+   The two backends must be observationally identical through the
+   Simulator API — same fire order, same clocks, same pending counts —
+   under any interleaving of schedule / cancel / step / run~until. The
+   lockstep qcheck property below drives both through the same random op
+   sequence and compares full traces; the unit tests pin the run~until
+   horizon semantics, cancelled-top reclamation, compaction triggering
+   and the calendar's resize / far-future behaviour. *)
+
+module Sim = Engine.Simulator
+
+(* ---- lockstep differential property ---- *)
+
+type op =
+  | Schedule of float (* delay from now *)
+  | Chain of float * float (* handler schedules a follow-up: exercises
+                              the calendar's rewind-on-add path *)
+  | Cancel of int (* index into ids issued so far (stale ids included) *)
+  | Step
+  | Run_until of float (* horizon = now + delay *)
+
+let op_to_string = function
+  | Schedule d -> Printf.sprintf "sched %h" d
+  | Chain (a, b) -> Printf.sprintf "chain %h %h" a b
+  | Cancel k -> Printf.sprintf "cancel#%d" k
+  | Step -> "step"
+  | Run_until d -> Printf.sprintf "until +%h" d
+
+let print_ops ops = String.concat "; " (List.map op_to_string ops)
+
+(* Everything observable: each fire (tag, time) interleaved with the
+   (clock, pending) snapshot taken after every op. Identical op replay
+   must yield identical traces on both backends. *)
+type entry = Fired of int * float | After of int * float * int
+
+let run_trace backend ops =
+  let sim = Sim.create ~backend () in
+  let log = ref [] in
+  let ids = ref [] in
+  let tags = ref 0 in
+  let fresh_tag () =
+    let t = !tags in
+    incr tags;
+    t
+  in
+  let log_fire tag = log := Fired (tag, Sim.now sim) :: !log in
+  let sched d =
+    let tag = fresh_tag () in
+    ids := Sim.schedule_after sim ~delay:d (fun () -> log_fire tag) :: !ids
+  in
+  let sched_chain d1 d2 =
+    let tag = fresh_tag () in
+    ids :=
+      Sim.schedule_after sim ~delay:d1 (fun () ->
+          log_fire tag;
+          let tag2 = fresh_tag () in
+          ids :=
+            Sim.schedule_after sim ~delay:d2 (fun () -> log_fire tag2) :: !ids)
+      :: !ids
+  in
+  List.iteri
+    (fun i op ->
+      (match op with
+      | Schedule d -> sched d
+      | Chain (d1, d2) -> sched_chain d1 d2
+      | Cancel k -> (
+        match !ids with
+        | [] -> ()
+        | l -> Sim.cancel sim (List.nth l (k mod List.length l)))
+      | Step -> ignore (Sim.step sim)
+      | Run_until d -> Sim.run ~until:(Sim.now sim +. d) sim);
+      log := After (i, Sim.now sim, Sim.pending sim) :: !log)
+    ops;
+  Sim.run sim;
+  (List.rev !log, Sim.now sim, Sim.events_processed sim)
+
+let gen_delay =
+  QCheck.Gen.frequency
+    [
+      (6, QCheck.Gen.map (fun u -> 2.0 *. u) (QCheck.Gen.float_bound_inclusive 1.0));
+      (1, QCheck.Gen.return 0.0) (* exact ties: FIFO tie-break *);
+      ( 1,
+        QCheck.Gen.map
+          (fun u -> 1000.0 *. u)
+          (QCheck.Gen.float_bound_inclusive 1.0) );
+    ]
+
+let gen_op ~cancel_weight =
+  QCheck.Gen.frequency
+    [
+      (5, QCheck.Gen.map (fun d -> Schedule d) gen_delay);
+      (2, QCheck.Gen.map2 (fun a b -> Chain (a, b)) gen_delay gen_delay);
+      (cancel_weight, QCheck.Gen.map (fun k -> Cancel k) QCheck.Gen.nat);
+      (2, QCheck.Gen.return Step);
+      (1, QCheck.Gen.map (fun d -> Run_until d) gen_delay);
+    ]
+
+let gen_ops ~cancel_weight ~max_len =
+  QCheck.Gen.list_size
+    (QCheck.Gen.int_range 0 max_len)
+    (gen_op ~cancel_weight)
+
+let lockstep name ~count ~cancel_weight ~max_len =
+  QCheck.Test.make ~name ~count
+    (QCheck.make (gen_ops ~cancel_weight ~max_len) ~print:print_ops)
+    (fun ops ->
+      run_trace Sim.Slot_heap ops = run_trace Sim.Calendar ops)
+
+let prop_lockstep =
+  lockstep "heap and calendar replay identically" ~count:300 ~cancel_weight:2
+    ~max_len:120
+
+(* heavier cancel mix over longer sequences: drives compaction and the
+   calendar's cancelled-head reclamation through the same lockstep check *)
+let prop_lockstep_churn =
+  lockstep "lockstep under cancel churn" ~count:80 ~cancel_weight:8 ~max_len:400
+
+(* ---- unit tests, parameterized by backend ---- *)
+
+let both name f =
+  [
+    Alcotest.test_case (name ^ " (heap)") `Quick (fun () -> f Sim.Slot_heap);
+    Alcotest.test_case (name ^ " (calendar)") `Quick (fun () -> f Sim.Calendar);
+  ]
+
+(* run ~until boundary: an event exactly at the horizon fires, the next
+   representable instant after it does not, and the clock lands on the
+   horizon even when nothing fires. *)
+let test_until_boundary backend =
+  let sim = Sim.create ~backend () in
+  let fired = ref [] in
+  let tag t () = fired := t :: !fired in
+  ignore (Sim.schedule sim ~at:1.0 (tag "early"));
+  ignore (Sim.schedule sim ~at:5.0 (tag "horizon"));
+  ignore (Sim.schedule sim ~at:(Float.succ 5.0) (tag "after"));
+  Sim.run ~until:5.0 sim;
+  Alcotest.(check (list string))
+    "events at or before the horizon fire" [ "early"; "horizon" ]
+    (List.rev !fired);
+  Alcotest.(check (float 0.0)) "clock = horizon" 5.0 (Sim.now sim);
+  Alcotest.(check int) "strictly-later event still pending" 1 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check (list string))
+    "drain fires the rest"
+    [ "early"; "horizon"; "after" ]
+    (List.rev !fired);
+  Alcotest.(check (float 0.0)) "clock at last event" (Float.succ 5.0)
+    (Sim.now sim)
+
+let test_until_empty backend =
+  let sim = Sim.create ~backend () in
+  Sim.run ~until:3.0 sim;
+  Alcotest.(check (float 0.0)) "clock advances with no events" 3.0 (Sim.now sim)
+
+(* a cancelled earliest event must be skipped and its structure entry
+   reclaimed by the peek, not merely ignored *)
+let test_cancelled_top_reclaimed backend =
+  let sim = Sim.create ~backend () in
+  let count = ref 0 in
+  let first = Sim.schedule sim ~at:1.0 (fun () -> incr count) in
+  for i = 2 to 10 do
+    ignore (Sim.schedule sim ~at:(float_of_int i) (fun () -> incr count))
+  done;
+  Sim.cancel sim first;
+  let st = Sim.stats sim in
+  Alcotest.(check int) "cancelled entry still in structure" 1
+    st.Sim.cancelled_in_set;
+  Sim.run ~until:1.5 sim;
+  Alcotest.(check int) "nothing fired before 2.0" 0 !count;
+  Alcotest.(check (float 0.0)) "clock = horizon" 1.5 (Sim.now sim);
+  let st = Sim.stats sim in
+  Alcotest.(check int) "peek reclaimed the cancelled top" 0
+    st.Sim.cancelled_in_set;
+  Sim.run sim;
+  Alcotest.(check int) "survivors all fired" 9 !count
+
+let test_compaction_trigger backend =
+  let sim = Sim.create ~backend () in
+  let ids =
+    Array.init 256 (fun i ->
+        Sim.schedule sim ~at:(float_of_int (i + 1)) ignore)
+  in
+  (* cancel 3 of every 4: cancelled (192) overtakes live (64) well past
+     the compaction threshold *)
+  Array.iteri (fun i id -> if i mod 4 <> 0 then Sim.cancel sim id) ids;
+  let st = Sim.stats sim in
+  Alcotest.(check bool) "compaction ran" true (st.Sim.compactions >= 1);
+  Alcotest.(check bool) "garbage bounded by live population" true
+    (st.Sim.cancelled_in_set <= st.Sim.live);
+  Alcotest.(check int) "live = pending" (Sim.pending sim) st.Sim.live;
+  Sim.run sim;
+  Alcotest.(check int) "only survivors fired" 64 (Sim.events_processed sim)
+
+let test_stats_backend backend =
+  let sim = Sim.create ~backend () in
+  let st = Sim.stats sim in
+  Alcotest.(check string)
+    "stats names the backend"
+    (Sim.backend_name backend)
+    (Sim.backend_name st.Sim.stat_backend)
+
+(* stale ids: cancel after fire is a no-op, and must not kill an
+   unrelated event that reused the slot (generation check) *)
+let test_stale_cancel backend =
+  let sim = Sim.create ~backend () in
+  Sim.cancel sim Sim.stale_id;
+  let fired = ref 0 in
+  let old_id = Sim.schedule sim ~at:1.0 (fun () -> incr fired) in
+  Sim.run sim;
+  Alcotest.(check int) "fired once" 1 !fired;
+  let fresh = ref false in
+  ignore (Sim.schedule sim ~at:2.0 (fun () -> fresh := true));
+  Sim.cancel sim old_id;
+  (* the new event reuses the freed slot; the stale id must not match *)
+  Alcotest.(check int) "stale cancel is a no-op" 1 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check bool) "slot-reusing event survived" true !fresh
+
+(* a far-future outlier (clamped virtual bucket, direct-search path on the
+   calendar) must not disturb near-term ordering, and must fire last *)
+let test_far_future backend =
+  let sim = Sim.create ~backend () in
+  let log = ref [] in
+  ignore (Sim.schedule sim ~at:1.0e12 (fun () -> log := "far" :: !log));
+  for i = 1 to 50 do
+    ignore
+      (Sim.schedule sim ~at:(float_of_int i) (fun () -> log := "near" :: !log))
+  done;
+  Sim.run ~until:100.0 sim;
+  Alcotest.(check int) "near events fired" 50 (List.length !log);
+  ignore (Sim.schedule sim ~at:200.0 (fun () -> log := "late" :: !log));
+  Sim.run sim;
+  (* log is newest-first: the outlier fired last, preceded by the late add *)
+  Alcotest.(check (list string))
+    "outlier fires last" [ "far"; "late" ]
+    (match !log with a :: b :: _ -> [ a; b ] | _ -> []);
+  Alcotest.(check int) "every event fired" 52 (List.length !log);
+  Alcotest.(check (float 0.0)) "clock at outlier" 1.0e12 (Sim.now sim)
+
+let test_calendar_resizes () =
+  let sim = Sim.create ~backend:Sim.Calendar () in
+  for i = 1 to 1000 do
+    ignore (Sim.schedule sim ~at:(0.01 *. float_of_int i) ignore)
+  done;
+  let st = Sim.stats sim in
+  Alcotest.(check bool) "grew past the initial bucket count" true
+    (st.Sim.set_capacity > 16 && st.Sim.resizes >= 1);
+  Sim.run sim;
+  Alcotest.(check int) "all fired" 1000 (Sim.events_processed sim);
+  let st' = Sim.stats sim in
+  Alcotest.(check bool) "shrank while draining" true
+    (st'.Sim.resizes > st.Sim.resizes)
+
+let suite_qcheck =
+  List.map
+    (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xe5e7; 31 |]))
+    [ prop_lockstep; prop_lockstep_churn ]
+
+let () =
+  Alcotest.run "event_set"
+    [
+      ("lockstep", suite_qcheck);
+      ( "run-until",
+        both "horizon boundary" test_until_boundary
+        @ both "empty horizon" test_until_empty
+        @ both "cancelled top reclaimed" test_cancelled_top_reclaimed );
+      ( "occupancy",
+        both "compaction trigger" test_compaction_trigger
+        @ both "stats backend" test_stats_backend
+        @ both "stale cancel" test_stale_cancel );
+      ( "calendar",
+        both "far-future outlier" test_far_future
+        @ [ Alcotest.test_case "adaptive resize" `Quick test_calendar_resizes ]
+      );
+    ]

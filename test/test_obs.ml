@@ -107,6 +107,32 @@ let test_fig2_metrics_and_names () =
   Alcotest.(check int) "sim fired" 22 fired;
   Alcotest.(check int) "sim cancelled" 0 cancelled
 
+let test_sim_report () =
+  let _, trace = Lazy.force run_golden in
+  let r = Trace.sim_report trace in
+  Alcotest.(check (list string))
+    "columns" [ "metric"; "value" ]
+    (Stats.Report.columns r);
+  let assoc =
+    List.filter_map
+      (function [ k; v ] -> Some (k, v) | _ -> None)
+      (Stats.Report.rows r)
+  in
+  Alcotest.(check (option string)) "scheduled" (Some "22")
+    (List.assoc_opt "scheduled" assoc);
+  Alcotest.(check (option string)) "fired" (Some "22")
+    (List.assoc_opt "fired" assoc);
+  Alcotest.(check (option string))
+    "backend"
+    (Some (Engine.Simulator.backend_name (Engine.Simulator.default_backend ())))
+    (List.assoc_opt "backend" assoc);
+  Alcotest.(check (option string)) "run drained" (Some "0")
+    (List.assoc_opt "pending" assoc);
+  Alcotest.(check (option string)) "no garbage retained" (Some "0")
+    (List.assoc_opt "cancelled_in_set" assoc);
+  Alcotest.(check bool) "capacity rows present" true
+    (List.mem_assoc "set_capacity" assoc && List.mem_assoc "pool_capacity" assoc)
+
 (* -- disabled observers --------------------------------------------------- *)
 
 (* Installing an observer must not perturb scheduling: the traced run's
@@ -348,6 +374,7 @@ let () =
           Alcotest.test_case "completions" `Quick test_fig2_golden_completions;
           Alcotest.test_case "event stream" `Quick test_fig2_golden_events;
           Alcotest.test_case "metrics and names" `Quick test_fig2_metrics_and_names;
+          Alcotest.test_case "sim report" `Quick test_sim_report;
         ] );
       ( "disabled",
         [
