@@ -61,3 +61,33 @@ if [ -f BENCH_events.json ]; then
 else
   echo "check_bench: no BENCH_events.json baseline; skipping events-guard"
 fi
+
+# Multicore sweep scaling: quick run of the -j ladder, then verify the
+# report shape the parallel-guard reads.
+parallel_out=BENCH_parallel_quick.json
+rm -f "$parallel_out"
+
+dune exec bench/main.exe -- parallel-quick
+
+[ -f "$parallel_out" ] || { echo "check_bench: $parallel_out was not produced" >&2; exit 1; }
+
+for key in schema cores rows jobs wall_s speedup expected_floor; do
+  grep -q "\"$key\"" "$parallel_out" || {
+    echo "check_bench: $parallel_out is missing key \"$key\"" >&2
+    exit 1
+  }
+done
+
+echo "check_bench: OK ($parallel_out)"
+
+# Scaling guard: every ladder rung within the host's core budget must
+# clear its cores-aware speedup floor, loosened by HPFQ_PARALLEL_TOL
+# (default 25%); oversubscribed rungs are informational. Every rung must
+# also reproduce the -j1 results bit-for-bit (the pool's determinism
+# contract) — that part holds on any host. Skipped when no baseline is
+# committed.
+if [ -f BENCH_parallel.json ]; then
+  dune exec bench/main.exe -- parallel-guard
+else
+  echo "check_bench: no BENCH_parallel.json baseline; skipping parallel-guard"
+fi

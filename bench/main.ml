@@ -139,14 +139,14 @@ let wfi () =
   Printf.printf "%-12s" "discipline";
   List.iter (fun n -> Printf.printf " N=%-8d" n) ns;
   Printf.printf "  (WF2Q+ bound: %.1f)\n"
-    (let m = Experiments.Wfi_probe.measure ~factory:Hpfq.Disciplines.wf2q_plus ~n:4 in
+    (let m = Experiments.Wfi_probe.measure ~factory:Hpfq.Disciplines.wf2q_plus ~n:4 () in
      m.wf2q_plus_bound);
   List.iter
     (fun factory ->
       Printf.printf "%-12s" factory.Sched.Sched_intf.kind;
       List.iter
         (fun n ->
-          let m = Experiments.Wfi_probe.measure ~factory ~n in
+          let m = Experiments.Wfi_probe.measure ~factory ~n () in
           Printf.printf " %-10.1f" m.measured_twfi)
         ns;
       print_newline ())
@@ -416,16 +416,24 @@ let e2e () =
 (* PERF: hot-path throughput baseline (see lib/bench_kit/perf.ml)      *)
 (* ------------------------------------------------------------------ *)
 
-let perf () = Bench_kit.Perf.run ()
-let perf_quick () = Bench_kit.Perf.run ~quick:true ~out:"BENCH_hotpath_quick.json" ()
+(* Grid-style benches fan their cells out on HPFQ_JOBS workers (default 1:
+   committed baselines are sequential; parallel runs are only comparable
+   with other runs at the same -j). Guards always measure sequentially. *)
+let env_pool () = Parallel.Pool.create ()
+
+let perf () = Bench_kit.Perf.run ~pool:(env_pool ()) ()
+let perf_quick () =
+  Bench_kit.Perf.run ~pool:(env_pool ()) ~quick:true ~out:"BENCH_hotpath_quick.json" ()
 
 (* ------------------------------------------------------------------ *)
 (* EVENTS: pending-set churn, slot heap vs calendar queue             *)
 (* ------------------------------------------------------------------ *)
 
-let events () = ignore (Bench_kit.Events.run ())
+let events () = ignore (Bench_kit.Events.run ~pool:(env_pool ()) ())
 let events_quick () =
-  ignore (Bench_kit.Events.run ~quick:true ~out:"BENCH_events_quick.json" ())
+  ignore
+    (Bench_kit.Events.run ~pool:(env_pool ()) ~quick:true
+       ~out:"BENCH_events_quick.json" ())
 
 let events_guard () =
   section "EVENTS-GUARD: churn headline vs BENCH_events.json";
@@ -447,6 +455,36 @@ let events_guard () =
         "events-guard: FAIL — churn headline regressed beyond %.0f%% or the \
          calendar fell under %.2fx the heap\n"
         (g.tol *. 100.0) g.min_speedup;
+      exit 1
+    end
+
+(* ------------------------------------------------------------------ *)
+(* PARALLEL: wfi sweep scaling vs worker count                        *)
+(* ------------------------------------------------------------------ *)
+
+let parallel () = ignore (Experiments.Parallel_bench.run ())
+let parallel_quick () =
+  ignore
+    (Experiments.Parallel_bench.run ~quick:true ~out:"BENCH_parallel_quick.json" ())
+
+let parallel_guard () =
+  section "PARALLEL-GUARD: sweep scaling vs cores-aware floor";
+  match Experiments.Parallel_bench.guard () with
+  | Error e ->
+    Printf.eprintf "parallel-guard: %s\n" e;
+    exit 1
+  | Ok g ->
+    Printf.printf "cores=%d tolerance=%.0f%%\n%6s %10s %14s %6s\n" g.g_cores
+      (g.Experiments.Parallel_bench.g_tol *. 100.0) "jobs" "speedup" "floor(1-tol)" "ok";
+    List.iter
+      (fun (r : Experiments.Parallel_bench.guard_row) ->
+        Printf.printf "%6d %9.2fx %13.2fx %6s\n" r.g_jobs r.g_speedup r.g_floor
+          (if not r.g_enforced then "info" else if r.g_ok then "yes" else "NO"))
+      g.g_rows;
+    if g.g_within then print_endline "parallel-guard: OK"
+    else begin
+      Printf.eprintf
+        "parallel-guard: FAIL — sweep speedup fell below the cores-aware floor\n";
       exit 1
     end
 
@@ -566,6 +604,9 @@ let extra_benches =
     ("perf-guard", perf_guard);
     ("events-quick", events_quick);
     ("events-guard", events_guard);
+    ("parallel", parallel);
+    ("parallel-quick", parallel_quick);
+    ("parallel-guard", parallel_guard);
   ]
 
 let () =

@@ -64,6 +64,37 @@ let horizon_arg default =
 
 let seed_arg = Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
 
+(* -- worker pool --------------------------------------------------------- *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for sweep/grid work (default: $(b,HPFQ_JOBS), or \
+           1). Results are bit-identical for any $(docv); commands with a \
+           single simulation ignore it.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:"Log a line as sweep tasks complete (rate-limited, stderr).")
+
+(* evaluated once per command invocation: installs the (off-by-default)
+   progress reporter before any worker spawns, then builds the pool *)
+let make_pool jobs progress =
+  if progress then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.Src.set_level Parallel.Pool.log_src (Some Logs.Info)
+  end;
+  match jobs with
+  | Some jobs -> Parallel.Pool.create ~jobs ()
+  | None -> Parallel.Pool.create ()
+
+let pool_term = Term.(const make_pool $ jobs_arg $ progress_arg)
+
 (* -- fig2 ---------------------------------------------------------------- *)
 
 let fig2_cmd =
@@ -159,8 +190,10 @@ let trace_cmd =
 (* -- delay --------------------------------------------------------------- *)
 
 let delay_cmd =
-  let run event_set discipline scenario_id horizon seed csv =
+  let run event_set pool discipline scenario_id horizon seed replications csv =
     set_event_set event_set;
+    if replications < 1 then
+      invalid_arg (Printf.sprintf "replications must be >= 1, got %d" replications);
     let scenario =
       match scenario_id with
       | 1 -> Experiments.Delay_experiment.S1_constant_and_trains
@@ -168,19 +201,28 @@ let delay_cmd =
       | 3 -> Experiments.Delay_experiment.S3_overload_and_trains
       | n -> invalid_arg (Printf.sprintf "scenario must be 1..3, got %d" n)
     in
-    let result =
-      Experiments.Delay_experiment.run ~factory:discipline ~scenario ~horizon ~seed ()
+    let results =
+      if replications = 1 then
+        (* the historical single-run path: same seed → same output as ever *)
+        [ Experiments.Delay_experiment.run ~factory:discipline ~scenario ~horizon ~seed () ]
+      else
+        Experiments.Delay_experiment.run_sweep ~pool ~factories:[ discipline ]
+          ~scenario ~horizon ~seed ~replications ()
     in
-    print_endline (Experiments.Delay_experiment.summary_row result);
+    List.iter
+      (fun r -> print_endline (Experiments.Delay_experiment.summary_row r))
+      results;
     Printf.printf "Cor.2 delay bound for RT-1 under H-WF2Q+: %.3f ms\n"
       (Experiments.Delay_experiment.rt1_delay_bound *. 1e3);
     Option.iter
       (fun path ->
+        let result = List.hd results in
         Stats.Csv.write_named_series ~path
           ~series:
             [
               ( "delay",
-                Stats.Delay_stats.series_max_over_windows result.delays ~window:0.05 );
+                Stats.Delay_stats.series_max_over_windows result.Experiments.Delay_experiment.delays
+                  ~window:0.05 );
               ("lag", Stats.Service_curve.lag_series result.lag);
             ];
         Printf.printf "wrote %s\n" path)
@@ -189,17 +231,25 @@ let delay_cmd =
   let scenario_arg =
     Arg.(value & opt int 1 & info [ "s"; "scenario" ] ~docv:"1|2|3" ~doc:"Traffic scenario.")
   in
+  let replications_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "replications" ] ~docv:"K"
+          ~doc:
+            "Replications with independent (seed-derived) arrival streams, \
+             fanned out on the worker pool; the CSV dump uses the first.")
+  in
   Cmd.v (Cmd.info "delay" ~doc:"RT-1 delay experiment (paper Figs. 4-7).")
     Term.(
-      const run $ event_set_arg $ discipline_arg $ scenario_arg $ horizon_arg 10.0
-      $ seed_arg $ csv_arg)
+      const run $ event_set_arg $ pool_term $ discipline_arg $ scenario_arg
+      $ horizon_arg 10.0 $ seed_arg $ replications_arg $ csv_arg)
 
 (* -- link-sharing -------------------------------------------------------- *)
 
 let link_sharing_cmd =
-  let run event_set discipline horizon csv =
+  let run event_set pool discipline horizon csv =
     set_event_set event_set;
-    let result = Experiments.Link_sharing.run ~factory:discipline ~horizon () in
+    let result = Experiments.Link_sharing.run ~pool ~factory:discipline ~horizon () in
     Experiments.Link_sharing.summary Format.std_formatter result;
     Option.iter
       (fun path ->
@@ -213,34 +263,34 @@ let link_sharing_cmd =
   in
   Cmd.v (Cmd.info "link-sharing" ~doc:"Hierarchical link sharing with TCP (paper Figs. 8-9).")
     Term.(
-      const run $ event_set_arg $ discipline_arg
+      const run $ event_set_arg $ pool_term $ discipline_arg
       $ horizon_arg Experiments.Paper_hierarchies.fig8_horizon $ csv_arg)
 
 (* -- wfi ----------------------------------------------------------------- *)
 
 let wfi_cmd =
-  let run event_set ns =
+  let run event_set pool ns =
     set_event_set event_set;
     Printf.printf "%-12s %6s %14s %18s\n" "discipline" "N" "measured T-WFI" "WF2Q+ bound";
+    (* the whole discipline × N grid goes through the pool at once, so -j
+       covers all of it; sweep_grid's factory-major order matches the
+       sequential print order this command has always used *)
     List.iter
-      (fun factory ->
-        List.iter
-          (fun (m : Experiments.Wfi_probe.measurement) ->
-            Printf.printf "%-12s %6d %14.3f %18.3f\n" m.discipline m.n m.measured_twfi
-              m.wf2q_plus_bound)
-          (Experiments.Wfi_probe.sweep ~factory ~ns))
-      Hpfq.Disciplines.pfq
+      (fun (m : Experiments.Wfi_probe.measurement) ->
+        Printf.printf "%-12s %6d %14.3f %18.3f\n" m.discipline m.n m.measured_twfi
+          m.wf2q_plus_bound)
+      (Experiments.Wfi_probe.sweep_grid ~pool ~factories:Hpfq.Disciplines.pfq ~ns ())
   in
   let ns_arg =
     Arg.(value & opt (list int) [ 4; 8; 16; 32; 64 ] & info [ "n" ] ~docv:"N,..." ~doc:"Session counts.")
   in
   Cmd.v (Cmd.info "wfi" ~doc:"Empirical worst-case fair index sweep.")
-    Term.(const run $ event_set_arg $ ns_arg)
+    Term.(const run $ event_set_arg $ pool_term $ ns_arg)
 
 (* -- custom -------------------------------------------------------------- *)
 
 let custom_cmd =
-  let run event_set discipline tree_file horizon =
+  let run event_set pool discipline tree_file horizon =
     set_event_set event_set;
     match Hpfq.Tree_syntax.parse_file tree_file with
     | Error e ->
@@ -249,37 +299,51 @@ let custom_cmd =
     | Ok spec ->
       Format.printf "Running all-leaves-saturated workload on:@.%a@."
         Hpfq.Class_tree.pp spec;
-      let sim = Engine.Simulator.create () in
-      let h =
-        Hpfq.Hier.create ~sim ~spec ~make_policy:(Hpfq.Hier.uniform discipline) ()
+      let leaves = Hpfq.Class_tree.leaves spec in
+      (* snapshot the event-set choice before any worker spawns; the
+         packet and fluid halves are independent, so they fan out on the
+         pool like Link_sharing.run *)
+      let config = Engine.Simulator.snapshot_config () in
+      let run_packet () =
+        let sim = Engine.Simulator.create_configured config in
+        let h =
+          Hpfq.Hier.create ~sim ~spec ~make_policy:(Hpfq.Hier.uniform discipline) ()
+        in
+        let packet = 8.0 *. 1024.0 *. 8.0 in
+        List.iter
+          (fun (name, _) ->
+            let leaf = Hpfq.Hier.leaf_id h name in
+            ignore
+              (Traffic.Source.greedy ~sim
+                 ~emit:(fun ~size_bits -> ignore (Hpfq.Hier.inject h ~leaf ~size_bits))
+                 ~packet_bits:packet
+                 ~backlog_packets:
+                   (max 8 (int_of_float (Hpfq.Class_tree.rate spec *. 0.5 /. packet)))
+                 ~top_up_every:0.25 ~stop_at:horizon ()))
+          leaves;
+        Engine.Simulator.run ~until:horizon sim;
+        List.map (fun (name, _) -> (name, Hpfq.Hier.departed_bits h ~node:name)) leaves
       in
-      let packet = 8.0 *. 1024.0 *. 8.0 in
-      List.iter
-        (fun (name, _) ->
-          let leaf = Hpfq.Hier.leaf_id h name in
-          ignore
-            (Traffic.Source.greedy ~sim
-               ~emit:(fun ~size_bits -> ignore (Hpfq.Hier.inject h ~leaf ~size_bits))
-               ~packet_bits:packet
-               ~backlog_packets:
-                 (max 8 (int_of_float (Hpfq.Class_tree.rate spec *. 0.5 /. packet)))
-               ~top_up_every:0.25 ~stop_at:horizon ()))
-        (Hpfq.Class_tree.leaves spec);
-      Engine.Simulator.run ~until:horizon sim;
-      (* fluid ideal for comparison *)
-      let fluid = Fluid.Hgps.create ~spec () in
-      List.iter
-        (fun (name, _) ->
-          Fluid.Hgps.set_persistent fluid ~at:0.0 ~leaf:(Fluid.Hgps.leaf_id fluid name) true)
-        (Hpfq.Class_tree.leaves spec);
-      Fluid.Hgps.advance fluid ~to_:horizon;
+      let run_fluid () =
+        let fluid = Fluid.Hgps.create ~spec () in
+        List.iter
+          (fun (name, _) ->
+            Fluid.Hgps.set_persistent fluid ~at:0.0
+              ~leaf:(Fluid.Hgps.leaf_id fluid name) true)
+          leaves;
+        Fluid.Hgps.advance fluid ~to_:horizon;
+        List.map (fun (name, _) -> (name, Fluid.Hgps.served_bits fluid ~node:name)) leaves
+      in
+      let halves =
+        Parallel.Pool.map pool ~tasks:2 ~f:(fun i ->
+            if i = 0 then run_packet () else run_fluid ())
+      in
       Format.printf "@.%-20s %14s %14s@." "leaf" "measured" "H-GPS ideal";
-      List.iter
-        (fun (name, _) ->
+      List.iter2
+        (fun (name, measured) (_, ideal) ->
           Format.printf "%-20s %10.3f Mbps %10.3f Mbps@." name
-            (Hpfq.Hier.departed_bits h ~node:name /. horizon /. 1e6)
-            (Fluid.Hgps.served_bits fluid ~node:name /. horizon /. 1e6))
-        (Hpfq.Class_tree.leaves spec)
+            (measured /. horizon /. 1e6) (ideal /. horizon /. 1e6))
+        halves.(0) halves.(1)
   in
   let tree_arg =
     Arg.(
@@ -290,7 +354,7 @@ let custom_cmd =
   Cmd.v
     (Cmd.info "custom"
        ~doc:"Saturate every leaf of a user-defined hierarchy and compare shares to H-GPS.")
-    Term.(const run $ event_set_arg $ discipline_arg $ tree_arg $ horizon_arg 2.0)
+    Term.(const run $ event_set_arg $ pool_term $ discipline_arg $ tree_arg $ horizon_arg 2.0)
 
 (* -- tree ---------------------------------------------------------------- *)
 

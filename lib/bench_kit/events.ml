@@ -215,21 +215,31 @@ let validate json =
   in
   if missing = [] then Ok () else Error missing
 
-let run ?(quick = false) ?(out = "BENCH_events.json") () =
+let run ?pool ?(quick = false) ?(out = "BENCH_events.json") () =
   Printf.printf
     "\n================ EVENTS: pending-set churn, heap vs calendar \
      ================\n%!";
-  let rows =
+  (* dist × n × backend cells are independent (each builds its own
+     simulator with an explicit backend and a cell-keyed PRNG); fanning
+     them out carries the usual contention caveat — parallel numbers are
+     only comparable at the same -j, guards measure sequentially *)
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.create ~jobs:1 () in
+  let grid =
     List.concat_map
       (fun dist ->
         List.concat_map
           (fun n ->
             let events = budget ~quick n in
             List.map
-              (fun backend -> run_churn ~backend ~dist ~n ~events)
+              (fun backend -> (backend, dist, n, events))
               [ Sim.Slot_heap; Sim.Calendar ])
           (sizes ~quick))
       all_dists
+  in
+  let rows =
+    Parallel.Pool.map_list pool
+      ~f:(fun (backend, dist, n, events) -> run_churn ~backend ~dist ~n ~events)
+      grid
   in
   Printf.printf "%-14s %8s %10s %16s %12s %8s %8s\n" "dist" "n" "backend"
     "events/sec" "words/event" "compact" "resize";

@@ -30,11 +30,14 @@ val run_churn :
     until [events] fires are spent, then draining. The PRNG seed depends
     only on [(dist, n)], so both backends replay the same increments. *)
 
-val run : ?quick:bool -> ?out:string -> unit -> row list
+val run : ?pool:Parallel.Pool.t -> ?quick:bool -> ?out:string -> unit -> row list
 (** Run the full grid (4 distributions x sizes x both backends), print a
     table plus speedups, and write the JSON report to [out] (default
     ["BENCH_events.json"]). [quick] shrinks sizes/budgets to smoke-test
-    levels. @raise Failure if the emitted report fails {!validate}. *)
+    levels. [pool] fans the grid cells across domains (concurrent cells
+    contend, so parallel numbers are only comparable at the same [-j];
+    baselines and {!guard} measure sequentially).
+    @raise Failure if the emitted report fails {!validate}. *)
 
 val required_keys : string list
 val required_row_keys : string list

@@ -85,7 +85,11 @@ let bechamel_ns_per_cycle ~quick tests =
       (name, ns) :: acc)
     results []
 
-let one_level ~quick ~factory =
+(* Bechamel's ns/cycle regression stays sequential (its OLS assumes an
+   unloaded machine); only the independent per-N wall/allocation rows fan
+   out, with the same contention caveat as [hier_rows]. *)
+let one_level ?pool ~quick ~factory () =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.create ~jobs:1 () in
   let sizes =
     if quick then [ 16; 64 ]
     else List.init 11 (fun i -> 1 lsl (i + 4)) (* 2^4 .. 2^14 *)
@@ -101,8 +105,8 @@ let one_level ~quick ~factory =
          sizes)
   in
   let ns_by_size = bechamel_ns_per_cycle ~quick tests in
-  List.map
-    (fun n ->
+  Parallel.Pool.map_list pool
+    ~f:(fun n ->
       let cycle = loaded_policy factory n in
       let wall, minor = time_loop cycle ~iters in
       let ns =
@@ -132,9 +136,13 @@ let rec uniform_spec ~depth ~fanout ~name ~rate =
 (* Every leaf kept at a steady backlog of two unit packets: prime with two,
    re-inject one on each departure. Root rate 1 bit/s and 1-bit packets
    make the simulated horizon equal the departure count. *)
-let hier_throughput ~depth ~fanout ~factory ~target_pkts =
+let hier_throughput ?config ~depth ~fanout ~factory ~target_pkts () =
   let leaves = ref [] in
-  let sim = Engine.Simulator.create () in
+  let sim =
+    match config with
+    | Some c -> Engine.Simulator.create_configured c
+    | None -> Engine.Simulator.create ()
+  in
   let departs = ref 0 in
   let h = ref None in
   let reinject_name = Hashtbl.create 256 in
@@ -170,20 +178,30 @@ let hier_throughput ~depth ~fanout ~factory ~target_pkts =
     pkts /. wall,
     minor /. Float.max 1.0 pkts )
 
-let hier_rows ~quick ~factory =
+(* The depth × fan-out grid cells are independent full-stack simulations,
+   so they fan out on [pool] — but concurrent cells contend for cores and
+   memory bandwidth, which inflates each other's wall clock, so the
+   *numbers* are only comparable across runs at the same -j. The default
+   stays sequential; the committed baseline is always -j1 (the guard
+   measures sequentially regardless). *)
+let hier_rows ?pool ~quick ~factory () =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.create ~jobs:1 () in
+  let config = Engine.Simulator.snapshot_config () in
   let combos =
     if quick then [ (2, 4) ]
     else
       List.concat_map (fun d -> List.map (fun f -> (d, f)) [ 4; 16; 64 ]) [ 2; 4; 6 ]
   in
   let target_pkts = if quick then 500 else 100_000 in
-  List.partition_map
-    (fun (depth, fanout) ->
+  Parallel.Pool.map_list pool
+    ~f:(fun (depth, fanout) ->
       let leaves = int_of_float (float_of_int fanout ** float_of_int depth) in
-      if leaves > max_hier_leaves then Right (depth, fanout, leaves)
+      if leaves > max_hier_leaves then Either.Right (depth, fanout, leaves)
       else begin
-        let n_leaves, pps, words = hier_throughput ~depth ~fanout ~factory ~target_pkts in
-        Left
+        let n_leaves, pps, words =
+          hier_throughput ~config ~depth ~fanout ~factory ~target_pkts ()
+        in
+        Either.Left
           {
             depth;
             fanout;
@@ -193,6 +211,7 @@ let hier_rows ~quick ~factory =
           }
       end)
     combos
+  |> List.partition_map Fun.id
 
 (* -- JSON report --------------------------------------------------------- *)
 
@@ -276,17 +295,17 @@ let validate json =
   in
   if missing = [] then Ok () else Error missing
 
-let run ?(quick = false) ?(out = "BENCH_hotpath.json") () =
+let run ?pool ?(quick = false) ?(out = "BENCH_hotpath.json") () =
   let factory = Hpfq.Disciplines.wf2q_plus in
   Printf.printf "\n================ PERF: hot-path throughput ================\n%!";
-  let one_level_rows = one_level ~quick ~factory in
+  let one_level_rows = one_level ?pool ~quick ~factory () in
   Printf.printf "%8s %16s %14s %12s\n" "N" "pkts/sec" "ns/select" "words/pkt";
   List.iter
     (fun r ->
       Printf.printf "%8d %16.0f %14.1f %12.2f\n" r.n r.pkts_per_sec r.ns_per_select
         r.minor_words_per_pkt)
     one_level_rows;
-  let hier_done, hier_skipped = hier_rows ~quick ~factory in
+  let hier_done, hier_skipped = hier_rows ?pool ~quick ~factory () in
   Printf.printf "\n%6s %7s %7s %16s %12s\n" "depth" "fanout" "leaves" "pkts/sec" "words/pkt";
   List.iter
     (fun r ->

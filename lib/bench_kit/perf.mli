@@ -5,11 +5,15 @@
     (uniform trees, depth × fan-out grid), then writes a machine-readable
     report so successive PRs can diff perf baselines. *)
 
-val run : ?quick:bool -> ?out:string -> unit -> unit
+val run : ?pool:Parallel.Pool.t -> ?quick:bool -> ?out:string -> unit -> unit
 (** Run the benchmark and write the JSON report to [out]
     (default ["BENCH_hotpath.json"] in the invocation directory).
     [quick] shrinks sizes/iterations to smoke-test levels (used by
-    [bench/check_bench.sh] and the test suite).
+    [bench/check_bench.sh] and the test suite). [pool] fans the
+    independent grid cells (per-N throughput rows, depth × fan-out hier
+    runs) across domains — concurrent cells contend for the machine, so
+    parallel numbers are comparable only with other runs at the same
+    [-j]; committed baselines and {!guard} always measure sequentially.
     @raise Failure if the emitted report fails {!validate}. *)
 
 val required_keys : string list

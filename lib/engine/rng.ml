@@ -15,6 +15,20 @@ let next_int64 t =
 
 let split t = create (next_int64 t)
 
+(* Stable per-task derivation for parallel sweeps. [split] advances the
+   parent, so which child a task gets depends on how many splits happened
+   before it — under a work pool that is worker-count- and order-dependent,
+   and the sequential and parallel draws diverge. [for_task] instead lands
+   [i+1] steps down the parent's gamma lattice *without advancing it* and
+   double-mixes: child [i] is a pure function of (parent position, i).
+   A single mix would make child 0's state collide with the parent's next
+   output; the second mix keeps the child state stream disjoint from the
+   parent's output stream. *)
+let for_task t i =
+  if i < 0 then invalid_arg "Rng.for_task: task index must be >= 0";
+  let lattice = Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1))) in
+  create (mix (mix lattice))
+
 (* 53 random bits -> [0,1). *)
 let uniform t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in

@@ -13,6 +13,16 @@ val create : int64 -> t
 val split : t -> t
 (** Derive an independent child stream (advances the parent). *)
 
+val for_task : t -> int -> t
+(** [for_task t i] is the stable child stream for task index [i]: a pure
+    function of [t]'s current position and [i] that does {e not} advance
+    [t]. Unlike {!split}, deriving children in any order — or from any
+    worker domain — yields the same streams, which is what makes parallel
+    sweeps bit-identical to sequential ones. Children for distinct
+    indices are pairwise independent (SplitMix64 double-mix off the
+    golden-gamma lattice).
+    @raise Invalid_argument if [i < 0]. *)
+
 val next_int64 : t -> int64
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)

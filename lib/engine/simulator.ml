@@ -75,9 +75,15 @@ let backend_of_string s =
 (* Process-wide default, so drivers (bench, hpfq_sim) can A/B every
    simulator an experiment creates without threading a parameter through
    each one: the HPFQ_EVENT_SET environment variable seeds it, and
-   [set_default_backend] backs the CLI knob. *)
+   [set_default_backend] backs the CLI knob. An [Atomic] (not a plain
+   ref) since parallel sweeps run simulators on multiple domains — but
+   the real domain-safety contract is stronger: sweep workers never read
+   this at all. They read a [config] snapshotted once, on the parent
+   domain, before any worker spawns ([snapshot_config] below), so a
+   mid-sweep [set_default_backend] cannot make task 12 run on a
+   different backend than task 3. *)
 let default_backend_ref =
-  ref
+  Atomic.make
     (match Sys.getenv_opt "HPFQ_EVENT_SET" with
     | None -> Calendar
     | Some s -> (
@@ -87,8 +93,16 @@ let default_backend_ref =
         Printf.eprintf "warning: HPFQ_EVENT_SET: %s; using calendar\n%!" msg;
         Calendar))
 
-let default_backend () = !default_backend_ref
-let set_default_backend b = default_backend_ref := b
+let default_backend () = Atomic.get default_backend_ref
+let set_default_backend b = Atomic.set default_backend_ref b
+
+(* Every process-wide mutable default a simulator consults at [create]
+   time, flattened into an immutable record. Today that is only the
+   event-set backend; new defaults must join this record so the
+   snapshot-before-spawn discipline keeps covering them. *)
+type config = { cfg_backend : backend }
+
+let snapshot_config () = { cfg_backend = default_backend () }
 
 type t = {
   pool : Event_pool.t;
@@ -108,7 +122,9 @@ type t = {
 }
 
 let create ?backend () =
-  let backend = match backend with Some b -> b | None -> !default_backend_ref in
+  let backend =
+    match backend with Some b -> b | None -> Atomic.get default_backend_ref
+  in
   let pool = Event_pool.create () in
   let es =
     match backend with
@@ -125,6 +141,8 @@ let create ?backend () =
     compactions = 0;
     probe = None;
   }
+
+let create_configured config = create ~backend:config.cfg_backend ()
 
 let backend t = match t.es with Heap _ -> Slot_heap | Cal _ -> Calendar
 let now t = t.clock

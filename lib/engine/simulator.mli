@@ -41,7 +41,23 @@ val default_backend : unit -> backend
 
 val set_default_backend : backend -> unit
 (** Override the process-wide default — the hook behind CLI knobs, so a
-    driver can A/B every simulator an experiment creates internally. *)
+    driver can A/B every simulator an experiment creates internally.
+    Domain-safe (the default lives in an [Atomic]), but parallel sweeps
+    must not rely on that: see {!snapshot_config}. *)
+
+type config = { cfg_backend : backend }
+(** Every process-wide mutable default consulted by {!create}, flattened
+    into an immutable snapshot. Parallel sweeps call {!snapshot_config}
+    {e once, before spawning workers}, and each task builds its private
+    simulator with {!create_configured} — workers never read the live
+    process defaults, so a concurrent {!set_default_backend} cannot split
+    one sweep across two backends. *)
+
+val snapshot_config : unit -> config
+(** Read the process-wide defaults once. *)
+
+val create_configured : config -> t
+(** [create ~backend:config.cfg_backend ()]. *)
 
 val create : ?backend:backend -> unit -> t
 (** New simulator at time [0.] with an empty pending set.

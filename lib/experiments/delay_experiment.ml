@@ -27,9 +27,13 @@ let rt1_delay_bound =
   | Ok bound -> bound
   | Error msg -> invalid_arg msg
 
-let run ~factory ~scenario ?(horizon = 10.0) ?(seed = 1L) () =
-  let sim = Sim.create () in
-  let rng = Engine.Rng.create seed in
+let run ?config ?rng ~factory ~scenario ?(horizon = 10.0) ?(seed = 1L) () =
+  let sim =
+    match config with
+    | Some c -> Sim.create_configured c
+    | None -> Sim.create ()
+  in
+  let rng = match rng with Some r -> r | None -> Engine.Rng.create seed in
   let delays = Stats.Delay_stats.create () in
   let lag = Stats.Service_curve.create () in
   let rt_packets = ref 0 in
@@ -106,6 +110,31 @@ let run ~factory ~scenario ?(horizon = 10.0) ?(seed = 1L) () =
     drops = Hier.drops h;
     link_utilization = !served_bits /. (H.fig3_link_rate *. horizon);
   }
+
+(* Discipline × replication sweep, the Figs. 4-7 grid. Task (f, k) runs
+   replication k of discipline f on a private simulator; its arrival
+   randomness comes from [Rng.for_task base k] — keyed by the replication
+   index, not the flat task index, so every discipline replays the same k
+   arrival streams (paired comparison) and the streams don't shift when a
+   discipline is added to the grid. The backend config is snapshotted
+   before the workers spawn; results come back in grid order, bit-identical
+   for any worker count. *)
+let run_sweep ?pool ~factories ~scenario ?horizon ?(seed = 1L) ?(replications = 1) () =
+  if replications < 1 then
+    invalid_arg "Delay_experiment.run_sweep: replications must be >= 1";
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.create ~jobs:1 () in
+  let config = Sim.snapshot_config () in
+  let base = Engine.Rng.create seed in
+  let grid =
+    Array.of_list
+      (List.concat_map
+         (fun factory -> List.init replications (fun k -> (factory, k)))
+         factories)
+  in
+  Array.to_list
+    (Parallel.Pool.map pool ~tasks:(Array.length grid) ~f:(fun i ->
+         let factory, k = grid.(i) in
+         run ~config ~rng:(Engine.Rng.for_task base k) ~factory ~scenario ?horizon ()))
 
 let summary_row r =
   let ms = Engine.Units.seconds_to_ms in

@@ -28,13 +28,34 @@ type result = {
 }
 
 val run :
+  ?config:Engine.Simulator.config ->
+  ?rng:Engine.Rng.t ->
   factory:Sched.Sched_intf.factory ->
   scenario:scenario ->
   ?horizon:float ->
   ?seed:int64 ->
   unit ->
   result
-(** Default [horizon] 10 s, [seed] 1. Deterministic given both. *)
+(** Default [horizon] 10 s, [seed] 1. Deterministic given both. [config]
+    pins the event-set backend (parallel sweeps pass a pre-spawn
+    snapshot); [rng] overrides the seed-derived generator — {!run_sweep}
+    passes stable per-replication streams derived with
+    {!Engine.Rng.for_task}. *)
+
+val run_sweep :
+  ?pool:Parallel.Pool.t ->
+  factories:Sched.Sched_intf.factory list ->
+  scenario:scenario ->
+  ?horizon:float ->
+  ?seed:int64 ->
+  ?replications:int ->
+  unit ->
+  result list
+(** The discipline × replication grid (replication-inner order), fanned
+    out on [pool] (default: sequential). Replication [k] of {e every}
+    discipline draws from [Rng.for_task (Rng.create seed) k], so the
+    disciplines face identical arrival streams and the output is
+    bit-identical for any worker count. *)
 
 val rt1_delay_bound : float
 (** Corollary 2's bound for RT-1 in the Fig. 3 tree (uses

@@ -23,8 +23,12 @@ type result = {
 (* Phase boundaries implied by the on/off schedule. *)
 let breakpoints = [ 0.5; 5.0; 5.25; 6.0; 6.75; 7.5; 8.0; 8.25; 9.0; 10.0 ]
 
-let run_packet ~factory ~horizon =
-  let sim = Sim.create () in
+let run_packet ?config ~factory ~horizon () =
+  let sim =
+    match config with
+    | Some c -> Sim.create_configured c
+    | None -> Sim.create ()
+  in
   let meters =
     List.map (fun leaf -> (leaf, Stats.Bandwidth_meter.create ())) H.fig8_tcp_leaves
   in
@@ -142,10 +146,22 @@ let average_over series ~t0 ~t1 =
     List.fold_left (fun acc (_, v) -> acc +. v) 0.0 points
     /. float_of_int (List.length points)
 
-let run ?(factory = Hpfq.Disciplines.wf2q_plus) ?(horizon = H.fig8_horizon)
+let run ?pool ?(factory = Hpfq.Disciplines.wf2q_plus) ?(horizon = H.fig8_horizon)
     ?seed:_ () =
-  let measured, tcp_stats = run_packet ~factory ~horizon in
-  let ideal = run_fluid ~horizon in
+  (* the packet system and the fluid ideal share nothing — they are the
+     two natural tasks of this experiment, so a 2-worker pool halves its
+     wall clock; both halves are deterministic, so fan-out is free *)
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.create ~jobs:1 () in
+  let config = Sim.snapshot_config () in
+  let halves =
+    Parallel.Pool.map pool ~tasks:2 ~f:(fun i ->
+        if i = 0 then `Packet (run_packet ~config ~factory ~horizon ())
+        else `Fluid (run_fluid ~horizon))
+  in
+  let measured, tcp_stats =
+    match halves.(0) with `Packet p -> p | `Fluid _ -> assert false
+  in
+  let ideal = match halves.(1) with `Fluid f -> f | `Packet _ -> assert false in
   let rec pairs = function
     | a :: (b :: _ as rest) -> (a, b) :: pairs rest
     | _ -> []
@@ -167,6 +183,16 @@ let run ?(factory = Hpfq.Disciplines.wf2q_plus) ?(horizon = H.fig8_horizon)
       (pairs breakpoints)
   in
   { discipline = factory.Sched.Sched_intf.kind; measured; ideal; intervals; tcp_stats }
+
+(* Scenario grid: one full run per discipline. Tasks run their two halves
+   inline (a sequential inner pool) — the outer grid is the better unit of
+   fan-out since cells outnumber the halves. *)
+let run_grid ?pool ~factories ?horizon () =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.create ~jobs:1 () in
+  let inner = Parallel.Pool.create ~jobs:1 () in
+  Parallel.Pool.map_list pool
+    ~f:(fun factory -> run ~pool:inner ~factory ?horizon ())
+    factories
 
 let summary fmt r =
   Format.fprintf fmt "Link sharing under H-%s vs ideal H-GPS (Mbps):@." r.discipline;

@@ -32,8 +32,25 @@ type result = {
 }
 
 val run :
-  ?factory:Sched.Sched_intf.factory -> ?horizon:float -> ?seed:int64 -> unit -> result
-(** Defaults: WF²Q+, {!Paper_hierarchies.fig8_horizon}, seed 1. *)
+  ?pool:Parallel.Pool.t ->
+  ?factory:Sched.Sched_intf.factory ->
+  ?horizon:float ->
+  ?seed:int64 ->
+  unit ->
+  result
+(** Defaults: WF²Q+, {!Paper_hierarchies.fig8_horizon}, seed 1. The
+    packet run and the fluid ideal are independent; with a [pool] of two
+    or more workers they run on separate domains (the result is identical
+    either way — both halves are deterministic). *)
+
+val run_grid :
+  ?pool:Parallel.Pool.t ->
+  factories:Sched.Sched_intf.factory list ->
+  ?horizon:float ->
+  unit ->
+  result list
+(** One full run per discipline, fanned out on [pool] (default:
+    sequential), results in [factories] order for any worker count. *)
 
 val summary : Format.formatter -> result -> unit
 (** Per-interval table: measured vs ideal bandwidth for each TCP session

@@ -19,6 +19,32 @@ type measurement = {
   probe_delay : float;
 }
 
-val measure : factory:Sched.Sched_intf.factory -> n:int -> measurement
+val measure :
+  ?config:Engine.Simulator.config ->
+  factory:Sched.Sched_intf.factory ->
+  n:int ->
+  unit ->
+  measurement
+(** One probe run on a private simulator. [config] pins the event-set
+    backend (parallel sweeps pass a pre-spawn snapshot); without it the
+    process default is read, as before. *)
 
-val sweep : factory:Sched.Sched_intf.factory -> ns:int list -> measurement list
+val sweep :
+  ?pool:Parallel.Pool.t ->
+  factory:Sched.Sched_intf.factory ->
+  ns:int list ->
+  unit ->
+  measurement list
+(** The N-sweep for one discipline; [{!sweep_grid}] with one factory. *)
+
+val sweep_grid :
+  ?pool:Parallel.Pool.t ->
+  factories:Sched.Sched_intf.factory list ->
+  ns:int list ->
+  unit ->
+  measurement list
+(** The discipline × N grid, in row-major (factory-outer) order. Cells
+    fan out on [pool] (default: sequential); each builds its own
+    simulator from a {!Engine.Simulator.snapshot_config} taken before any
+    worker spawns, and the result order is the grid order regardless of
+    worker count — the output is bit-identical for any [-j]. *)

@@ -1,0 +1,127 @@
+(* Fork-join over Domains with a chunked atomic task cursor.
+
+   Determinism comes from indexing, not scheduling: workers race only for
+   *which* index they compute, never for where a result goes — slot [i] of
+   [results] is written by exactly one domain and read by the caller after
+   every worker has been joined (the join is the happens-before edge), so
+   the returned array is the same for any worker count or interleaving.
+
+   Chunked claiming ([fetch_and_add next chunk]) is static chunking with a
+   work-stealing index: contiguous runs of indices keep per-task atomic
+   traffic low, while idle workers keep pulling chunks so a grid whose
+   cells vary 100x in cost (e.g. wfi at N=4 vs N=128) still balances. *)
+
+let log_src = Logs.Src.create "hpfq.parallel" ~doc:"Sweep fan-out progress"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = { jobs : int }
+
+let max_jobs = 1024 (* oversubscription guard: a typo like -j 1e6 is a bug *)
+
+let default_jobs () =
+  match Sys.getenv_opt "HPFQ_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 && j <= max_jobs -> j
+    | _ ->
+      Printf.eprintf
+        "warning: HPFQ_JOBS=%S is not an integer in 1..%d; running sequential\n%!"
+        s max_jobs;
+      1)
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 || jobs > max_jobs then
+    invalid_arg (Printf.sprintf "Pool.create: jobs must be in 1..%d, got %d" max_jobs jobs);
+  { jobs }
+
+let jobs t = t.jobs
+let cores () = Domain.recommended_domain_count ()
+
+(* Progress is observability, not synchronization: one mutex serializes the
+   Logs call (reporters are not domain-safe) and rate-limits it. Losing the
+   race to report is fine — the final task always logs, so a watcher sees
+   the sweep finish. *)
+type progress = {
+  completed : int Atomic.t;
+  lock : Mutex.t;
+  mutable last_emit : float;
+}
+
+let info_enabled () =
+  match Logs.Src.level log_src with
+  | Some Logs.Info | Some Logs.Debug -> true
+  | Some Logs.App | Some Logs.Error | Some Logs.Warning | None -> false
+
+let report progress ~tasks =
+  let done_ = 1 + Atomic.fetch_and_add progress.completed 1 in
+  if info_enabled () then begin
+    Mutex.lock progress.lock;
+    let now = Unix.gettimeofday () in
+    if done_ = tasks || now -. progress.last_emit >= 0.1 then begin
+      progress.last_emit <- now;
+      Log.info (fun m -> m "task %d/%d done" done_ tasks)
+    end;
+    Mutex.unlock progress.lock
+  end
+
+let map t ~tasks ~f =
+  if tasks < 0 then invalid_arg "Pool.map: negative task count";
+  if tasks = 0 then [||]
+  else begin
+    let results = Array.make tasks None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let progress =
+      { completed = Atomic.make 0; lock = Mutex.create (); last_emit = 0.0 }
+    in
+    let workers = min t.jobs tasks in
+    (* ~4 chunks per worker: coarse enough that the cursor is cold, fine
+       enough that one expensive tail chunk can still be stolen around *)
+    let chunk = max 1 (tasks / (workers * 4)) in
+    let worker () =
+      let stop = ref false in
+      while not !stop do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= tasks then stop := true
+        else
+          let fin = min tasks (start + chunk) in
+          let i = ref start in
+          while (not !stop) && !i < fin do
+            if Atomic.get failure <> None then stop := true
+            else begin
+              (match f !i with
+              | v ->
+                results.(!i) <- Some v;
+                report progress ~tasks
+              | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+                stop := true);
+              incr i
+            end
+          done
+      done
+    in
+    if workers = 1 then worker ()
+    else begin
+      let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join domains
+    end;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map
+      (function Some v -> v | None -> assert false (* every index was claimed *))
+      results
+  end
+
+let map_reduce t ~tasks ~f ~merge ~init =
+  Array.fold_left merge init (map t ~tasks ~f)
+
+let map_list t ~f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (map t ~tasks:(Array.length arr) ~f:(fun i -> f arr.(i)))

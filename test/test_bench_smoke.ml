@@ -119,6 +119,86 @@ let test_events_guard_verdicts () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing baseline should be an error"
 
+(* -- multicore scaling suite ---------------------------------------------- *)
+
+module Pbench = Experiments.Parallel_bench
+
+let test_parallel_quick_run_emits_valid_report () =
+  let out = Filename.temp_file "bench_parallel_smoke" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let rows = Pbench.run ~quick:true ~out () in
+      Alcotest.(check (list int))
+        "one row per ladder rung" Pbench.jobs_ladder
+        (List.map (fun r -> r.Pbench.jobs) rows);
+      (match List.find_opt (fun r -> r.Pbench.jobs = 1) rows with
+      | Some r ->
+        Alcotest.(check (float 1e-9)) "-j1 speedup is 1 by definition" 1.0 r.Pbench.speedup
+      | None -> Alcotest.fail "no -j1 rung");
+      List.iter
+        (fun r ->
+          if r.Pbench.wall_s <= 0.0 then Alcotest.fail "wall clock not positive")
+        rows;
+      let report = Json.of_file out in
+      match Pbench.validate report with
+      | Ok () -> ()
+      | Error problems ->
+        Alcotest.failf "invalid parallel report: %s" (String.concat "; " problems))
+
+let fake_parallel_report () =
+  Json.Obj
+    [
+      ("schema", Json.Str "hpfq-bench-parallel-v1");
+      ("cores", Json.Num 8.0);
+      ( "rows",
+        Json.Arr
+          [
+            Json.Obj
+              [
+                ("jobs", Json.Num 1.0);
+                ("wall_s", Json.Num 1.0);
+                ("speedup", Json.Num 1.0);
+                ("expected_floor", Json.Num 1.0);
+              ];
+          ] );
+    ]
+
+let test_parallel_guard_verdicts () =
+  let with_baseline json f =
+    let path = Filename.temp_file "bench_parallel_guard" ".json" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Json.to_file path json;
+        f path)
+  in
+  with_baseline (fake_parallel_report ()) (fun path ->
+      match Pbench.guard ~baseline:path ~tol:0.5 ~quick:true () with
+      | Ok g ->
+        Alcotest.(check int)
+          "one verdict per rung"
+          (List.length Pbench.jobs_ladder)
+          (List.length g.Pbench.g_rows);
+        (* rungs beyond the host's cores are context, not gates *)
+        List.iter
+          (fun r ->
+            if r.Pbench.g_jobs > g.Pbench.g_cores then
+              Alcotest.(check bool)
+                "oversubscribed rung not enforced" false r.Pbench.g_enforced)
+          g.Pbench.g_rows;
+        Alcotest.(check bool)
+          "healthy pool clears the cores-aware floor" true g.Pbench.g_within
+      | Error e -> Alcotest.failf "parallel guard errored: %s" e);
+  with_baseline (Json.Obj [ ("schema", Json.Str "hpfq-bench-parallel-v1") ])
+    (fun path ->
+      match Pbench.guard ~baseline:path ~quick:true () with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "schema-invalid baseline should be an error");
+  match Pbench.guard ~baseline:"/nonexistent/BENCH_parallel.json" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing baseline should be an error"
+
 (* -- perf-regression guard ------------------------------------------------ *)
 
 let fake_report pps =
@@ -211,6 +291,12 @@ let () =
           Alcotest.test_case "quick run emits valid report" `Quick
             test_events_quick_run_emits_valid_report;
           Alcotest.test_case "guard verdicts" `Quick test_events_guard_verdicts;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "quick run emits valid report" `Quick
+            test_parallel_quick_run_emits_valid_report;
+          Alcotest.test_case "guard verdicts" `Quick test_parallel_guard_verdicts;
         ] );
       ( "guard",
         [

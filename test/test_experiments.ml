@@ -47,7 +47,7 @@ let test_delay_scenarios_differ () =
     (Stats.Delay_stats.max_delay s2.delays < Stats.Delay_stats.max_delay s1.delays)
 
 let test_wfi_probe_shapes () =
-  let wfq = E.Wfi_probe.sweep ~factory:Hpfq.Disciplines.wfq ~ns:[ 4; 16; 64 ] in
+  let wfq = E.Wfi_probe.sweep ~factory:Hpfq.Disciplines.wfq ~ns:[ 4; 16; 64 ] () in
   (match wfq with
   | [ a; b; c ] ->
     Alcotest.(check (float 1e-6)) "WFQ N=4" 3.0 a.measured_twfi;
@@ -60,7 +60,7 @@ let test_wfi_probe_shapes () =
         (Printf.sprintf "WF2Q+ probe within bound at N=%d" m.n)
         true
         (m.measured_twfi <= m.wf2q_plus_bound +. 1e-9))
-    (E.Wfi_probe.sweep ~factory:Hpfq.Disciplines.wf2q_plus ~ns:[ 4; 16; 64 ])
+    (E.Wfi_probe.sweep ~factory:Hpfq.Disciplines.wf2q_plus ~ns:[ 4; 16; 64 ] ())
 
 let test_paper_hierarchies_valid () =
   List.iter
