@@ -62,6 +62,34 @@ else
   echo "check_bench: no BENCH_events.json baseline; skipping events-guard"
 fi
 
+# Hierarchy engine A/B: quick generic-vs-flat run, then verify the report
+# shape the hier-guard reads.
+hier_out=BENCH_hier_quick.json
+rm -f "$hier_out"
+
+dune exec bench/main.exe -- hier-quick
+
+[ -f "$hier_out" ] || { echo "check_bench: $hier_out was not produced" >&2; exit 1; }
+
+for key in schema headline rows speedups flat_pkts_per_sec generic_pkts_per_sec flat_over_generic; do
+  grep -q "\"$key\"" "$hier_out" || {
+    echo "check_bench: $hier_out is missing key \"$key\"" >&2
+    exit 1
+  }
+done
+
+echo "check_bench: OK ($hier_out)"
+
+# Hierarchy engine guard: the flat Fig. 3 headline must stay within
+# HPFQ_HIER_TOL (default 20%) of the committed BENCH_hier.json, and the
+# fresh flat/generic speedup must clear HPFQ_HIER_RATIO (default 1.0 —
+# flat must never be slower). Skipped when no baseline is committed.
+if [ -f BENCH_hier.json ]; then
+  dune exec bench/main.exe -- hier-guard
+else
+  echo "check_bench: no BENCH_hier.json baseline; skipping hier-guard"
+fi
+
 # Multicore sweep scaling: quick run of the -j ladder, then verify the
 # report shape the parallel-guard reads.
 parallel_out=BENCH_parallel_quick.json

@@ -459,6 +459,40 @@ let events_guard () =
     end
 
 (* ------------------------------------------------------------------ *)
+(* HIER: hierarchy engine A/B, generic vs flat                        *)
+(* ------------------------------------------------------------------ *)
+
+let hier () = ignore (Experiments.Hier_bench.run ~pool:(env_pool ()) ())
+let hier_quick () =
+  ignore
+    (Experiments.Hier_bench.run ~pool:(env_pool ()) ~quick:true
+       ~out:"BENCH_hier_quick.json" ())
+
+let hier_guard () =
+  section "HIER-GUARD: Fig. 3 flat headline vs BENCH_hier.json";
+  match Experiments.Hier_bench.guard () with
+  | Error e ->
+    Printf.eprintf "hier-guard: %s\n" e;
+    exit 1
+  | Ok g ->
+    Printf.printf
+      "baseline %16.0f pkts/sec (flat)\n\
+       fresh    %16.0f pkts/sec (flat)\n\
+       ratio    %16.3f (tolerance -%.0f%%)\n\
+       speedup  %15.2fx flat/generic (floor %.2fx)\n\
+       words/pkt %14.3f flat vs %.3f generic\n"
+      g.Experiments.Hier_bench.baseline_pps g.fresh_pps g.perf_ratio
+      (g.tol *. 100.0) g.speedup g.min_speedup g.flat_words g.generic_words;
+    if g.within then print_endline "hier-guard: OK"
+    else begin
+      Printf.eprintf
+        "hier-guard: FAIL — flat headline regressed beyond %.0f%% or the flat \
+         engine fell under %.2fx the generic one\n"
+        (g.tol *. 100.0) g.min_speedup;
+      exit 1
+    end
+
+(* ------------------------------------------------------------------ *)
 (* PARALLEL: wfi sweep scaling vs worker count                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -548,7 +582,51 @@ let trace_overhead () =
   Printf.printf "active tracing cost vs never-installed:       %+.2f%%\n"
     ((never /. active -. 1.0) *. 100.0);
   Printf.printf "(ring retained %d events, dropped %d)\n"
-    (Obs.Recorder.length recorder) (Obs.Recorder.dropped recorder)
+    (Obs.Recorder.length recorder) (Obs.Recorder.dropped recorder);
+  (* Same question end to end for the flattened hierarchy engine: the
+     saturated Fig. 3 run with no observers installed vs with the full
+     structured trace attached to every node (Hier_flat pays the same
+     load+branch-per-op contract as the one-level policies). *)
+  Printf.printf "\nHier_flat end-to-end (Fig. 3 saturated), observer off vs on:\n";
+  let module H = Experiments.Paper_hierarchies in
+  let pkt = H.fig3_packet_bits in
+  let target = 100_000 in
+  let run_fig3 name trace_it =
+    let sim = Engine.Simulator.create () in
+    let departs = ref 0 in
+    let h = ref None in
+    let reinject = Hashtbl.create 32 in
+    let hier =
+      Hpfq.Hier_engine.create ~sim ~spec:H.fig3
+        ~factory:Hpfq.Disciplines.wf2q_plus ~engine:`Flat
+        ~on_depart:(fun _pkt ~leaf _t ->
+          incr departs;
+          match Hashtbl.find_opt reinject leaf with
+          | Some id ->
+            ignore (Hpfq.Hier_engine.inject (Option.get !h) ~leaf:id ~size_bits:pkt)
+          | None -> ())
+        ()
+    in
+    h := Some hier;
+    if trace_it then
+      ignore (Obs.Trace.attach_engine ~capacity:(1 lsl 16) hier);
+    List.iter
+      (fun (name, id) ->
+        Hashtbl.replace reinject name id;
+        Hpfq.Hier_engine.inject_many hier ~leaf:id ~size_bits:pkt ~count:2)
+      (Hpfq.Hier_engine.leaf_ids hier);
+    let horizon = float_of_int target *. pkt /. Hpfq.Class_tree.rate H.fig3 in
+    let t0 = Unix.gettimeofday () in
+    Engine.Simulator.run ~until:horizon sim;
+    let wall = Unix.gettimeofday () -. t0 in
+    let pps = float_of_int !departs /. wall in
+    Printf.printf "%-24s %16.0f pkts/sec\n" name pps;
+    pps
+  in
+  let flat_off = run_fig3 "no observers" false in
+  let flat_on = run_fig3 "full structured trace" true in
+  Printf.printf "active tracing cost on Hier_flat:             %+.2f%%\n"
+    ((flat_off /. flat_on -. 1.0) *. 100.0)
 
 (* ------------------------------------------------------------------ *)
 (* PERF-GUARD: fresh headline vs the committed baseline               *)
@@ -590,6 +668,7 @@ let all_benches =
     ("e2e", e2e);
     ("perf", perf);
     ("events", events);
+    ("hier", hier);
   ]
 
 (* runnable by id but not part of the no-argument "run everything" set *)
@@ -604,6 +683,8 @@ let extra_benches =
     ("perf-guard", perf_guard);
     ("events-quick", events_quick);
     ("events-guard", events_guard);
+    ("hier-quick", hier_quick);
+    ("hier-guard", hier_guard);
     ("parallel", parallel);
     ("parallel-quick", parallel_quick);
     ("parallel-guard", parallel_guard);

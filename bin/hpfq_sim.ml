@@ -59,6 +59,26 @@ let event_set_arg =
    process-wide default rather than threading a parameter through each *)
 let set_event_set = Option.iter Engine.Simulator.set_default_backend
 
+let hier_engine_conv =
+  let parse s =
+    match Hpfq.Hier_engine.choice_of_string s with
+    | Ok c -> Ok c
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt c = Format.pp_print_string fmt (Hpfq.Hier_engine.choice_to_string c) in
+  Arg.conv (parse, print)
+
+let hier_engine_arg =
+  Arg.(
+    value
+    & opt hier_engine_conv `Auto
+    & info [ "hier-engine" ] ~docv:"generic|flat|auto"
+        ~doc:
+          "Hierarchy engine: $(b,generic) composes one-level policies per \
+           node, $(b,flat) is the monomorphic flattened H-WF2Q+ fast path \
+           (bit-identical schedules). $(b,auto) picks flat for WF2Q+ and \
+           generic otherwise.")
+
 let horizon_arg default =
   Arg.(value & opt float default & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Simulated time.")
 
@@ -108,24 +128,23 @@ let fig2_cmd =
 (* -- trace --------------------------------------------------------------- *)
 
 let trace_cmd =
-  let run event_set discipline horizon out format capacity metrics_out =
+  let run event_set engine discipline horizon out format capacity metrics_out =
     set_event_set event_set;
     let spec = Experiments.Paper_hierarchies.fig3 in
     let sim = Engine.Simulator.create () in
-    let h =
-      Hpfq.Hier.create ~sim ~spec ~make_policy:(Hpfq.Hier.uniform discipline) ()
-    in
-    let trace = Obs.Trace.attach_hier ~capacity h in
+    let h = Hpfq.Hier_engine.create ~sim ~spec ~factory:discipline ~engine () in
+    let trace = Obs.Trace.attach_engine ~capacity h in
     Obs.Trace.attach_sim trace sim;
     (* deterministic saturation: every leaf keeps a fixed backlog topped up
        on a fixed schedule, so the same command always emits the same trace *)
     let packet = 8.0 *. 1024.0 *. 8.0 in
     List.iter
       (fun (name, _) ->
-        let leaf = Hpfq.Hier.leaf_id h name in
+        let leaf = Hpfq.Hier_engine.leaf_id h name in
         ignore
           (Traffic.Source.greedy ~sim
-             ~emit:(fun ~size_bits -> ignore (Hpfq.Hier.inject h ~leaf ~size_bits))
+             ~emit:(fun ~size_bits ->
+               ignore (Hpfq.Hier_engine.inject h ~leaf ~size_bits))
              ~packet_bits:packet ~backlog_packets:8 ~top_up_every:0.25
              ~stop_at:horizon ()))
       (Hpfq.Class_tree.leaves spec);
@@ -184,13 +203,13 @@ let trace_cmd =
          "Run the Fig. 3 hierarchy saturated and dump the structured \
           packet/virtual-time event trace.")
     Term.(
-      const run $ event_set_arg $ discipline_arg $ horizon_arg 0.5 $ out_arg
-      $ format_arg $ capacity_arg $ metrics_arg)
+      const run $ event_set_arg $ hier_engine_arg $ discipline_arg
+      $ horizon_arg 0.5 $ out_arg $ format_arg $ capacity_arg $ metrics_arg)
 
 (* -- delay --------------------------------------------------------------- *)
 
 let delay_cmd =
-  let run event_set pool discipline scenario_id horizon seed replications csv =
+  let run event_set engine pool discipline scenario_id horizon seed replications csv =
     set_event_set event_set;
     if replications < 1 then
       invalid_arg (Printf.sprintf "replications must be >= 1, got %d" replications);
@@ -204,10 +223,13 @@ let delay_cmd =
     let results =
       if replications = 1 then
         (* the historical single-run path: same seed → same output as ever *)
-        [ Experiments.Delay_experiment.run ~factory:discipline ~scenario ~horizon ~seed () ]
+        [
+          Experiments.Delay_experiment.run ~engine ~factory:discipline ~scenario
+            ~horizon ~seed ();
+        ]
       else
-        Experiments.Delay_experiment.run_sweep ~pool ~factories:[ discipline ]
-          ~scenario ~horizon ~seed ~replications ()
+        Experiments.Delay_experiment.run_sweep ~pool ~engine
+          ~factories:[ discipline ] ~scenario ~horizon ~seed ~replications ()
     in
     List.iter
       (fun r -> print_endline (Experiments.Delay_experiment.summary_row r))
@@ -241,15 +263,17 @@ let delay_cmd =
   in
   Cmd.v (Cmd.info "delay" ~doc:"RT-1 delay experiment (paper Figs. 4-7).")
     Term.(
-      const run $ event_set_arg $ pool_term $ discipline_arg $ scenario_arg
-      $ horizon_arg 10.0 $ seed_arg $ replications_arg $ csv_arg)
+      const run $ event_set_arg $ hier_engine_arg $ pool_term $ discipline_arg
+      $ scenario_arg $ horizon_arg 10.0 $ seed_arg $ replications_arg $ csv_arg)
 
 (* -- link-sharing -------------------------------------------------------- *)
 
 let link_sharing_cmd =
-  let run event_set pool discipline horizon csv =
+  let run event_set engine pool discipline horizon csv =
     set_event_set event_set;
-    let result = Experiments.Link_sharing.run ~pool ~factory:discipline ~horizon () in
+    let result =
+      Experiments.Link_sharing.run ~pool ~engine ~factory:discipline ~horizon ()
+    in
     Experiments.Link_sharing.summary Format.std_formatter result;
     Option.iter
       (fun path ->
@@ -263,7 +287,7 @@ let link_sharing_cmd =
   in
   Cmd.v (Cmd.info "link-sharing" ~doc:"Hierarchical link sharing with TCP (paper Figs. 8-9).")
     Term.(
-      const run $ event_set_arg $ pool_term $ discipline_arg
+      const run $ event_set_arg $ hier_engine_arg $ pool_term $ discipline_arg
       $ horizon_arg Experiments.Paper_hierarchies.fig8_horizon $ csv_arg)
 
 (* -- wfi ----------------------------------------------------------------- *)
@@ -290,7 +314,7 @@ let wfi_cmd =
 (* -- custom -------------------------------------------------------------- *)
 
 let custom_cmd =
-  let run event_set pool discipline tree_file horizon =
+  let run event_set engine pool discipline tree_file horizon =
     set_event_set event_set;
     match Hpfq.Tree_syntax.parse_file tree_file with
     | Error e ->
@@ -306,23 +330,24 @@ let custom_cmd =
       let config = Engine.Simulator.snapshot_config () in
       let run_packet () =
         let sim = Engine.Simulator.create_configured config in
-        let h =
-          Hpfq.Hier.create ~sim ~spec ~make_policy:(Hpfq.Hier.uniform discipline) ()
-        in
+        let h = Hpfq.Hier_engine.create ~sim ~spec ~factory:discipline ~engine () in
         let packet = 8.0 *. 1024.0 *. 8.0 in
         List.iter
           (fun (name, _) ->
-            let leaf = Hpfq.Hier.leaf_id h name in
+            let leaf = Hpfq.Hier_engine.leaf_id h name in
             ignore
               (Traffic.Source.greedy ~sim
-                 ~emit:(fun ~size_bits -> ignore (Hpfq.Hier.inject h ~leaf ~size_bits))
+                 ~emit:(fun ~size_bits ->
+                   ignore (Hpfq.Hier_engine.inject h ~leaf ~size_bits))
                  ~packet_bits:packet
                  ~backlog_packets:
                    (max 8 (int_of_float (Hpfq.Class_tree.rate spec *. 0.5 /. packet)))
                  ~top_up_every:0.25 ~stop_at:horizon ()))
           leaves;
         Engine.Simulator.run ~until:horizon sim;
-        List.map (fun (name, _) -> (name, Hpfq.Hier.departed_bits h ~node:name)) leaves
+        List.map
+          (fun (name, _) -> (name, Hpfq.Hier_engine.departed_bits h ~node:name))
+          leaves
       in
       let run_fluid () =
         let fluid = Fluid.Hgps.create ~spec () in
@@ -354,7 +379,9 @@ let custom_cmd =
   Cmd.v
     (Cmd.info "custom"
        ~doc:"Saturate every leaf of a user-defined hierarchy and compare shares to H-GPS.")
-    Term.(const run $ event_set_arg $ pool_term $ discipline_arg $ tree_arg $ horizon_arg 2.0)
+    Term.(
+      const run $ event_set_arg $ hier_engine_arg $ pool_term $ discipline_arg
+      $ tree_arg $ horizon_arg 2.0)
 
 (* -- tree ---------------------------------------------------------------- *)
 

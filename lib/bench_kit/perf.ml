@@ -133,10 +133,11 @@ let rec uniform_spec ~depth ~fanout ~name ~rate =
              ~name:(Printf.sprintf "%s.%d" name i)
              ~rate:(rate /. float_of_int fanout)))
 
-(* Every leaf kept at a steady backlog of two unit packets: prime with two,
-   re-inject one on each departure. Root rate 1 bit/s and 1-bit packets
-   make the simulated horizon equal the departure count. *)
-let hier_throughput ?config ~depth ~fanout ~factory ~target_pkts () =
+(* Every leaf kept at a steady backlog of two packets: prime with two,
+   re-inject one on each departure. The horizon is sized so roughly
+   [target_pkts] packets depart whatever the tree's root rate. *)
+let hier_throughput_spec ?config ?engine ~spec ~factory ~pkt_bits ~target_pkts () =
+  let module HE = Hpfq.Hier_engine in
   let leaves = ref [] in
   let sim =
     match config with
@@ -147,13 +148,11 @@ let hier_throughput ?config ~depth ~fanout ~factory ~target_pkts () =
   let h = ref None in
   let reinject_name = Hashtbl.create 256 in
   let hier =
-    Hpfq.Hier.create ~sim
-      ~spec:(uniform_spec ~depth ~fanout ~name:"root" ~rate:1.0)
-      ~make_policy:(Hpfq.Hier.uniform factory)
+    HE.create ~sim ~spec ~factory ?engine
       ~on_depart:(fun _pkt ~leaf _t ->
         incr departs;
         match Hashtbl.find_opt reinject_name leaf with
-        | Some id -> ignore (Hpfq.Hier.inject (Option.get !h) ~leaf:id ~size_bits:1.0)
+        | Some id -> ignore (HE.inject (Option.get !h) ~leaf:id ~size_bits:pkt_bits)
         | None -> ())
       ()
   in
@@ -162,21 +161,29 @@ let hier_throughput ?config ~depth ~fanout ~factory ~target_pkts () =
     (fun (name, id) ->
       Hashtbl.replace reinject_name name id;
       leaves := id :: !leaves)
-    (Hpfq.Hier.leaf_ids hier);
+    (HE.leaf_ids hier);
   List.iter
-    (fun id ->
-      ignore (Hpfq.Hier.inject hier ~leaf:id ~size_bits:1.0);
-      ignore (Hpfq.Hier.inject hier ~leaf:id ~size_bits:1.0))
+    (fun id -> HE.inject_many hier ~leaf:id ~size_bits:pkt_bits ~count:2)
     !leaves;
+  let horizon =
+    float_of_int target_pkts *. pkt_bits /. Hpfq.Class_tree.rate spec
+  in
   let m0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
-  Engine.Simulator.run ~until:(float_of_int target_pkts) sim;
+  Engine.Simulator.run ~until:horizon sim;
   let wall = Unix.gettimeofday () -. t0 in
   let minor = Gc.minor_words () -. m0 in
   let pkts = float_of_int !departs in
   ( float_of_int (List.length !leaves),
     pkts /. wall,
     minor /. Float.max 1.0 pkts )
+
+(* Root rate 1 bit/s and 1-bit packets make the simulated horizon equal
+   the departure count. *)
+let hier_throughput ?config ?engine ~depth ~fanout ~factory ~target_pkts () =
+  hier_throughput_spec ?config ?engine
+    ~spec:(uniform_spec ~depth ~fanout ~name:"root" ~rate:1.0)
+    ~factory ~pkt_bits:1.0 ~target_pkts ()
 
 (* The depth × fan-out grid cells are independent full-stack simulations,
    so they fan out on [pool] — but concurrent cells contend for cores and

@@ -42,6 +42,26 @@ val time_loop : (unit -> unit) -> iters:int -> float * float
 (** Warm the closure (up to 1000 calls), then run it [iters] times:
     [(wall seconds, minor-heap words allocated)]. *)
 
+val hier_throughput_spec :
+  ?config:Engine.Simulator.config ->
+  ?engine:Hpfq.Hier_engine.choice ->
+  spec:Hpfq.Class_tree.t ->
+  factory:Sched.Sched_intf.factory ->
+  pkt_bits:float ->
+  target_pkts:int ->
+  unit ->
+  float * float * float
+(** Saturated steady-state throughput of one hierarchy: every leaf is kept
+    at a two-packet backlog (prime with two, re-inject on depart) and the
+    simulation runs for a horizon sized to [target_pkts] departures at the
+    root rate. Returns [(leaf count, packets/second, minor words/packet)].
+    [engine] picks the hierarchy engine (default [`Auto]) — the hier bench
+    A/Bs [`Generic] against [`Flat] with this function. *)
+
+val uniform_spec : depth:int -> fanout:int -> name:string -> rate:float -> Hpfq.Class_tree.t
+(** The balanced tree the depth × fan-out grids run on ([depth] 0 = leaf;
+    children split the parent rate evenly). *)
+
 val headline_of_report : Json.t -> (float, string) result
 (** Extract [headline.pkts_per_sec] from a parsed perf report. *)
 

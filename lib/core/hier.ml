@@ -31,6 +31,11 @@ type t = {
      and mutable floats in a mixed record would box on each store. *)
   tn : float array;                         (* reference time T_n, post-dated *)
   departed_bits : float array;              (* W_n(0, now) *)
+  (* Each leaf's leaf-to-root path (leaf first, root last), precomputed at
+     create: the W_n credit walk in [complete_transmission] runs once per
+     transmitted packet, and an array iteration beats re-deriving the path
+     by parent-chasing recursion every time. Interior ids hold [||]. *)
+  paths : int array array;
   root : int;
   by_name : (string, int) Hashtbl.t;
   leaf_list : (string * int) list;
@@ -130,13 +135,13 @@ and start_transmission t =
 and complete_transmission t pkt =
   t.link_busy <- false;
   let now = Engine.Simulator.now t.sim in
-  (* account W_n along the transmitted packet's leaf-to-root path *)
+  (* account W_n along the transmitted packet's precomputed leaf-to-root path *)
   let leaf = t.nodes.(pkt.Net.Packet.flow) in
-  let rec credit n =
-    t.departed_bits.(n.id) <- t.departed_bits.(n.id) +. pkt.Net.Packet.size_bits;
-    if n.parent >= 0 then credit t.nodes.(n.parent)
-  in
-  credit leaf;
+  let path = t.paths.(leaf.id) in
+  let bits = pkt.Net.Packet.size_bits in
+  for k = 0 to Array.length path - 1 do
+    t.departed_bits.(path.(k)) <- t.departed_bits.(path.(k)) +. bits
+  done;
   t.on_depart pkt ~leaf:leaf.name now;
   reset_path t
 
@@ -232,12 +237,27 @@ let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?on_depart ?on_dro
   Log.info (fun m ->
       m "created H-PFQ server: %d nodes, %d leaves, root rate %a" !counter
         (List.length !leaf_list) Engine.Units.pp_rate root_node.rate);
+  let paths = Array.make !counter [||] in
+  Array.iter
+    (fun n ->
+      match n.kind with
+      | Interior _ -> ()
+      | Leaf_node _ ->
+        let path = Array.make (n.level + 1) n.id in
+        let m = ref n in
+        for k = 0 to n.level do
+          path.(k) <- !m.id;
+          if !m.parent >= 0 then m := arr.(!m.parent)
+        done;
+        paths.(n.id) <- path)
+    arr;
   let t =
     {
       sim;
       nodes = arr;
       tn = Array.make !counter 0.0;
       departed_bits = Array.make !counter 0.0;
+      paths;
       root = root_node.id;
       by_name;
       leaf_list = List.rev !leaf_list;
@@ -264,9 +284,13 @@ let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?on_depart ?on_dro
 
 let leaf_id t name =
   match Hashtbl.find_opt t.by_name name with
-  | Some id when (match t.nodes.(id).kind with Leaf_node _ -> true | Interior _ -> false) ->
-    id
-  | Some _ | None -> raise Not_found
+  | Some id -> (
+    match t.nodes.(id).kind with
+    | Leaf_node _ -> id
+    | Interior _ ->
+      invalid_arg
+        (Printf.sprintf "Hier.leaf_id: %S is an interior node, not a leaf" name))
+  | None -> raise Not_found
 
 let leaf_name t id = t.nodes.(id).name
 let leaf_ids t = t.leaf_list
@@ -344,6 +368,11 @@ let iter_interior t f =
     t.nodes
 
 let node_count t = Array.length t.nodes
+
+let leaf_path t ~leaf =
+  match t.nodes.(leaf).kind with
+  | Leaf_node _ -> Array.copy t.paths.(leaf)
+  | Interior _ -> invalid_arg "Hier.leaf_path: not a leaf"
 
 let set_node_observer t ~node observer =
   let n = node_by_name t node in

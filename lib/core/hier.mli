@@ -42,7 +42,8 @@ val uniform : Sched.Sched_intf.factory -> level:int -> name:string -> rate:float
     [create ~make_policy:(uniform Wf2q_plus.factory) ...]. *)
 
 val leaf_id : t -> string -> int
-(** @raise Not_found if no leaf has that name. *)
+(** @raise Not_found if no node has that name.
+    @raise Invalid_argument if the name belongs to an interior node. *)
 
 val leaf_name : t -> int -> string
 val leaf_ids : t -> (string * int) list
@@ -90,6 +91,12 @@ val node_name : t -> int -> string
 
 val node_count : t -> int
 (** Total nodes (interior + leaves); ids are [0 .. node_count - 1]. *)
+
+val leaf_path : t -> leaf:int -> int array
+(** The precomputed leaf→root path of node ids (leaf first, root last) — the
+    walk [complete_transmission] credits W_n along; exposed so tracing can
+    credit the same way without re-deriving parents.
+    @raise Invalid_argument if [leaf] is interior. *)
 
 val iter_interior :
   t ->

@@ -1,0 +1,109 @@
+type t =
+  | Generic of Hier.t
+  | Flat of Hier_flat.t
+
+type choice = [ `Generic | `Flat | `Auto ]
+
+let choice_of_string = function
+  | "generic" -> Ok `Generic
+  | "flat" -> Ok `Flat
+  | "auto" -> Ok `Auto
+  | s -> Error (Printf.sprintf "unknown hier engine %S (expected generic|flat|auto)" s)
+
+let choice_to_string = function
+  | `Generic -> "generic"
+  | `Flat -> "flat"
+  | `Auto -> "auto"
+
+let create ~sim ~spec ~factory ?(engine = `Auto) ?root_clock ?on_depart ?on_drop () =
+  let flat_ok = factory.Sched.Sched_intf.kind = Wf2q_plus.factory.Sched.Sched_intf.kind in
+  let engine =
+    match engine with
+    | `Generic -> `Generic
+    | `Flat ->
+      if not flat_ok then
+        invalid_arg
+          (Printf.sprintf
+             "Hier_engine.create: flat engine only implements WF2Q+, not %s"
+             factory.Sched.Sched_intf.kind);
+      `Flat
+    | `Auto -> if flat_ok then `Flat else `Generic
+  in
+  match engine with
+  | `Flat -> Flat (Hier_flat.create ~sim ~spec ?root_clock ?on_depart ?on_drop ())
+  | `Generic ->
+    Generic
+      (Hier.create ~sim ~spec ~make_policy:(Hier.uniform factory) ?root_clock ?on_depart
+         ?on_drop ())
+
+let kind = function Generic _ -> `Generic | Flat _ -> `Flat
+let kind_name t = match t with Generic _ -> "generic" | Flat _ -> "flat"
+let generic = function Generic h -> Some h | Flat _ -> None
+let flat = function Flat h -> Some h | Generic _ -> None
+
+let leaf_id = function Generic h -> Hier.leaf_id h | Flat h -> Hier_flat.leaf_id h
+let leaf_name = function Generic h -> Hier.leaf_name h | Flat h -> Hier_flat.leaf_name h
+let leaf_ids = function Generic h -> Hier.leaf_ids h | Flat h -> Hier_flat.leaf_ids h
+
+let inject ?mark t ~leaf ~size_bits =
+  match t with
+  | Generic h -> Hier.inject ?mark h ~leaf ~size_bits
+  | Flat h -> Hier_flat.inject ?mark h ~leaf ~size_bits
+
+let inject_many ?mark t ~leaf ~size_bits ~count =
+  match t with
+  | Flat h -> Hier_flat.inject_many ?mark h ~leaf ~size_bits ~count
+  | Generic h ->
+    for _ = 1 to count do
+      ignore (Hier.inject ?mark h ~leaf ~size_bits)
+    done
+
+let queue_bits t ~leaf =
+  match t with
+  | Generic h -> Hier.queue_bits h ~leaf
+  | Flat h -> Hier_flat.queue_bits h ~leaf
+
+let departed_bits t ~node =
+  match t with
+  | Generic h -> Hier.departed_bits h ~node
+  | Flat h -> Hier_flat.departed_bits h ~node
+
+let ref_time t ~node =
+  match t with
+  | Generic h -> Hier.ref_time h ~node
+  | Flat h -> Hier_flat.ref_time h ~node
+
+let node_virtual_time t ~node =
+  match t with
+  | Generic h -> Hier.node_virtual_time h ~node
+  | Flat h -> Hier_flat.node_virtual_time h ~node
+
+let link_busy = function Generic h -> Hier.link_busy h | Flat h -> Hier_flat.link_busy h
+let drops = function Generic h -> Hier.drops h | Flat h -> Hier_flat.drops h
+
+let add_depart_hook t f =
+  match t with
+  | Generic h -> Hier.add_depart_hook h f
+  | Flat h -> Hier_flat.add_depart_hook h f
+
+let add_drop_hook t f =
+  match t with
+  | Generic h -> Hier.add_drop_hook h f
+  | Flat h -> Hier_flat.add_drop_hook h f
+
+let add_transmit_start_hook t f =
+  match t with
+  | Generic h -> Hier.add_transmit_start_hook h f
+  | Flat h -> Hier_flat.add_transmit_start_hook h f
+
+let root_name = function Generic h -> Hier.root_name h | Flat h -> Hier_flat.root_name h
+let node_name = function Generic h -> Hier.node_name h | Flat h -> Hier_flat.node_name h
+
+let node_count = function
+  | Generic h -> Hier.node_count h
+  | Flat h -> Hier_flat.node_count h
+
+let leaf_path t ~leaf =
+  match t with
+  | Generic h -> Hier.leaf_path h ~leaf
+  | Flat h -> Hier_flat.leaf_path h ~leaf

@@ -1,0 +1,68 @@
+(** Engine selection facade over the two H-PFQ implementations.
+
+    [`Generic] is {!Hier} — any {!Sched.Sched_intf.factory} at every node,
+    the audited reference. [`Flat] is {!Hier_flat} — the monomorphic WF²Q+
+    fast path. [`Auto] (the default) picks flat when the requested factory
+    is WF²Q+ and generic otherwise, so WF²Q+-only trees (the paper's
+    headline system) get the fast engine without callers caring.
+
+    Both engines are driven through the shared subset of their surfaces
+    below; use {!generic}/{!flat} to reach engine-specific APIs (e.g.
+    per-node observers through {!Obs}' attach functions). *)
+
+type t =
+  | Generic of Hier.t
+  | Flat of Hier_flat.t
+
+type choice = [ `Generic | `Flat | `Auto ]
+
+val choice_of_string : string -> (choice, string) result
+(** Parses ["generic" | "flat" | "auto"] (the [--hier-engine] CLI values). *)
+
+val choice_to_string : choice -> string
+
+val create :
+  sim:Engine.Simulator.t ->
+  spec:Class_tree.t ->
+  factory:Sched.Sched_intf.factory ->
+  ?engine:choice ->
+  ?root_clock:[ `Real_time | `Reference_time ] ->
+  ?on_depart:(Net.Packet.t -> leaf:string -> float -> unit) ->
+  ?on_drop:(Net.Packet.t -> leaf:string -> float -> unit) ->
+  unit ->
+  t
+(** Uniform [factory] at every interior node (mixed-discipline trees must
+    use {!Hier.create} directly — they are generic-only).
+    @raise Invalid_argument if [`Flat] is forced with a non-WF²Q+ factory,
+    or [spec] is invalid. *)
+
+val kind : t -> [ `Generic | `Flat ]
+val kind_name : t -> string
+
+val generic : t -> Hier.t option
+val flat : t -> Hier_flat.t option
+
+(** {2 Shared surface} — each delegates to the engine's function of the
+    same name; see {!Hier} for contracts. *)
+
+val leaf_id : t -> string -> int
+val leaf_name : t -> int -> string
+val leaf_ids : t -> (string * int) list
+val inject : ?mark:int -> t -> leaf:int -> size_bits:float -> Net.Packet.t
+
+val inject_many : ?mark:int -> t -> leaf:int -> size_bits:float -> count:int -> unit
+(** Batched arrivals; loops {!Hier.inject} on the generic engine. *)
+
+val queue_bits : t -> leaf:int -> float
+val departed_bits : t -> node:string -> float
+val ref_time : t -> node:string -> float
+val node_virtual_time : t -> node:string -> float
+val link_busy : t -> bool
+val drops : t -> int
+val add_depart_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
+val add_drop_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
+val add_transmit_start_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
+val root_name : t -> string
+val node_name : t -> int -> string
+val node_count : t -> int
+val leaf_path : t -> leaf:int -> int array

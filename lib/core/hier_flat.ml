@@ -1,0 +1,616 @@
+open Sched
+module Ih = Prioq.Indexed_heap4
+
+let log_src = Logs.Src.create "hpfq.hier_flat" ~doc:"Flattened H-WF2Q+ server"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* The monomorphic H-WF2Q+ fast path. Same algorithm as [Hier] instantiated
+   with [Wf2q_plus] at every interior node — ARRIVE / RESTART-NODE /
+   RESET-PATH over eq. 27/28/29 — but with the generic composition overhead
+   flattened away:
+
+   - every per-node field ([tn], [departed_bits], [busy], [active_child],
+     the logical-head index, parent, rate) is a plain array indexed by node
+     id, so nothing is boxed and the leaf-to-root walks touch contiguous
+     memory instead of chasing record pointers;
+   - the per-(node,session) WF2Q+ state (S_i, F_i, head bits, backlogged
+     flag, session rate) lives in one arena per field, indexed by
+     [sbase.(node) + slot] — the whole hierarchy's scheduler state is six
+     float arrays and a byte string;
+   - every WF2Q+ operation is a direct static call on those arrays (no
+     [Sched_intf.t] record of closures, no labeled-float boxing at closure
+     boundaries, inlinable by the compiler);
+   - each leaf's leaf-to-root path is precomputed at [create], so the W_n
+     credit walk and RESET-PATH are array iterations, not recursion.
+
+   Float semantics are kept bit-identical to [Wf2q_plus] (same operation
+   order, same [Float_cmp] slack, same [Indexed_heap4] tie-breaking), so the
+   generic and flat engines agree exactly — enforced by the qcheck lockstep
+   differential in test/test_hier_flat.ml. *)
+
+type t = {
+  sim : Engine.Simulator.t;
+  n_nodes : int;
+  root : int;
+  root_real : bool; (* root policy runs on simulation time (`Real_time) *)
+  (* -- static topology, indexed by node id (preorder, root = 0) -- *)
+  parent : int array; (* -1 at the root *)
+  rate : float array;
+  level : int array;
+  session_in_parent : int array; (* slot in the parent's policy, -1 at root *)
+  children_off : int array; (* interior -> offset into child_ids *)
+  children_len : int array; (* 0 for leaves *)
+  child_ids : int array; (* all children, grouped per interior node *)
+  names : string array;
+  by_name : (string, int) Hashtbl.t;
+  leaf_list : (string * int) list;
+  (* precomputed leaf-to-root paths: leaf's nodes at
+     path_nodes.(path_off.(leaf) .. path_off.(leaf) + path_len.(leaf) - 1),
+     ordered leaf first, root last *)
+  path_off : int array;
+  path_len : int array;
+  path_nodes : int array;
+  (* -- per-node dynamic state -- *)
+  tn : float array; (* reference time T_n, post-dated *)
+  departed_bits : float array; (* W_n(0, now) *)
+  busy : Bytes.t; (* '\001' while the node is in its parent's system *)
+  active_child : int array; (* node id, -1 when none *)
+  logical : int array; (* leaf id owning this subtree's head packet, -1 *)
+  logical_bits : float array; (* size of that head packet *)
+  (* -- per-leaf physical queues -- *)
+  fifos : Net.Fifo.t array; (* shared dummy at interior slots *)
+  next_seq : int array;
+  (* -- per-node WF2Q+ policy state (interior nodes only) -- *)
+  v : float array; (* V, post-dated to the last selection's completion *)
+  v_time : float array; (* server time of that completion *)
+  backlogged_count : int array;
+  eligible : Ih.t array; (* S_i <= V, keyed by F_i; dummy at leaves *)
+  waiting : Ih.t array; (* S_i >  V, keyed by S_i; dummy at leaves *)
+  observers : Sched_intf.observer option array;
+  (* -- per-(node,session) arena, indexed by sbase.(node) + slot -- *)
+  sbase : int array;
+  s_rate : float array;
+  s_start : float array; (* S_i of the head packet *)
+  s_finish : float array; (* F_i of the head packet *)
+  s_head : float array;
+  s_backlogged : Bytes.t;
+  (* server time of the event being processed, refreshed at every entry
+     point (inject / completion / accessor). [node_now] reads it for the
+     real-time root instead of calling [Simulator.now] per operation — the
+     cross-module call returns a boxed float, and the restart cascade asks
+     for the root clock several times per packet. One-element float array
+     so stores stay unboxed. *)
+  now_cache : float array;
+  (* -- link state -- *)
+  mutable on_depart : Net.Packet.t -> leaf:string -> float -> unit;
+  mutable on_drop : Net.Packet.t -> leaf:string -> float -> unit;
+  mutable on_transmit_start : Net.Packet.t -> leaf:string -> float -> unit;
+  mutable link_busy : bool;
+  mutable drops : int;
+  mutable in_flight_leaf : int; (* the wire packet is that leaf's fifo head *)
+  mutable complete_cb : unit -> unit;
+}
+
+let nop_leaf_cb _ ~leaf:_ _ = ()
+
+let[@inline] node_now t n =
+  if n = t.root && t.root_real then Array.unsafe_get t.now_cache 0 else t.tn.(n)
+
+(* -- The WF2Q+ building block, monomorphized over the arenas -------------- *)
+(* Each function mirrors its [Wf2q_plus] counterpart line for line; [node]
+   selects the one-level server, [slot] its session (the child's index in
+   the node's child list). *)
+
+let[@inline] linear_v t node ~now = t.v.(node) +. (now -. t.v_time.(node))
+
+let[@inline] place t node slot =
+  let i = t.sbase.(node) + slot in
+  if Float_cmp.le_with_slack t.s_start.(i) t.v.(node) then
+    Ih.add t.eligible.(node) ~key:slot ~prio:t.s_finish.(i)
+  else Ih.add t.waiting.(node) ~key:slot ~prio:t.s_start.(i)
+
+(* Without flambda every float argument to a non-inlined call is boxed on
+   the minor heap, so none of the hot operations below takes a float: each
+   reads its operands — the child's committed head size, the node clock —
+   from the arenas, and [child] (the child node id) stands in for both the
+   session slot ([session_in_parent]) and the head size ([logical_bits],
+   written by the caller before the call). Observer stamps are computed
+   only inside the [Some] branch, so the untraced path allocates nothing
+   beyond the heap operations themselves. *)
+
+let p_backlog t node ~child =
+  let slot = t.session_in_parent.(child) in
+  let head_bits = t.logical_bits.(child) in
+  let now = node_now t node in
+  let i = t.sbase.(node) + slot in
+  (* eq. 28, empty-queue branch: S = max(F, V(now)) *)
+  let start = Float.max t.s_finish.(i) (linear_v t node ~now) in
+  t.s_start.(i) <- start;
+  t.s_finish.(i) <- start +. (head_bits /. t.s_rate.(i));
+  t.s_head.(i) <- head_bits;
+  Bytes.set t.s_backlogged i '\001';
+  t.backlogged_count.(node) <- t.backlogged_count.(node) + 1;
+  place t node slot;
+  match t.observers.(node) with
+  | None -> ()
+  | Some o ->
+    o.Sched_intf.on_backlog ~now ~vtime:(linear_v t node ~now) ~session:slot ~head_bits
+
+let p_requeue t node ~child =
+  let slot = t.session_in_parent.(child) in
+  let head_bits = t.logical_bits.(child) in
+  let i = t.sbase.(node) + slot in
+  (* eq. 28, busy branch: S = F *)
+  let start = t.s_finish.(i) in
+  let finish = start +. (head_bits /. t.s_rate.(i)) in
+  t.s_start.(i) <- start;
+  t.s_finish.(i) <- finish;
+  t.s_head.(i) <- head_bits;
+  let e = t.eligible.(node) in
+  if Ih.mem e slot then
+    if Float_cmp.le_with_slack start t.v.(node) then Ih.update e ~key:slot ~prio:finish
+    else begin
+      Ih.remove e slot;
+      Ih.add t.waiting.(node) ~key:slot ~prio:start
+    end
+  else begin
+    Ih.remove t.waiting.(node) slot;
+    place t node slot
+  end;
+  match t.observers.(node) with
+  | None -> ()
+  | Some o ->
+    let now = node_now t node in
+    o.Sched_intf.on_requeue ~now ~vtime:(linear_v t node ~now) ~session:slot ~head_bits
+
+let p_set_idle t node ~child =
+  let slot = t.session_in_parent.(child) in
+  Bytes.set t.s_backlogged (t.sbase.(node) + slot) '\000';
+  t.backlogged_count.(node) <- t.backlogged_count.(node) - 1;
+  Ih.remove t.eligible.(node) slot;
+  Ih.remove t.waiting.(node) slot;
+  match t.observers.(node) with
+  | None -> ()
+  | Some o ->
+    let now = node_now t node in
+    o.Sched_intf.on_idle ~now ~vtime:(linear_v t node ~now) ~session:slot
+
+(* Returns the selected slot, or -1 when no session is backlogged. *)
+let p_select t node =
+  if t.backlogged_count.(node) = 0 then -1
+  else begin
+    let now = node_now t node in
+    (* eq. 27: threshold = max(V(t)+τ, min S); when the eligible set is
+       non-empty some S is already <= V, so the max is the linear term. *)
+    let lin = linear_v t node ~now in
+    let e = t.eligible.(node) and w = t.waiting.(node) in
+    let threshold =
+      if Ih.is_empty e && not (Ih.is_empty w) then
+        Float.max lin (Ih.min_prio_unsafe w)
+      else lin
+    in
+    (* promote: move every waiting session with S <= threshold; the loop is
+       inlined here so [threshold] never crosses a call boundary *)
+    let base = t.sbase.(node) in
+    let continue = ref true in
+    while !continue && not (Ih.is_empty w) do
+      let start = Ih.min_prio_unsafe w in
+      if Float_cmp.le_with_slack start threshold then begin
+        let slot = Ih.min_key_unsafe w in
+        Ih.drop_min w;
+        Ih.add e ~key:slot ~prio:t.s_finish.(base + slot)
+      end
+      else continue := false
+    done;
+    let slot = Ih.min_key_unsafe e in
+    if slot >= 0 then begin
+      let service = t.s_head.(base + slot) /. t.rate.(node) in
+      (* RESTART-NODE lines 12-13: post-date V and its timestamp to the
+         completion of the packet just committed. *)
+      t.v.(node) <- threshold +. service;
+      t.v_time.(node) <- now +. service;
+      match t.observers.(node) with
+      | None -> slot
+      | Some o ->
+        o.Sched_intf.on_select ~now ~vtime:t.v.(node) ~session:slot;
+        slot
+    end
+    else slot
+  end
+
+(* -- The three pseudocode procedures, over flat arrays ------------------- *)
+
+let rec restart_node t n =
+  let slot = p_select t n in
+  if slot >= 0 then begin
+    let child = t.child_ids.(t.children_off.(n) + slot) in
+    let leaf = t.logical.(child) in
+    if leaf < 0 then
+      invalid_arg "Hier_flat: policy selected a child with empty logical queue";
+    let bits = t.logical_bits.(child) in
+    t.active_child.(n) <- child;
+    t.logical.(n) <- leaf;
+    t.logical_bits.(n) <- bits;
+    (* RESTART-NODE line 13: post-date this node's reference clock *)
+    t.tn.(n) <- t.tn.(n) +. (bits /. t.rate.(n));
+    let was_busy = Bytes.unsafe_get t.busy n <> '\000' in
+    Bytes.unsafe_set t.busy n '\001';
+    if n = t.root then start_transmission t
+    else begin
+      let q = t.parent.(n) in
+      (* the committed head is a fresh logical packet in the parent's
+         system — an observer-only event, nothing to update *)
+      (match t.observers.(q) with
+      | None -> ()
+      | Some o ->
+        let q_now = node_now t q in
+        o.Sched_intf.on_arrive ~now:q_now
+          ~vtime:(linear_v t q ~now:q_now)
+          ~session:t.session_in_parent.(n) ~size_bits:bits);
+      if was_busy then
+        (* line 8: s_n <- f_n *)
+        p_requeue t q ~child:n
+      else
+        (* line 9: s_n <- max(f_n, V_q) *)
+        p_backlog t q ~child:n;
+      (* line 17: keep restarting upward while the parent has no head *)
+      if t.logical.(q) < 0 then restart_node t q
+    end
+  end
+  else begin
+    t.active_child.(n) <- -1;
+    let was_busy = Bytes.unsafe_get t.busy n <> '\000' in
+    Bytes.unsafe_set t.busy n '\000';
+    if n <> t.root && was_busy then begin
+      let q = t.parent.(n) in
+      p_set_idle t q ~child:n;
+      if t.logical.(q) < 0 then restart_node t q
+    end
+  end
+
+and start_transmission t =
+  if not t.link_busy then begin
+    let leaf = t.logical.(t.root) in
+    if leaf >= 0 then begin
+      let pkt = Net.Fifo.peek_exn t.fifos.(leaf) in
+      t.link_busy <- true;
+      (* the wire packet stays at its leaf's fifo head until RESET-PATH pops
+         it, so remembering the leaf id is enough — no option allocation *)
+      t.in_flight_leaf <- leaf;
+      if t.on_transmit_start != nop_leaf_cb then
+        t.on_transmit_start pkt ~leaf:t.names.(leaf) (Engine.Simulator.now t.sim);
+      let duration = pkt.Net.Packet.size_bits /. t.rate.(t.root) in
+      ignore (Engine.Simulator.schedule_after t.sim ~delay:duration t.complete_cb)
+    end
+  end
+
+and complete_transmission t pkt =
+  t.link_busy <- false;
+  let now = Engine.Simulator.now t.sim in
+  Array.unsafe_set t.now_cache 0 now;
+  let leaf = pkt.Net.Packet.flow in
+  let bits = pkt.Net.Packet.size_bits in
+  (* account W_n along the precomputed leaf-to-root path *)
+  let off = t.path_off.(leaf) and len = t.path_len.(leaf) in
+  for k = 0 to len - 1 do
+    let n = t.path_nodes.(off + k) in
+    t.departed_bits.(n) <- t.departed_bits.(n) +. bits
+  done;
+  t.on_depart pkt ~leaf:t.names.(leaf) now;
+  reset_path t leaf
+
+(* RESET-PATH: clear the logical queues down the transmitted packet's path
+   (it IS the active path — every logical head on it is this packet),
+   dequeue at the leaf, then restart upward. *)
+and reset_path t leaf =
+  let off = t.path_off.(leaf) and len = t.path_len.(leaf) in
+  for k = len - 1 downto 0 do
+    let n = t.path_nodes.(off + k) in
+    t.logical.(n) <- -1;
+    t.active_child.(n) <- -1
+  done;
+  let fifo = t.fifos.(leaf) in
+  Net.Fifo.drop_head fifo;
+  let q = t.parent.(leaf) in
+  if not (Net.Fifo.is_empty fifo) then begin
+    let next = Net.Fifo.peek_exn fifo in
+    t.logical.(leaf) <- leaf;
+    t.logical_bits.(leaf) <- next.Net.Packet.size_bits;
+    p_requeue t q ~child:leaf
+  end
+  else p_set_idle t q ~child:leaf;
+  restart_node t q
+
+(* -- Construction --------------------------------------------------------- *)
+
+let create ~sim ~spec ?(root_clock = `Real_time) ?on_depart ?on_drop () =
+  let on_depart = Option.value on_depart ~default:nop_leaf_cb in
+  let on_drop = Option.value on_drop ~default:nop_leaf_cb in
+  (match Class_tree.validate spec with
+  | Ok () -> ()
+  | Error errors ->
+    invalid_arg ("Hier_flat.create: invalid tree: " ^ String.concat "; " errors));
+  (match spec with
+  | Class_tree.Leaf _ -> invalid_arg "Hier_flat.create: root must be an interior node"
+  | Class_tree.Node _ -> ());
+  let n_nodes = Class_tree.count_nodes spec in
+  let parent = Array.make n_nodes (-1) in
+  let rate = Array.make n_nodes 0.0 in
+  let level = Array.make n_nodes 0 in
+  let session_in_parent = Array.make n_nodes (-1) in
+  let children_off = Array.make n_nodes 0 in
+  let children_len = Array.make n_nodes 0 in
+  let names = Array.make n_nodes "" in
+  let by_name = Hashtbl.create 16 in
+  let is_leaf = Array.make n_nodes false in
+  let capacity = Array.make n_nodes None in
+  (* preorder ids, same assignment as [Hier.create] so the two engines agree
+     on node numbering (handy for cross-validation and tooling) *)
+  let counter = ref 0 in
+  let leaf_list = ref [] in
+  let rec number ~lvl ~par s =
+    let id = !counter in
+    incr counter;
+    names.(id) <- Class_tree.name s;
+    rate.(id) <- Class_tree.rate s;
+    level.(id) <- lvl;
+    parent.(id) <- par;
+    Hashtbl.replace by_name names.(id) id;
+    (match s with
+    | Class_tree.Leaf { queue_capacity_bits; _ } ->
+      is_leaf.(id) <- true;
+      capacity.(id) <- queue_capacity_bits;
+      leaf_list := (names.(id), id) :: !leaf_list
+    | Class_tree.Node _ -> ());
+    List.iter (fun c -> ignore (number ~lvl:(lvl + 1) ~par:id c)) (Class_tree.children s);
+    id
+  in
+  let root = number ~lvl:0 ~par:(-1) spec in
+  (* children tables: recover each node's child ids (contiguous in preorder
+     numbering only per subtree, so collect from the parent array) *)
+  let kids = Array.make n_nodes [] in
+  for id = n_nodes - 1 downto 1 do
+    kids.(parent.(id)) <- id :: kids.(parent.(id))
+  done;
+  let total_children = n_nodes - 1 in
+  let child_ids = Array.make (max 1 total_children) (-1) in
+  let next_off = ref 0 in
+  for id = 0 to n_nodes - 1 do
+    let cs = kids.(id) in
+    children_off.(id) <- !next_off;
+    List.iteri
+      (fun slot c ->
+        child_ids.(!next_off + slot) <- c;
+        session_in_parent.(c) <- slot)
+      cs;
+    children_len.(id) <- List.length cs;
+    next_off := !next_off + children_len.(id)
+  done;
+  (* session arenas: slot ranges per interior node *)
+  let sbase = Array.make n_nodes 0 in
+  let total_sessions = ref 0 in
+  for id = 0 to n_nodes - 1 do
+    sbase.(id) <- !total_sessions;
+    total_sessions := !total_sessions + children_len.(id)
+  done;
+  let total_sessions = !total_sessions in
+  let s_rate = Array.make (max 1 total_sessions) 0.0 in
+  for id = 1 to n_nodes - 1 do
+    s_rate.(sbase.(parent.(id)) + session_in_parent.(id)) <- rate.(id)
+  done;
+  (* leaf-to-root paths, flattened *)
+  let path_off = Array.make n_nodes 0 in
+  let path_len = Array.make n_nodes 0 in
+  let total_path = ref 0 in
+  for id = 0 to n_nodes - 1 do
+    if is_leaf.(id) then begin
+      path_off.(id) <- !total_path;
+      path_len.(id) <- level.(id) + 1;
+      total_path := !total_path + path_len.(id)
+    end
+  done;
+  let path_nodes = Array.make (max 1 !total_path) (-1) in
+  for id = 0 to n_nodes - 1 do
+    if is_leaf.(id) then begin
+      let n = ref id in
+      for k = 0 to path_len.(id) - 1 do
+        path_nodes.(path_off.(id) + k) <- !n;
+        n := parent.(!n)
+      done
+    end
+  done;
+  let dummy_fifo = Net.Fifo.create () in
+  let dummy_heap = Ih.create 1 in
+  let fifos =
+    Array.init n_nodes (fun id ->
+        if is_leaf.(id) then Net.Fifo.create ?capacity_bits:capacity.(id) ()
+        else dummy_fifo)
+  in
+  let eligible =
+    Array.init n_nodes (fun id ->
+        if is_leaf.(id) then dummy_heap else Ih.create (max 1 children_len.(id)))
+  in
+  let waiting =
+    Array.init n_nodes (fun id ->
+        if is_leaf.(id) then dummy_heap else Ih.create (max 1 children_len.(id)))
+  in
+  let t =
+    {
+      sim;
+      n_nodes;
+      root;
+      root_real = (root_clock = `Real_time);
+      parent;
+      rate;
+      level;
+      session_in_parent;
+      children_off;
+      children_len;
+      child_ids;
+      names;
+      by_name;
+      leaf_list = List.rev !leaf_list;
+      path_off;
+      path_len;
+      path_nodes;
+      tn = Array.make n_nodes 0.0;
+      departed_bits = Array.make n_nodes 0.0;
+      busy = Bytes.make n_nodes '\000';
+      active_child = Array.make n_nodes (-1);
+      logical = Array.make n_nodes (-1);
+      logical_bits = Array.make n_nodes 0.0;
+      fifos;
+      next_seq = Array.make n_nodes 1;
+      v = Array.make n_nodes 0.0;
+      v_time = Array.make n_nodes 0.0;
+      backlogged_count = Array.make n_nodes 0;
+      eligible;
+      waiting;
+      observers = Array.make n_nodes None;
+      sbase;
+      s_rate;
+      s_start = Array.make (max 1 total_sessions) 0.0;
+      s_finish = Array.make (max 1 total_sessions) 0.0;
+      s_head = Array.make (max 1 total_sessions) 0.0;
+      s_backlogged = Bytes.make (max 1 total_sessions) '\000';
+      now_cache = [| 0.0 |];
+      on_depart;
+      on_drop;
+      on_transmit_start = nop_leaf_cb;
+      link_busy = false;
+      drops = 0;
+      in_flight_leaf = -1;
+      complete_cb = ignore;
+    }
+  in
+  t.complete_cb <-
+    (fun () ->
+      let leaf = t.in_flight_leaf in
+      if leaf < 0 then
+        invalid_arg "Hier_flat: transmission completed with nothing in flight";
+      t.in_flight_leaf <- -1;
+      complete_transmission t (Net.Fifo.peek_exn t.fifos.(leaf)));
+  Log.info (fun m ->
+      m "created flat H-WF2Q+ server: %d nodes, %d leaves, root rate %a" n_nodes
+        (List.length t.leaf_list) Engine.Units.pp_rate rate.(root));
+  t
+
+(* -- Public operations ---------------------------------------------------- *)
+
+let node_by_name t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None -> raise Not_found
+
+let leaf_id t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id when t.children_len.(id) = 0 -> id
+  | Some id ->
+    invalid_arg
+      (Printf.sprintf "Hier_flat.leaf_id: %S is an interior node, not a leaf" t.names.(id))
+  | None -> raise Not_found
+
+let leaf_name t id = t.names.(id)
+let leaf_ids t = t.leaf_list
+
+let inject_one t ~mark ~leaf ~size_bits =
+  if t.children_len.(leaf) <> 0 then invalid_arg "Hier_flat.inject: not a leaf";
+  let now = Engine.Simulator.now t.sim in
+  Array.unsafe_set t.now_cache 0 now;
+  let pkt =
+    Net.Packet.make ~mark ~flow:leaf ~seq:t.next_seq.(leaf) ~size_bits ~arrival:now ()
+  in
+  t.next_seq.(leaf) <- t.next_seq.(leaf) + 1;
+  if not (Net.Fifo.push t.fifos.(leaf) pkt) then begin
+    t.drops <- t.drops + 1;
+    Log.debug (fun m ->
+        m "drop at leaf %s: %g bits, queue %g bits full" t.names.(leaf) size_bits
+          (Net.Fifo.bits t.fifos.(leaf)));
+    t.on_drop pkt ~leaf:t.names.(leaf) now;
+    pkt
+  end
+  else begin
+    let q = t.parent.(leaf) in
+    (match t.observers.(q) with
+    | None -> ()
+    | Some o ->
+      let q_now = node_now t q in
+      o.Sched_intf.on_arrive ~now:q_now
+        ~vtime:(linear_v t q ~now:q_now)
+        ~session:t.session_in_parent.(leaf) ~size_bits);
+    (* ARRIVE lines 2-3: nothing more to do when the subtree has a head *)
+    if t.logical.(leaf) < 0 then begin
+      t.logical.(leaf) <- leaf;
+      t.logical_bits.(leaf) <- size_bits;
+      p_backlog t q ~child:leaf;
+      if Bytes.get t.busy q = '\000' then restart_node t q
+    end;
+    pkt
+  end
+
+let inject ?(mark = 0) t ~leaf ~size_bits = inject_one t ~mark ~leaf ~size_bits
+
+let inject_many ?(mark = 0) t ~leaf ~size_bits ~count =
+  (* batched arrivals: after the first packet the leaf has a head, so each
+     further packet is one fifo push + one (observer-only) arrive *)
+  for _ = 1 to count do
+    ignore (inject_one t ~mark ~leaf ~size_bits)
+  done
+
+let queue_bits t ~leaf =
+  if t.children_len.(leaf) <> 0 then invalid_arg "Hier_flat.queue_bits: not a leaf";
+  Net.Fifo.bits t.fifos.(leaf)
+
+let departed_bits t ~node = t.departed_bits.(node_by_name t node)
+let ref_time t ~node = t.tn.(node_by_name t node)
+
+let node_virtual_time t ~node =
+  let id = node_by_name t node in
+  if t.children_len.(id) = 0 then
+    invalid_arg "Hier_flat.node_virtual_time: leaf has no policy";
+  Array.unsafe_set t.now_cache 0 (Engine.Simulator.now t.sim);
+  linear_v t id ~now:(node_now t id)
+
+let link_busy t = t.link_busy
+let drops t = t.drops
+
+(* -- Observability -------------------------------------------------------- *)
+
+let compose_leaf_cb f g =
+  if f == nop_leaf_cb then g
+  else fun pkt ~leaf now ->
+    f pkt ~leaf now;
+    g pkt ~leaf now
+
+let add_depart_hook t f = t.on_depart <- compose_leaf_cb t.on_depart f
+let add_drop_hook t f = t.on_drop <- compose_leaf_cb t.on_drop f
+
+let add_transmit_start_hook t f =
+  t.on_transmit_start <- compose_leaf_cb t.on_transmit_start f
+
+let root_name t = t.names.(t.root)
+let node_name t id = t.names.(id)
+let node_count t = t.n_nodes
+
+let leaf_path t ~leaf =
+  if t.children_len.(leaf) <> 0 then invalid_arg "Hier_flat.leaf_path: not a leaf";
+  Array.sub t.path_nodes t.path_off.(leaf) t.path_len.(leaf)
+
+let iter_interior t f =
+  for id = 0 to t.n_nodes - 1 do
+    if t.children_len.(id) > 0 then
+      f ~id ~name:t.names.(id) ~level:t.level.(id)
+        ~children:(Array.sub t.child_ids t.children_off.(id) t.children_len.(id))
+  done
+
+let set_node_observer_id t ~node observer =
+  if node < 0 || node >= t.n_nodes || t.children_len.(node) = 0 then
+    invalid_arg "Hier_flat.set_node_observer_id: not an interior node";
+  t.observers.(node) <- observer
+
+let set_node_observer t ~node observer =
+  let id = node_by_name t node in
+  if t.children_len.(id) = 0 then
+    invalid_arg "Hier_flat.set_node_observer: leaf has no policy";
+  t.observers.(id) <- observer

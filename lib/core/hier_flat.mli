@@ -1,0 +1,95 @@
+(** H-WF²Q+ fast path: the {!Hier} algorithm monomorphized over
+    {!Wf2q_plus}, with every piece of state flattened into unboxed arrays.
+
+    Same semantics as
+    [Hier.create ~make_policy:(Hier.uniform Wf2q_plus.factory)] — the ARRIVE
+    / RESTART-NODE / RESET-PATH procedures of paper §4 over eq. 27/28/29
+    one-level nodes, identical {!Sched.Float_cmp} slack and
+    {!Prioq.Indexed_heap4} tie-breaking — so the two engines produce
+    bit-identical departure orders and clocks (enforced by the qcheck
+    lockstep differential in the test suite). What changes is the machine
+    shape: per-node fields are struct-of-arrays indexed by node id,
+    per-(node,session) WF²Q+ stamps live in arena arrays indexed by
+    [session_base.(node) + slot], leaf→root paths are precomputed, and every
+    policy operation is a direct static call instead of a
+    {!Sched.Sched_intf.t} closure — no boxed floats at call boundaries, no
+    per-call observer record chasing.
+
+    Use this engine for WF²Q+-at-every-node trees (the paper's headline
+    system); mixed-discipline hierarchies still go through the generic
+    {!Hier}. The {!Hier_engine} facade picks automatically.
+
+    Node ids are assigned in the same preorder as {!Hier.create}, so ids,
+    names, and per-node counters line up across engines. *)
+
+type t
+
+val create :
+  sim:Engine.Simulator.t ->
+  spec:Class_tree.t ->
+  ?root_clock:[ `Real_time | `Reference_time ] ->
+  ?on_depart:(Net.Packet.t -> leaf:string -> float -> unit) ->
+  ?on_drop:(Net.Packet.t -> leaf:string -> float -> unit) ->
+  unit ->
+  t
+(** Every interior node runs WF²Q+ over its children; [root_clock] has the
+    same meaning as in {!Hier.create}.
+    @raise Invalid_argument if [spec] fails {!Class_tree.validate} or its
+    root is a leaf. *)
+
+val leaf_id : t -> string -> int
+(** @raise Not_found if no node has that name.
+    @raise Invalid_argument if the name belongs to an interior node. *)
+
+val leaf_name : t -> int -> string
+val leaf_ids : t -> (string * int) list
+
+val inject : ?mark:int -> t -> leaf:int -> size_bits:float -> Net.Packet.t
+(** Same contract as {!Hier.inject}. *)
+
+val inject_many : ?mark:int -> t -> leaf:int -> size_bits:float -> count:int -> unit
+(** [count] same-size packets arrive back to back at the current simulation
+    time. After the first packet the subtree already has a logical head, so
+    each further packet is one FIFO push plus one (observer-only) arrive —
+    the batched form of the common backlog-building loop. *)
+
+val queue_bits : t -> leaf:int -> float
+val departed_bits : t -> node:string -> float
+val ref_time : t -> node:string -> float
+
+val node_virtual_time : t -> node:string -> float
+(** @raise Invalid_argument if the named node is a leaf. *)
+
+val link_busy : t -> bool
+val drops : t -> int
+
+(** {2 Observability}
+
+    Mirrors {!Hier}: packet-level hooks at the link, a per-node
+    {!Sched.Sched_intf.observer} slot at each interior node. With no
+    observer installed the per-operation cost is one array load and a
+    branch. *)
+
+val add_depart_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
+val add_drop_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
+val add_transmit_start_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
+val root_name : t -> string
+val node_name : t -> int -> string
+val node_count : t -> int
+
+val leaf_path : t -> leaf:int -> int array
+(** The precomputed leaf→root path (leaf first, root last).
+    @raise Invalid_argument if [leaf] is interior. *)
+
+val iter_interior :
+  t -> (id:int -> name:string -> level:int -> children:int array -> unit) -> unit
+(** Visit every interior node in id (preorder) order. [children.(s)] is the
+    node id behind session slot [s]. Unlike {!Hier.iter_interior} there is
+    no [policy] argument — install observers via {!set_node_observer_id}. *)
+
+val set_node_observer : t -> node:string -> Sched.Sched_intf.observer option -> unit
+(** @raise Not_found if no such node.
+    @raise Invalid_argument if the node is a leaf. *)
+
+val set_node_observer_id : t -> node:int -> Sched.Sched_intf.observer option -> unit
+(** Same, by node id (as handed to {!iter_interior}). *)

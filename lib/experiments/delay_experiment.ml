@@ -1,6 +1,6 @@
 module H = Paper_hierarchies
 module Sim = Engine.Simulator
-module Hier = Hpfq.Hier
+module HE = Hpfq.Hier_engine
 
 type scenario = S1_constant_and_trains | S2_overloaded_poisson | S3_overload_and_trains
 
@@ -27,7 +27,7 @@ let rt1_delay_bound =
   | Ok bound -> bound
   | Error msg -> invalid_arg msg
 
-let run ?config ?rng ~factory ~scenario ?(horizon = 10.0) ?(seed = 1L) () =
+let run ?config ?rng ?engine ~factory ~scenario ?(horizon = 10.0) ?(seed = 1L) () =
   let sim =
     match config with
     | Some c -> Sim.create_configured c
@@ -47,13 +47,11 @@ let run ?config ?rng ~factory ~scenario ?(horizon = 10.0) ?(seed = 1L) () =
       Stats.Service_curve.on_service lag ~time:t ~units:1.0
     end
   in
-  let h =
-    Hier.create ~sim ~spec:H.fig3 ~make_policy:(Hier.uniform factory) ~on_depart ()
-  in
+  let h = HE.create ~sim ~spec:H.fig3 ~factory ?engine ~on_depart () in
   hier := Some h;
   let emit_to name =
-    let leaf = Hier.leaf_id h name in
-    fun ~size_bits -> ignore (Hier.inject h ~leaf ~size_bits)
+    let leaf = HE.leaf_id h name in
+    fun ~size_bits -> ignore (HE.inject h ~leaf ~size_bits)
   in
   let pkt = H.fig3_packet_bits in
   (* RT-1: deterministic on/off from 200 ms, 25/75 duty, 4x peak; arrivals
@@ -107,7 +105,7 @@ let run ?config ?rng ~factory ~scenario ?(horizon = 10.0) ?(seed = 1L) () =
     delays;
     lag;
     rt_packets = !rt_packets;
-    drops = Hier.drops h;
+    drops = HE.drops h;
     link_utilization = !served_bits /. (H.fig3_link_rate *. horizon);
   }
 
@@ -119,7 +117,8 @@ let run ?config ?rng ~factory ~scenario ?(horizon = 10.0) ?(seed = 1L) () =
    discipline is added to the grid. The backend config is snapshotted
    before the workers spawn; results come back in grid order, bit-identical
    for any worker count. *)
-let run_sweep ?pool ~factories ~scenario ?horizon ?(seed = 1L) ?(replications = 1) () =
+let run_sweep ?pool ?engine ~factories ~scenario ?horizon ?(seed = 1L) ?(replications = 1)
+    () =
   if replications < 1 then
     invalid_arg "Delay_experiment.run_sweep: replications must be >= 1";
   let pool = match pool with Some p -> p | None -> Parallel.Pool.create ~jobs:1 () in
@@ -134,7 +133,8 @@ let run_sweep ?pool ~factories ~scenario ?horizon ?(seed = 1L) ?(replications = 
   Array.to_list
     (Parallel.Pool.map pool ~tasks:(Array.length grid) ~f:(fun i ->
          let factory, k = grid.(i) in
-         run ~config ~rng:(Engine.Rng.for_task base k) ~factory ~scenario ?horizon ()))
+         run ~config ~rng:(Engine.Rng.for_task base k) ?engine ~factory ~scenario
+           ?horizon ()))
 
 let summary_row r =
   let ms = Engine.Units.seconds_to_ms in

@@ -30,6 +30,7 @@ type result = {
 val run :
   ?config:Engine.Simulator.config ->
   ?rng:Engine.Rng.t ->
+  ?engine:Hpfq.Hier_engine.choice ->
   factory:Sched.Sched_intf.factory ->
   scenario:scenario ->
   ?horizon:float ->
@@ -40,10 +41,12 @@ val run :
     pins the event-set backend (parallel sweeps pass a pre-spawn
     snapshot); [rng] overrides the seed-derived generator — {!run_sweep}
     passes stable per-replication streams derived with
-    {!Engine.Rng.for_task}. *)
+    {!Engine.Rng.for_task}. [engine] selects the hierarchy engine
+    (default [`Auto]: flat for WF²Q+, generic otherwise). *)
 
 val run_sweep :
   ?pool:Parallel.Pool.t ->
+  ?engine:Hpfq.Hier_engine.choice ->
   factories:Sched.Sched_intf.factory list ->
   scenario:scenario ->
   ?horizon:float ->

@@ -1,6 +1,6 @@
 module H = Paper_hierarchies
 module Sim = Engine.Simulator
-module Hier = Hpfq.Hier
+module HE = Hpfq.Hier_engine
 
 type series = (float * float) list
 type interval_row = { leaf : string; measured : float; ideal : float }
@@ -23,7 +23,7 @@ type result = {
 (* Phase boundaries implied by the on/off schedule. *)
 let breakpoints = [ 0.5; 5.0; 5.25; 6.0; 6.75; 7.5; 8.0; 8.25; 9.0; 10.0 ]
 
-let run_packet ?config ~factory ~horizon () =
+let run_packet ?config ?engine ~factory ~horizon () =
   let sim =
     match config with
     | Some c -> Sim.create_configured c
@@ -41,15 +41,15 @@ let run_packet ?config ~factory ~horizon () =
     | Some tcp -> Tcp.Tcp_reno.on_segment_delivered tcp ~mark:pkt.Net.Packet.mark
     | None -> ()
   in
-  let h = Hier.create ~sim ~spec:H.fig8 ~make_policy:(Hier.uniform factory) ~on_depart () in
+  let h = HE.create ~sim ~spec:H.fig8 ~factory ?engine ~on_depart () in
   (* TCP connections on the measured leaves *)
   List.iter
     (fun leaf_name ->
-      let leaf = Hier.leaf_id h leaf_name in
+      let leaf = HE.leaf_id h leaf_name in
       let send ~mark ~size_bits =
-        let before = Hier.drops h in
-        ignore (Hier.inject ~mark h ~leaf ~size_bits);
-        if Hier.drops h > before then `Dropped else `Queued
+        let before = HE.drops h in
+        ignore (HE.inject ~mark h ~leaf ~size_bits);
+        if HE.drops h > before then `Dropped else `Queued
       in
       let tcp =
         Tcp.Tcp_reno.create ~sim ~send ~segment_bits:H.fig3_packet_bits
@@ -60,8 +60,8 @@ let run_packet ?config ~factory ~horizon () =
   (* on/off background per schedule: CBR inside each active window *)
   List.iter
     (fun (leaf_name, peak, windows) ->
-      let leaf = Hier.leaf_id h leaf_name in
-      let emit ~size_bits = ignore (Hier.inject h ~leaf ~size_bits) in
+      let leaf = HE.leaf_id h leaf_name in
+      let emit ~size_bits = ignore (HE.inject h ~leaf ~size_bits) in
       List.iter
         (fun (w0, w1) ->
           ignore
@@ -146,7 +146,7 @@ let average_over series ~t0 ~t1 =
     List.fold_left (fun acc (_, v) -> acc +. v) 0.0 points
     /. float_of_int (List.length points)
 
-let run ?pool ?(factory = Hpfq.Disciplines.wf2q_plus) ?(horizon = H.fig8_horizon)
+let run ?pool ?engine ?(factory = Hpfq.Disciplines.wf2q_plus) ?(horizon = H.fig8_horizon)
     ?seed:_ () =
   (* the packet system and the fluid ideal share nothing — they are the
      two natural tasks of this experiment, so a 2-worker pool halves its
@@ -155,7 +155,7 @@ let run ?pool ?(factory = Hpfq.Disciplines.wf2q_plus) ?(horizon = H.fig8_horizon
   let config = Sim.snapshot_config () in
   let halves =
     Parallel.Pool.map pool ~tasks:2 ~f:(fun i ->
-        if i = 0 then `Packet (run_packet ~config ~factory ~horizon ())
+        if i = 0 then `Packet (run_packet ~config ?engine ~factory ~horizon ())
         else `Fluid (run_fluid ~horizon))
   in
   let measured, tcp_stats =
@@ -187,11 +187,11 @@ let run ?pool ?(factory = Hpfq.Disciplines.wf2q_plus) ?(horizon = H.fig8_horizon
 (* Scenario grid: one full run per discipline. Tasks run their two halves
    inline (a sequential inner pool) — the outer grid is the better unit of
    fan-out since cells outnumber the halves. *)
-let run_grid ?pool ~factories ?horizon () =
+let run_grid ?pool ?engine ~factories ?horizon () =
   let pool = match pool with Some p -> p | None -> Parallel.Pool.create ~jobs:1 () in
   let inner = Parallel.Pool.create ~jobs:1 () in
   Parallel.Pool.map_list pool
-    ~f:(fun factory -> run ~pool:inner ~factory ?horizon ())
+    ~f:(fun factory -> run ~pool:inner ?engine ~factory ?horizon ())
     factories
 
 let summary fmt r =

@@ -33,6 +33,7 @@ type result = {
 
 val run :
   ?pool:Parallel.Pool.t ->
+  ?engine:Hpfq.Hier_engine.choice ->
   ?factory:Sched.Sched_intf.factory ->
   ?horizon:float ->
   ?seed:int64 ->
@@ -41,10 +42,12 @@ val run :
 (** Defaults: WF²Q+, {!Paper_hierarchies.fig8_horizon}, seed 1. The
     packet run and the fluid ideal are independent; with a [pool] of two
     or more workers they run on separate domains (the result is identical
-    either way — both halves are deterministic). *)
+    either way — both halves are deterministic). [engine] selects the
+    hierarchy engine (default [`Auto]). *)
 
 val run_grid :
   ?pool:Parallel.Pool.t ->
+  ?engine:Hpfq.Hier_engine.choice ->
   factories:Sched.Sched_intf.factory list ->
   ?horizon:float ->
   unit ->

@@ -29,6 +29,12 @@ let pop t =
     Some p
 
 let peek t = Queue.peek_opt t.q
+let peek_exn t = Queue.peek t.q
+
+let drop_head t =
+  let p = Queue.pop t.q in
+  t.bits <- t.bits -. p.Packet.size_bits;
+  if Queue.is_empty t.q then t.bits <- 0.0
 let length t = Queue.length t.q
 let bits t = t.bits
 let is_empty t = Queue.is_empty t.q

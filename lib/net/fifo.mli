@@ -15,6 +15,13 @@ val push : t -> Packet.t -> bool
 
 val pop : t -> Packet.t option
 val peek : t -> Packet.t option
+
+val peek_exn : t -> Packet.t
+(** Allocation-free {!peek}. @raise Queue.Empty when the queue is empty. *)
+
+val drop_head : t -> unit
+(** Allocation-free head removal. @raise Queue.Empty when the queue is empty. *)
+
 val length : t -> int
 val bits : t -> float
 (** Current backlog in bits. *)

@@ -6,6 +6,7 @@ type t = {
   node_names : string array;
   session_nodes : int array array; (* interior id -> session idx -> child node id *)
   parents : int array;             (* node id -> parent id, -1 at the root *)
+  paths : int array array;         (* leaf id -> leaf-to-root path; [||] elsewhere *)
   mutable detach_fns : (unit -> unit) list;
   mutable sims : Engine.Simulator.t list; (* attach order, oldest last *)
   mutable sim_scheduled : int;
@@ -67,20 +68,35 @@ let record_link t ~kind ~leaf_node ~time ~bits =
   Recorder.record t.recorder ~kind ~node:leaf_node ~session:(-1) ~time ~vtime:Float.nan
     ~bits
 
+(* Credit W_n up the leaf's path: the precomputed path array when the
+   attach function provided one (hierarchies), else a parent walk. *)
 let credit_path t ~leaf_node ~bits =
-  let node = ref leaf_node in
-  while !node >= 0 do
-    Metrics.credit_served t.metrics ~node:!node ~bits;
-    node := t.parents.(!node)
-  done
+  let path = t.paths.(leaf_node) in
+  if Array.length path > 0 then
+    for k = 0 to Array.length path - 1 do
+      Metrics.credit_served t.metrics ~node:path.(k) ~bits
+    done
+  else begin
+    let node = ref leaf_node in
+    while !node >= 0 do
+      Metrics.credit_served t.metrics ~node:!node ~bits;
+      node := t.parents.(!node)
+    done
+  end
 
-let make ~recorder ~node_names ~session_nodes ~parents =
+let make ~recorder ~node_names ~session_nodes ~parents ?paths () =
+  let paths =
+    match paths with
+    | Some p -> p
+    | None -> Array.make (Array.length node_names) [||]
+  in
   {
     recorder;
     metrics = Metrics.create ~names:node_names;
     node_names;
     session_nodes;
     parents;
+    paths;
     detach_fns = [];
     sims = [];
     sim_scheduled = 0;
@@ -96,9 +112,12 @@ let attach_hier ?(capacity = 65536) ?(on_full = Recorder.Drop_oldest) h =
   Hpfq.Hier.iter_interior h (fun ~id ~name:_ ~level:_ ~children ~policy:_ ->
       session_nodes.(id) <- children;
       Array.iter (fun cid -> parents.(cid) <- id) children);
+  let paths = Array.make n [||] in
+  List.iter (fun (_, leaf) -> paths.(leaf) <- Hpfq.Hier.leaf_path h ~leaf)
+    (Hpfq.Hier.leaf_ids h);
   let t =
     make ~recorder:(Recorder.create ~capacity ~on_full ()) ~node_names ~session_nodes
-      ~parents
+      ~parents ~paths ()
   in
   Hpfq.Hier.iter_interior h (fun ~id ~name:_ ~level:_ ~children:_ ~policy ->
       policy.Sched_intf.set_observer (Some (observer t ~node:id));
@@ -116,6 +135,44 @@ let attach_hier ?(capacity = 65536) ?(on_full = Recorder.Drop_oldest) h =
         ~bits:pkt.Net.Packet.size_bits;
       Metrics.on_drop t.metrics ~node:pkt.Net.Packet.flow);
   t
+
+let attach_hier_flat ?(capacity = 65536) ?(on_full = Recorder.Drop_oldest) h =
+  let n = Hpfq.Hier_flat.node_count h in
+  let node_names = Array.init n (Hpfq.Hier_flat.node_name h) in
+  let session_nodes = Array.make n [||] in
+  let parents = Array.make n (-1) in
+  Hpfq.Hier_flat.iter_interior h (fun ~id ~name:_ ~level:_ ~children ->
+      session_nodes.(id) <- children;
+      Array.iter (fun cid -> parents.(cid) <- id) children);
+  let paths = Array.make n [||] in
+  List.iter (fun (_, leaf) -> paths.(leaf) <- Hpfq.Hier_flat.leaf_path h ~leaf)
+    (Hpfq.Hier_flat.leaf_ids h);
+  let t =
+    make ~recorder:(Recorder.create ~capacity ~on_full ()) ~node_names ~session_nodes
+      ~parents ~paths ()
+  in
+  Hpfq.Hier_flat.iter_interior h (fun ~id ~name:_ ~level:_ ~children:_ ->
+      Hpfq.Hier_flat.set_node_observer_id h ~node:id (Some (observer t ~node:id));
+      t.detach_fns <-
+        (fun () -> Hpfq.Hier_flat.set_node_observer_id h ~node:id None) :: t.detach_fns);
+  Hpfq.Hier_flat.add_transmit_start_hook h (fun pkt ~leaf:_ time ->
+      record_link t ~kind:Event.Transmit_start ~leaf_node:pkt.Net.Packet.flow ~time
+        ~bits:pkt.Net.Packet.size_bits);
+  Hpfq.Hier_flat.add_depart_hook h (fun pkt ~leaf:_ time ->
+      let leaf_node = pkt.Net.Packet.flow in
+      let bits = pkt.Net.Packet.size_bits in
+      record_link t ~kind:Event.Depart ~leaf_node ~time ~bits;
+      credit_path t ~leaf_node ~bits);
+  Hpfq.Hier_flat.add_drop_hook h (fun pkt ~leaf:_ time ->
+      record_link t ~kind:Event.Drop ~leaf_node:pkt.Net.Packet.flow ~time
+        ~bits:pkt.Net.Packet.size_bits;
+      Metrics.on_drop t.metrics ~node:pkt.Net.Packet.flow);
+  t
+
+let attach_engine ?capacity ?on_full e =
+  match e with
+  | Hpfq.Hier_engine.Generic h -> attach_hier ?capacity ?on_full h
+  | Hpfq.Hier_engine.Flat h -> attach_hier_flat ?capacity ?on_full h
 
 let attach_server ?(capacity = 65536) ?(on_full = Recorder.Drop_oldest)
     ?(name = "server") ?session_names srv =
@@ -135,7 +192,7 @@ let attach_server ?(capacity = 65536) ?(on_full = Recorder.Drop_oldest)
   let parents = Array.init (1 + sessions) (fun id -> if id = 0 then -1 else 0) in
   let t =
     make ~recorder:(Recorder.create ~capacity ~on_full ()) ~node_names ~session_nodes
-      ~parents
+      ~parents ()
   in
   let policy = Hpfq.Server.policy srv in
   policy.Sched_intf.set_observer (Some (observer t ~node:0));

@@ -22,6 +22,16 @@ val attach_hier : ?capacity:int -> ?on_full:Recorder.on_full -> Hpfq.Hier.t -> t
     [Drop_oldest]). Node ids in recorded events are the hierarchy's node
     ids; link events carry the packet's leaf id. *)
 
+val attach_hier_flat :
+  ?capacity:int -> ?on_full:Recorder.on_full -> Hpfq.Hier_flat.t -> t
+(** Same instrumentation for the flat H-WF²Q+ engine: observers land in the
+    per-node observer slots, link hooks and W_n crediting reuse the engine's
+    precomputed leaf→root paths. Event streams from the two engines on the
+    same workload are identical (the lockstep tests rely on this). *)
+
+val attach_engine : ?capacity:int -> ?on_full:Recorder.on_full -> Hpfq.Hier_engine.t -> t
+(** Dispatch {!attach_hier} / {!attach_hier_flat} on the facade. *)
+
 val attach_server :
   ?capacity:int ->
   ?on_full:Recorder.on_full ->

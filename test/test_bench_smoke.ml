@@ -119,6 +119,75 @@ let test_events_guard_verdicts () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing baseline should be an error"
 
+(* -- hierarchy engine A/B suite ------------------------------------------- *)
+
+module Hbench = Experiments.Hier_bench
+
+let test_hier_quick_run_emits_valid_report () =
+  let out = Filename.temp_file "bench_hier_smoke" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let rows = Hbench.run ~quick:true ~out () in
+      (* quick grid: 2 topologies x 2 engines *)
+      Alcotest.(check int) "row count" 4 (List.length rows);
+      List.iter
+        (fun r ->
+          if r.Hbench.pkts_per_sec <= 0.0 then
+            Alcotest.fail "pkts_per_sec not positive")
+        rows;
+      List.iter
+        (fun engine ->
+          Alcotest.(check bool)
+            (Printf.sprintf "fig3 has a %s row" (Hbench.engine_name engine))
+            true
+            (List.exists
+               (fun r -> r.Hbench.topology = "fig3" && r.Hbench.engine = engine)
+               rows))
+        [ Hbench.Generic; Hbench.Flat ];
+      let report = Json.of_file out in
+      match Hbench.validate report with
+      | Ok () -> ()
+      | Error problems ->
+        Alcotest.failf "invalid hier report: %s" (String.concat "; " problems))
+
+let fake_hier_report pps =
+  Json.Obj
+    [
+      ("schema", Json.Str "hpfq-bench-hier-v1");
+      ( "headline",
+        Json.Obj
+          [
+            ("workload", Json.Str "fig3_saturated");
+            ("flat_pkts_per_sec", Json.Num pps);
+          ] );
+    ]
+
+let test_hier_guard_verdicts () =
+  let with_baseline pps f =
+    let path = Filename.temp_file "bench_hier_guard" ".json" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Json.to_file path (fake_hier_report pps);
+        f path)
+  in
+  let run_guard path =
+    Hbench.guard ~baseline:path ~tol:0.05 ~min_speedup:0.0 ~target_pkts:500 ()
+  in
+  with_baseline 1.0 (fun path ->
+      match run_guard path with
+      | Ok g -> Alcotest.(check bool) "beats trivial baseline" true g.Hbench.within
+      | Error e -> Alcotest.failf "hier guard errored: %s" e);
+  with_baseline 1e15 (fun path ->
+      match run_guard path with
+      | Ok g ->
+        Alcotest.(check bool) "loses to absurd baseline" false g.Hbench.within
+      | Error e -> Alcotest.failf "hier guard errored: %s" e);
+  match Hbench.guard ~baseline:"/nonexistent/BENCH_hier.json" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing baseline should be an error"
+
 (* -- multicore scaling suite ---------------------------------------------- *)
 
 module Pbench = Experiments.Parallel_bench
@@ -291,6 +360,12 @@ let () =
           Alcotest.test_case "quick run emits valid report" `Quick
             test_events_quick_run_emits_valid_report;
           Alcotest.test_case "guard verdicts" `Quick test_events_guard_verdicts;
+        ] );
+      ( "hier",
+        [
+          Alcotest.test_case "quick run emits valid report" `Quick
+            test_hier_quick_run_emits_valid_report;
+          Alcotest.test_case "guard verdicts" `Quick test_hier_guard_verdicts;
         ] );
       ( "parallel",
         [

@@ -227,6 +227,18 @@ let test_leaf_lookup () =
     (try
        ignore (Hier.leaf_id h "A");
        false
+     with Invalid_argument msg ->
+       (* the error must name the node and its kind *)
+       let contains hay needle =
+         let nh = String.length hay and nn = String.length needle in
+         let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+         go 0
+       in
+       contains msg "\"A\"" && contains msg "interior");
+  Alcotest.(check bool) "unknown name is Not_found" true
+    (try
+       ignore (Hier.leaf_id h "nope");
+       false
      with Not_found -> true)
 
 (* Mixed policies: WFQ at the root, WF2Q+ below — exercises heterogeneous
