@@ -119,3 +119,33 @@ if [ -f BENCH_parallel.json ]; then
 else
   echo "check_bench: no BENCH_parallel.json baseline; skipping parallel-guard"
 fi
+
+# Sharded multi-port device: quick run of the links x jobs grid, then
+# verify the report shape the shard-guard reads.
+shard_out=BENCH_shard_quick.json
+rm -f "$shard_out"
+
+dune exec bench/main.exe -- shard-quick
+
+[ -f "$shard_out" ] || { echo "check_bench: $shard_out was not produced" >&2; exit 1; }
+
+for key in schema cores rows links jobs pkts_per_sec speedup expected_floor device_hash; do
+  grep -q "\"$key\"" "$shard_out" || {
+    echo "check_bench: $shard_out is missing key \"$key\"" >&2
+    exit 1
+  }
+done
+
+echo "check_bench: OK ($shard_out)"
+
+# Device scaling guard: every (links, jobs) cell within the host's core
+# budget must clear the cores-aware speedup floor, loosened by
+# HPFQ_SHARD_TOL (default 25%); oversubscribed cells are informational.
+# Every cell must also reproduce the -j1 device hash bit-for-bit (the
+# device's determinism contract) — that part holds on any host. Skipped
+# when no baseline is committed.
+if [ -f BENCH_shard.json ]; then
+  dune exec bench/main.exe -- shard-guard
+else
+  echo "check_bench: no BENCH_shard.json baseline; skipping shard-guard"
+fi

@@ -523,6 +523,37 @@ let parallel_guard () =
     end
 
 (* ------------------------------------------------------------------ *)
+(* SHARD: multi-port device scaling vs worker count                   *)
+(* ------------------------------------------------------------------ *)
+
+let shard () = ignore (Experiments.Shard_bench.run ())
+let shard_quick () =
+  ignore (Experiments.Shard_bench.run ~quick:true ~out:"BENCH_shard_quick.json" ())
+
+let shard_guard () =
+  section "SHARD-GUARD: device scaling vs cores-aware floor";
+  match Experiments.Shard_bench.guard () with
+  | Error e ->
+    Printf.eprintf "shard-guard: %s\n" e;
+    exit 1
+  | Ok g ->
+    Printf.printf "cores=%d tolerance=%.0f%%\n%7s %6s %10s %14s %6s\n" g.g_cores
+      (g.Experiments.Shard_bench.g_tol *. 100.0) "links" "jobs" "speedup"
+      "floor(1-tol)" "ok";
+    List.iter
+      (fun (r : Experiments.Shard_bench.guard_row) ->
+        Printf.printf "%7d %6d %9.2fx %13.2fx %6s\n" r.g_links r.g_jobs
+          r.g_speedup r.g_floor
+          (if not r.g_enforced then "info" else if r.g_ok then "yes" else "NO"))
+      g.g_rows;
+    if g.g_within then print_endline "shard-guard: OK"
+    else begin
+      Printf.eprintf
+        "shard-guard: FAIL — device speedup fell below the cores-aware floor\n";
+      exit 1
+    end
+
+(* ------------------------------------------------------------------ *)
 (* TRACE-OVERHEAD: cost of the observer hook, off and on              *)
 (* ------------------------------------------------------------------ *)
 
@@ -688,6 +719,9 @@ let extra_benches =
     ("parallel", parallel);
     ("parallel-quick", parallel_quick);
     ("parallel-guard", parallel_guard);
+    ("shard", shard);
+    ("shard-quick", shard_quick);
+    ("shard-guard", shard_guard);
   ]
 
 let () =

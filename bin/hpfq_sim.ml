@@ -383,6 +383,157 @@ let custom_cmd =
       const run $ event_set_arg $ hier_engine_arg $ pool_term $ discipline_arg
       $ tree_arg $ horizon_arg 2.0)
 
+(* -- shard --------------------------------------------------------------- *)
+
+let shard_cmd =
+  let run event_set engine pool links shards rounds flows_per_link overload seed
+      observe json metrics_out =
+    set_event_set event_set;
+    let workers = Parallel.Pool.jobs pool in
+    let workload =
+      {
+        (Shard.Device.default_workload ~rounds) with
+        Shard.Device.flows_per_link;
+        overload;
+        seed;
+      }
+    in
+    let t =
+      Shard.Device.create ~workers ?shards ~engine ~workload ~observe ~links ()
+    in
+    let r = Shard.Device.run t in
+    (* everything on stdout is a pure function of the workload — the CI
+       smoke diffs -j2 against -j1 — so wall clock AND geometry (worker
+       count, shard ownership) go to stderr *)
+    Printf.printf "links=%d rounds=%d flows/link=%d overload=%g seed=%Ld\n"
+      (Shard.Device.links t) rounds flows_per_link overload seed;
+    let stdout_report =
+      (* Device.report minus the geometry-dependent shard-owner column *)
+      let rep = Shard.Device.report r in
+      let drop_shard = function
+        | link :: _shard :: rest -> link :: rest
+        | row -> row
+      in
+      Stats.Report.make ~name:(Stats.Report.name rep)
+        ~columns:(drop_shard (Stats.Report.columns rep))
+        ~rows:(fun () -> List.map drop_shard (Stats.Report.rows rep))
+    in
+    print_string (Stats.Report.to_string stdout_report);
+    print_string (Stats.Report.to_string (Shard.Device.sim_report r));
+    Option.iter
+      (fun path ->
+        match Shard.Device.metrics_report r with
+        | Some m ->
+          Stats.Report.to_csv m ~path;
+          Printf.printf "wrote %s\n" path
+        | None -> prerr_endline "--metrics requires --observe")
+      metrics_out;
+    Printf.printf "device_hash %s\n" (Shard.Device.hash_hex r.Shard.Device.device_hash);
+    Option.iter
+      (fun path ->
+        let module Json = Bench_kit.Json in
+        let row_json (lr : Shard.Device.link_result) =
+          Json.Obj
+            [
+              ("link", Json.Num (float_of_int lr.Shard.Device.link));
+              ("shard", Json.Num (float_of_int lr.Shard.Device.shard));
+              ("pkts", Json.Num (float_of_int lr.Shard.Device.departed_pkts));
+              ("bits", Json.Num lr.Shard.Device.departed_bits);
+              ("drops", Json.Num (float_of_int lr.Shard.Device.drops));
+              ("events", Json.Num (float_of_int lr.Shard.Device.events));
+              ("final_s", Json.Num lr.Shard.Device.final_time);
+              ("trace_hash", Json.Str (Shard.Device.hash_hex lr.Shard.Device.trace_hash));
+            ]
+        in
+        let report_rows rep =
+          Json.Arr
+            (List.map
+               (fun row -> Json.Arr (List.map (fun c -> Json.Str c) row))
+               (Stats.Report.rows rep))
+        in
+        Json.to_file path
+          (Json.Obj
+             ([
+                ("schema", Json.Str "hpfq-sim-shard-v1");
+                ("links", Json.Num (float_of_int (Shard.Device.links t)));
+                ("shards", Json.Num (float_of_int (Shard.Device.shards t)));
+                ("workers", Json.Num (float_of_int workers));
+                ("rounds", Json.Num (float_of_int rounds));
+                ("flows_per_link", Json.Num (float_of_int flows_per_link));
+                ("seed", Json.Str (Int64.to_string seed));
+                ("total_pkts", Json.Num (float_of_int r.Shard.Device.total_pkts));
+                ("total_bits", Json.Num r.Shard.Device.total_bits);
+                ("total_drops", Json.Num (float_of_int r.Shard.Device.total_drops));
+                ("total_events", Json.Num (float_of_int r.Shard.Device.total_events));
+                ("wall_s", Json.Num r.Shard.Device.wall_s);
+                ("device_hash", Json.Str (Shard.Device.hash_hex r.Shard.Device.device_hash));
+                ("per_link", Json.Arr (Array.to_list (Array.map row_json r.Shard.Device.per_link)));
+                ("sim_report", report_rows (Shard.Device.sim_report r));
+              ]
+             @
+             match Shard.Device.metrics_report r with
+             | Some m -> [ ("metrics", report_rows m) ]
+             | None -> []));
+        Printf.printf "wrote %s\n" path)
+      json;
+    Printf.eprintf "wall %.3f s, %.0f pkts/s aggregate over %d worker(s)\n"
+      r.Shard.Device.wall_s
+      (float_of_int r.Shard.Device.total_pkts /. r.Shard.Device.wall_s)
+      workers
+  in
+  let links_arg =
+    Arg.(value & opt int 64 & info [ "links" ] ~docv:"N" ~doc:"Output links (ports) in the device.")
+  in
+  let shards_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Mailbox shards links are partitioned over (default: one per worker).")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 200 & info [ "rounds" ] ~docv:"N" ~doc:"Ingress router rounds.")
+  in
+  let flows_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "flows-per-link" ] ~docv:"N" ~doc:"Average flow population per link.")
+  in
+  let overload_arg =
+    Arg.(
+      value & opt float 1.2
+      & info [ "overload" ] ~docv:"X"
+          ~doc:"Offered load / link capacity; > 1 exercises queue caps and drops.")
+  in
+  let observe_arg =
+    Arg.(
+      value & flag
+      & info [ "observe" ] ~doc:"Attach per-link traces and keep per-node metrics.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Dump totals, per-link rows and merged reports as JSON.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"PATH"
+          ~doc:"Dump the merged per-link node metrics as CSV (needs --observe).")
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Run the sharded multi-port device: N links, each an independent \
+          H-WF2Q+ instance, fanned over -j worker domains behind the batched \
+          ingress router. Stdout is bit-identical for any -j.")
+    Term.(
+      const run $ event_set_arg $ hier_engine_arg $ pool_term $ links_arg
+      $ shards_arg $ rounds_arg $ flows_arg $ overload_arg $ seed_arg
+      $ observe_arg $ json_arg $ metrics_arg)
+
 (* -- tree ---------------------------------------------------------------- *)
 
 let tree_cmd =
@@ -402,4 +553,7 @@ let () =
        (Cmd.group ~default
           (Cmd.info "hpfq-sim" ~version:"1.0.0"
              ~doc:"Reproduction driver for Bennett & Zhang, SIGCOMM'96.")
-          [ fig2_cmd; trace_cmd; delay_cmd; link_sharing_cmd; wfi_cmd; tree_cmd; custom_cmd ]))
+          [
+            fig2_cmd; trace_cmd; delay_cmd; link_sharing_cmd; wfi_cmd; shard_cmd;
+            tree_cmd; custom_cmd;
+          ]))

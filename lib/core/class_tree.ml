@@ -37,6 +37,16 @@ let validate t =
   walk t;
   match !errors with [] -> Ok () | es -> Error (List.rev es)
 
+let with_queue_caps bits t =
+  if bits <= 0.0 then
+    invalid_arg
+      (Printf.sprintf "Class_tree.with_queue_caps: capacity must be positive, got %g" bits);
+  let rec cap = function
+    | Leaf l -> Leaf { l with queue_capacity_bits = Some bits }
+    | Node n -> Node { n with children = List.map cap n.children }
+  in
+  cap t
+
 let leaves t =
   let rec walk acc = function
     | Leaf { name; rate; _ } -> (name, rate) :: acc

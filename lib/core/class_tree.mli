@@ -24,6 +24,14 @@ val rate : t -> float
 val children : t -> t list
 val is_leaf : t -> bool
 
+val with_queue_caps : float -> t -> t
+(** [with_queue_caps bits t] bounds every leaf's physical queue to [bits]
+    (overwriting any existing cap). Used where a tree is replicated many
+    times — e.g. once per output link of a sharded device — and unbounded
+    queues under overload would be a memory bug rather than a modeling
+    choice.
+    @raise Invalid_argument if [bits <= 0]. *)
+
 val validate : t -> (unit, string list) result
 (** Checks: positive rates; unique names; interior nodes have ≥1 child;
     child rates sum to ≤ parent rate (tolerance 1e-6 relative). *)

@@ -23,6 +23,13 @@ val for_task : t -> int -> t
     golden-gamma lattice).
     @raise Invalid_argument if [i < 0]. *)
 
+val mix64 : int64 -> int64
+(** The raw SplitMix64 finalizer: a stateless avalanche permutation of
+    the full 64-bit space. Exposed for deterministic hashing jobs that
+    must agree across processes and worker counts — e.g. the shard
+    router's flow table and departure-trace fingerprints — where
+    [Hashtbl.hash]'s truncation and version sensitivity would not do. *)
+
 val next_int64 : t -> int64
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)

@@ -1,0 +1,274 @@
+(* Multi-port device scaling suite (bench id "shard").
+
+   The parallel suite ("parallel") scales a fork-join sweep of
+   independent experiment cells; this one scales the steady-state
+   production engine: one device, N links, bounded mailboxes, persistent
+   workers. Same two claims, same guard philosophy:
+
+   - *determinism*: every (links, jobs) cell must produce the same
+     device hash as the 1-worker run of that cell — the hash folds every
+     link's order-sensitive departure trace, so a single reordered or
+     re-stamped packet anywhere in the device fails the suite;
+   - *scaling*: aggregate pkts/s at -j J should approach min(J, cores)
+     times the 1-worker run. The floor is the parallel suite's
+     cores-aware curve, so the two suites stay comparable. *)
+
+module Json = Bench_kit.Json
+
+type row = {
+  links : int;
+  jobs : int;
+  rounds : int;
+  wall_s : float;
+  pkts : int;
+  pkts_per_sec : float;
+  speedup : float;
+  floor : float;
+  device_hash : int64;
+}
+
+let jobs_ladder () =
+  List.sort_uniq compare (1 :: 2 :: 4 :: 8 :: [ Parallel.Pool.cores () ])
+
+let links_grid ~quick = if quick then [ 16 ] else [ 64; 256; 1024 ]
+
+(* Size rounds so every grid point offers about the same total packet
+   count — wall clock then measures throughput, not workload size. *)
+let rounds_for ~quick ~links =
+  let target = if quick then 20_000 else 200_000 in
+  let w = Shard.Device.default_workload ~rounds:1 in
+  let per_round = links * w.Shard.Device.flows_per_link * (w.Shard.Device.burst_max / 2) in
+  max 10 (target / max 1 per_round)
+
+let run_cell ~links ~jobs ~rounds =
+  let workload = Shard.Device.default_workload ~rounds in
+  let t = Shard.Device.create ~workers:jobs ~workload ~links () in
+  let r = Shard.Device.run t in
+  (r.Shard.Device.wall_s, r.Shard.Device.total_pkts, r.Shard.Device.device_hash)
+
+(* Best-of-[runs] wall clock per rung (interference only ever adds
+   time); hash and pkts are checked equal across the runs for free. *)
+let measure ?(quick = false) () =
+  let cores = Parallel.Pool.cores () in
+  let runs = if quick then 1 else 2 in
+  let rows =
+    List.concat_map
+      (fun links ->
+        let rounds = rounds_for ~quick ~links in
+        let reference = ref None in
+        List.map
+          (fun jobs ->
+            let cells = List.init runs (fun _ -> run_cell ~links ~jobs ~rounds) in
+            let wall =
+              List.fold_left (fun acc (w, _, _) -> Float.min acc w) infinity cells
+            in
+            let _, pkts, hash = List.hd cells in
+            List.iter
+              (fun (_, p, h) ->
+                if p <> pkts || h <> hash then
+                  failwith
+                    (Printf.sprintf
+                       "Shard_bench: links=%d -j%d not reproducible across runs"
+                       links jobs))
+              cells;
+            (match !reference with
+            | None -> reference := Some (pkts, hash)
+            | Some (ref_pkts, ref_hash) ->
+              if pkts <> ref_pkts || hash <> ref_hash then
+                failwith
+                  (Printf.sprintf
+                     "Shard_bench: links=%d -j%d diverged from the -j1 \
+                      reference (hash %s vs %s) — the device's determinism \
+                      contract is broken"
+                     links jobs
+                     (Shard.Device.hash_hex hash)
+                     (Shard.Device.hash_hex ref_hash)));
+            (links, jobs, rounds, wall, pkts, hash))
+          (jobs_ladder ()))
+      (links_grid ~quick)
+  in
+  let wall_j1 ~links =
+    match
+      List.find_opt (fun (l, j, _, _, _, _) -> l = links && j = 1) rows
+    with
+    | Some (_, _, _, w, _, _) -> w
+    | None -> assert false
+  in
+  ( cores,
+    List.map
+      (fun (links, jobs, rounds, wall_s, pkts, device_hash) ->
+        {
+          links;
+          jobs;
+          rounds;
+          wall_s;
+          pkts;
+          pkts_per_sec = float_of_int pkts /. wall_s;
+          speedup = wall_j1 ~links /. wall_s;
+          floor = Parallel_bench.expected_floor ~cores ~jobs;
+          device_hash;
+        })
+      rows )
+
+(* -- JSON report --------------------------------------------------------- *)
+
+let json_of_run ~quick ~cores rows =
+  let row_json r =
+    Json.Obj
+      [
+        ("links", Json.Num (float_of_int r.links));
+        ("jobs", Json.Num (float_of_int r.jobs));
+        ("rounds", Json.Num (float_of_int r.rounds));
+        ("wall_s", Json.Num r.wall_s);
+        ("pkts", Json.Num (float_of_int r.pkts));
+        ("pkts_per_sec", Json.Num r.pkts_per_sec);
+        ("speedup", Json.Num r.speedup);
+        ("expected_floor", Json.Num r.floor);
+        ("device_hash", Json.Str (Shard.Device.hash_hex r.device_hash));
+      ]
+  in
+  let headline =
+    let best =
+      List.filter (fun r -> r.jobs <= cores) rows
+      |> List.fold_left
+           (fun acc r ->
+             match acc with
+             | Some b when b.speedup >= r.speedup -> acc
+             | _ -> Some r)
+           None
+    in
+    match best with
+    | Some r ->
+      Json.Obj
+        [
+          ("workload", Json.Str (Printf.sprintf "device_%dlinks_j%d" r.links r.jobs));
+          ("pkts_per_sec", Json.Num r.pkts_per_sec);
+          ("speedup", Json.Num r.speedup);
+          ("expected_floor", Json.Num r.floor);
+          ("cores", Json.Num (float_of_int cores));
+        ]
+    | None -> Json.Null
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "hpfq-bench-shard-v1");
+      ("bench", Json.Str "shard");
+      ("quick", Json.Bool quick);
+      ("cores", Json.Num (float_of_int cores));
+      ("workload", Json.Str "shard_device");
+      ("headline", headline);
+      ("rows", Json.Arr (List.map row_json rows));
+    ]
+
+let required_keys = [ "schema"; "cores"; "rows" ]
+
+let required_row_keys =
+  [ "links"; "jobs"; "pkts_per_sec"; "speedup"; "expected_floor"; "device_hash" ]
+
+let validate json =
+  let missing =
+    List.filter (fun k -> Json.member k json = None) required_keys
+    @
+    match Json.member "rows" json with
+    | Some rows -> (
+      match Json.to_list rows with
+      | Some (row :: _) ->
+        List.filter (fun k -> Json.member k row = None) required_row_keys
+      | Some [] | None -> [ "rows entries" ])
+    | None -> []
+  in
+  if missing = [] then Ok () else Error missing
+
+let run ?(quick = false) ?(out = "BENCH_shard.json") () =
+  Printf.printf
+    "\n================ SHARD: multi-port device scaling vs -j ================\n%!";
+  let cores, rows = measure ~quick () in
+  Printf.printf "cores=%d, device hash cross-checked per rung\n" cores;
+  Printf.printf "%7s %5s %7s %12s %14s %9s %8s  %s\n" "links" "jobs" "rounds"
+    "wall (s)" "pkts/s" "speedup" "floor" "device_hash";
+  List.iter
+    (fun r ->
+      Printf.printf "%7d %5d %7d %12.3f %14.0f %8.2fx %7.2fx  %s\n" r.links
+        r.jobs r.rounds r.wall_s r.pkts_per_sec r.speedup r.floor
+        (Shard.Device.hash_hex r.device_hash))
+    rows;
+  let json = json_of_run ~quick ~cores rows in
+  Json.to_file out json;
+  (match validate json with
+  | Ok () -> ()
+  | Error missing ->
+    failwith
+      ("Shard_bench.run: emitted JSON is missing keys: " ^ String.concat ", " missing));
+  Printf.printf "\nwrote %s\n%!" out;
+  rows
+
+(* -- scaling guard -------------------------------------------------------- *)
+
+type guard_row = {
+  g_links : int;
+  g_jobs : int;
+  g_speedup : float;
+  g_floor : float;
+  g_enforced : bool;
+  g_ok : bool;
+}
+
+type guard_result = {
+  g_cores : int;
+  g_tol : float;
+  g_rows : guard_row list;
+  g_within : bool;
+}
+
+let default_guard_tol () =
+  match Sys.getenv_opt "HPFQ_SHARD_TOL" with
+  | Some s -> (
+    match float_of_string_opt s with Some t when t >= 0.0 && t < 1.0 -> t | _ -> 0.25)
+  | None -> 0.25
+
+let guard ?(baseline = "BENCH_shard.json") ?tol ?quick () =
+  let tol = match tol with Some t -> t | None -> default_guard_tol () in
+  if not (Sys.file_exists baseline) then
+    Error (Printf.sprintf "baseline %s not found (run `bench shard` first)" baseline)
+  else
+    let parsed =
+      match Json.of_file baseline with
+      | json -> (
+        match validate json with
+        | Ok () -> Ok ()
+        | Error missing -> Error ("missing keys: " ^ String.concat ", " missing))
+      | exception Json.Parse_error msg -> Error msg
+      | exception Sys_error msg -> Error msg
+    in
+    match parsed with
+    | Error e -> Error (Printf.sprintf "%s: %s" baseline e)
+    | Ok () ->
+      let quick =
+        (* a 1-core host can only verify determinism and that sharding
+           costs nothing; spend the full grid where scaling is real *)
+        match quick with Some q -> q | None -> Parallel.Pool.cores () < 2
+      in
+      let cores, rows = measure ~quick () in
+      (* jobs > cores rungs are reported, not gated — oversubscription
+         cost is a host property, not a device regression *)
+      let g_rows =
+        List.map
+          (fun r ->
+            let floor = r.floor *. (1.0 -. tol) in
+            {
+              g_links = r.links;
+              g_jobs = r.jobs;
+              g_speedup = r.speedup;
+              g_floor = floor;
+              g_enforced = r.jobs <= max 1 cores;
+              g_ok = r.speedup >= floor;
+            })
+          rows
+      in
+      Ok
+        {
+          g_cores = cores;
+          g_tol = tol;
+          g_rows;
+          g_within = List.for_all (fun g -> (not g.g_enforced) || g.g_ok) g_rows;
+        }

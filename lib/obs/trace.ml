@@ -211,6 +211,19 @@ let attach_server ?(capacity = 65536) ?(on_full = Recorder.Drop_oldest)
       Metrics.on_drop t.metrics ~node:(1 + pkt.Net.Packet.flow));
   t
 
+(* A reporting-only trace: no engine, no observers, no probes — just a
+   list of simulators for {!sim_report} to snapshot. Used by the shard
+   device to merge per-link event-set occupancy into one table. *)
+let of_sims sims =
+  let t =
+    make
+      ~recorder:(Recorder.create ~capacity:1 ~on_full:Recorder.Drop_oldest ())
+      ~node_names:[||] ~session_nodes:[||] ~parents:[||] ()
+  in
+  (* [t.sims] holds attach order newest-first; sim_report reverses it *)
+  t.sims <- List.rev sims;
+  t
+
 let attach_sim t sim =
   t.sims <- sim :: t.sims;
   Engine.Simulator.set_probe sim
@@ -254,7 +267,49 @@ let sim_report ?(name = "sim-events") t =
           [ key "resizes"; string_of_int st.Engine.Simulator.resizes ];
         ]
       in
-      counters @ List.concat (List.mapi occupancy (List.rev t.sims)))
+      let sims = List.rev t.sims in
+      let totals =
+        (* one sim needs no totals; a multi-sim trace (shard device) gets
+           the device-wide occupancy sums appended *)
+        match sims with
+        | [] | [ _ ] -> []
+        | _ ->
+          let stats = List.map Engine.Simulator.stats sims in
+          let sum f = List.fold_left (fun a st -> a + f st) 0 stats in
+          let backends =
+            List.sort_uniq compare
+              (List.map
+                 (fun st ->
+                   Engine.Simulator.backend_name st.Engine.Simulator.stat_backend)
+                 stats)
+          in
+          [
+            [ "sims"; string_of_int (List.length sims) ];
+            [
+              "backend/total";
+              (match backends with [ b ] -> b | bs -> String.concat "+" bs);
+            ];
+            [ "pending/total"; string_of_int (sum (fun st -> st.Engine.Simulator.live)) ];
+            [
+              "cancelled_in_set/total";
+              string_of_int (sum (fun st -> st.Engine.Simulator.cancelled_in_set));
+            ];
+            [
+              "set_capacity/total";
+              string_of_int (sum (fun st -> st.Engine.Simulator.set_capacity));
+            ];
+            [
+              "pool_capacity/total";
+              string_of_int (sum (fun st -> st.Engine.Simulator.pool_capacity));
+            ];
+            [
+              "compactions/total";
+              string_of_int (sum (fun st -> st.Engine.Simulator.compactions));
+            ];
+            [ "resizes/total"; string_of_int (sum (fun st -> st.Engine.Simulator.resizes)) ];
+          ]
+      in
+      counters @ List.concat (List.mapi occupancy sims) @ totals)
 
 let detach t =
   List.iter (fun f -> f ()) t.detach_fns;

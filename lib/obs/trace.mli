@@ -48,6 +48,13 @@ val attach_sim : t -> Engine.Simulator.t -> unit
 (** Additionally count event-loop activity (schedules / fires / cancels)
     via the simulator probe. *)
 
+val of_sims : Engine.Simulator.t list -> t
+(** A reporting-only trace over existing simulators: installs no
+    observers and no probes, just registers the simulators (in list
+    order) so {!sim_report} can render their merged occupancy table —
+    per-sim stats rows plus the aggregate totals. The shard device uses
+    this to merge hundreds of per-link simulators into one report. *)
+
 val sim_counters : t -> int * int * int
 (** [(scheduled, fired, cancelled)] since {!attach_sim}. *)
 
@@ -55,8 +62,11 @@ val sim_report : ?name:string -> t -> Stats.Report.t
 (** Event-loop activity as a [metric,value] table: the probe counters
     plus, per attached simulator, a live {!Engine.Simulator.stats}
     snapshot (backend, pending, cancelled-in-structure, capacities,
-    compactions, resizes). Rows are computed when the report is written,
-    so take the snapshot at the moment of interest. *)
+    compactions, resizes). With more than one simulator attached (via
+    {!attach_sim} or {!of_sims}), per-sim keys beyond the first carry a
+    [#i] suffix and aggregate [<key>/total] rows are appended. Rows are
+    computed when the report is written, so take the snapshot at the
+    moment of interest. *)
 
 val detach : t -> unit
 (** Remove every installed observer and probe. Recorded events and metrics

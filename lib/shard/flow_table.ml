@@ -1,0 +1,40 @@
+(* Salts keep the link and leaf dimensions independent: a flow's link and
+   leaf are separate mix64 draws off disjoint lattice offsets, so flows
+   that collide on a link still spread over its leaves. *)
+
+let link_salt = 0x51_7CC1_B727_220AL (* 2^64 / pi, truncated *)
+let leaf_salt = 0x2545_F491_4F6C_DD1DL
+
+(* OCaml ints are 63-bit: truncate and mask rather than shift, so the
+   result is always in [0, max_int] *)
+let positive h = Int64.to_int h land max_int
+
+let hash ~salt i =
+  positive
+    (Engine.Rng.mix64
+       (Int64.add salt (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int i))))
+
+let link_of_flow ~links flow =
+  if links < 1 then invalid_arg "Flow_table.link_of_flow: links must be >= 1";
+  if flow < 0 then invalid_arg "Flow_table.link_of_flow: flow must be >= 0";
+  hash ~salt:link_salt flow mod links
+
+let leaf_of_flow ~leaves flow =
+  if leaves < 1 then invalid_arg "Flow_table.leaf_of_flow: leaves must be >= 1";
+  if flow < 0 then invalid_arg "Flow_table.leaf_of_flow: flow must be >= 0";
+  hash ~salt:leaf_salt flow mod leaves
+
+(* Block partition [link * shards / links]: contiguous link ranges per
+   shard, every shard non-empty when shards <= links, and — unlike
+   [link mod shards] — owning shard sets only coarsen/refine as the shard
+   count changes, which keeps per-shard working sets contiguous. *)
+let shard_of_link ~links ~shards link =
+  if links < 1 then invalid_arg "Flow_table.shard_of_link: links must be >= 1";
+  if shards < 1 then invalid_arg "Flow_table.shard_of_link: shards must be >= 1";
+  if link < 0 || link >= links then
+    invalid_arg
+      (Printf.sprintf "Flow_table.shard_of_link: link %d out of 0..%d" link (links - 1));
+  link * shards / links
+
+let shard_of_flow ~links ~shards flow =
+  shard_of_link ~links ~shards (link_of_flow ~links flow)

@@ -1,0 +1,155 @@
+(* Classic power-of-two ring with monotonically increasing head/tail
+   counters (indices are [land mask]). The producer owns [tail], the
+   consumer owns [head]; each reads the other's counter only to test
+   fullness/emptiness. Cell contents are plain array slots, published by
+   the owner's subsequent Atomic.set on its counter and acquired by the
+   peer's Atomic.get — the SC atomics are the happens-before edges that
+   make the non-atomic cell reads safe.
+
+   Blocking is hybrid: a short cpu_relax spin (the steady-state case — the
+   peer is live on another core and the wait is nanoseconds), then a
+   mutex/condvar sleep. The sleeper flag protocol avoids paying the mutex
+   on every operation: a waiter sets its flag under the lock and re-checks
+   the queue *after* setting it; the peer checks the flag *after* its
+   counter store. Under sequential consistency one of the two must see the
+   other — either the waiter's re-check finds the new element/slot, or the
+   peer finds the flag and signals (and since the waiter holds the mutex
+   until it sleeps, the signal cannot land in the gap). *)
+
+type 'a t = {
+  buf : 'a option array;
+  mask : int;
+  head : int Atomic.t; (* consumer position: next index to pop *)
+  tail : int Atomic.t; (* producer position: next index to fill *)
+  m : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  consumer_waiting : bool Atomic.t;
+  producer_waiting : bool Atomic.t;
+}
+
+let ceil_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
+  let cap = ceil_pow2 capacity in
+  {
+    buf = Array.make cap None;
+    mask = cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    m = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    consumer_waiting = Atomic.make false;
+    producer_waiting = Atomic.make false;
+  }
+
+let capacity t = Array.length t.buf
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+(* Raw slot transfer with no signaling: safe to call while holding [m]
+   (the signal helpers below take [m], so they must stay out of here). *)
+let raw_push t v =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head >= Array.length t.buf then false
+  else begin
+    t.buf.(tail land t.mask) <- Some v;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let raw_pop t =
+  let head = Atomic.get t.head in
+  if Atomic.get t.tail - head <= 0 then None
+  else begin
+    let i = head land t.mask in
+    let v = t.buf.(i) in
+    t.buf.(i) <- None;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+let signal_consumer t =
+  if Atomic.get t.consumer_waiting then begin
+    Mutex.lock t.m;
+    Condition.broadcast t.not_empty;
+    Mutex.unlock t.m
+  end
+
+let signal_producer t =
+  if Atomic.get t.producer_waiting then begin
+    Mutex.lock t.m;
+    Condition.broadcast t.not_full;
+    Mutex.unlock t.m
+  end
+
+let try_push t v =
+  if raw_push t v then begin
+    signal_consumer t;
+    true
+  end
+  else false
+
+let try_pop t =
+  match raw_pop t with
+  | Some _ as v ->
+    signal_producer t;
+    v
+  | None -> None
+
+let spin_budget = 256
+
+let push t v =
+  if not (raw_push t v) then begin
+    let spins = ref spin_budget in
+    let pushed = ref false in
+    while (not !pushed) && !spins > 0 do
+      Domain.cpu_relax ();
+      decr spins;
+      pushed := raw_push t v
+    done;
+    if not !pushed then begin
+      Mutex.lock t.m;
+      Atomic.set t.producer_waiting true;
+      while not (raw_push t v) do
+        Condition.wait t.not_full t.m
+      done;
+      Atomic.set t.producer_waiting false;
+      Mutex.unlock t.m
+    end
+  end;
+  signal_consumer t
+
+let pop t =
+  let v =
+    match raw_pop t with
+    | Some v -> v
+    | None ->
+      let spins = ref spin_budget in
+      let got = ref None in
+      while !got = None && !spins > 0 do
+        Domain.cpu_relax ();
+        decr spins;
+        got := raw_pop t
+      done;
+      (match !got with
+      | Some v -> v
+      | None ->
+        Mutex.lock t.m;
+        Atomic.set t.consumer_waiting true;
+        let v = ref None in
+        while
+          (v := raw_pop t;
+           !v = None)
+        do
+          Condition.wait t.not_empty t.m
+        done;
+        Atomic.set t.consumer_waiting false;
+        Mutex.unlock t.m;
+        Option.get !v)
+  in
+  signal_producer t;
+  v

@@ -1,0 +1,40 @@
+(** Bounded single-producer / single-consumer mailbox.
+
+    The ingress router owns the producer side of one of these per shard;
+    the shard's worker domain owns the consumer side. Exactly one domain
+    may call the push functions and exactly one (other) domain the pop
+    functions — the queue is wait-free between them in the fast path and
+    falls back to a mutex/condvar sleep under sustained fullness or
+    emptiness, which is what makes it usable on hosts with fewer cores
+    than domains (a pure spin-wait would burn the producer's timeslice
+    exactly when the consumer needs it).
+
+    Bounded capacity is the backpressure contract: a producer that runs
+    ahead of a slow shard blocks in {!push} instead of growing an
+    unbounded backlog. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** A queue holding at most [capacity] elements (rounded up to a power of
+    two — see {!capacity} for the effective bound).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+(** The effective bound after rounding. *)
+
+val length : 'a t -> int
+(** Elements currently queued (racy by nature; exact when either side is
+    quiescent). *)
+
+val try_push : 'a t -> 'a -> bool
+(** Producer only. [false] if the queue is full. *)
+
+val push : 'a t -> 'a -> unit
+(** Producer only. Blocks while the queue is full. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer only. [None] if the queue is empty. *)
+
+val pop : 'a t -> 'a
+(** Consumer only. Blocks while the queue is empty. *)

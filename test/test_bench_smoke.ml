@@ -268,6 +268,104 @@ let test_parallel_guard_verdicts () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing baseline should be an error"
 
+(* -- sharded device suite ------------------------------------------------- *)
+
+module Sbench = Experiments.Shard_bench
+
+let test_shard_quick_run_emits_valid_report () =
+  let out = Filename.temp_file "bench_shard_smoke" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let rows = Sbench.run ~quick:true ~out () in
+      Alcotest.(check int)
+        "one row per (links, jobs) cell"
+        (List.length (Sbench.links_grid ~quick:true) * List.length (Sbench.jobs_ladder ()))
+        (List.length rows);
+      (match List.find_opt (fun r -> r.Sbench.jobs = 1) rows with
+      | Some r ->
+        Alcotest.(check (float 1e-9)) "-j1 speedup is 1 by definition" 1.0 r.Sbench.speedup
+      | None -> Alcotest.fail "no -j1 rung");
+      List.iter
+        (fun r ->
+          if r.Sbench.pkts_per_sec <= 0.0 then
+            Alcotest.fail "pkts_per_sec not positive";
+          if r.Sbench.pkts <= 0 then Alcotest.fail "no packets departed")
+        rows;
+      (* the suite itself enforces this, but assert it where a reader
+         looks first: every rung of one grid point shares one hash *)
+      List.iter
+        (fun links ->
+          let hashes =
+            List.filter_map
+              (fun r -> if r.Sbench.links = links then Some r.Sbench.device_hash else None)
+              rows
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "links=%d: one distinct hash" links)
+            1
+            (List.length (List.sort_uniq Int64.compare hashes)))
+        (Sbench.links_grid ~quick:true);
+      let report = Json.of_file out in
+      match Sbench.validate report with
+      | Ok () -> ()
+      | Error problems ->
+        Alcotest.failf "invalid shard report: %s" (String.concat "; " problems))
+
+let fake_shard_report () =
+  Json.Obj
+    [
+      ("schema", Json.Str "hpfq-bench-shard-v1");
+      ("cores", Json.Num 8.0);
+      ( "rows",
+        Json.Arr
+          [
+            Json.Obj
+              [
+                ("links", Json.Num 16.0);
+                ("jobs", Json.Num 1.0);
+                ("pkts_per_sec", Json.Num 1.0);
+                ("speedup", Json.Num 1.0);
+                ("expected_floor", Json.Num 1.0);
+                ("device_hash", Json.Str "0000000000000000");
+              ];
+          ] );
+    ]
+
+let test_shard_guard_verdicts () =
+  let with_baseline json f =
+    let path = Filename.temp_file "bench_shard_guard" ".json" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Json.to_file path json;
+        f path)
+  in
+  with_baseline (fake_shard_report ()) (fun path ->
+      match Sbench.guard ~baseline:path ~tol:0.5 ~quick:true () with
+      | Ok g ->
+        Alcotest.(check int)
+          "one verdict per (links, jobs) cell"
+          (List.length (Sbench.links_grid ~quick:true) * List.length (Sbench.jobs_ladder ()))
+          (List.length g.Sbench.g_rows);
+        List.iter
+          (fun r ->
+            if r.Sbench.g_jobs > g.Sbench.g_cores then
+              Alcotest.(check bool)
+                "oversubscribed rung not enforced" false r.Sbench.g_enforced)
+          g.Sbench.g_rows;
+        Alcotest.(check bool)
+          "healthy device clears the cores-aware floor" true g.Sbench.g_within
+      | Error e -> Alcotest.failf "shard guard errored: %s" e);
+  with_baseline (Json.Obj [ ("schema", Json.Str "hpfq-bench-shard-v1") ])
+    (fun path ->
+      match Sbench.guard ~baseline:path ~quick:true () with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "schema-invalid baseline should be an error");
+  match Sbench.guard ~baseline:"/nonexistent/BENCH_shard.json" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing baseline should be an error"
+
 (* -- perf-regression guard ------------------------------------------------ *)
 
 let fake_report pps =
@@ -372,6 +470,12 @@ let () =
           Alcotest.test_case "quick run emits valid report" `Quick
             test_parallel_quick_run_emits_valid_report;
           Alcotest.test_case "guard verdicts" `Quick test_parallel_guard_verdicts;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "quick run emits valid report" `Quick
+            test_shard_quick_run_emits_valid_report;
+          Alcotest.test_case "guard verdicts" `Quick test_shard_guard_verdicts;
         ] );
       ( "guard",
         [

@@ -185,6 +185,87 @@ let test_delay_sweep_deterministic_across_jobs () =
   Alcotest.(check (list string)) "delay sweep at -j8 = -j1" reference (run 8);
   Alcotest.(check int) "grid size = disciplines x replications" 4 (List.length reference)
 
+(* ---- Persistent pools: spawn once, submit many rounds ---- *)
+
+let test_persistent_reuse_many_rounds () =
+  let p = Pool.Persistent.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.Persistent.shutdown p)
+    (fun () ->
+      for round = 1 to 50 do
+        let got = Pool.Persistent.map p ~tasks:round ~f:(fun i -> i * round) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          (Array.init round (fun i -> i * round))
+          got
+      done)
+
+let test_persistent_submit_await_overlaps_caller () =
+  let p = Pool.Persistent.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.Persistent.shutdown p)
+    (fun () ->
+      let round = Pool.Persistent.submit p ~tasks:8 ~f:(fun i -> i + 1) in
+      (* the caller stays free between submit and await *)
+      let own = List.init 100 (fun i -> i) |> List.fold_left ( + ) 0 in
+      Alcotest.(check int) "caller work" 4950 own;
+      Alcotest.(check (array int))
+        "awaited results" (Array.init 8 (fun i -> i + 1))
+        (Pool.Persistent.await round))
+
+let test_persistent_exception_then_reuse () =
+  let p = Pool.Persistent.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.Persistent.shutdown p)
+    (fun () ->
+      (match Pool.Persistent.map p ~tasks:8 ~f:(fun i -> if i = 3 then raise (Task_boom 3) else i) with
+      | exception Task_boom 3 -> ()
+      | _ -> Alcotest.fail "expected Task_boom");
+      (* the pool survives a failed round *)
+      Alcotest.(check (array int))
+        "next round is clean" (Array.init 4 (fun i -> i))
+        (Pool.Persistent.map p ~tasks:4 ~f:(fun i -> i)))
+
+let test_persistent_one_outstanding_round () =
+  let p = Pool.Persistent.create ~domains:1 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.Persistent.shutdown p)
+    (fun () ->
+      let r = Pool.Persistent.submit p ~tasks:2 ~f:(fun i -> i) in
+      (match Pool.Persistent.submit p ~tasks:2 ~f:(fun i -> i) with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "second outstanding submit must be rejected");
+      ignore (Pool.Persistent.await r))
+
+let test_persistent_zero_domains_sequential () =
+  let p = Pool.Persistent.create ~domains:0 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.Persistent.shutdown p)
+    (fun () ->
+      Alcotest.(check (array int))
+        "map runs in the caller" (Array.init 5 (fun i -> i * 2))
+        (Pool.Persistent.map p ~tasks:5 ~f:(fun i -> i * 2));
+      match Pool.Persistent.submit p ~tasks:1 ~f:(fun i -> i) with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "submit on a zero-domain pool must be rejected")
+
+let test_persistent_shutdown_idempotent () =
+  let p = Pool.Persistent.create ~domains:2 () in
+  ignore (Pool.Persistent.map p ~tasks:4 ~f:(fun i -> i));
+  Pool.Persistent.shutdown p;
+  Pool.Persistent.shutdown p;
+  match Pool.Persistent.map p ~tasks:1 ~f:(fun i -> i) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "map after shutdown must be rejected"
+
+let test_forkjoin_map_still_matches_sequential () =
+  (* Pool.map now delegates to a scoped Persistent pool; its contract is
+     unchanged *)
+  let pool = Pool.create ~jobs:5 () in
+  Alcotest.(check (array int))
+    "delegated map" (Array.init 31 (fun i -> i * 3))
+    (Pool.map pool ~tasks:31 ~f:(fun i -> i * 3))
+
 (* ---- config snapshot isolates workers from default mutation ---- *)
 
 let other = function Sim.Slot_heap -> Sim.Calendar | Sim.Calendar -> Sim.Slot_heap
@@ -228,6 +309,13 @@ let suite =
       ~rand:(Random.State.make [| 0x9a11e1 |])
       prop_for_task_deterministic_and_distinct;
     ("for_task adjacent streams uncorrelated", `Quick, test_for_task_correlation_smoke);
+    ("persistent: 50 rounds on one pool", `Quick, test_persistent_reuse_many_rounds);
+    ("persistent: submit/await overlaps caller", `Quick, test_persistent_submit_await_overlaps_caller);
+    ("persistent: failed round then reuse", `Quick, test_persistent_exception_then_reuse);
+    ("persistent: one outstanding round", `Quick, test_persistent_one_outstanding_round);
+    ("persistent: zero domains is sequential", `Quick, test_persistent_zero_domains_sequential);
+    ("persistent: shutdown is idempotent and final", `Quick, test_persistent_shutdown_idempotent);
+    ("fork-join map delegates unchanged", `Quick, test_forkjoin_map_still_matches_sequential);
     ("wfi sweep bit-identical across -j", `Slow, test_wfi_sweep_deterministic_across_jobs);
     ("delay sweep bit-identical across -j", `Slow, test_delay_sweep_deterministic_across_jobs);
     ( "config snapshot shields workers from default mutation",

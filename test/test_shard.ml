@@ -1,0 +1,281 @@
+(* The sharded multi-port device, bottom up:
+
+   - Spsc: FIFO order, bounded capacity, cross-domain blocking handoff;
+   - Flow_table: pure and stable — the same (flow, geometry) always maps
+     to the same link/leaf/shard, whole links move atomically between
+     shards, every in-range output is hit;
+   - Device: the lockstep differential. Random link counts, workloads
+     and worker/shard geometries must produce exactly equal per-link
+     departure traces, stamps, drop counts and hashes — -j1 vs -jK, and
+     both vs the plain sequential per-link oracle [run_link_reference];
+   - merged reports keep their shape (per-link rows + device totals). *)
+
+module Q = QCheck
+
+(* ---- Spsc ---- *)
+
+let test_spsc_fifo_and_capacity () =
+  let q = Shard.Spsc.create ~capacity:4 in
+  Alcotest.(check int) "rounded to a power of two" 4 (Shard.Spsc.capacity q);
+  Alcotest.(check bool) "push 4" true
+    (List.for_all (fun v -> Shard.Spsc.try_push q v) [ 1; 2; 3; 4 ]);
+  Alcotest.(check bool) "5th rejected: full" false (Shard.Spsc.try_push q 5);
+  Alcotest.(check int) "length" 4 (Shard.Spsc.length q);
+  Alcotest.(check (list int)) "FIFO order" [ 1; 2; 3; 4 ]
+    (List.init 4 (fun _ -> Option.get (Shard.Spsc.try_pop q)));
+  Alcotest.(check (option int)) "empty" None (Shard.Spsc.try_pop q);
+  (match Shard.Spsc.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must be rejected")
+
+let test_spsc_cross_domain_blocking () =
+  (* a tiny mailbox forces both blocking paths: the producer fills it and
+     must sleep until the consumer drains; the consumer outruns it and
+     must sleep until more arrives. The order of everything received must
+     still be exactly the order sent. *)
+  let q = Shard.Spsc.create ~capacity:2 in
+  let n = 10_000 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let acc = ref [] in
+        let rec go () =
+          match Shard.Spsc.pop q with
+          | -1 -> List.rev !acc
+          | v ->
+            acc := v :: !acc;
+            go ()
+        in
+        go ())
+  in
+  for i = 0 to n - 1 do
+    Shard.Spsc.push q i
+  done;
+  Shard.Spsc.push q (-1);
+  let received = Domain.join consumer in
+  Alcotest.(check int) "all received" n (List.length received);
+  Alcotest.(check bool) "in order" true
+    (List.for_all2 ( = ) received (List.init n (fun i -> i)))
+
+(* ---- Flow_table ---- *)
+
+let geometry_gen =
+  Q.Gen.(
+    triple (int_range 1 64) (* links *) (int_range 1 8) (* shards *)
+      (int_range 0 4096) (* flow *))
+
+let prop_flow_table_stable_and_in_range =
+  Q.Test.make ~count:500 ~name:"flow_table: pure, in range, composition holds"
+    (Q.make geometry_gen) (fun (links, shards, flow) ->
+      let link = Shard.Flow_table.link_of_flow ~links flow in
+      let shard = Shard.Flow_table.shard_of_flow ~links ~shards flow in
+      link >= 0 && link < links && shard >= 0 && shard < shards
+      (* pure: asking twice is identical *)
+      && Shard.Flow_table.link_of_flow ~links flow = link
+      (* a flow's shard is its link's shard: re-sharding moves whole links *)
+      && Shard.Flow_table.shard_of_link ~links ~shards link = shard)
+
+let prop_same_flow_same_shard_across_worker_counts =
+  (* the satellite property: for a fixed links count, the (flow -> link)
+     map cannot depend on the shard/worker count at all *)
+  Q.Test.make ~count:300 ~name:"flow_table: link assignment ignores shards"
+    (Q.make Q.Gen.(pair (int_range 1 64) (int_range 0 4096)))
+    (fun (links, flow) ->
+      let link = Shard.Flow_table.link_of_flow ~links flow in
+      List.for_all
+        (fun shards ->
+          Shard.Flow_table.shard_of_flow ~links ~shards flow
+          = Shard.Flow_table.shard_of_link ~links ~shards link)
+        [ 1; 2; 3; 5; 8 ])
+
+let test_flow_table_covers_all_shards () =
+  (* block partition: with shards <= links every shard owns >= 1 link *)
+  List.iter
+    (fun (links, shards) ->
+      let owners =
+        List.sort_uniq compare
+          (List.init links (fun link ->
+               Shard.Flow_table.shard_of_link ~links ~shards link))
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "links=%d shards=%d" links shards)
+        (List.init shards (fun s -> s))
+        owners)
+    [ (1, 1); (4, 4); (16, 3); (64, 8); (1024, 7) ]
+
+let test_flow_table_rejects_bad_geometry () =
+  let invalid f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "invalid geometry must be rejected"
+  in
+  invalid (fun () -> Shard.Flow_table.link_of_flow ~links:0 3);
+  invalid (fun () -> Shard.Flow_table.link_of_flow ~links:4 (-1));
+  invalid (fun () -> Shard.Flow_table.leaf_of_flow ~leaves:0 3);
+  invalid (fun () -> Shard.Flow_table.shard_of_link ~links:4 ~shards:2 4);
+  invalid (fun () -> Shard.Flow_table.shard_of_link ~links:4 ~shards:0 1)
+
+(* ---- Device lockstep differential ---- *)
+
+let device ~workers ~shards ~links ~rounds ~seed =
+  let workload = { (Shard.Device.default_workload ~rounds) with seed } in
+  Shard.Device.create ~workers ~shards ~workload ~record_traces:true ~links ()
+
+let check_links_equal ~what (a : Shard.Device.link_result array)
+    (b : Shard.Device.link_result array) =
+  if Array.length a <> Array.length b then
+    Q.Test.fail_reportf "%s: link counts differ" what;
+  Array.iteri
+    (fun i (x : Shard.Device.link_result) ->
+      let y = b.(i) in
+      if
+        x.Shard.Device.departed_pkts <> y.Shard.Device.departed_pkts
+        || x.Shard.Device.departed_bits <> y.Shard.Device.departed_bits
+        || x.Shard.Device.drops <> y.Shard.Device.drops
+        || x.Shard.Device.events <> y.Shard.Device.events
+        || x.Shard.Device.final_time <> y.Shard.Device.final_time
+        || x.Shard.Device.trace_hash <> y.Shard.Device.trace_hash
+        || x.Shard.Device.trace <> y.Shard.Device.trace
+      then
+        Q.Test.fail_reportf "%s: link %d diverges (pkts %d/%d, hash %s/%s)"
+          what i x.Shard.Device.departed_pkts y.Shard.Device.departed_pkts
+          (Shard.Device.hash_hex x.Shard.Device.trace_hash)
+          (Shard.Device.hash_hex y.Shard.Device.trace_hash))
+    a;
+  true
+
+let lockstep_gen =
+  Q.Gen.(
+    let* links = int_range 1 12 in
+    let* workers = int_range 2 4 in
+    let* shards = int_range 1 6 in
+    let* rounds = int_range 1 25 in
+    let* seed = int64 in
+    return (links, workers, shards, rounds, seed))
+
+let prop_device_lockstep_across_geometries =
+  Q.Test.make ~count:12
+    ~name:"device: -j1 trace == -jK trace == sequential oracle (random geometry)"
+    (Q.make lockstep_gen) (fun (links, workers, shards, rounds, seed) ->
+      let r1 = Shard.Device.run (device ~workers:1 ~shards:1 ~links ~rounds ~seed) in
+      let rk = Shard.Device.run (device ~workers ~shards ~links ~rounds ~seed) in
+      ignore (check_links_equal ~what:"-j1 vs -jK" r1.Shard.Device.per_link rk.Shard.Device.per_link);
+      if r1.Shard.Device.device_hash <> rk.Shard.Device.device_hash then
+        Q.Test.fail_reportf "device hash diverges across worker counts";
+      (* every link against the no-pool, no-mailbox sequential replay *)
+      let t = device ~workers ~shards ~links ~rounds ~seed in
+      let oracle =
+        Array.init links (fun link -> Shard.Device.run_link_reference t ~link)
+      in
+      check_links_equal ~what:"-jK vs oracle" rk.Shard.Device.per_link oracle)
+
+let test_device_shards_exceed_workers_and_links () =
+  (* more shards than workers (sequential multi-mailbox drain) and more
+     shards than links (some shards own nothing) must both still match *)
+  let r1 = Shard.Device.run (device ~workers:1 ~shards:1 ~links:3 ~rounds:12 ~seed:5L) in
+  let r2 = Shard.Device.run (device ~workers:2 ~shards:5 ~links:3 ~rounds:12 ~seed:5L) in
+  Alcotest.(check bool) "device hash equal" true
+    (r1.Shard.Device.device_hash = r2.Shard.Device.device_hash);
+  Alcotest.(check int) "pkts equal" r1.Shard.Device.total_pkts r2.Shard.Device.total_pkts
+
+let test_device_overload_drops_deterministic () =
+  let workload =
+    { (Shard.Device.default_workload ~rounds:30) with
+      Shard.Device.overload = 3.0; seed = 11L }
+  in
+  let run workers =
+    Shard.Device.run (Shard.Device.create ~workers ~workload ~links:5 ())
+  in
+  let a = run 1 and b = run 3 in
+  Alcotest.(check bool) "drops happen under 3x overload" true (a.Shard.Device.total_drops > 0);
+  Alcotest.(check int) "drop count identical across -j" a.Shard.Device.total_drops
+    b.Shard.Device.total_drops;
+  Alcotest.(check bool) "hash identical" true
+    (a.Shard.Device.device_hash = b.Shard.Device.device_hash)
+
+let test_device_rejects_bad_config () =
+  let invalid f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "invalid device config must be rejected"
+  in
+  invalid (fun () -> Shard.Device.create ~links:0 ());
+  invalid (fun () -> Shard.Device.create ~workers:0 ~links:1 ());
+  invalid (fun () -> Shard.Device.create ~shards:0 ~links:1 ());
+  invalid (fun () ->
+      Shard.Device.create
+        ~workload:{ (Shard.Device.default_workload ~rounds:1) with Shard.Device.overload = 0.0 }
+        ~links:1 ())
+
+(* ---- merged reports ---- *)
+
+let test_reports_shape () =
+  let workload = Shard.Device.default_workload ~rounds:10 in
+  let t = Shard.Device.create ~workers:2 ~workload ~observe:true ~links:4 () in
+  let r = Shard.Device.run t in
+  let rep = Shard.Device.report r in
+  let rows = Stats.Report.rows rep in
+  Alcotest.(check int) "per-link rows + device total" 5 (List.length rows);
+  (match List.rev rows with
+  | total :: _ -> (
+    Alcotest.(check string) "total row tag" "device" (List.hd total);
+    match (List.nth total 2, r.Shard.Device.total_pkts) with
+    | cell, pkts -> Alcotest.(check string) "total pkts" (string_of_int pkts) cell)
+  | [] -> Alcotest.fail "empty report");
+  (* merged sim report: per-sim occupancy plus aggregate totals *)
+  let sim_rows = Stats.Report.rows (Shard.Device.sim_report r) in
+  let key row = List.hd row in
+  Alcotest.(check bool) "has totals" true
+    (List.exists (fun row -> key row = "pending/total") sim_rows);
+  Alcotest.(check bool) "has per-sim suffixed rows" true
+    (List.exists (fun row -> key row = "pending#3") sim_rows);
+  (* all links drained: device-wide pending is 0 *)
+  (match List.find_opt (fun row -> key row = "pending/total") sim_rows with
+  | Some [ _; v ] -> Alcotest.(check string) "drained" "0" v
+  | _ -> Alcotest.fail "pending/total row malformed");
+  (* merged metrics: per-link node rows + device total *)
+  match Shard.Device.metrics_report r with
+  | None -> Alcotest.fail "observe:true must yield metrics"
+  | Some m ->
+    let mrows = Stats.Report.rows m in
+    Alcotest.(check string) "link column first" "link" (List.hd (Stats.Report.columns m));
+    Alcotest.(check bool) "one row per node per link + total" true
+      (List.length mrows > 4);
+    (match List.rev mrows with
+    | total :: _ -> Alcotest.(check string) "metrics total tag" "device" (List.hd total)
+    | [] -> Alcotest.fail "empty metrics report")
+
+let test_metrics_none_without_observe () =
+  let t = Shard.Device.create ~workload:(Shard.Device.default_workload ~rounds:3) ~links:2 () in
+  match Shard.Device.metrics_report (Shard.Device.run t) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "metrics_report must be None without observe"
+
+let qcheck rand t = QCheck_alcotest.to_alcotest ~rand t
+
+let () =
+  let rand = Random.State.make [| 0x5a4d |] in
+  Alcotest.run "shard"
+    [
+      ( "spsc",
+        [
+          ("fifo order and bounded capacity", `Quick, test_spsc_fifo_and_capacity);
+          ("cross-domain blocking handoff", `Quick, test_spsc_cross_domain_blocking);
+        ] );
+      ( "flow_table",
+        [
+          qcheck rand prop_flow_table_stable_and_in_range;
+          qcheck rand prop_same_flow_same_shard_across_worker_counts;
+          ("block partition covers every shard", `Quick, test_flow_table_covers_all_shards);
+          ("invalid geometry rejected", `Quick, test_flow_table_rejects_bad_geometry);
+        ] );
+      ( "device",
+        [
+          qcheck rand prop_device_lockstep_across_geometries;
+          ("shards > workers and shards > links", `Quick, test_device_shards_exceed_workers_and_links);
+          ("overload drops deterministic across -j", `Quick, test_device_overload_drops_deterministic);
+          ("invalid config rejected", `Quick, test_device_rejects_bad_config);
+        ] );
+      ( "reports",
+        [
+          ("merged report shapes", `Quick, test_reports_shape);
+          ("no metrics without observe", `Quick, test_metrics_none_without_observe);
+        ] );
+    ]
