@@ -90,6 +90,35 @@ else
   echo "check_bench: no BENCH_hier.json baseline; skipping hier-guard"
 fi
 
+# Session-lifecycle churn: quick run of the open/close grid, then verify
+# the report shape the churn-guard reads.
+churn_out=BENCH_churn_quick.json
+rm -f "$churn_out"
+
+dune exec bench/main.exe -- churn-quick
+
+[ -f "$churn_out" ] || { echo "check_bench: $churn_out was not produced" >&2; exit 1; }
+
+for key in schema headline rows sessions ramp_opens_per_sec churn_events_per_sec floor_events_per_sec; do
+  grep -q "\"$key\"" "$churn_out" || {
+    echo "check_bench: $churn_out is missing key \"$key\"" >&2
+    exit 1
+  }
+done
+
+echo "check_bench: OK ($churn_out)"
+
+# Lifecycle guard: the fixed-point engine's churn headline at 10^6 open
+# sessions must stay within HPFQ_CHURN_TOL (default 20%) of the committed
+# BENCH_churn.json AND above the absolute HPFQ_CHURN_FLOOR (default 1e5
+# open/close events/s — the acceptance number). Skipped when no baseline
+# is committed.
+if [ -f BENCH_churn.json ]; then
+  dune exec bench/main.exe -- churn-guard
+else
+  echo "check_bench: no BENCH_churn.json baseline; skipping churn-guard"
+fi
+
 # Multicore sweep scaling: quick run of the -j ladder, then verify the
 # report shape the parallel-guard reads.
 parallel_out=BENCH_parallel_quick.json

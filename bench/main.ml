@@ -493,6 +493,53 @@ let hier_guard () =
     end
 
 (* ------------------------------------------------------------------ *)
+(* CHURN: session lifecycle at 10^5-10^6 sessions; vtime soak         *)
+(* ------------------------------------------------------------------ *)
+
+let churn () = ignore (Experiments.Churn_bench.run ())
+let churn_quick () =
+  ignore (Experiments.Churn_bench.run ~quick:true ~out:"BENCH_churn_quick.json" ())
+
+let churn_guard () =
+  section "CHURN-GUARD: lifecycle headline vs BENCH_churn.json";
+  match Experiments.Churn_bench.guard () with
+  | Error e ->
+    Printf.eprintf "churn-guard: %s\n" e;
+    exit 1
+  | Ok g ->
+    Printf.printf
+      "baseline %16.0f events/sec\n\
+       fresh    %16.0f events/sec\n\
+       ratio    %16.3f (tolerance -%.0f%%)\n\
+       floor    %16.0f events/sec\n"
+      g.Experiments.Churn_bench.baseline_eps g.fresh_eps g.perf_ratio
+      (g.tol *. 100.0) g.floor;
+    if g.within then print_endline "churn-guard: OK"
+    else begin
+      Printf.eprintf
+        "churn-guard: FAIL — churn headline regressed beyond %.0f%% or fell \
+         under the %.0f events/sec floor\n"
+        (g.tol *. 100.0) g.floor;
+      exit 1
+    end
+
+let soak () =
+  section "SOAK: long-horizon virtual-time drift, fixed vs float";
+  let packets =
+    match Sys.getenv_opt "HPFQ_SOAK" with
+    | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1_000_000_000)
+    | None -> 10_000_000
+  in
+  let results = Experiments.Churn_bench.soak ~packets () in
+  Printf.printf "%-10s %12s %20s %16s %6s\n" "engine" "packets" "v_end" "drift" "exact";
+  List.iter
+    (fun (r : Experiments.Churn_bench.soak_result) ->
+      Printf.printf "%-10s %12d %20.6f %16.3e %6b\n" r.s_engine r.s_packets
+        r.s_v_end r.s_drift r.s_exact)
+    results
+
+(* ------------------------------------------------------------------ *)
 (* PARALLEL: wfi sweep scaling vs worker count                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -700,6 +747,7 @@ let all_benches =
     ("perf", perf);
     ("events", events);
     ("hier", hier);
+    ("churn", churn);
   ]
 
 (* runnable by id but not part of the no-argument "run everything" set *)
@@ -716,6 +764,9 @@ let extra_benches =
     ("events-guard", events_guard);
     ("hier-quick", hier_quick);
     ("hier-guard", hier_guard);
+    ("churn-quick", churn_quick);
+    ("churn-guard", churn_guard);
+    ("soak", soak);
     ("parallel", parallel);
     ("parallel-quick", parallel_quick);
     ("parallel-guard", parallel_guard);

@@ -6,6 +6,7 @@
      delay         Figs. 4-7: RT-1 delay under a chosen H-PFQ discipline
      link-sharing  Figs. 8-9: TCP sessions vs ideal H-GPS
      wfi           T-WFI probe sweep over the number of sessions
+     churn         session open/close lifecycle bench + virtual-time soak
      tree          print the paper hierarchies with shares
      custom        run a user tree file (hpfq syntax) saturated, vs H-GPS
    Each command can dump CSV series for external plotting. *)
@@ -534,6 +535,48 @@ let shard_cmd =
       $ shards_arg $ rounds_arg $ flows_arg $ overload_arg $ seed_arg
       $ observe_arg $ json_arg $ metrics_arg)
 
+(* -- churn --------------------------------------------------------------- *)
+
+let churn_cmd =
+  let run quick out soak_packets =
+    ignore (Experiments.Churn_bench.run ~quick ~out ());
+    match soak_packets with
+    | None -> ()
+    | Some n ->
+      Printf.printf "\nsoak: virtual-time drift after %d packets at rate 0.3\n" n;
+      List.iter
+        (fun r ->
+          Printf.printf "  %-10s v_end=%.6f drift=%.3e exact=%b\n"
+            r.Experiments.Churn_bench.s_engine r.s_v_end r.s_drift r.s_exact)
+        (Experiments.Churn_bench.soak ~packets:n ())
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Shrink the grid to smoke-test scale (10^4 sessions).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_churn.json"
+      & info [ "out" ] ~docv:"PATH" ~doc:"Where to write the JSON report.")
+  in
+  let soak_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "soak" ] ~docv:"PKTS"
+          ~doc:
+            "Also run the long-horizon virtual-time soak for PKTS packets, \
+             diffing fixed-point against float drift.")
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Session-lifecycle benchmark: open/close/reopen churn at 10^5-10^6 \
+          concurrent sessions on the fixed-point and float WF2Q+ engines.")
+    Term.(const run $ quick_arg $ out_arg $ soak_arg)
+
 (* -- tree ---------------------------------------------------------------- *)
 
 let tree_cmd =
@@ -555,5 +598,5 @@ let () =
              ~doc:"Reproduction driver for Bennett & Zhang, SIGCOMM'96.")
           [
             fig2_cmd; trace_cmd; delay_cmd; link_sharing_cmd; wfi_cmd; shard_cmd;
-            tree_cmd; custom_cmd;
+            churn_cmd; tree_cmd; custom_cmd;
           ]))

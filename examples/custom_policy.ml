@@ -19,22 +19,28 @@ module CT = Hpfq.Class_tree
 (* A strict-priority discipline conforming to Sched.Sched_intf.t. *)
 let strict_priority ~rate:_ : Sched.Sched_intf.t =
   let backlogged = Hashtbl.create 8 in
-  let count = ref 0 and sessions = ref 0 in
+  let count = ref 0 in
+  let pool = Sched.Session_pool.create ~name:"StrictPriority" ~recycle:false () in
   let observer : Sched.Sched_intf.observer option ref = ref None in
   let select ~now:_ =
     (* smallest session index wins: linear scan is fine for an example *)
     let best = ref None in
-    for s = !sessions - 1 downto 0 do
+    for s = Sched.Session_pool.slot_count pool - 1 downto 0 do
       if Hashtbl.mem backlogged s then best := Some s
     done;
     !best
   in
+  let open_session ~rate:_ = Sched.Session_pool.handle pool (Sched.Session_pool.alloc pool) in
+  let close_session ~now:_ ~policy:_ h =
+    Sched.Session_pool.free pool (Sched.Session_pool.resolve pool h)
+  in
   {
     Sched.Sched_intf.name = "StrictPriority";
-    add_session =
-      (fun ~rate:_ ->
-        incr sessions;
-        !sessions - 1);
+    add_session = (fun ~rate -> Sched.Session_handle.slot (open_session ~rate));
+    open_session;
+    close_session;
+    session_of_handle = (fun h -> Sched.Session_pool.resolve pool h);
+    live_sessions = (fun () -> Sched.Session_pool.live_count pool);
     arrive = (fun ~now:_ ~session:_ ~size_bits:_ -> ());
     backlog =
       (fun ~now:_ ~session ~head_bits:_ ->

@@ -1,4 +1,5 @@
 let wf2q_plus = Wf2q_plus.factory
+let wf2q_plus_fixed = Wf2q_plus_fixed.factory
 let wf2q_plus_per_packet = Wf2q_plus_stamped.factory
 let wfq = Sched.Gps_based.wfq
 let wf2q = Sched.Gps_based.wf2q
@@ -10,8 +11,11 @@ let wrr = Sched.Round_robin.wrr ()
 let fifo = Sched.Fifo_sched.factory
 
 let all =
-  [ wf2q_plus; wf2q_plus_per_packet; wfq; wf2q; scfq; sfq; virtual_clock; drr; wrr; fifo ]
-let pfq = [ wf2q_plus; wf2q_plus_per_packet; wfq; wf2q; scfq; sfq ]
+  [
+    wf2q_plus; wf2q_plus_fixed; wf2q_plus_per_packet; wfq; wf2q; scfq; sfq;
+    virtual_clock; drr; wrr; fifo;
+  ]
+let pfq = [ wf2q_plus; wf2q_plus_fixed; wf2q_plus_per_packet; wfq; wf2q; scfq; sfq ]
 
 let find kind =
   let kind = String.lowercase_ascii kind in

@@ -5,6 +5,10 @@
 
 val wf2q_plus : Sched.Sched_intf.factory
 
+(** WF²Q+ on integer-tick virtual time ({!Wf2q_plus_fixed}): exact stamp
+    arithmetic, no epsilon comparisons, zero long-horizon drift. *)
+val wf2q_plus_fixed : Sched.Sched_intf.factory
+
 (** The eq. 6-7 per-packet-stamp ablation of WF²Q+ ({!Wf2q_plus_stamped}). *)
 val wf2q_plus_per_packet : Sched.Sched_intf.factory
 

@@ -4,19 +4,28 @@ let log_src = Logs.Src.create "hpfq.hier" ~doc:"H-PFQ hierarchical server"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+type leaf = int
+
 type kind =
   | Leaf_node of { fifo : Net.Fifo.t; mutable next_seq : int }
   | Interior of { policy : Sched_intf.t }
 
+(* Leaf lifecycle: [`Draining] keeps its schedule place until the queue
+   empties; [`Drop_pending] is a `Drop close requested while the leaf's
+   head was on the wire — it completes at that packet's departure. *)
+type lifecycle = [ `Open | `Draining | `Drop_pending | `Closed ]
+
 type node = {
   id : int;
   name : string;
-  rate : float;
+  mutable rate : float;
   level : int;
   parent : int; (* -1 for root *)
   mutable children : int array;
   kind : kind;
   mutable session_in_parent : int;
+  mutable handle_in_parent : Session_handle.t;
+  mutable lifecycle : lifecycle;
   mutable busy : bool;
   mutable logical : Net.Packet.t option; (* Q_n: head of this subtree *)
   mutable active_child : int;               (* node id, -1 when none *)
@@ -162,16 +171,40 @@ and reset_path t =
       | None -> invalid_arg "Hier: transmitted packet missing from its leaf queue");
       let q = t.nodes.(n.parent) in
       let q_now = node_now t q in
-      (match Net.Fifo.peek fifo with
-      | Some next ->
-        n.logical <- Some next;
-        (policy_of q).Sched_intf.requeue ~now:q_now ~session:n.session_in_parent
-          ~head_bits:next.Net.Packet.size_bits
-      | None ->
-        (policy_of q).Sched_intf.set_idle ~now:q_now ~session:n.session_in_parent);
+      (match n.lifecycle with
+      | `Drop_pending ->
+        (* a `Drop close was deferred while this leaf's head held the wire:
+           discard the rest of the queue and finish the close now *)
+        drop_queue t n fifo;
+        (policy_of q).Sched_intf.set_idle ~now:q_now ~session:n.session_in_parent;
+        (policy_of q).Sched_intf.close_session ~now:q_now ~policy:`Drop
+          n.handle_in_parent;
+        n.lifecycle <- `Closed
+      | `Open | `Draining | `Closed -> (
+        match Net.Fifo.peek fifo with
+        | Some next ->
+          n.logical <- Some next;
+          (policy_of q).Sched_intf.requeue ~now:q_now ~session:n.session_in_parent
+            ~head_bits:next.Net.Packet.size_bits
+        | None ->
+          (* a draining leaf's pool slot frees inside the policy's set_idle *)
+          (policy_of q).Sched_intf.set_idle ~now:q_now ~session:n.session_in_parent;
+          if n.lifecycle = `Draining then n.lifecycle <- `Closed));
       restart_node t q
   in
   descend t.nodes.(t.root)
+
+and drop_queue t n fifo =
+  let now = Engine.Simulator.now t.sim in
+  let rec loop () =
+    match Net.Fifo.pop fifo with
+    | Some p ->
+      t.drops <- t.drops + 1;
+      t.on_drop p ~leaf:n.name now;
+      loop ()
+    | None -> ()
+  in
+  loop ()
 
 let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?on_depart ?on_drop () =
   let on_depart = Option.value on_depart ~default:nop_leaf_cb in
@@ -206,6 +239,8 @@ let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?on_depart ?on_dro
         children = [||];
         kind;
         session_in_parent = -1;
+        handle_in_parent = Session_handle.of_int_unsafe (-1);
+        lifecycle = `Open;
         busy = false;
         logical = None;
         active_child = -1;
@@ -230,7 +265,9 @@ let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?on_depart ?on_dro
         Array.iter
           (fun cid ->
             let child = arr.(cid) in
-            child.session_in_parent <- policy.Sched_intf.add_session ~rate:child.rate)
+            let h = policy.Sched_intf.open_session ~rate:child.rate in
+            child.handle_in_parent <- h;
+            child.session_in_parent <- policy.Sched_intf.session_of_handle h)
           n.children
       | Leaf_node _ -> ())
     arr;
@@ -294,11 +331,116 @@ let leaf_id t name =
 
 let leaf_name t id = t.nodes.(id).name
 let leaf_ids t = t.leaf_list
+let unsafe_leaf_of_int (id : int) : leaf = id
+
+(* -- Leaf lifecycle ------------------------------------------------------ *)
+
+let leaf_state t ~leaf =
+  match t.nodes.(leaf).lifecycle with
+  | `Open -> `Open
+  | `Draining | `Drop_pending -> `Closing
+  | `Closed -> `Closed
+
+(* CLOSE-LEAF. The subtle case is [`Drop] of a backlogged leaf whose head
+   has already been committed up the tree: the head reference may sit in
+   the logical queue of every ancestor on the path (the chain built by
+   RESTART-NODE line 12). Retract deterministically:
+
+   + the packet on the wire is never recalled — that close defers to the
+     packet's departure (handled by RESET-PATH);
+   + otherwise, erase the committed chain top-down-stopping ancestors keep
+     their heads (the walk stops at the first ancestor that committed a
+     different packet), close the parent's session (which removes it from
+     the parent's eligible/waiting structures), and RESTART the parent:
+     the normal restart cascade re-selects a head at every cleared
+     ancestor, issuing requeue/set_idle upward exactly as RESET-PATH does
+     after a departure. *)
+let close_leaf t ~leaf ~policy =
+  let n = t.nodes.(leaf) in
+  let fifo =
+    match n.kind with
+    | Leaf_node { fifo; _ } -> fifo
+    | Interior _ -> invalid_arg "Hier.close_leaf: not a leaf"
+  in
+  (match n.lifecycle with
+  | `Open -> ()
+  | `Draining | `Drop_pending | `Closed ->
+    invalid_arg "Hier.close_leaf: leaf already closed or closing");
+  let q = t.nodes.(n.parent) in
+  let qp = policy_of q in
+  let q_now = node_now t q in
+  match n.logical with
+  | None ->
+    (* idle leaf: the parent's slot frees immediately *)
+    qp.Sched_intf.close_session ~now:q_now ~policy n.handle_in_parent;
+    n.lifecycle <- `Closed
+  | Some pkt -> (
+    match policy with
+    | `Drain ->
+      qp.Sched_intf.close_session ~now:q_now ~policy:`Drain n.handle_in_parent;
+      n.lifecycle <- `Draining
+    | `Drop ->
+      let on_wire =
+        t.link_busy && (match t.in_flight with Some p -> p == pkt | None -> false)
+      in
+      if on_wire then n.lifecycle <- `Drop_pending
+      else begin
+        drop_queue t n fifo;
+        n.logical <- None;
+        (* erase the committed chain: every ancestor whose logical head IS
+           this packet committed it via RESTART-NODE *)
+        let rec clear_up m =
+          match m.logical with
+          | Some p when p == pkt ->
+            m.logical <- None;
+            m.active_child <- -1;
+            if not (is_root t m) then clear_up t.nodes.(m.parent)
+          | Some _ | None -> ()
+        in
+        clear_up q;
+        qp.Sched_intf.close_session ~now:q_now ~policy:`Drop n.handle_in_parent;
+        n.lifecycle <- `Closed;
+        (* if the parent lost its committed head, the restart cascade
+           repairs it and every cleared ancestor above it *)
+        if q.logical = None then restart_node t q
+      end)
+
+let reopen_leaf ?rate t ~leaf =
+  let n = t.nodes.(leaf) in
+  (match n.kind with
+  | Leaf_node _ -> ()
+  | Interior _ -> invalid_arg "Hier.reopen_leaf: not a leaf");
+  (match n.lifecycle with
+  | `Closed -> ()
+  | `Open -> invalid_arg "Hier.reopen_leaf: leaf is open"
+  | `Draining | `Drop_pending -> invalid_arg "Hier.reopen_leaf: close still in progress");
+  (match rate with
+  | Some r ->
+    if r <= 0.0 then invalid_arg "Hier.reopen_leaf: rate must be positive";
+    n.rate <- r
+  | None -> ());
+  let q = t.nodes.(n.parent) in
+  let qp = policy_of q in
+  let h = qp.Sched_intf.open_session ~rate:n.rate in
+  let slot = qp.Sched_intf.session_of_handle h in
+  (* the policy may hand back any free slot (or, without recycling, a brand
+     new one); keep the parent's slot -> child map in sync *)
+  if slot >= Array.length q.children then begin
+    let grown = Array.make (slot + 1) (-1) in
+    Array.blit q.children 0 grown 0 (Array.length q.children);
+    q.children <- grown
+  end;
+  q.children.(slot) <- n.id;
+  n.session_in_parent <- slot;
+  n.handle_in_parent <- h;
+  n.lifecycle <- `Open
 
 let inject ?(mark = 0) t ~leaf ~size_bits =
   let n = t.nodes.(leaf) in
   match n.kind with
   | Interior _ -> invalid_arg "Hier.inject: not a leaf"
+  | Leaf_node _ when n.lifecycle <> `Open ->
+    invalid_arg "Hier.inject: leaf is closed"
   | Leaf_node l ->
     let now = Engine.Simulator.now t.sim in
     let pkt =

@@ -24,6 +24,13 @@
 
 type t
 
+type leaf = private int
+(** A validated leaf identity. Values come from {!leaf_id}/{!leaf_ids}
+    (or, for code that persists raw node ids, {!unsafe_leaf_of_int}); the
+    underlying node id is recovered with [(l :> int)]. Keeping the type
+    abstract stops arbitrary ints — session slots, node ids of interior
+    nodes, hashes — from being passed where a leaf is required. *)
+
 val create :
   sim:Engine.Simulator.t ->
   spec:Class_tree.t ->
@@ -41,19 +48,48 @@ val uniform : Sched.Sched_intf.factory -> level:int -> name:string -> rate:float
 (** Use one discipline at every node:
     [create ~make_policy:(uniform Wf2q_plus.factory) ...]. *)
 
-val leaf_id : t -> string -> int
+val leaf_id : t -> string -> leaf
 (** @raise Not_found if no node has that name.
     @raise Invalid_argument if the name belongs to an interior node. *)
 
-val leaf_name : t -> int -> string
-val leaf_ids : t -> (string * int) list
+val leaf_name : t -> leaf -> string
+val leaf_ids : t -> (string * leaf) list
 
-val inject : ?mark:int -> t -> leaf:int -> size_bits:float -> Net.Packet.t
+val unsafe_leaf_of_int : int -> leaf
+(** Escape hatch for code that stores raw node ids (e.g. a packet's [flow]
+    field, which is its leaf's node id). The int is NOT validated — prefer
+    {!leaf_id}. *)
+
+val inject : ?mark:int -> t -> leaf:leaf -> size_bits:float -> Net.Packet.t
 (** A packet arrives at the leaf at the current simulation time. Its [flow]
     field is the leaf id; [mark] is a free-form tag (e.g. a TCP sequence
-    number) carried through to the departure callback. *)
+    number) carried through to the departure callback.
+    @raise Invalid_argument if the leaf is closed or closing. *)
 
-val queue_bits : t -> leaf:int -> float
+val close_leaf : t -> leaf:leaf -> policy:Sched.Sched_intf.close_policy -> unit
+(** Close a leaf class, deterministically in every state: an idle leaf's
+    parent slot frees immediately; a backlogged leaf either keeps its
+    schedule place until its queue empties ([`Drain]) or has its queued
+    packets handed to the drop callback now ([`Drop]) — with one
+    exception: a head packet already committed to the wire always finishes
+    transmitting, and the close completes at its departure. A [`Drop]
+    close retracts the leaf's committed head from every ancestor's logical
+    queue and re-runs the RESTART-NODE cascade, so ancestor schedules stay
+    consistent.
+    @raise Invalid_argument if not a leaf, or already closed/closing. *)
+
+val reopen_leaf : ?rate:float -> t -> leaf:leaf -> unit
+(** Re-open a closed leaf (the class tree's shape is fixed at {!create};
+    lifecycle is close + reopen in place). The leaf rejoins its parent as
+    a fresh session — new handle generation, stamps reset — optionally
+    with a new [rate].
+    @raise Invalid_argument if the leaf is open or still draining. *)
+
+val leaf_state : t -> leaf:leaf -> [ `Open | `Closing | `Closed ]
+(** [`Closing] covers both a draining leaf and a [`Drop] close waiting on
+    the wire packet. *)
+
+val queue_bits : t -> leaf:leaf -> float
 val departed_bits : t -> node:string -> float
 (** Cumulative W_n(0, now) for any named node (leaf or interior). *)
 
@@ -92,7 +128,7 @@ val node_name : t -> int -> string
 val node_count : t -> int
 (** Total nodes (interior + leaves); ids are [0 .. node_count - 1]. *)
 
-val leaf_path : t -> leaf:int -> int array
+val leaf_path : t -> leaf:leaf -> int array
 (** The precomputed leaf→root path of node ids (leaf first, root last) — the
     walk [complete_transmission] credits W_n along; exposed so tracing can
     credit the same way without re-deriving parents.

@@ -107,3 +107,18 @@ let leaf_path t ~leaf =
   match t with
   | Generic h -> Hier.leaf_path h ~leaf
   | Flat h -> Hier_flat.leaf_path h ~leaf
+
+let close_leaf t ~leaf ~policy =
+  match t with
+  | Generic h -> Hier.close_leaf h ~leaf ~policy
+  | Flat h -> Hier_flat.close_leaf h ~leaf ~policy
+
+let reopen_leaf ?rate t ~leaf =
+  match t with
+  | Generic h -> Hier.reopen_leaf ?rate h ~leaf
+  | Flat h -> Hier_flat.reopen_leaf ?rate h ~leaf
+
+let leaf_state t ~leaf =
+  match t with
+  | Generic h -> Hier.leaf_state h ~leaf
+  | Flat h -> Hier_flat.leaf_state h ~leaf

@@ -45,15 +45,23 @@ val flat : t -> Hier_flat.t option
 (** {2 Shared surface} — each delegates to the engine's function of the
     same name; see {!Hier} for contracts. *)
 
-val leaf_id : t -> string -> int
-val leaf_name : t -> int -> string
-val leaf_ids : t -> (string * int) list
-val inject : ?mark:int -> t -> leaf:int -> size_bits:float -> Net.Packet.t
+val leaf_id : t -> string -> Hier.leaf
+val leaf_name : t -> Hier.leaf -> string
+val leaf_ids : t -> (string * Hier.leaf) list
+val inject : ?mark:int -> t -> leaf:Hier.leaf -> size_bits:float -> Net.Packet.t
 
-val inject_many : ?mark:int -> t -> leaf:int -> size_bits:float -> count:int -> unit
+val inject_many : ?mark:int -> t -> leaf:Hier.leaf -> size_bits:float -> count:int -> unit
 (** Batched arrivals; loops {!Hier.inject} on the generic engine. *)
 
-val queue_bits : t -> leaf:int -> float
+val close_leaf : t -> leaf:Hier.leaf -> policy:Sched.Sched_intf.close_policy -> unit
+(** Close a leaf class on either engine; see {!Hier.close_leaf}. *)
+
+val reopen_leaf : ?rate:float -> t -> leaf:Hier.leaf -> unit
+(** Re-open a closed leaf; see {!Hier.reopen_leaf}. *)
+
+val leaf_state : t -> leaf:Hier.leaf -> [ `Open | `Closing | `Closed ]
+
+val queue_bits : t -> leaf:Hier.leaf -> float
 val departed_bits : t -> node:string -> float
 val ref_time : t -> node:string -> float
 val node_virtual_time : t -> node:string -> float
@@ -65,4 +73,4 @@ val add_transmit_start_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit
 val root_name : t -> string
 val node_name : t -> int -> string
 val node_count : t -> int
-val leaf_path : t -> leaf:int -> int array
+val leaf_path : t -> leaf:Hier.leaf -> int array

@@ -61,6 +61,12 @@ type t = {
   (* -- per-leaf physical queues -- *)
   fifos : Net.Fifo.t array; (* shared dummy at interior slots *)
   next_seq : int array;
+  (* per-leaf lifecycle: '\000' open, '\001' draining, '\002' `Drop close
+     deferred behind the wire packet, '\003' closed. Slots are re-initialised
+     in place on reopen (the topology is fixed), mirroring [Hier]'s
+     close/reopen semantics exactly so the lockstep differential holds
+     under churn. *)
+  lifecycle : Bytes.t;
   (* -- per-node WF2Q+ policy state (interior nodes only) -- *)
   v : float array; (* V, post-dated to the last selection's completion *)
   v_time : float array; (* server time of that completion *)
@@ -221,6 +227,20 @@ let p_select t node =
 
 (* -- The three pseudocode procedures, over flat arrays ------------------- *)
 
+let drop_leaf_queue t leaf =
+  let now = Engine.Simulator.now t.sim in
+  let fifo = t.fifos.(leaf) in
+  let name = t.names.(leaf) in
+  let rec loop () =
+    match Net.Fifo.pop fifo with
+    | Some p ->
+      t.drops <- t.drops + 1;
+      t.on_drop p ~leaf:name now;
+      loop ()
+    | None -> ()
+  in
+  loop ()
+
 let rec restart_node t n =
   let slot = p_select t n in
   if slot >= 0 then begin
@@ -313,13 +333,24 @@ and reset_path t leaf =
   let fifo = t.fifos.(leaf) in
   Net.Fifo.drop_head fifo;
   let q = t.parent.(leaf) in
-  if not (Net.Fifo.is_empty fifo) then begin
-    let next = Net.Fifo.peek_exn fifo in
-    t.logical.(leaf) <- leaf;
-    t.logical_bits.(leaf) <- next.Net.Packet.size_bits;
-    p_requeue t q ~child:leaf
-  end
-  else p_set_idle t q ~child:leaf;
+  (match Bytes.get t.lifecycle leaf with
+  | '\002' ->
+    (* a `Drop close was deferred while this leaf's head held the wire:
+       discard the rest of the queue and finish the close now *)
+    drop_leaf_queue t leaf;
+    p_set_idle t q ~child:leaf;
+    Bytes.set t.lifecycle leaf '\003'
+  | state ->
+    if not (Net.Fifo.is_empty fifo) then begin
+      let next = Net.Fifo.peek_exn fifo in
+      t.logical.(leaf) <- leaf;
+      t.logical_bits.(leaf) <- next.Net.Packet.size_bits;
+      p_requeue t q ~child:leaf
+    end
+    else begin
+      p_set_idle t q ~child:leaf;
+      if state = '\001' then Bytes.set t.lifecycle leaf '\003'
+    end);
   restart_node t q
 
 (* -- Construction --------------------------------------------------------- *)
@@ -462,6 +493,7 @@ let create ~sim ~spec ?(root_clock = `Real_time) ?on_depart ?on_drop () =
       logical_bits = Array.make n_nodes 0.0;
       fifos;
       next_seq = Array.make n_nodes 1;
+      lifecycle = Bytes.make n_nodes '\000';
       v = Array.make n_nodes 0.0;
       v_time = Array.make n_nodes 0.0;
       backlogged_count = Array.make n_nodes 0;
@@ -505,17 +537,19 @@ let node_by_name t name =
 
 let leaf_id t name =
   match Hashtbl.find_opt t.by_name name with
-  | Some id when t.children_len.(id) = 0 -> id
+  | Some id when t.children_len.(id) = 0 -> Hier.unsafe_leaf_of_int id
   | Some id ->
     invalid_arg
       (Printf.sprintf "Hier_flat.leaf_id: %S is an interior node, not a leaf" t.names.(id))
   | None -> raise Not_found
 
-let leaf_name t id = t.names.(id)
-let leaf_ids t = t.leaf_list
+let leaf_name t (id : Hier.leaf) = t.names.((id :> int))
+let leaf_ids t = List.map (fun (nm, id) -> (nm, Hier.unsafe_leaf_of_int id)) t.leaf_list
 
 let inject_one t ~mark ~leaf ~size_bits =
   if t.children_len.(leaf) <> 0 then invalid_arg "Hier_flat.inject: not a leaf";
+  if Bytes.get t.lifecycle leaf <> '\000' then
+    invalid_arg "Hier_flat.inject: leaf is closed";
   let now = Engine.Simulator.now t.sim in
   Array.unsafe_set t.now_cache 0 now;
   let pkt =
@@ -549,16 +583,100 @@ let inject_one t ~mark ~leaf ~size_bits =
     pkt
   end
 
-let inject ?(mark = 0) t ~leaf ~size_bits = inject_one t ~mark ~leaf ~size_bits
+let inject ?(mark = 0) t ~(leaf : Hier.leaf) ~size_bits =
+  inject_one t ~mark ~leaf:(leaf :> int) ~size_bits
 
-let inject_many ?(mark = 0) t ~leaf ~size_bits ~count =
+let inject_many ?(mark = 0) t ~(leaf : Hier.leaf) ~size_bits ~count =
   (* batched arrivals: after the first packet the leaf has a head, so each
      further packet is one fifo push + one (observer-only) arrive *)
+  let leaf = (leaf :> int) in
   for _ = 1 to count do
     ignore (inject_one t ~mark ~leaf ~size_bits)
   done
 
-let queue_bits t ~leaf =
+(* -- Leaf lifecycle ------------------------------------------------------ *)
+
+let leaf_state t ~(leaf : Hier.leaf) =
+  match Bytes.get t.lifecycle (leaf :> int) with
+  | '\000' -> `Open
+  | '\001' | '\002' -> `Closing
+  | _ -> `Closed
+
+(* CLOSE-LEAF, the array mirror of [Hier.close_leaf]: the committed-chain
+   retract walks the parent links clearing every ancestor whose logical
+   head is this leaf's committed packet ([logical] stores the owning leaf
+   id, so the physical-equality test of the generic engine becomes an int
+   compare), then removes the slot from the parent's heaps with no
+   observer event — exactly what [Wf2q_plus.close_session `Drop] does —
+   and lets the restart cascade repair the cleared ancestors. *)
+let close_leaf t ~(leaf : Hier.leaf) ~policy =
+  let leaf = (leaf :> int) in
+  if t.children_len.(leaf) <> 0 then invalid_arg "Hier_flat.close_leaf: not a leaf";
+  if Bytes.get t.lifecycle leaf <> '\000' then
+    invalid_arg "Hier_flat.close_leaf: leaf already closed or closing";
+  Array.unsafe_set t.now_cache 0 (Engine.Simulator.now t.sim);
+  let q = t.parent.(leaf) in
+  if t.logical.(leaf) < 0 then
+    (* idle leaf: nothing is scheduled anywhere on its path *)
+    Bytes.set t.lifecycle leaf '\003'
+  else
+    match policy with
+    | `Drain -> Bytes.set t.lifecycle leaf '\001'
+    | `Drop ->
+      if t.link_busy && t.in_flight_leaf = leaf then
+        (* the wire packet is never recalled; RESET-PATH completes the
+           close at its departure *)
+        Bytes.set t.lifecycle leaf '\002'
+      else begin
+        drop_leaf_queue t leaf;
+        t.logical.(leaf) <- -1;
+        let m = ref q in
+        let walking = ref true in
+        while !walking do
+          if t.logical.(!m) = leaf then begin
+            t.logical.(!m) <- -1;
+            t.active_child.(!m) <- -1;
+            if !m = t.root then walking := false else m := t.parent.(!m)
+          end
+          else walking := false
+        done;
+        let slot = t.session_in_parent.(leaf) in
+        let i = t.sbase.(q) + slot in
+        if Bytes.get t.s_backlogged i <> '\000' then begin
+          Ih.remove t.eligible.(q) slot;
+          Ih.remove t.waiting.(q) slot;
+          Bytes.set t.s_backlogged i '\000';
+          t.backlogged_count.(q) <- t.backlogged_count.(q) - 1
+        end;
+        Bytes.set t.lifecycle leaf '\003';
+        if t.logical.(q) < 0 then restart_node t q
+      end
+
+let reopen_leaf ?rate t ~(leaf : Hier.leaf) =
+  let leaf = (leaf :> int) in
+  if t.children_len.(leaf) <> 0 then invalid_arg "Hier_flat.reopen_leaf: not a leaf";
+  (match Bytes.get t.lifecycle leaf with
+  | '\003' -> ()
+  | '\000' -> invalid_arg "Hier_flat.reopen_leaf: leaf is open"
+  | _ -> invalid_arg "Hier_flat.reopen_leaf: close still in progress");
+  let q = t.parent.(leaf) in
+  let i = t.sbase.(q) + t.session_in_parent.(leaf) in
+  (match rate with
+  | Some r ->
+    if r <= 0.0 then invalid_arg "Hier_flat.reopen_leaf: rate must be positive";
+    t.rate.(leaf) <- r;
+    t.s_rate.(i) <- r
+  | None -> ());
+  (* fresh-session stamps, matching [Wf2q_plus.open_session] on a recycled
+     slot: F = 0, so the first backlog stamps S = max(0, V) = V *)
+  t.s_start.(i) <- 0.0;
+  t.s_finish.(i) <- 0.0;
+  t.s_head.(i) <- 0.0;
+  Bytes.set t.s_backlogged i '\000';
+  Bytes.set t.lifecycle leaf '\000'
+
+let queue_bits t ~(leaf : Hier.leaf) =
+  let leaf = (leaf :> int) in
   if t.children_len.(leaf) <> 0 then invalid_arg "Hier_flat.queue_bits: not a leaf";
   Net.Fifo.bits t.fifos.(leaf)
 
@@ -593,7 +711,8 @@ let root_name t = t.names.(t.root)
 let node_name t id = t.names.(id)
 let node_count t = t.n_nodes
 
-let leaf_path t ~leaf =
+let leaf_path t ~(leaf : Hier.leaf) =
+  let leaf = (leaf :> int) in
   if t.children_len.(leaf) <> 0 then invalid_arg "Hier_flat.leaf_path: not a leaf";
   Array.sub t.path_nodes t.path_off.(leaf) t.path_len.(leaf)
 

@@ -37,23 +37,39 @@ val create :
     @raise Invalid_argument if [spec] fails {!Class_tree.validate} or its
     root is a leaf. *)
 
-val leaf_id : t -> string -> int
-(** @raise Not_found if no node has that name.
+val leaf_id : t -> string -> Hier.leaf
+(** Leaf identities share {!Hier.leaf}, so code written against one engine
+    (or the {!Hier_engine} facade) type-checks against the other.
+    @raise Not_found if no node has that name.
     @raise Invalid_argument if the name belongs to an interior node. *)
 
-val leaf_name : t -> int -> string
-val leaf_ids : t -> (string * int) list
+val leaf_name : t -> Hier.leaf -> string
+val leaf_ids : t -> (string * Hier.leaf) list
 
-val inject : ?mark:int -> t -> leaf:int -> size_bits:float -> Net.Packet.t
-(** Same contract as {!Hier.inject}. *)
+val inject : ?mark:int -> t -> leaf:Hier.leaf -> size_bits:float -> Net.Packet.t
+(** Same contract as {!Hier.inject}.
+    @raise Invalid_argument if the leaf is closed or closing. *)
 
-val inject_many : ?mark:int -> t -> leaf:int -> size_bits:float -> count:int -> unit
+val inject_many : ?mark:int -> t -> leaf:Hier.leaf -> size_bits:float -> count:int -> unit
 (** [count] same-size packets arrive back to back at the current simulation
     time. After the first packet the subtree already has a logical head, so
     each further packet is one FIFO push plus one (observer-only) arrive —
     the batched form of the common backlog-building loop. *)
 
-val queue_bits : t -> leaf:int -> float
+val close_leaf : t -> leaf:Hier.leaf -> policy:Sched.Sched_intf.close_policy -> unit
+(** Same contract as {!Hier.close_leaf}: idle leaves close immediately,
+    [`Drain] keeps the schedule place until the queue empties, [`Drop]
+    hands queued packets to the drop callback and retracts the committed
+    head from every ancestor (the wire packet, if it is this leaf's,
+    always finishes and completes the close at departure). *)
+
+val reopen_leaf : ?rate:float -> t -> leaf:Hier.leaf -> unit
+(** Same contract as {!Hier.reopen_leaf}: re-opens a closed leaf in place
+    with fresh WF²Q+ stamps, optionally at a new [rate]. *)
+
+val leaf_state : t -> leaf:Hier.leaf -> [ `Open | `Closing | `Closed ]
+
+val queue_bits : t -> leaf:Hier.leaf -> float
 val departed_bits : t -> node:string -> float
 val ref_time : t -> node:string -> float
 
@@ -77,7 +93,7 @@ val root_name : t -> string
 val node_name : t -> int -> string
 val node_count : t -> int
 
-val leaf_path : t -> leaf:int -> int array
+val leaf_path : t -> leaf:Hier.leaf -> int array
 (** The precomputed leaf→root path (leaf first, root last).
     @raise Invalid_argument if [leaf] is interior. *)
 

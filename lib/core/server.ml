@@ -3,9 +3,11 @@ open Sched
 type session = {
   rate : float;
   fifo : Net.Fifo.t;
+  handle : Session_handle.t; (* the policy's handle for this incarnation *)
   mutable next_seq : int;
   mutable has_head : bool;   (* a packet of ours is registered with the policy *)
   mutable in_service : bool; (* our head is currently on the link *)
+  mutable closing : Sched_intf.close_policy option; (* Some = close requested *)
   mutable departed_bits : float;
 }
 
@@ -46,15 +48,69 @@ let add_depart_hook t f = t.on_depart <- compose2 t.on_depart f
 let add_drop_hook t f = t.on_drop <- compose2 t.on_drop f
 let add_transmit_start_hook t f = t.on_transmit_start <- compose2 t.on_transmit_start f
 
-let add_session t ~rate ?queue_capacity_bits () =
-  let idx = t.policy.Sched_intf.add_session ~rate in
+let open_session t ~rate ?queue_capacity_bits () =
+  let handle = t.policy.Sched_intf.open_session ~rate in
+  let slot = t.policy.Sched_intf.session_of_handle handle in
   let fifo = Net.Fifo.create ?capacity_bits:queue_capacity_bits () in
-  let idx' =
-    Vec.push t.sessions
-      { rate; fifo; next_seq = 1; has_head = false; in_service = false; departed_bits = 0.0 }
+  let fresh =
+    {
+      rate;
+      fifo;
+      handle;
+      next_seq = 1;
+      has_head = false;
+      in_service = false;
+      closing = None;
+      departed_bits = 0.0;
+    }
   in
-  assert (idx = idx');
-  idx
+  (* The policy may hand back a recycled slot; mirror its slot table. *)
+  if slot = Vec.length t.sessions then ignore (Vec.push t.sessions fresh)
+  else Vec.set t.sessions slot fresh;
+  handle
+
+let add_session t ~rate ?queue_capacity_bits () =
+  t.policy.Sched_intf.session_of_handle (open_session t ~rate ?queue_capacity_bits ())
+
+let drop_queue t s =
+  let now = Engine.Simulator.now t.sim in
+  let rec loop () =
+    match Net.Fifo.pop s.fifo with
+    | Some pkt ->
+      t.on_drop pkt now;
+      loop ()
+    | None -> ()
+  in
+  loop ()
+
+(* Close semantics (deterministic in every state):
+   - idle session: the policy slot is freed immediately;
+   - backlogged, [`Drain]: no new injections; the queue keeps its place in
+     the schedule and the slot frees when it empties;
+   - backlogged, [`Drop]: queued packets are handed to [on_drop] and the
+     policy forgets the session now — except that a packet already
+     committed to the link is never recalled: the close completes at its
+     transmission-complete event. *)
+let close_session t ~policy h =
+  let slot = t.policy.Sched_intf.session_of_handle h in
+  let s = Vec.get t.sessions slot in
+  if s.closing <> None then invalid_arg "Server.close_session: already closing";
+  let now = Engine.Simulator.now t.sim in
+  if s.in_service then begin
+    s.closing <- Some policy;
+    match policy with
+    | `Drain -> t.policy.Sched_intf.close_session ~now ~policy h
+    | `Drop -> () (* deferred to [complete]: the policy still holds the head *)
+  end
+  else if s.has_head then begin
+    s.closing <- Some policy;
+    (match policy with `Drain -> () | `Drop -> drop_queue t s; s.has_head <- false);
+    t.policy.Sched_intf.close_session ~now ~policy h
+  end
+  else begin
+    s.closing <- Some policy;
+    t.policy.Sched_intf.close_session ~now ~policy h
+  end
 
 let rec start_transmission t =
   if not t.busy then begin
@@ -84,18 +140,28 @@ and complete t session pkt =
   s.departed_bits <- s.departed_bits +. pkt.Net.Packet.size_bits;
   t.departed_total <- t.departed_total +. pkt.Net.Packet.size_bits;
   t.busy <- false;
-  (match Net.Fifo.peek s.fifo with
-  | Some next ->
-    t.policy.Sched_intf.requeue ~now ~session ~head_bits:next.Net.Packet.size_bits
-  | None ->
+  (match s.closing with
+  | Some `Drop ->
+    (* close was deferred while this packet held the link: discard the
+       rest of the queue and finish the close now *)
+    drop_queue t s;
     s.has_head <- false;
-    t.policy.Sched_intf.set_idle ~now ~session);
+    t.policy.Sched_intf.set_idle ~now ~session;
+    t.policy.Sched_intf.close_session ~now ~policy:`Drop s.handle
+  | Some `Drain | None -> (
+    match Net.Fifo.peek s.fifo with
+    | Some next ->
+      t.policy.Sched_intf.requeue ~now ~session ~head_bits:next.Net.Packet.size_bits
+    | None ->
+      s.has_head <- false;
+      t.policy.Sched_intf.set_idle ~now ~session));
   t.on_depart pkt now;
   start_transmission t
 
 let inject t ~session ~size_bits =
   let now = Engine.Simulator.now t.sim in
   let s = Vec.get t.sessions session in
+  if s.closing <> None then invalid_arg "Server.inject: session is closed";
   let pkt =
     Net.Packet.make ~flow:session ~seq:s.next_seq ~size_bits ~arrival:now ()
   in
@@ -114,8 +180,12 @@ let inject t ~session ~size_bits =
     pkt
   end
 
+let inject_handle t ~handle ~size_bits =
+  inject t ~session:(t.policy.Sched_intf.session_of_handle handle) ~size_bits
+
 let queue_bits t ~session = Net.Fifo.bits (Vec.get t.sessions session).fifo
 let session_count t = Vec.length t.sessions
+let live_sessions t = t.policy.Sched_intf.live_sessions ()
 let busy t = t.busy
 let policy t = t.policy
 let departed_bits t ~session = (Vec.get t.sessions session).departed_bits

@@ -22,13 +22,38 @@ val create :
 (** [rate] is the link rate in bits/second. [on_depart pkt time] fires when
     the last bit of [pkt] leaves the link. *)
 
+val open_session :
+  t -> rate:float -> ?queue_capacity_bits:float -> unit -> Sched.Session_handle.t
+(** Open a session with guaranteed rate [r_i], any time — the server may
+    already be transmitting. Returns a generation-tagged handle (see
+    {!Sched.Session_pool}); resolving it after close raises
+    [Stale_handle]. *)
+
+val close_session :
+  t -> policy:Sched.Sched_intf.close_policy -> Sched.Session_handle.t -> unit
+(** Close a session deterministically in every state: idle sessions free
+    immediately; a backlogged session either keeps its schedule place
+    until empty ([`Drain]) or hands its queued packets to the drop
+    callback now ([`Drop]) — except the packet already committed to the
+    link, which always finishes transmitting (the close completes at its
+    departure).
+    @raise Sched.Session_pool.Stale_handle on a stale handle.
+    @raise Invalid_argument if the session is already closing. *)
+
 val add_session : t -> rate:float -> ?queue_capacity_bits:float -> unit -> int
-(** Register a session with guaranteed rate [r_i]; returns its index. *)
+(** Register a session with guaranteed rate [r_i]; returns its index.
+    @deprecated [open_session]'s handle is the supported identity; this
+    int-returning alias remains for the static pre-lifecycle drivers. *)
 
 val inject : t -> session:int -> size_bits:float -> Net.Packet.t
 (** A packet of [size_bits] arrives on [session] at the current simulation
     time. Returns the packet (possibly dropped if the queue is full; the
-    drop callback fires in that case). *)
+    drop callback fires in that case).
+    @raise Invalid_argument if the session is closed or closing. *)
+
+val inject_handle : t -> handle:Sched.Session_handle.t -> size_bits:float -> Net.Packet.t
+(** Handle-taking {!inject}.
+    @raise Sched.Session_pool.Stale_handle on a stale handle. *)
 
 val queue_bits : t -> session:int -> float
 (** Current backlog Q_i(t) of the session, excluding any packet already
@@ -36,7 +61,12 @@ val queue_bits : t -> session:int -> float
 
 val busy : t -> bool
 val policy : t -> Sched.Sched_intf.t
+
 val session_count : t -> int
+(** Slots ever created (including closed ones awaiting reuse). *)
+
+val live_sessions : t -> int
+(** Currently open (live or draining) sessions. *)
 
 val add_depart_hook : t -> (Net.Packet.t -> float -> unit) -> unit
 (** Append a departure callback, composed after any existing ones (including

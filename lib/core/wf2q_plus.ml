@@ -14,7 +14,7 @@ type state = {
   mutable finishes : float array;   (* F_i: virtual finish of the head packet *)
   mutable head_bits : float array;
   mutable backlogged : Bytes.t;     (* '\001' when backlogged *)
-  mutable n_sessions : int;
+  pool : Session_pool.t;            (* slot lifecycle: freelist + generations *)
   eligible : Prioq.Indexed_heap4.t; (* S_i <= V, keyed by F_i *)
   waiting : Prioq.Indexed_heap4.t;  (* S_i >  V, keyed by S_i *)
   vv : float array;                 (* [|V; server time of V|]: V is post-dated to the
@@ -36,13 +36,13 @@ type state = {
 let linear_v t ~now = t.vv.(0) +. (now -. t.vv.(1))
 
 let check_session t session =
-  if session < 0 || session >= t.n_sessions then
+  if not (Session_pool.is_live t.pool session) then
     invalid_arg "Wf2q_plus: unknown session"
 
-let ensure_capacity t =
+let ensure_capacity t slot =
   let cap = Array.length t.rates in
-  if t.n_sessions = cap then begin
-    let cap' = max 16 (2 * cap) in
+  if slot >= cap then begin
+    let cap' = max 16 (max (slot + 1) (2 * cap)) in
     let grow a =
       let b = Array.make cap' 0.0 in
       Array.blit a 0 b 0 cap;
@@ -84,7 +84,7 @@ let make ~rate =
       finishes = [||];
       head_bits = [||];
       backlogged = Bytes.create 0;
-      n_sessions = 0;
+      pool = Session_pool.create ~name:"Wf2q_plus" ();
       eligible = Prioq.Indexed_heap4.create 16;
       waiting = Prioq.Indexed_heap4.create 16;
       vv = [| 0.0; 0.0 |];
@@ -92,14 +92,37 @@ let make ~rate =
       observer = None;
     }
   in
-  let add_session ~rate =
-    if rate <= 0.0 then invalid_arg "Wf2q_plus.add_session: rate must be positive";
-    ensure_capacity t;
-    let session = t.n_sessions in
-    t.rates.(session) <- rate;
-    t.n_sessions <- session + 1;
-    session
+  (* Lifecycle: slots come from the pool's freelist; a recycled slot is
+     re-initialised to fresh-session state (F = 0, so the first backlog
+     stamps S = max(0, V) = V — exactly a brand-new session). *)
+  let open_session ~rate =
+    if rate <= 0.0 then invalid_arg "Wf2q_plus.open_session: rate must be positive";
+    let slot = Session_pool.alloc t.pool in
+    ensure_capacity t slot;
+    t.rates.(slot) <- rate;
+    t.starts.(slot) <- 0.0;
+    t.finishes.(slot) <- 0.0;
+    t.head_bits.(slot) <- 0.0;
+    Bytes.set t.backlogged slot '\000';
+    Session_pool.handle t.pool slot
   in
+  let close_session ~now:_ ~policy h =
+    let slot = Session_pool.resolve t.pool h in
+    if Bytes.get t.backlogged slot <> '\000' then begin
+      match policy with
+      | `Drain ->
+        (* keep scheduling; set_idle frees the slot when the queue empties *)
+        Session_pool.mark_draining t.pool slot
+      | `Drop ->
+        Prioq.Indexed_heap4.remove t.eligible slot;
+        Prioq.Indexed_heap4.remove t.waiting slot;
+        Bytes.set t.backlogged slot '\000';
+        t.backlogged_count <- t.backlogged_count - 1;
+        Session_pool.free t.pool slot
+    end
+    else Session_pool.free t.pool slot
+  in
+  let add_session ~rate = Session_handle.slot (open_session ~rate) in
   let arrive ~now ~session ~size_bits =
     match t.observer with
     | None -> ()
@@ -155,6 +178,7 @@ let make ~rate =
     t.backlogged_count <- t.backlogged_count - 1;
     Prioq.Indexed_heap4.remove t.eligible session;
     Prioq.Indexed_heap4.remove t.waiting session;
+    if Session_pool.is_draining t.pool session then Session_pool.free t.pool session;
     match t.observer with
     | None -> ()
     | Some o -> o.Sched_intf.on_idle ~now ~vtime:(linear_v t ~now) ~session
@@ -192,6 +216,10 @@ let make ~rate =
   {
     Sched_intf.name = "WF2Q+";
     add_session;
+    open_session;
+    close_session;
+    session_of_handle = (fun h -> Session_pool.resolve t.pool h);
+    live_sessions = (fun () -> Session_pool.live_count t.pool);
     arrive;
     backlog;
     requeue;

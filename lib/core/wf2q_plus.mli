@@ -31,4 +31,8 @@
     suite checks all three empirically. *)
 
 val make : rate:float -> Sched.Sched_intf.t
+(** @deprecated Build through {!Schedulers.make} (the unified [~rate] /
+    [?observer] / [?initial_sessions] surface); [make] remains as its
+    plumbing. *)
+
 val factory : Sched.Sched_intf.factory

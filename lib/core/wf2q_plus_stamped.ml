@@ -10,6 +10,7 @@ type session = {
 type state = {
   server_rate : float;
   sessions : session Vec.t;
+  pool : Session_pool.t;
   eligible : Prioq.Indexed_heap4.t; (* head S <= V, keyed by head F *)
   waiting : Prioq.Indexed_heap4.t;  (* keyed by head S *)
   mutable v : float;
@@ -49,6 +50,7 @@ let make ~rate =
     {
       server_rate = rate;
       sessions = Vec.create ();
+      pool = Session_pool.create ~name:"Wf2q_plus_stamped" ();
       eligible = Prioq.Indexed_heap4.create 16;
       waiting = Prioq.Indexed_heap4.create 16;
       v = 0.0;
@@ -57,11 +59,31 @@ let make ~rate =
       observer = None;
     }
   in
-  let add_session ~rate =
-    if rate <= 0.0 then invalid_arg "Wf2q_plus_stamped.add_session: bad rate";
-    Vec.push t.sessions
-      { rate; stamps = Queue.create (); last_finish = 0.0; backlogged = false }
+  let open_session ~rate =
+    if rate <= 0.0 then invalid_arg "Wf2q_plus_stamped.open_session: bad rate";
+    let slot = Session_pool.alloc t.pool in
+    let fresh = { rate; stamps = Queue.create (); last_finish = 0.0; backlogged = false } in
+    if slot = Vec.length t.sessions then ignore (Vec.push t.sessions fresh)
+    else Vec.set t.sessions slot fresh;
+    Session_pool.handle t.pool slot
   in
+  let close_session ~now:_ ~policy h =
+    let slot = Session_pool.resolve t.pool h in
+    let s = Vec.get t.sessions slot in
+    if s.backlogged then begin
+      match policy with
+      | `Drain -> Session_pool.mark_draining t.pool slot
+      | `Drop ->
+        Prioq.Indexed_heap4.remove t.eligible slot;
+        Prioq.Indexed_heap4.remove t.waiting slot;
+        Queue.clear s.stamps;
+        s.backlogged <- false;
+        t.backlogged_count <- t.backlogged_count - 1;
+        Session_pool.free t.pool slot
+    end
+    else Session_pool.free t.pool slot
+  in
+  let add_session ~rate = Session_handle.slot (open_session ~rate) in
   (* eq. 6-7: stamp at arrival time with the current virtual time *)
   let arrive ~now ~session ~size_bits =
     let s = Vec.get t.sessions session in
@@ -101,6 +123,7 @@ let make ~rate =
     remove_from_heaps session;
     s.backlogged <- false;
     t.backlogged_count <- t.backlogged_count - 1;
+    if Session_pool.is_draining t.pool session then Session_pool.free t.pool session;
     match t.observer with
     | None -> ()
     | Some o -> o.Sched_intf.on_idle ~now ~vtime:(linear_v t ~now) ~session
@@ -138,6 +161,10 @@ let make ~rate =
   {
     Sched_intf.name = "WF2Q+pp";
     add_session;
+    open_session;
+    close_session;
+    session_of_handle = (fun h -> Session_pool.resolve t.pool h);
+    live_sessions = (fun () -> Session_pool.live_count t.pool);
     arrive;
     backlog;
     requeue;

@@ -18,4 +18,8 @@
     transmission time of its departure under {!Wf2q_plus}. *)
 
 val make : rate:float -> Sched.Sched_intf.t
+(** @deprecated Prefer the unified constructor surface in
+    [Hpfq.Schedulers]; this per-discipline entry point remains as its
+    plumbing. *)
+
 val factory : Sched.Sched_intf.factory

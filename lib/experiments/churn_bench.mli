@@ -1,0 +1,77 @@
+(** Session-churn benchmark ([bench churn]) and virtual-time soak harness.
+
+    The churn grid sizes the session-lifecycle machinery: 10⁵–10⁶
+    sessions open on one policy, then a steady loop of
+    backlog → [close_session ~policy:`Drop] → [open_session] (slot reuse
+    through the arena freelist, generation bump per reopen). The headline
+    is the fixed-point engine's churn events/second at the largest grid
+    point; the acceptance floor is 10⁵ events/s.
+
+    The soak harness drives one continuously backlogged session at a
+    non-dyadic rate and measures how far each engine's virtual time
+    drifts from the exact accumulated service (eqs. 27–29): the float
+    engine picks up one rounding per packet, the fixed-point engine adds
+    exact integer ticks and is checked for {e zero} drift in the integer
+    domain. *)
+
+type row = {
+  engine : string;
+  sessions : int;  (** concurrent open sessions during the churn loop *)
+  ramp_opens_per_sec : float;  (** cold-start open rate (empty → full) *)
+  churn_events_per_sec : float;  (** open+close events/s at steady state *)
+  minor_words_per_event : float;
+  live_after : int;  (** must equal [sessions]: every close was repaid *)
+}
+
+val run : ?quick:bool -> ?out:string -> unit -> row list
+(** Run the grid (engines {WF²Q+fx, WF²Q+} × sessions {10⁵, 10⁶};
+    [~quick:true] shrinks to 10⁴ sessions and a shorter loop), print a
+    table and write the JSON report (schema ["hpfq-bench-churn-v1"]) to
+    [out] (default [BENCH_churn.json]).
+    @raise Failure if a cell leaks or loses sessions, or the emitted JSON
+    fails {!validate}. *)
+
+val validate : Bench_kit.Json.t -> (unit, string list) result
+(** Check a report for the required top-level and per-row keys; [Error]
+    lists what is missing. *)
+
+val headline_of_report : Bench_kit.Json.t -> (float, string) result
+(** Extract the headline churn-events/s figure from a report. *)
+
+type guard_result = {
+  baseline_eps : float;  (** headline events/s from the baseline file *)
+  fresh_eps : float;  (** freshly measured headline events/s *)
+  perf_ratio : float;  (** fresh / baseline *)
+  floor : float;  (** absolute events/s floor in force *)
+  tol : float;  (** relative tolerance in force *)
+  within : bool;  (** [perf_ratio >= 1 - tol] and [fresh_eps >= floor] *)
+}
+
+val guard :
+  ?baseline:string ->
+  ?tol:float ->
+  ?floor:float ->
+  ?sessions:int ->
+  ?iters:int ->
+  unit ->
+  (guard_result, string) result
+(** Re-measure the headline cell and compare against the committed
+    baseline report (default [BENCH_churn.json]). [tol] defaults to
+    [HPFQ_CHURN_TOL] (else 0.2); [floor] to [HPFQ_CHURN_FLOOR] (else
+    1e5); [sessions]/[iters] shrink the fresh measurement for smoke
+    tests. [Error] means the baseline could not be read or parsed. *)
+
+type soak_result = {
+  s_engine : string;
+  s_packets : int;
+  s_v_end : float;  (** virtual time after the run *)
+  s_drift : float;  (** signed error of V vs exact [n * step] *)
+  s_exact : bool;  (** drift known exactly zero (integer-domain check) *)
+}
+
+val soak : ?packets:int -> unit -> soak_result list
+(** Long-horizon drift measurement at rate 0.3 (default 10⁷ packets;
+    [HPFQ_SOAK]-gated callers pass 10⁹). Returns one result per engine,
+    fixed-point first. The fixed-point result has [s_exact = true] and
+    [s_drift = 0.] by construction; the float result's [s_drift] is the
+    engine's accumulated rounding error, measurably non-zero. *)

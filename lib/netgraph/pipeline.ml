@@ -1,6 +1,6 @@
 type flow = {
   name : string;
-  route : (int * int) array; (* (hop index, leaf id) per hop *)
+  route : (int * Hpfq.Hier.leaf) array; (* (hop index, leaf) per hop *)
   pending_origins : float Queue.t; (* injection times of packets in flight *)
   mutable delivered : int;
 }
@@ -12,8 +12,8 @@ type t = {
   mutable hops : hop array;
   propagation_delay : float;
   flows : (string, flow) Hashtbl.t;
-  (* (hop index, leaf id) -> flow, for routing departures *)
-  routing : (int * int, flow) Hashtbl.t;
+  (* (hop index, leaf) -> flow, for routing departures *)
+  routing : (int * Hpfq.Hier.leaf, flow) Hashtbl.t;
   on_deliver : flow:string -> Net.Packet.t -> injected:float -> delivered:float -> unit;
 }
 
@@ -34,7 +34,9 @@ let create ~sim ~hops ~make_policy ?(propagation_delay = 0.001)
     let on_depart pkt ~leaf:_ time = hop_departure t index pkt time in
     { name; spec; server = Hpfq.Hier.create ~sim ~spec ~make_policy ~on_depart () }
   and hop_departure t index pkt time =
-    match Hashtbl.find_opt t.routing (index, pkt.Net.Packet.flow) with
+    match
+      Hashtbl.find_opt t.routing (index, Hpfq.Hier.unsafe_leaf_of_int pkt.Net.Packet.flow)
+    with
     | None -> () (* leaf not owned by a pipeline flow: local traffic *)
     | Some flow ->
       if index + 1 < Array.length t.hops then begin

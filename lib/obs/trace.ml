@@ -113,7 +113,9 @@ let attach_hier ?(capacity = 65536) ?(on_full = Recorder.Drop_oldest) h =
       session_nodes.(id) <- children;
       Array.iter (fun cid -> parents.(cid) <- id) children);
   let paths = Array.make n [||] in
-  List.iter (fun (_, leaf) -> paths.(leaf) <- Hpfq.Hier.leaf_path h ~leaf)
+  List.iter
+    (fun (_, (leaf : Hpfq.Hier.leaf)) ->
+      paths.((leaf :> int)) <- Hpfq.Hier.leaf_path h ~leaf)
     (Hpfq.Hier.leaf_ids h);
   let t =
     make ~recorder:(Recorder.create ~capacity ~on_full ()) ~node_names ~session_nodes
@@ -145,7 +147,9 @@ let attach_hier_flat ?(capacity = 65536) ?(on_full = Recorder.Drop_oldest) h =
       session_nodes.(id) <- children;
       Array.iter (fun cid -> parents.(cid) <- id) children);
   let paths = Array.make n [||] in
-  List.iter (fun (_, leaf) -> paths.(leaf) <- Hpfq.Hier_flat.leaf_path h ~leaf)
+  List.iter
+    (fun (_, (leaf : Hpfq.Hier.leaf)) ->
+      paths.((leaf :> int)) <- Hpfq.Hier_flat.leaf_path h ~leaf)
     (Hpfq.Hier_flat.leaf_ids h);
   let t =
     make ~recorder:(Recorder.create ~capacity ~on_full ()) ~node_names ~session_nodes

@@ -1,0 +1,57 @@
+(** 4-ary indexed min-heap over integer keys with {e integer} priorities —
+    the fixed-point twin of {!Indexed_heap4}.
+
+    Same shape, same ordering rule (priority, then key, deterministic), but
+    priorities are plain ints (virtual-time ticks), so comparisons are exact
+    machine-integer compares with no epsilon slack and the interleaved
+    (prio, key) slab is a single unboxed [int array]. On traces whose float
+    priorities are exactly representable, {!Indexed_heap4} and this heap
+    pop identical sequences — the property the fixed-vs-float differential
+    test leans on.
+
+    Priorities must be < [max_int] ([max_int] is the empty-slot sentinel). *)
+
+type t
+
+val create : int -> t
+(** [create capacity] handles keys [0 .. capacity-1]; grows on demand. *)
+
+val length : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+val add : t -> key:int -> prio:int -> unit
+(** @raise Invalid_argument if [key] is already present or negative. *)
+
+val update : t -> key:int -> prio:int -> unit
+(** Change the priority of a present key (either direction).
+    @raise Invalid_argument if [key] is absent. *)
+
+val add_or_update : t -> key:int -> prio:int -> unit
+
+val remove : t -> int -> unit
+(** Remove [key] if present; no-op otherwise. *)
+
+val min_key : t -> int option
+(** Key with smallest priority (ties: smallest key). *)
+
+val min_prio : t -> int option
+val min_binding : t -> (int * int) option
+val pop_min : t -> (int * int) option
+
+val min_key_unsafe : t -> int
+(** Allocation-free [min_key]: the minimum key, or [-1] when empty. *)
+
+val min_prio_unsafe : t -> int
+(** Allocation-free [min_prio]: the minimum priority, or [max_int] when
+    empty. *)
+
+val drop_min : t -> unit
+(** Remove the minimum binding; no-op when empty. *)
+
+val prio_of : t -> int -> int option
+val iter : (int -> int -> unit) -> t -> unit
+val clear : t -> unit
+
+val check_invariant : t -> bool
+(** Heap order + position-table + beyond-size-sentinel consistency. *)

@@ -2,13 +2,34 @@ type session = { order : int Queue.t; mutable backlogged : bool }
 
 let make ~rate:_ =
   let sessions : session Vec.t = Vec.create () in
+  let pool = Session_pool.create ~name:"Fifo_sched" () in
   let ready = Prioq.Indexed_heap.create 16 in
   let backlogged_count = ref 0 in
   let arrival_counter = ref 0 in
   let observer : Sched_intf.observer option ref = ref None in
-  let add_session ~rate:_ =
-    Vec.push sessions { order = Queue.create (); backlogged = false }
+  let open_session ~rate:_ =
+    let slot = Session_pool.alloc pool in
+    let fresh = { order = Queue.create (); backlogged = false } in
+    if slot = Vec.length sessions then ignore (Vec.push sessions fresh)
+    else Vec.set sessions slot fresh;
+    Session_pool.handle pool slot
   in
+  let close_session ~now:_ ~policy h =
+    let slot = Session_pool.resolve pool h in
+    let s = Vec.get sessions slot in
+    if s.backlogged then begin
+      match policy with
+      | `Drain -> Session_pool.mark_draining pool slot
+      | `Drop ->
+        Prioq.Indexed_heap.remove ready slot;
+        Queue.clear s.order;
+        s.backlogged <- false;
+        decr backlogged_count;
+        Session_pool.free pool slot
+    end
+    else Session_pool.free pool slot
+  in
+  let add_session ~rate = Session_handle.slot (open_session ~rate) in
   let arrive ~now ~session ~size_bits =
     incr arrival_counter;
     Queue.push !arrival_counter (Vec.get sessions session).order;
@@ -49,6 +70,7 @@ let make ~rate:_ =
     Prioq.Indexed_heap.remove ready session;
     s.backlogged <- false;
     decr backlogged_count;
+    if Session_pool.is_draining pool session then Session_pool.free pool session;
     match !observer with
     | None -> ()
     | Some o -> o.Sched_intf.on_idle ~now ~vtime:(float_of_int !arrival_counter) ~session
@@ -66,6 +88,10 @@ let make ~rate:_ =
   {
     Sched_intf.name = "FIFO";
     add_session;
+    open_session;
+    close_session;
+    session_of_handle = (fun h -> Session_pool.resolve pool h);
+    live_sessions = (fun () -> Session_pool.live_count pool);
     arrive;
     backlog;
     requeue;

@@ -1,0 +1,32 @@
+(* Fixed-point virtual time: vtime is carried as an integer count of
+   [ticks], 2^shift ticks per virtual-time second. All per-packet stamp
+   arithmetic is then exact integer addition — the quantization happens
+   ONCE per session, when its rate is converted to an integer ticks-per-bit
+   increment, not once per packet. A float engine summing L/r per packet
+   accumulates rounding drift that grows with the horizon; the fixed-point
+   engine schedules exactly for its (quantized) rates forever, which is
+   what makes week-long soaks reproducible (see DESIGN.md §13 and the
+   drift soak in bench/experiments). *)
+
+let default_shift = 20
+
+let one ~shift = 1 lsl shift
+
+(* ticks per bit for a session of [rate] bits per vtime-second; rounding
+   here is the engine's single quantization point. The effective rate is
+   2^shift / ipb, within a relative 2^-shift of the request for rates up
+   to ~2^(shift-1). Rates above 2^shift bits/s would floor to 0 ticks/bit;
+   clamp to 1 and let the caller pick a bigger shift (create-time check in
+   Wf2q_plus_fixed). *)
+let ticks_per_bit ~shift ~rate =
+  if rate <= 0.0 then invalid_arg "Fixed.ticks_per_bit: rate must be positive";
+  max 1 (int_of_float (Float.round (float_of_int (one ~shift) /. rate)))
+
+let of_float ~shift v = int_of_float (Float.round (v *. float_of_int (one ~shift)))
+let to_float ~shift ticks = float_of_int ticks /. float_of_int (one ~shift)
+
+(* Overflow horizon: OCaml ints carry 62 value bits; with the default
+   shift of 20 the representable virtual-time span is 2^42 vtime-seconds
+   (~1.4e5 years of busy service at rate parity), and a single session's
+   finish stamp overflows only after serving ~2^42 * rate bits. *)
+let horizon_seconds ~shift = to_float ~shift max_int

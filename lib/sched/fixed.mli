@@ -1,0 +1,29 @@
+(** Fixed-point virtual-time arithmetic (scaled integer ticks).
+
+    Virtual time is represented as an int count of ticks, [2^shift] ticks
+    per virtual-time second. Each session's rate is quantized {e once} to
+    an integer ticks-per-bit increment; every subsequent stamp update
+    (eqs. 27–29) is exact integer addition, so the scheduler never
+    accumulates per-packet rounding the way a float engine does — and
+    eligibility tests are exact [<=] with no {!Float_cmp} slack.
+
+    Scale choice: [shift] trades rate resolution (relative rate error
+    [2^-shift]) against overflow horizon ([2^(62-shift)] vtime-seconds).
+    The default 20 supports rates up to ~[2^19] bits per vtime-second at
+    better than 2 ppm and a horizon of ~[4.4e12] vtime-seconds. *)
+
+val default_shift : int
+
+val one : shift:int -> int
+(** Ticks per virtual-time second. *)
+
+val ticks_per_bit : shift:int -> rate:float -> int
+(** The session's quantized inverse rate, [round(2^shift / rate)], clamped
+    to at least 1 tick/bit.
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val of_float : shift:int -> float -> int
+val to_float : shift:int -> int -> float
+
+val horizon_seconds : shift:int -> float
+(** Largest representable virtual time, in vtime-seconds. *)

@@ -10,6 +10,7 @@ type state = {
   discipline : discipline;
   clock : Gps_clock.t;
   sessions : session Vec.t;
+  pool : Session_pool.t;
   (* SFF: [ready] holds every backlogged session keyed by head virtual
      finish. SEFF: [ready] holds eligible sessions keyed by finish and
      [waiting] holds not-yet-eligible ones keyed by head virtual start. *)
@@ -58,20 +59,43 @@ let make ~discipline ~name ~rate =
       discipline;
       clock = Gps_clock.create ~rate;
       sessions = Vec.create ();
+      (* The fluid clock integrates per-slot state over the whole busy
+         period; a recycled slot cannot be re-initialised mid-flight, so
+         closed slots retire instead of returning to a freelist. *)
+      pool = Session_pool.create ~name:name ~recycle:false ();
       ready = Prioq.Indexed_heap4.create 16;
       waiting = Prioq.Indexed_heap4.create 16;
       backlogged_count = 0;
       observer = None;
     }
   in
-  let add_session ~rate =
+  let open_session ~rate =
+    if rate <= 0.0 then invalid_arg (name ^ ".open_session: bad rate");
+    let slot = Session_pool.alloc t.pool in
     let idx = Gps_clock.add_session t.clock ~rate in
     let idx' =
       Vec.push t.sessions { rate; stamps = Queue.create (); backlogged = false }
     in
-    assert (idx = idx');
-    idx
+    (* recycle:false means slots are dense: pool, clock and Vec agree. *)
+    assert (idx = idx' && idx = slot);
+    Session_pool.handle t.pool slot
   in
+  let close_session ~now:_ ~policy h =
+    let slot = Session_pool.resolve t.pool h in
+    let s = Vec.get t.sessions slot in
+    if s.backlogged then begin
+      match policy with
+      | `Drain -> Session_pool.mark_draining t.pool slot
+      | `Drop ->
+        (* Dropping the queue would leave the fluid GPS system still owing
+           service for those bits, skewing V for every other session.
+           Deterministic reject: callers must drain GPS-exact policies. *)
+        invalid_arg
+          (name ^ ".close_session: `Drop of a backlogged session is unsupported")
+    end
+    else Session_pool.free t.pool slot
+  in
+  let add_session ~rate = Session_handle.slot (open_session ~rate) in
   let arrive ~now ~session ~size_bits =
     let stamps = Gps_clock.on_arrival t.clock ~now ~session ~size_bits in
     Queue.push stamps (Vec.get t.sessions session).stamps;
@@ -121,6 +145,7 @@ let make ~discipline ~name ~rate =
     if not s.backlogged then invalid_arg (name ^ ": set_idle of idle session");
     s.backlogged <- false;
     t.backlogged_count <- t.backlogged_count - 1;
+    if Session_pool.is_draining t.pool session then Session_pool.free t.pool session;
     match t.observer with
     | None -> ()
     | Some o ->
@@ -158,6 +183,10 @@ let make ~discipline ~name ~rate =
   {
     Sched_intf.name;
     add_session;
+    open_session;
+    close_session;
+    session_of_handle = (fun h -> Session_pool.resolve t.pool h);
+    live_sessions = (fun () -> Session_pool.live_count t.pool);
     arrive;
     backlog;
     requeue;

@@ -11,6 +11,7 @@ type state = {
   quantum_of : rate:float -> server_rate:float -> float;
   serve_cost : head_bits:float -> float;
   sessions : session Vec.t;
+  pool : Session_pool.t;
   active : int Queue.t;
   mutable backlogged_count : int;
   mutable rounds : float; (* coarse "virtual time": rounds completed *)
@@ -24,16 +25,45 @@ let make_policy ~name ~quantum_of ~serve_cost ~rate =
       quantum_of;
       serve_cost;
       sessions = Vec.create ();
+      pool = Session_pool.create ~name:name ();
       active = Queue.create ();
       backlogged_count = 0;
       rounds = 0.0;
       observer = None;
     }
   in
-  let add_session ~rate =
-    Vec.push t.sessions
+  let open_session ~rate =
+    if rate <= 0.0 then invalid_arg (name ^ ".open_session: bad rate");
+    let slot = Session_pool.alloc t.pool in
+    let fresh =
       { rate; head_bits = 0.0; deficit = 0.0; topped = false; backlogged = false }
+    in
+    if slot = Vec.length t.sessions then ignore (Vec.push t.sessions fresh)
+    else Vec.set t.sessions slot fresh;
+    Session_pool.handle t.pool slot
   in
+  let close_session ~now:_ ~policy h =
+    let slot = Session_pool.resolve t.pool h in
+    let s = Vec.get t.sessions slot in
+    if s.backlogged then begin
+      match policy with
+      | `Drain -> Session_pool.mark_draining t.pool slot
+      | `Drop ->
+        (* The round-robin list has no removal primitive; rebuild it without
+           the dropped session (close is not a hot-path operation here). *)
+        let keep = Queue.create () in
+        Queue.iter (fun s' -> if s' <> slot then Queue.push s' keep) t.active;
+        Queue.clear t.active;
+        Queue.transfer keep t.active;
+        s.backlogged <- false;
+        s.deficit <- 0.0;
+        s.topped <- false;
+        t.backlogged_count <- t.backlogged_count - 1;
+        Session_pool.free t.pool slot
+    end
+    else Session_pool.free t.pool slot
+  in
+  let add_session ~rate = Session_handle.slot (open_session ~rate) in
   let arrive ~now ~session ~size_bits =
     match t.observer with
     | None -> ()
@@ -67,6 +97,7 @@ let make_policy ~name ~quantum_of ~serve_cost ~rate =
     (match Queue.peek_opt t.active with
     | Some front when front = session -> ignore (Queue.pop t.active)
     | Some _ | None -> invalid_arg (name ^ ": set_idle of non-front session"));
+    if Session_pool.is_draining t.pool session then Session_pool.free t.pool session;
     match t.observer with
     | None -> ()
     | Some o -> o.Sched_intf.on_idle ~now ~vtime:t.rounds ~session
@@ -100,6 +131,10 @@ let make_policy ~name ~quantum_of ~serve_cost ~rate =
   {
     Sched_intf.name;
     add_session;
+    open_session;
+    close_session;
+    session_of_handle = (fun h -> Session_pool.resolve t.pool h);
+    live_sessions = (fun () -> Session_pool.live_count t.pool);
     arrive;
     backlog;
     requeue;

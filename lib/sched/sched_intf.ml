@@ -74,13 +74,43 @@ let null_observer =
     on_select = (fun ~now:_ ~vtime:_ ~session:_ -> ());
   }
 
+type close_policy = [ `Drain | `Drop ]
+(** What [close_session] does to a still-backlogged session:
+    - [`Drain]: the session stops accepting new work but keeps its place in
+      the schedule until the caller reports it idle ([set_idle]), at which
+      point its slot is freed — guaranteed service is honoured to the last
+      queued packet.
+    - [`Drop]: the session is removed from the eligible/waiting structures
+      immediately (the caller discards its queue). Closing an idle session
+      is identical under both policies.
+
+    Either way the close is {e deterministic}: a policy that cannot support
+    one of the variants must raise [Invalid_argument], never corrupt its
+    heaps. *)
+
 type t = {
   name : string;
   (** Discipline name, e.g. ["WF2Q+"]. Used in reports. *)
   add_session : rate:float -> int;
   (** Register a session with guaranteed rate [r_i] (bits per second of
-      server time); returns its session index. Sessions are added before
-      traffic starts. *)
+      server time); returns its session index.
+      @deprecated This is the static pre-lifecycle entry point, kept as an
+      alias for [open_session] + [session_of_handle] so existing drivers
+      keep working; new code should call {!open_session} and hold the
+      handle. *)
+  open_session : rate:float -> Session_handle.t;
+  (** Open a session with guaranteed rate [r_i], any time — before or
+      during service. Returns a generation-tagged handle; the underlying
+      slot may recycle a closed session's storage, and a handle kept past
+      [close_session] raises {!Session_pool.Stale_handle} when resolved. *)
+  close_session : now:float -> policy:close_policy -> Session_handle.t -> unit;
+  (** Close a session (see {!close_policy} for backlogged semantics).
+      @raise Session_pool.Stale_handle if the handle is stale. *)
+  session_of_handle : Session_handle.t -> int;
+  (** Resolve a handle to the session index used by the driving protocol.
+      @raise Session_pool.Stale_handle if the handle is stale. *)
+  live_sessions : unit -> int;
+  (** Number of open (live or draining) sessions. *)
   arrive : now:float -> session:int -> size_bits:float -> unit;
   (** Called for every packet arrival, in FIFO order per session. *)
   backlog : now:float -> session:int -> head_bits:float -> unit;
@@ -106,5 +136,8 @@ type t = {
 }
 
 (** Constructor type shared by all disciplines: a standalone factory taking
-    the server rate in bits/second. *)
+    the server rate in bits/second.
+    @deprecated Prefer the unified labelled constructor surface in
+    [Hpfq.Schedulers] ([~rate], [?observer], [?initial_sessions]); the
+    factory records remain the plumbing underneath it. *)
 type factory = { kind : string; make : rate:float -> t }

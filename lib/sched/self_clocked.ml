@@ -11,6 +11,7 @@ type session = {
 type state = {
   flavour : flavour;
   sessions : session Vec.t;
+  pool : Session_pool.t;
   ready : Prioq.Indexed_heap.t; (* keyed by F (SCFQ) or S (SFQ) *)
   mutable v : float;            (* tag of the packet in service *)
   mutable epoch : int;
@@ -27,6 +28,7 @@ let make ~flavour ~name ~rate:_ =
     {
       flavour;
       sessions = Vec.create ();
+      pool = Session_pool.create ~name:name ();
       ready = Prioq.Indexed_heap.create 16;
       v = 0.0;
       epoch = 0;
@@ -35,8 +37,10 @@ let make ~flavour ~name ~rate:_ =
       observer = None;
     }
   in
-  let add_session ~rate =
-    Vec.push t.sessions
+  let open_session ~rate =
+    if rate <= 0.0 then invalid_arg (name ^ ".open_session: bad rate");
+    let slot = Session_pool.alloc t.pool in
+    let fresh =
       {
         rate;
         stamps = Queue.create ();
@@ -44,7 +48,33 @@ let make ~flavour ~name ~rate:_ =
         stamp_epoch = -1;
         backlogged = false;
       }
+    in
+    if slot = Vec.length t.sessions then ignore (Vec.push t.sessions fresh)
+    else Vec.set t.sessions slot fresh;
+    Session_pool.handle t.pool slot
   in
+  let close_session ~now:_ ~policy h =
+    let slot = Session_pool.resolve t.pool h in
+    let s = Vec.get t.sessions slot in
+    if s.backlogged then begin
+      match policy with
+      | `Drain -> Session_pool.mark_draining t.pool slot
+      | `Drop ->
+        Prioq.Indexed_heap.remove t.ready slot;
+        Queue.clear s.stamps;
+        s.backlogged <- false;
+        t.backlogged_count <- t.backlogged_count - 1;
+        if t.backlogged_count = 0 then begin
+          (* same busy-period reset as set_idle *)
+          t.in_service <- false;
+          t.v <- 0.0;
+          t.epoch <- t.epoch + 1
+        end;
+        Session_pool.free t.pool slot
+    end
+    else Session_pool.free t.pool slot
+  in
+  let add_session ~rate = Session_handle.slot (open_session ~rate) in
   let arrive ~now ~session ~size_bits =
     let s = Vec.get t.sessions session in
     let prev = if s.stamp_epoch = t.epoch then s.last_finish else 0.0 in
@@ -93,6 +123,7 @@ let make ~flavour ~name ~rate:_ =
       t.v <- 0.0;
       t.epoch <- t.epoch + 1
     end;
+    if Session_pool.is_draining t.pool session then Session_pool.free t.pool session;
     match t.observer with
     | None -> ()
     | Some o -> o.Sched_intf.on_idle ~now ~vtime:t.v ~session
@@ -114,6 +145,10 @@ let make ~flavour ~name ~rate:_ =
   {
     Sched_intf.name;
     add_session;
+    open_session;
+    close_session;
+    session_of_handle = (fun h -> Session_pool.resolve t.pool h);
+    live_sessions = (fun () -> Session_pool.live_count t.pool);
     arrive;
     backlog;
     requeue;

@@ -147,7 +147,7 @@ type link_state = {
   ls_link : int;
   ls_sim : Sim.t;
   ls_engine : Hpfq.Hier_engine.t;
-  ls_leaf_ids : int array; (* leaf slot (Class_tree.leaves order) -> node id *)
+  ls_leaf_ids : Hpfq.Hier.leaf array; (* leaf slot (Class_tree.leaves order) -> leaf *)
   ls_pkts : int ref;
   ls_bits : float ref;
   ls_hash : int64 ref;

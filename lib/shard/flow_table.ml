@@ -38,3 +38,44 @@ let shard_of_link ~links ~shards link =
 
 let shard_of_flow ~links ~shards flow =
   shard_of_link ~links ~shards (link_of_flow ~links flow)
+
+(* Open-on-first-arrival session table: external flow ids map onto policy
+   sessions that may not exist yet; the first packet of a flow opens its
+   session at ingress, and a close simply forgets the mapping (a later
+   packet of the same flow id re-opens a fresh session — new handle
+   generation, fresh stamps). *)
+module Sessions = struct
+  type t = {
+    policy : Sched.Sched_intf.t;
+    rate_of_flow : int -> float;
+    table : (int, Sched.Session_handle.t) Hashtbl.t;
+  }
+
+  let create ?rate_of_flow ~policy ~default_rate () =
+    if default_rate <= 0.0 then
+      invalid_arg "Flow_table.Sessions.create: default_rate must be positive";
+    let rate_of_flow =
+      match rate_of_flow with Some f -> f | None -> fun _ -> default_rate
+    in
+    { policy; rate_of_flow; table = Hashtbl.create 1024 }
+
+  let handle t ~flow =
+    match Hashtbl.find_opt t.table flow with
+    | Some h -> h
+    | None ->
+      let h = t.policy.Sched.Sched_intf.open_session ~rate:(t.rate_of_flow flow) in
+      Hashtbl.add t.table flow h;
+      h
+
+  let session t ~flow = t.policy.Sched.Sched_intf.session_of_handle (handle t ~flow)
+
+  let close t ~policy ~now ~flow =
+    match Hashtbl.find_opt t.table flow with
+    | None -> ()
+    | Some h ->
+      Hashtbl.remove t.table flow;
+      t.policy.Sched.Sched_intf.close_session ~now ~policy h
+
+  let known t ~flow = Hashtbl.mem t.table flow
+  let live t = Hashtbl.length t.table
+end

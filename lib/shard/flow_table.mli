@@ -37,3 +37,40 @@ val shard_of_flow : links:int -> shards:int -> int -> int
 (** [shard_of_flow ~links ~shards flow] is
     [shard_of_link ~links ~shards (link_of_flow ~links flow)] — the
     composition the router actually uses. *)
+
+(** Open-on-first-arrival flow→session mapping for a dynamic session set.
+
+    The routing functions above map a flow id onto a {e static} class
+    leaf. [Sessions] covers the lifecycle path: flows map onto policy
+    sessions that may not exist yet, and the first packet of an unknown
+    flow opens its session at ingress. Closing forgets the mapping, so a
+    later packet of the same flow id opens a {e fresh} session (new
+    handle generation, fresh virtual-time stamps) — exactly the churn
+    pattern [bench churn] drives at 10⁵–10⁶ concurrent flows. *)
+module Sessions : sig
+  type t
+
+  val create :
+    ?rate_of_flow:(int -> float) ->
+    policy:Sched.Sched_intf.t ->
+    default_rate:float ->
+    unit ->
+    t
+  (** [rate_of_flow] gives each new session's guaranteed rate (default:
+      [default_rate] for every flow).
+      @raise Invalid_argument if [default_rate <= 0]. *)
+
+  val handle : t -> flow:int -> Sched.Session_handle.t
+  (** The flow's session handle, opening the session on first sight. *)
+
+  val session : t -> flow:int -> int
+  (** The flow's session slot ({!handle} resolved), for the driving
+      protocol. *)
+
+  val close : t -> policy:Sched.Sched_intf.close_policy -> now:float -> flow:int -> unit
+  (** Close the flow's session (no-op for unknown flows) and forget the
+      mapping; the flow id re-opens on its next arrival. *)
+
+  val known : t -> flow:int -> bool
+  val live : t -> int
+end

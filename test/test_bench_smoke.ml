@@ -188,6 +188,77 @@ let test_hier_guard_verdicts () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing baseline should be an error"
 
+(* -- session-lifecycle churn suite ---------------------------------------- *)
+
+module Cbench = Experiments.Churn_bench
+
+let test_churn_quick_run_emits_valid_report () =
+  let out = Filename.temp_file "bench_churn_smoke" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let rows = Cbench.run ~quick:true ~out () in
+      (* quick grid: 1 session count x 2 engines *)
+      Alcotest.(check int) "row count" 2 (List.length rows);
+      List.iter
+        (fun r ->
+          if r.Cbench.churn_events_per_sec <= 0.0 then
+            Alcotest.fail "churn_events_per_sec not positive";
+          if r.Cbench.ramp_opens_per_sec <= 0.0 then
+            Alcotest.fail "ramp_opens_per_sec not positive";
+          (* the loop repays every close with a reopen *)
+          Alcotest.(check int) "live sessions conserved" r.Cbench.sessions
+            r.Cbench.live_after)
+        rows;
+      let report = Json.of_file out in
+      match Cbench.validate report with
+      | Ok () -> ()
+      | Error problems ->
+        Alcotest.failf "invalid churn report: %s" (String.concat "; " problems))
+
+let fake_churn_report eps =
+  Json.Obj
+    [
+      ("schema", Json.Str "hpfq-bench-churn-v1");
+      ( "headline",
+        Json.Obj
+          [
+            ("workload", Json.Str "idle-open/backlog/close-drop/reopen churn");
+            ("churn_events_per_sec", Json.Num eps);
+          ] );
+    ]
+
+let test_churn_guard_verdicts () =
+  let with_baseline eps f =
+    let path = Filename.temp_file "bench_churn_guard" ".json" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Json.to_file path (fake_churn_report eps);
+        f path)
+  in
+  let run_guard ?(floor = 0.0) path =
+    Cbench.guard ~baseline:path ~tol:0.05 ~floor ~sessions:1_000 ~iters:5_000 ()
+  in
+  with_baseline 1.0 (fun path ->
+      match run_guard path with
+      | Ok g -> Alcotest.(check bool) "beats trivial baseline" true g.Cbench.within
+      | Error e -> Alcotest.failf "churn guard errored: %s" e);
+  with_baseline 1e15 (fun path ->
+      match run_guard path with
+      | Ok g ->
+        Alcotest.(check bool) "loses to absurd baseline" false g.Cbench.within
+      | Error e -> Alcotest.failf "churn guard errored: %s" e);
+  with_baseline 1.0 (fun path ->
+      match run_guard ~floor:1e15 path with
+      | Ok g ->
+        Alcotest.(check bool) "absolute floor gates independently" false
+          g.Cbench.within
+      | Error e -> Alcotest.failf "churn guard errored: %s" e);
+  match Cbench.guard ~baseline:"/nonexistent/BENCH_churn.json" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing baseline should be an error"
+
 (* -- multicore scaling suite ---------------------------------------------- *)
 
 module Pbench = Experiments.Parallel_bench
@@ -464,6 +535,12 @@ let () =
           Alcotest.test_case "quick run emits valid report" `Quick
             test_hier_quick_run_emits_valid_report;
           Alcotest.test_case "guard verdicts" `Quick test_hier_guard_verdicts;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "quick run emits valid report" `Quick
+            test_churn_quick_run_emits_valid_report;
+          Alcotest.test_case "guard verdicts" `Quick test_churn_guard_verdicts;
         ] );
       ( "parallel",
         [

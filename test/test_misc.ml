@@ -88,7 +88,7 @@ let test_disciplines_find () =
     (Hpfq.Disciplines.find "wf2q+" <> None);
   Alcotest.(check bool) "find WFQ" true (Hpfq.Disciplines.find "WFQ" <> None);
   Alcotest.(check bool) "unknown" true (Hpfq.Disciplines.find "cbq" = None);
-  Alcotest.(check int) "registry size" 10 (List.length Hpfq.Disciplines.all)
+  Alcotest.(check int) "registry size" 11 (List.length Hpfq.Disciplines.all)
 
 let () =
   Alcotest.run "misc"

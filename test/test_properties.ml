@@ -159,7 +159,10 @@ let prop_flat_hier_equals_server =
         in
         let ids = Array.init n (fun i -> Hier.leaf_id h (Printf.sprintf "s%d" i)) in
         let leaf_to_session = Hashtbl.create 8 in
-        Array.iteri (fun session leaf -> Hashtbl.replace leaf_to_session leaf session) ids;
+        Array.iteri
+          (fun session (leaf : Hier.leaf) ->
+            Hashtbl.replace leaf_to_session (leaf :> int) session)
+          ids;
         List.iter
           (fun (at, session, size) ->
             ignore
