@@ -90,6 +90,38 @@ else
   echo "check_bench: no BENCH_hier.json baseline; skipping hier-guard"
 fi
 
+# Trace replay across the burst_max ladder: quick internet-mix run (the
+# run itself fails if any rung's departure hash diverges — the burst-drain
+# determinism contract), then verify the report shape the replay-guard
+# reads.
+replay_out=BENCH_replay_quick.json
+rm -f "$replay_out"
+
+dune exec bench/main.exe -- replay-quick
+
+[ -f "$replay_out" ] || { echo "check_bench: $replay_out was not produced" >&2; exit 1; }
+
+for key in schema workload headline rows burst_max depart_hash batched_pkts_per_sec per_packet_pkts_per_sec speedup; do
+  grep -q "\"$key\"" "$replay_out" || {
+    echo "check_bench: $replay_out is missing key \"$key\"" >&2
+    exit 1
+  }
+done
+
+echo "check_bench: OK ($replay_out)"
+
+# Replay guard: the batched headline must stay within HPFQ_REPLAY_TOL
+# (default 20%) of the committed BENCH_replay.json, the fresh
+# batched/per-packet speedup must clear HPFQ_REPLAY_RATIO (default 1.0 —
+# batching must never lose), and both fresh departure hashes must equal
+# the committed one (no tolerance: the schedule is machine-independent).
+# Skipped when no baseline is committed.
+if [ -f BENCH_replay.json ]; then
+  dune exec bench/main.exe -- replay-guard
+else
+  echo "check_bench: no BENCH_replay.json baseline; skipping replay-guard"
+fi
+
 # Session-lifecycle churn: quick run of the open/close grid, then verify
 # the report shape the churn-guard reads.
 churn_out=BENCH_churn_quick.json

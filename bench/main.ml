@@ -493,6 +493,40 @@ let hier_guard () =
     end
 
 (* ------------------------------------------------------------------ *)
+(* REPLAY: internet-mix trace replay across the burst_max ladder      *)
+(* ------------------------------------------------------------------ *)
+
+let replay () = ignore (Experiments.Replay_bench.run ())
+let replay_quick () =
+  ignore (Experiments.Replay_bench.run ~quick:true ~out:"BENCH_replay_quick.json" ())
+
+let replay_guard () =
+  section "REPLAY-GUARD: batched replay headline vs BENCH_replay.json";
+  match Experiments.Replay_bench.guard () with
+  | Error e ->
+    Printf.eprintf "replay-guard: %s\n" e;
+    exit 1
+  | Ok g ->
+    Printf.printf
+      "baseline %16.0f pkts/sec (batched)\n\
+       fresh    %16.0f pkts/sec (batched)\n\
+       ratio    %16.3f (tolerance -%.0f%%)\n\
+       speedup  %15.2fx batched/per-packet (floor %.2fx)\n\
+       hash     %16s\n"
+      g.Experiments.Replay_bench.baseline_pps g.fresh_pps g.perf_ratio
+      (g.tol *. 100.0) g.speedup g.min_speedup
+      (if g.hash_ok then "OK" else "MISMATCH");
+    if g.within then print_endline "replay-guard: OK"
+    else begin
+      Printf.eprintf
+        "replay-guard: FAIL — departure hash diverged from the committed \
+         baseline, the batched headline regressed beyond %.0f%%, or batching \
+         fell under %.2fx the per-packet path\n"
+        (g.tol *. 100.0) g.min_speedup;
+      exit 1
+    end
+
+(* ------------------------------------------------------------------ *)
 (* CHURN: session lifecycle at 10^5-10^6 sessions; vtime soak         *)
 (* ------------------------------------------------------------------ *)
 
@@ -764,6 +798,9 @@ let extra_benches =
     ("events-guard", events_guard);
     ("hier-quick", hier_quick);
     ("hier-guard", hier_guard);
+    ("replay", replay);
+    ("replay-quick", replay_quick);
+    ("replay-guard", replay_guard);
     ("churn-quick", churn_quick);
     ("churn-guard", churn_guard);
     ("soak", soak);

@@ -6,6 +6,7 @@
      delay         Figs. 4-7: RT-1 delay under a chosen H-PFQ discipline
      link-sharing  Figs. 8-9: TCP sessions vs ideal H-GPS
      wfi           T-WFI probe sweep over the number of sessions
+     replay        trace replay (CSV/binary/synthetic) with burst-drained departures
      churn         session open/close lifecycle bench + virtual-time soak
      tree          print the paper hierarchies with shares
      custom        run a user tree file (hpfq syntax) saturated, vs H-GPS
@@ -535,6 +536,153 @@ let shard_cmd =
       $ shards_arg $ rounds_arg $ flows_arg $ overload_arg $ seed_arg
       $ observe_arg $ json_arg $ metrics_arg)
 
+(* -- replay -------------------------------------------------------------- *)
+
+let replay_cmd =
+  let run event_set engine trace_file tree_file burst seed duration mean_pkts
+      headroom save =
+    set_event_set event_set;
+    if burst < 1 then begin
+      Printf.eprintf "error: --burst-max must be >= 1\n";
+      exit 1
+    end;
+    let user_spec =
+      Option.map
+        (fun f ->
+          match Hpfq.Tree_syntax.parse_file f with
+          | Ok s -> s
+          | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            exit 1)
+        tree_file
+    in
+    let trace =
+      match trace_file with
+      | Some path -> (
+        try Traffic.Trace.load_any ~path
+        with Failure e | Sys_error e ->
+          Printf.eprintf "error: %s\n" e;
+          exit 1)
+      | None ->
+        (* synthesize an internet mix over the hierarchy's leaves (or a
+           default 64-leaf balanced tree when none was given) *)
+        let leaves =
+          match user_spec with
+          | Some spec -> List.map fst (Hpfq.Class_tree.leaves spec)
+          | None -> List.init 64 (Printf.sprintf "leaf%d")
+        in
+        Traffic.Trace.internet_mix ~seed ~leaves ~duration
+          ~mean_pkts_per_leaf:mean_pkts ()
+    in
+    if trace = [] then begin
+      Printf.eprintf "error: empty trace\n";
+      exit 1
+    end;
+    let spec =
+      match user_spec with
+      | Some spec -> spec (* user rates as given *)
+      | None ->
+        (* one leaf per distinct trace flow, equal shares, link sized to
+           [headroom] x the trace's offered load *)
+        let names =
+          List.sort_uniq String.compare
+            (List.map (fun e -> e.Traffic.Trace.leaf) trace)
+        in
+        let span =
+          Float.max 1e-9
+            (List.fold_left (fun a e -> Float.max a e.Traffic.Trace.time) 0.0 trace)
+        in
+        let total_bits =
+          List.fold_left (fun a e -> a +. e.Traffic.Trace.size_bits) 0.0 trace
+        in
+        let rate = headroom *. total_bits /. span in
+        let share = rate /. float_of_int (List.length names) in
+        Hpfq.Class_tree.node "root" ~rate
+          (List.map (fun n -> Hpfq.Class_tree.leaf n ~rate:share) names)
+    in
+    Option.iter
+      (fun path ->
+        if Filename.check_suffix path ".csv" then Traffic.Trace.save ~path trace
+        else Traffic.Trace.save_binary ~path trace;
+        Printf.printf "wrote %s\n" path)
+      save;
+    let r = Experiments.Replay_bench.measure ~engine ~spec ~trace ~burst () in
+    (* stdout is a pure function of the workload — the hash must match at
+       every --burst-max and on every machine; wall clock goes to stderr *)
+    Printf.printf "arrivals=%d departures=%d burst_max=%d\n"
+      r.Experiments.Replay_bench.arrivals r.departures burst;
+    Printf.printf "depart_hash %s\n" r.depart_hash;
+    Printf.eprintf "wall %.3f s, %.0f pkts/s over %d leaves\n"
+      (float_of_int r.departures /. r.pkts_per_sec)
+      r.pkts_per_sec
+      (List.length (Hpfq.Class_tree.leaves spec))
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Trace to replay, CSV or HPFQTRC2 binary (sniffed by magic). \
+             Without it a synthetic internet mix is generated from --seed.")
+  in
+  let tree_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "tree" ] ~docv:"FILE"
+          ~doc:
+            "Class hierarchy in hpfq tree syntax (rates taken as given; \
+             trace events naming unknown leaves are skipped). Default: one \
+             equal-share leaf per trace flow, link sized by --headroom.")
+  in
+  let burst_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "burst-max" ] ~docv:"N"
+          ~doc:
+            "Burst-drain cap: consecutive departures one simulator event may \
+             execute while the link stays backlogged. The departure hash is \
+             identical at every setting.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Horizon of the generated trace (ignored with --trace).")
+  in
+  let mean_pkts_arg =
+    Arg.(
+      value & opt float 64.0
+      & info [ "mean-pkts" ] ~docv:"N"
+          ~doc:"Mean packets per leaf of the generated trace (ignored with --trace).")
+  in
+  let headroom_arg =
+    Arg.(
+      value & opt float 1.25
+      & info [ "headroom" ] ~docv:"X"
+          ~doc:"Link rate / offered load for the default hierarchy (ignored with --tree).")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"PATH"
+          ~doc:
+            "Also write the replayed trace: CSV when $(docv) ends in .csv, \
+             HPFQTRC2 binary otherwise.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a packet trace (or a generated internet mix) through an \
+          H-WF2Q+ hierarchy with burst-drained departures, printing the \
+          deterministic departure hash.")
+    Term.(
+      const run $ event_set_arg $ hier_engine_arg $ trace_arg $ tree_arg
+      $ burst_arg $ seed_arg $ duration_arg $ mean_pkts_arg $ headroom_arg
+      $ save_arg)
+
 (* -- churn --------------------------------------------------------------- *)
 
 let churn_cmd =
@@ -598,5 +746,5 @@ let () =
              ~doc:"Reproduction driver for Bennett & Zhang, SIGCOMM'96.")
           [
             fig2_cmd; trace_cmd; delay_cmd; link_sharing_cmd; wfi_cmd; shard_cmd;
-            churn_cmd; tree_cmd; custom_cmd;
+            replay_cmd; churn_cmd; tree_cmd; custom_cmd;
           ]))

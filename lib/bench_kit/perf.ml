@@ -29,6 +29,12 @@ type hier_row = {
   h_minor_words_per_pkt : float;
 }
 
+type server_row = {
+  s_burst : int;
+  s_pkts_per_sec : float;
+  s_minor_words_per_pkt : float;
+}
+
 let max_hier_leaves = 4096
 
 (* -- one-level workload -------------------------------------------------- *)
@@ -121,6 +127,91 @@ let one_level ?pool ~quick ~factory () =
         minor_words_per_pkt = minor /. float_of_int iters;
       })
     sizes
+
+(* -- saturated server through the full event loop ------------------------ *)
+
+(* The same N-session saturated workload as [loaded_policy], but through
+   Server + Simulator, with arrivals delivered the way a replayed trace or
+   a device ingress delivers them: in coalesced ticks. Every
+   [server_batched_burst] time units a bunch of that many 1-bit packets
+   arrives (sessions spread by a golden-ratio stride), keeping the rate-1
+   link exactly saturated. At burst_max 1 every arrival is its own
+   pre-scheduled simulator event and every departure re-arms the event
+   loop — two event-set round trips per packet against a pending set that
+   starts out holding every future arrival. At burst_max > 1 each tick is
+   ONE event applying its bunch back-to-back (the enqueue_batch /
+   grouped-replay idiom) and departures drain inline between ticks, so
+   the event set is touched ~2x per tick instead of ~2x per packet.
+   Departure times and order are bit-identical either way (the
+   burst-drain contract, test_replay.ml); only the event-set traffic
+   changes — which is exactly what this row isolates (the pure
+   policy-cycle loop above has no simulator to amortize). *)
+let server_batched_burst = 64
+
+let server_throughput ?config ~n ~burst_max ~target_pkts () =
+  let sim =
+    match config with
+    | Some c -> Engine.Simulator.create_configured c
+    | None -> Engine.Simulator.create ()
+  in
+  let factory = Hpfq.Disciplines.wf2q_plus in
+  let policy = factory.Sched.Sched_intf.make ~rate:1.0 in
+  let departs = ref 0 in
+  let srv =
+    Hpfq.Server.create ~sim ~rate:1.0 ~policy
+      ~on_depart:(fun _pkt _t -> incr departs)
+      ~burst_max ()
+  in
+  let rate = 1.0 /. float_of_int n in
+  for _ = 1 to n do
+    ignore (Hpfq.Server.add_session srv ~rate ())
+  done;
+  let bunch = server_batched_burst in
+  let ticks = max 1 (target_pkts / bunch) in
+  (* [n] is a power of two, so the odd stride visits sessions uniformly *)
+  let session_of i = i * 0x9E3779B1 land (n - 1) in
+  let inject_one i =
+    ignore (Hpfq.Server.inject srv ~session:(session_of i) ~size_bits:1.0)
+  in
+  if burst_max > 1 then
+    for t = 0 to ticks - 1 do
+      let base = t * bunch in
+      ignore
+        (Engine.Simulator.schedule sim ~at:(float_of_int base) (fun () ->
+             for j = 0 to bunch - 1 do
+               inject_one (base + j)
+             done))
+    done
+  else
+    for i = 0 to (ticks * bunch) - 1 do
+      ignore
+        (Engine.Simulator.schedule sim
+           ~at:(float_of_int (i / bunch * bunch))
+           (fun () -> inject_one i))
+    done;
+  (* a standing backlog keeps the link busy across tick seams; injected
+     synchronously at time 0, before any arrival event fires *)
+  for s = 0 to min n 128 - 1 do
+    Hpfq.Server.inject_batch srv ~session:s ~size_bits:1.0 ~count:1
+  done;
+  (* rate 1 bit/s and 1-bit packets: the horizon equals the packet count *)
+  let horizon = float_of_int (ticks * bunch) in
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  Engine.Simulator.run ~until:horizon sim;
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor = Gc.minor_words () -. m0 in
+  let pkts = float_of_int !departs in
+  (pkts /. wall, minor /. Float.max 1.0 pkts)
+
+let server_rows ?config ~quick () =
+  let n = 4096 in
+  let target_pkts = if quick then 2_000 else 400_000 in
+  List.map
+    (fun burst ->
+      let pps, words = server_throughput ?config ~n ~burst_max:burst ~target_pkts () in
+      { s_burst = burst; s_pkts_per_sec = pps; s_minor_words_per_pkt = words })
+    [ 1; 8; server_batched_burst ]
 
 (* -- hierarchical workload ----------------------------------------------- *)
 
@@ -222,7 +313,7 @@ let hier_rows ?pool ~quick ~factory () =
 
 (* -- JSON report --------------------------------------------------------- *)
 
-let json_of_run ~quick ~one_level_rows ~hier_done ~hier_skipped =
+let json_of_run ~quick ~one_level_rows ~server_rows ~hier_done ~hier_skipped =
   let one_level_json =
     Json.Arr
       (List.map
@@ -262,6 +353,32 @@ let json_of_run ~quick ~one_level_rows ~hier_done ~hier_skipped =
              ])
          hier_skipped)
   in
+  let server_json =
+    Json.Arr
+      (List.map
+         (fun r ->
+           Json.Obj
+             [
+               ("burst_max", Json.Num (float_of_int r.s_burst));
+               ("pkts_per_sec", Json.Num r.s_pkts_per_sec);
+               ("minor_words_per_pkt", Json.Num r.s_minor_words_per_pkt);
+             ])
+         server_rows)
+  in
+  let batched_headline =
+    let find burst = List.find_opt (fun r -> r.s_burst = burst) server_rows in
+    match (find 1, find server_batched_burst) with
+    | Some per_pkt, Some batched ->
+      Json.Obj
+        [
+          ("workload", Json.Str "server_one_level_wf2q_plus_n4096_saturated");
+          ("burst_max", Json.Num (float_of_int server_batched_burst));
+          ("per_packet_pkts_per_sec", Json.Num per_pkt.s_pkts_per_sec);
+          ("batched_pkts_per_sec", Json.Num batched.s_pkts_per_sec);
+          ("speedup", Json.Num (batched.s_pkts_per_sec /. per_pkt.s_pkts_per_sec));
+        ]
+    | _ -> Json.Null
+  in
   let headline =
     match List.find_opt (fun r -> r.n = 4096) one_level_rows with
     | Some r ->
@@ -280,7 +397,9 @@ let json_of_run ~quick ~one_level_rows ~hier_done ~hier_skipped =
       ("bench", Json.Str "perf");
       ("quick", Json.Bool quick);
       ("headline", headline);
+      ("batched_headline", batched_headline);
       ("one_level", one_level_json);
+      ("server", server_json);
       ("hier", hier_json);
       ("hier_skipped", skipped_json);
     ]
@@ -312,6 +431,14 @@ let run ?pool ?(quick = false) ?(out = "BENCH_hotpath.json") () =
       Printf.printf "%8d %16.0f %14.1f %12.2f\n" r.n r.pkts_per_sec r.ns_per_select
         r.minor_words_per_pkt)
     one_level_rows;
+  let server_rows = server_rows ~quick () in
+  Printf.printf "\n%10s %16s %12s   (server+simulator, N=4096 saturated)\n"
+    "burst_max" "pkts/sec" "words/pkt";
+  List.iter
+    (fun r ->
+      Printf.printf "%10d %16.0f %12.2f\n" r.s_burst r.s_pkts_per_sec
+        r.s_minor_words_per_pkt)
+    server_rows;
   let hier_done, hier_skipped = hier_rows ?pool ~quick ~factory () in
   Printf.printf "\n%6s %7s %7s %16s %12s\n" "depth" "fanout" "leaves" "pkts/sec" "words/pkt";
   List.iter
@@ -324,7 +451,7 @@ let run ?pool ?(quick = false) ?(out = "BENCH_hotpath.json") () =
       Printf.printf "%6d %7d %7d %16s (skipped: > %d leaves)\n" d f leaves "-"
         max_hier_leaves)
     hier_skipped;
-  let json = json_of_run ~quick ~one_level_rows ~hier_done ~hier_skipped in
+  let json = json_of_run ~quick ~one_level_rows ~server_rows ~hier_done ~hier_skipped in
   Json.to_file out json;
   (match validate json with
   | Ok () -> ()

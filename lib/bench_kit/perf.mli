@@ -42,6 +42,29 @@ val time_loop : (unit -> unit) -> iters:int -> float * float
 (** Warm the closure (up to 1000 calls), then run it [iters] times:
     [(wall seconds, minor-heap words allocated)]. *)
 
+val server_throughput :
+  ?config:Engine.Simulator.config ->
+  n:int ->
+  burst_max:int ->
+  target_pkts:int ->
+  unit ->
+  float * float
+(** Saturated one-level throughput through the full Server + Simulator
+    event loop: [n] unit-packet sessions fed by pre-scheduled arrival
+    ticks ({!server_batched_burst} packets per tick, exactly the link
+    rate), run to a horizon of [target_pkts] departures at link rate 1.
+    Returns [(packets/second, minor words/packet)]. Unlike
+    {!loaded_policy}'s bare policy cycle, this pays event-set cost per
+    packet — per-event arrivals plus a departure re-arm at
+    [burst_max = 1]; one grouped arrival event per tick plus inline
+    burst-drained departures above it — which is what batching amortizes.
+    Departure times are bit-identical at every [burst_max]; the report's
+    [batched_headline] compares [burst_max = 1] against
+    {!server_batched_burst}. *)
+
+val server_batched_burst : int
+(** Burst cap used for the batched side of [batched_headline] (64). *)
+
 val hier_throughput_spec :
   ?config:Engine.Simulator.config ->
   ?engine:Hpfq.Hier_engine.choice ->

@@ -59,6 +59,14 @@ type t = {
      scheduling allocates nothing per packet. *)
   mutable in_flight : Net.Packet.t option;
   mutable complete_cb : unit -> unit;
+  (* Burst-drain state (see Server): while a drain activation runs
+     ([in_batch]), [start_transmission] records its commitment here
+     instead of scheduling the completion event — [in_flight] already
+     carries the committed packet, so only the due time needs a slot. *)
+  mutable burst_max : int;
+  mutable in_batch : bool;
+  mutable batch_has : bool;
+  mutable batch_due : float;
 }
 
 let uniform factory ~level:_ ~name:_ ~rate = factory.Sched_intf.make ~rate
@@ -138,8 +146,55 @@ and start_transmission t =
         t.on_transmit_start pkt ~leaf:t.nodes.(pkt.Net.Packet.flow).name
           (Engine.Simulator.now t.sim);
       let duration = pkt.Net.Packet.size_bits /. root.rate in
-      ignore (Engine.Simulator.schedule_after t.sim ~delay:duration t.complete_cb)
+      (* [now +. duration] is the exact float [schedule_after ~delay]
+         computes — batched and per-packet fire times must agree bitwise. *)
+      let due = Engine.Simulator.now t.sim +. duration in
+      if t.in_batch then begin
+        t.batch_has <- true;
+        t.batch_due <- due
+      end
+      else ignore (Engine.Simulator.schedule t.sim ~at:due t.complete_cb)
   end
+
+(* One event activation drains up to [burst_max] consecutive departures.
+   The next departure runs inline only when it would have been the very
+   next event anyway: within the burst cap, not past the horizon of the
+   enclosing [run ~until] ([<=]: an event exactly at the horizon fires),
+   and strictly before the earliest pending event (at equal times the
+   pending event carries the smaller schedule seq and wins the FIFO
+   tie-break, so it must fire first). *)
+and drain t pkt0 =
+  let sim = t.sim in
+  let steps = ref 1 in
+  let pkt = ref pkt0 in
+  let continue = ref true in
+  while !continue do
+    t.in_batch <- true;
+    t.batch_has <- false;
+    complete_transmission t !pkt;
+    t.in_batch <- false;
+    if not t.batch_has then continue := false
+    else begin
+      let due = t.batch_due in
+      if
+        !steps < t.burst_max
+        && due <= Engine.Simulator.run_horizon sim
+        && due < Engine.Simulator.peek_time sim
+      then begin
+        Engine.Simulator.advance_clock sim ~to_:due;
+        incr steps;
+        match t.in_flight with
+        | Some p ->
+          t.in_flight <- None;
+          pkt := p
+        | None -> invalid_arg "Hier: drain lost the in-flight packet"
+      end
+      else begin
+        ignore (Engine.Simulator.schedule sim ~at:due t.complete_cb);
+        continue := false
+      end
+    end
+  done
 
 and complete_transmission t pkt =
   t.link_busy <- false;
@@ -206,9 +261,11 @@ and drop_queue t n fifo =
   in
   loop ()
 
-let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?on_depart ?on_drop () =
+let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?on_depart ?on_drop
+    ?(burst_max = 1) () =
   let on_depart = Option.value on_depart ~default:nop_leaf_cb in
   let on_drop = Option.value on_drop ~default:nop_leaf_cb in
+  if burst_max < 1 then invalid_arg "Hier.create: burst_max must be >= 1";
   (match Class_tree.validate spec with
   | Ok () -> ()
   | Error errors ->
@@ -306,6 +363,10 @@ let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?on_depart ?on_dro
       drops = 0;
       in_flight = None;
       complete_cb = ignore;
+      burst_max;
+      in_batch = false;
+      batch_has = false;
+      batch_due = 0.0;
     }
   in
   t.complete_cb <-
@@ -313,7 +374,7 @@ let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?on_depart ?on_dro
       match t.in_flight with
       | Some pkt ->
         t.in_flight <- None;
-        complete_transmission t pkt
+        drain t pkt
       | None -> invalid_arg "Hier: transmission completed with nothing in flight");
   t
 
@@ -468,6 +529,49 @@ let inject ?(mark = 0) t ~leaf ~size_bits =
         if not q.busy then restart_node t q);
       pkt
     end
+
+(* Batched arrival: [count] same-size packets stamped with a single clock
+   read. The clock cannot move during injection, so the result is
+   bit-identical to [count] separate injects — only the per-packet lookup
+   and stamp overhead is hoisted. *)
+let inject_many ?(mark = 0) t ~leaf ~size_bits ~count =
+  if count < 0 then invalid_arg "Hier.inject_many: negative count";
+  let n = t.nodes.(leaf) in
+  match n.kind with
+  | Interior _ -> invalid_arg "Hier.inject_many: not a leaf"
+  | Leaf_node _ when n.lifecycle <> `Open ->
+    invalid_arg "Hier.inject_many: leaf is closed"
+  | Leaf_node l ->
+    let now = Engine.Simulator.now t.sim in
+    for _ = 1 to count do
+      let pkt =
+        Net.Packet.make ~mark ~flow:leaf ~seq:l.next_seq ~size_bits ~arrival:now ()
+      in
+      l.next_seq <- l.next_seq + 1;
+      if not (Net.Fifo.push l.fifo pkt) then begin
+        t.drops <- t.drops + 1;
+        t.on_drop pkt ~leaf:n.name now
+      end
+      else begin
+        let q = t.nodes.(n.parent) in
+        let q_now = node_now t q in
+        (policy_of q).Sched_intf.arrive ~now:q_now ~session:n.session_in_parent
+          ~size_bits;
+        match n.logical with
+        | Some _ -> ()
+        | None ->
+          n.logical <- Some pkt;
+          (policy_of q).Sched_intf.backlog ~now:q_now ~session:n.session_in_parent
+            ~head_bits:size_bits;
+          if not q.busy then restart_node t q
+      end
+    done
+
+let set_burst_max t n =
+  if n < 1 then invalid_arg "Hier.set_burst_max: burst_max must be >= 1";
+  t.burst_max <- n
+
+let burst_max t = t.burst_max
 
 let queue_bits t ~leaf =
   match t.nodes.(leaf).kind with

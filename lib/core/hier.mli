@@ -38,11 +38,24 @@ val create :
   ?root_clock:[ `Real_time | `Reference_time ] ->
   ?on_depart:(Net.Packet.t -> leaf:string -> float -> unit) ->
   ?on_drop:(Net.Packet.t -> leaf:string -> float -> unit) ->
+  ?burst_max:int ->
   unit ->
   t
 (** The root of [spec] is the physical link; its rate is the link rate.
     [make_policy] is called once per interior node ([level] 0 = root).
-    @raise Invalid_argument if [spec] fails {!Class_tree.validate}. *)
+
+    [burst_max] (default 1) bounds how many consecutive departures one
+    simulator event may execute while the link stays backlogged; departure
+    times, stamps and callback order are bit-identical at every setting
+    (see {!Server.create}).
+    @raise Invalid_argument if [spec] fails {!Class_tree.validate} or
+    [burst_max < 1]. *)
+
+val set_burst_max : t -> int -> unit
+(** Change the burst cap; takes effect from the next drain activation.
+    @raise Invalid_argument if the argument is [< 1]. *)
+
+val burst_max : t -> int
 
 val uniform : Sched.Sched_intf.factory -> level:int -> name:string -> rate:float -> Sched.Sched_intf.t
 (** Use one discipline at every node:
@@ -65,6 +78,14 @@ val inject : ?mark:int -> t -> leaf:leaf -> size_bits:float -> Net.Packet.t
     field is the leaf id; [mark] is a free-form tag (e.g. a TCP sequence
     number) carried through to the departure callback.
     @raise Invalid_argument if the leaf is closed or closing. *)
+
+val inject_many :
+  ?mark:int -> t -> leaf:leaf -> size_bits:float -> count:int -> unit
+(** [count] packets of [size_bits] arrive back-to-back at the leaf, stamped
+    with one clock read. Bit-identical to [count] calls of {!inject} (the
+    clock cannot move during injection); only per-packet lookup and stamp
+    overhead is amortized.
+    @raise Invalid_argument if the leaf is closed or [count] is negative. *)
 
 val close_leaf : t -> leaf:leaf -> policy:Sched.Sched_intf.close_policy -> unit
 (** Close a leaf class, deterministically in every state: an idle leaf's

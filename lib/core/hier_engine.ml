@@ -15,7 +15,8 @@ let choice_to_string = function
   | `Flat -> "flat"
   | `Auto -> "auto"
 
-let create ~sim ~spec ~factory ?(engine = `Auto) ?root_clock ?on_depart ?on_drop () =
+let create ~sim ~spec ~factory ?(engine = `Auto) ?root_clock ?on_depart ?on_drop
+    ?burst_max () =
   let flat_ok = factory.Sched.Sched_intf.kind = Wf2q_plus.factory.Sched.Sched_intf.kind in
   let engine =
     match engine with
@@ -30,11 +31,12 @@ let create ~sim ~spec ~factory ?(engine = `Auto) ?root_clock ?on_depart ?on_drop
     | `Auto -> if flat_ok then `Flat else `Generic
   in
   match engine with
-  | `Flat -> Flat (Hier_flat.create ~sim ~spec ?root_clock ?on_depart ?on_drop ())
+  | `Flat ->
+    Flat (Hier_flat.create ~sim ~spec ?root_clock ?on_depart ?on_drop ?burst_max ())
   | `Generic ->
     Generic
       (Hier.create ~sim ~spec ~make_policy:(Hier.uniform factory) ?root_clock ?on_depart
-         ?on_drop ())
+         ?on_drop ?burst_max ())
 
 let kind = function Generic _ -> `Generic | Flat _ -> `Flat
 let kind_name t = match t with Generic _ -> "generic" | Flat _ -> "flat"
@@ -53,10 +55,16 @@ let inject ?mark t ~leaf ~size_bits =
 let inject_many ?mark t ~leaf ~size_bits ~count =
   match t with
   | Flat h -> Hier_flat.inject_many ?mark h ~leaf ~size_bits ~count
-  | Generic h ->
-    for _ = 1 to count do
-      ignore (Hier.inject ?mark h ~leaf ~size_bits)
-    done
+  | Generic h -> Hier.inject_many ?mark h ~leaf ~size_bits ~count
+
+let set_burst_max t n =
+  match t with
+  | Generic h -> Hier.set_burst_max h n
+  | Flat h -> Hier_flat.set_burst_max h n
+
+let burst_max = function
+  | Generic h -> Hier.burst_max h
+  | Flat h -> Hier_flat.burst_max h
 
 let queue_bits t ~leaf =
   match t with

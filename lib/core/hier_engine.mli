@@ -29,12 +29,22 @@ val create :
   ?root_clock:[ `Real_time | `Reference_time ] ->
   ?on_depart:(Net.Packet.t -> leaf:string -> float -> unit) ->
   ?on_drop:(Net.Packet.t -> leaf:string -> float -> unit) ->
+  ?burst_max:int ->
   unit ->
   t
 (** Uniform [factory] at every interior node (mixed-discipline trees must
-    use {!Hier.create} directly — they are generic-only).
+    use {!Hier.create} directly — they are generic-only). [burst_max]
+    (default 1) is the burst-drain cap, forwarded to the chosen engine;
+    departure times, stamps and callback order are bit-identical at every
+    setting (see {!Server.create}).
     @raise Invalid_argument if [`Flat] is forced with a non-WF²Q+ factory,
-    or [spec] is invalid. *)
+    [spec] is invalid, or [burst_max < 1]. *)
+
+val set_burst_max : t -> int -> unit
+(** Change the burst cap; takes effect from the next drain activation.
+    @raise Invalid_argument if the argument is [< 1]. *)
+
+val burst_max : t -> int
 
 val kind : t -> [ `Generic | `Flat ]
 val kind_name : t -> string
@@ -51,7 +61,8 @@ val leaf_ids : t -> (string * Hier.leaf) list
 val inject : ?mark:int -> t -> leaf:Hier.leaf -> size_bits:float -> Net.Packet.t
 
 val inject_many : ?mark:int -> t -> leaf:Hier.leaf -> size_bits:float -> count:int -> unit
-(** Batched arrivals; loops {!Hier.inject} on the generic engine. *)
+(** Batched arrivals stamped with one clock read — the [enqueue_batch]
+    API; bit-identical to [count] separate {!inject} calls. *)
 
 val close_leaf : t -> leaf:Hier.leaf -> policy:Sched.Sched_intf.close_policy -> unit
 (** Close a leaf class on either engine; see {!Hier.close_leaf}. *)

@@ -96,6 +96,14 @@ type t = {
   mutable drops : int;
   mutable in_flight_leaf : int; (* the wire packet is that leaf's fifo head *)
   mutable complete_cb : unit -> unit;
+  (* Burst-drain state (see Server): while a drain activation runs
+     ([in_batch]), [start_transmission] records its commitment here
+     instead of scheduling the completion event — [in_flight_leaf] already
+     identifies the committed packet, so only the due time needs a slot. *)
+  mutable burst_max : int;
+  mutable in_batch : bool;
+  mutable batch_has : bool;
+  mutable batch_due : float;
 }
 
 let nop_leaf_cb _ ~leaf:_ _ = ()
@@ -301,9 +309,56 @@ and start_transmission t =
       if t.on_transmit_start != nop_leaf_cb then
         t.on_transmit_start pkt ~leaf:t.names.(leaf) (Engine.Simulator.now t.sim);
       let duration = pkt.Net.Packet.size_bits /. t.rate.(t.root) in
-      ignore (Engine.Simulator.schedule_after t.sim ~delay:duration t.complete_cb)
+      (* [now +. duration] is the exact float [schedule_after ~delay]
+         computes — batched and per-packet fire times must agree bitwise. *)
+      let due = Engine.Simulator.now t.sim +. duration in
+      if t.in_batch then begin
+        t.batch_has <- true;
+        t.batch_due <- due
+      end
+      else ignore (Engine.Simulator.schedule t.sim ~at:due t.complete_cb)
     end
   end
+
+(* One event activation drains up to [burst_max] consecutive departures.
+   The next departure runs inline only when it would have been the very
+   next event anyway: within the burst cap, not past the horizon of the
+   enclosing [run ~until] ([<=]: an event exactly at the horizon fires),
+   and strictly before the earliest pending event (at equal times the
+   pending event carries the smaller schedule seq and wins the FIFO
+   tie-break, so it must fire first). [complete_transmission] refreshes
+   [now_cache] at entry, so the cascade sees the advanced clock. *)
+and drain t leaf0 =
+  let sim = t.sim in
+  let steps = ref 1 in
+  let leaf = ref leaf0 in
+  let continue = ref true in
+  while !continue do
+    t.in_batch <- true;
+    t.batch_has <- false;
+    complete_transmission t (Net.Fifo.peek_exn t.fifos.(!leaf));
+    t.in_batch <- false;
+    if not t.batch_has then continue := false
+    else begin
+      let due = t.batch_due in
+      if
+        !steps < t.burst_max
+        && due <= Engine.Simulator.run_horizon sim
+        && due < Engine.Simulator.peek_time sim
+      then begin
+        Engine.Simulator.advance_clock sim ~to_:due;
+        incr steps;
+        let l = t.in_flight_leaf in
+        if l < 0 then invalid_arg "Hier_flat: drain lost the in-flight leaf";
+        t.in_flight_leaf <- -1;
+        leaf := l
+      end
+      else begin
+        ignore (Engine.Simulator.schedule sim ~at:due t.complete_cb);
+        continue := false
+      end
+    end
+  done
 
 and complete_transmission t pkt =
   t.link_busy <- false;
@@ -355,9 +410,11 @@ and reset_path t leaf =
 
 (* -- Construction --------------------------------------------------------- *)
 
-let create ~sim ~spec ?(root_clock = `Real_time) ?on_depart ?on_drop () =
+let create ~sim ~spec ?(root_clock = `Real_time) ?on_depart ?on_drop
+    ?(burst_max = 1) () =
   let on_depart = Option.value on_depart ~default:nop_leaf_cb in
   let on_drop = Option.value on_drop ~default:nop_leaf_cb in
+  if burst_max < 1 then invalid_arg "Hier_flat.create: burst_max must be >= 1";
   (match Class_tree.validate spec with
   | Ok () -> ()
   | Error errors ->
@@ -514,6 +571,10 @@ let create ~sim ~spec ?(root_clock = `Real_time) ?on_depart ?on_drop () =
       drops = 0;
       in_flight_leaf = -1;
       complete_cb = ignore;
+      burst_max;
+      in_batch = false;
+      batch_has = false;
+      batch_due = 0.0;
     }
   in
   t.complete_cb <-
@@ -522,7 +583,7 @@ let create ~sim ~spec ?(root_clock = `Real_time) ?on_depart ?on_drop () =
       if leaf < 0 then
         invalid_arg "Hier_flat: transmission completed with nothing in flight";
       t.in_flight_leaf <- -1;
-      complete_transmission t (Net.Fifo.peek_exn t.fifos.(leaf)));
+      drain t leaf);
   Log.info (fun m ->
       m "created flat H-WF2Q+ server: %d nodes, %d leaves, root rate %a" n_nodes
         (List.length t.leaf_list) Engine.Units.pp_rate rate.(root));
@@ -546,12 +607,10 @@ let leaf_id t name =
 let leaf_name t (id : Hier.leaf) = t.names.((id :> int))
 let leaf_ids t = List.map (fun (nm, id) -> (nm, Hier.unsafe_leaf_of_int id)) t.leaf_list
 
-let inject_one t ~mark ~leaf ~size_bits =
+let inject_at t ~mark ~leaf ~size_bits ~now =
   if t.children_len.(leaf) <> 0 then invalid_arg "Hier_flat.inject: not a leaf";
   if Bytes.get t.lifecycle leaf <> '\000' then
     invalid_arg "Hier_flat.inject: leaf is closed";
-  let now = Engine.Simulator.now t.sim in
-  Array.unsafe_set t.now_cache 0 now;
   let pkt =
     Net.Packet.make ~mark ~flow:leaf ~seq:t.next_seq.(leaf) ~size_bits ~arrival:now ()
   in
@@ -583,16 +642,28 @@ let inject_one t ~mark ~leaf ~size_bits =
     pkt
   end
 
+let inject_one t ~mark ~leaf ~size_bits =
+  let now = Engine.Simulator.now t.sim in
+  Array.unsafe_set t.now_cache 0 now;
+  inject_at t ~mark ~leaf ~size_bits ~now
+
 let inject ?(mark = 0) t ~(leaf : Hier.leaf) ~size_bits =
   inject_one t ~mark ~leaf:(leaf :> int) ~size_bits
 
 let inject_many ?(mark = 0) t ~(leaf : Hier.leaf) ~size_bits ~count =
-  (* batched arrivals: after the first packet the leaf has a head, so each
-     further packet is one fifo push + one (observer-only) arrive *)
+  (* batched arrivals stamped with one clock read (the clock cannot move
+     during injection, so stamps match [count] separate injects bitwise);
+     after the first packet the leaf has a head, so each further packet is
+     one fifo push + one (observer-only) arrive *)
+  if count < 0 then invalid_arg "Hier_flat.inject_many: negative count";
   let leaf = (leaf :> int) in
-  for _ = 1 to count do
-    ignore (inject_one t ~mark ~leaf ~size_bits)
-  done
+  if count > 0 then begin
+    let now = Engine.Simulator.now t.sim in
+    Array.unsafe_set t.now_cache 0 now;
+    for _ = 1 to count do
+      ignore (inject_at t ~mark ~leaf ~size_bits ~now)
+    done
+  end
 
 (* -- Leaf lifecycle ------------------------------------------------------ *)
 
@@ -692,6 +763,12 @@ let node_virtual_time t ~node =
 
 let link_busy t = t.link_busy
 let drops t = t.drops
+
+let set_burst_max t n =
+  if n < 1 then invalid_arg "Hier_flat.set_burst_max: burst_max must be >= 1";
+  t.burst_max <- n
+
+let burst_max t = t.burst_max
 
 (* -- Observability -------------------------------------------------------- *)
 

@@ -30,12 +30,21 @@ val create :
   ?root_clock:[ `Real_time | `Reference_time ] ->
   ?on_depart:(Net.Packet.t -> leaf:string -> float -> unit) ->
   ?on_drop:(Net.Packet.t -> leaf:string -> float -> unit) ->
+  ?burst_max:int ->
   unit ->
   t
 (** Every interior node runs WF²Q+ over its children; [root_clock] has the
-    same meaning as in {!Hier.create}.
-    @raise Invalid_argument if [spec] fails {!Class_tree.validate} or its
-    root is a leaf. *)
+    same meaning as in {!Hier.create}, [burst_max] (default 1) as in
+    {!Server.create} — departure times, stamps and callback order are
+    bit-identical at every setting.
+    @raise Invalid_argument if [spec] fails {!Class_tree.validate}, its
+    root is a leaf, or [burst_max < 1]. *)
+
+val set_burst_max : t -> int -> unit
+(** Change the burst cap; takes effect from the next drain activation.
+    @raise Invalid_argument if the argument is [< 1]. *)
+
+val burst_max : t -> int
 
 val leaf_id : t -> string -> Hier.leaf
 (** Leaf identities share {!Hier.leaf}, so code written against one engine

@@ -21,14 +21,27 @@ type t = {
   mutable on_transmit_start : Net.Packet.t -> float -> unit;
   mutable busy : bool;
   mutable departed_total : float;
+  (* Burst-drain state. While a drain activation is running ([in_batch]),
+     [start_transmission] records its commitment into the [batch_*] slots
+     instead of scheduling a completion event; the drain loop then decides
+     whether to execute that completion inline or fall back to an event.
+     Only one commitment can exist per completion ([busy] blocks
+     re-entry), so a single slot suffices. *)
+  mutable burst_max : int;
+  mutable in_batch : bool;
+  mutable batch_has : bool;
+  mutable batch_session : int;
+  mutable batch_pkt : Net.Packet.t;
+  mutable batch_due : float;
 }
 
 let nop2 _ _ = ()
 
-let create ~sim ~rate ~policy ?on_depart ?on_drop () =
+let create ~sim ~rate ~policy ?on_depart ?on_drop ?(burst_max = 1) () =
   let on_depart = Option.value on_depart ~default:nop2 in
   let on_drop = Option.value on_drop ~default:nop2 in
   if rate <= 0.0 then invalid_arg "Server.create: rate must be positive";
+  if burst_max < 1 then invalid_arg "Server.create: burst_max must be >= 1";
   {
     sim;
     rate;
@@ -39,7 +52,20 @@ let create ~sim ~rate ~policy ?on_depart ?on_drop () =
     on_transmit_start = nop2;
     busy = false;
     departed_total = 0.0;
+    burst_max;
+    in_batch = false;
+    batch_has = false;
+    batch_session = -1;
+    (* placeholder until the first batched commitment overwrites it *)
+    batch_pkt = Net.Packet.make ~flow:0 ~seq:0 ~size_bits:1.0 ~arrival:0.0 ();
+    batch_due = 0.0;
   }
+
+let set_burst_max t n =
+  if n < 1 then invalid_arg "Server.set_burst_max: burst_max must be >= 1";
+  t.burst_max <- n
+
+let burst_max t = t.burst_max
 
 (* Hook setters compose with (run after) whatever is installed, so tracing
    can piggyback on a server whose owner already registered callbacks. *)
@@ -128,10 +154,60 @@ let rec start_transmission t =
       t.busy <- true;
       t.on_transmit_start pkt now;
       let duration = pkt.Net.Packet.size_bits /. t.rate in
-      ignore
-        (Engine.Simulator.schedule_after t.sim ~delay:duration (fun () ->
-             complete t session pkt))
+      (* [now +. duration] is the exact float [schedule_after ~delay]
+         computes — the two paths must agree bit-for-bit on fire times. *)
+      let due = now +. duration in
+      if t.in_batch then begin
+        t.batch_has <- true;
+        t.batch_session <- session;
+        t.batch_pkt <- pkt;
+        t.batch_due <- due
+      end
+      else
+        ignore
+          (Engine.Simulator.schedule t.sim ~at:due (fun () ->
+               drain t session pkt))
   end
+
+(* One event activation drains up to [burst_max] consecutive departures.
+   Each [complete] may commit at most one follow-up transmission (recorded
+   via the [batch_*] slots); the next departure runs inline only when it
+   would have been the very next event anyway: within the burst cap, not
+   past the horizon of the enclosing [run ~until] ([<=]: an event exactly
+   at the horizon fires), and strictly before the earliest pending event
+   (at equal times the pending event carries the smaller schedule seq and
+   wins the FIFO tie-break, so it must fire first). *)
+and drain t session pkt =
+  let sim = t.sim in
+  let steps = ref 1 in
+  let session = ref session in
+  let pkt = ref pkt in
+  let continue = ref true in
+  while !continue do
+    t.in_batch <- true;
+    t.batch_has <- false;
+    complete t !session !pkt;
+    t.in_batch <- false;
+    if not t.batch_has then continue := false
+    else begin
+      let due = t.batch_due in
+      if
+        !steps < t.burst_max
+        && due <= Engine.Simulator.run_horizon sim
+        && due < Engine.Simulator.peek_time sim
+      then begin
+        Engine.Simulator.advance_clock sim ~to_:due;
+        incr steps;
+        session := t.batch_session;
+        pkt := t.batch_pkt
+      end
+      else begin
+        let ns = t.batch_session and np = t.batch_pkt in
+        ignore (Engine.Simulator.schedule sim ~at:due (fun () -> drain t ns np));
+        continue := false
+      end
+    end
+  done
 
 and complete t session pkt =
   let now = Engine.Simulator.now t.sim in
@@ -182,6 +258,31 @@ let inject t ~session ~size_bits =
 
 let inject_handle t ~handle ~size_bits =
   inject t ~session:(t.policy.Sched_intf.session_of_handle handle) ~size_bits
+
+(* Batched arrival: [count] same-size packets stamped with a single [now]
+   read (the clock cannot move during injection, so the stamps are
+   bit-identical to [count] separate injects), and the transmission chain
+   kicked once at the end instead of per packet. *)
+let inject_batch t ~session ~size_bits ~count =
+  if count < 0 then invalid_arg "Server.inject_batch: negative count";
+  let now = Engine.Simulator.now t.sim in
+  let s = Vec.get t.sessions session in
+  if s.closing <> None then invalid_arg "Server.inject_batch: session is closed";
+  for _ = 1 to count do
+    let pkt =
+      Net.Packet.make ~flow:session ~seq:s.next_seq ~size_bits ~arrival:now ()
+    in
+    s.next_seq <- s.next_seq + 1;
+    if not (Net.Fifo.push s.fifo pkt) then t.on_drop pkt now
+    else begin
+      t.policy.Sched_intf.arrive ~now ~session ~size_bits;
+      if not s.has_head then begin
+        s.has_head <- true;
+        t.policy.Sched_intf.backlog ~now ~session ~head_bits:size_bits
+      end
+    end
+  done;
+  if count > 0 then start_transmission t
 
 let queue_bits t ~session = Net.Fifo.bits (Vec.get t.sessions session).fifo
 let session_count t = Vec.length t.sessions

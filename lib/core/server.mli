@@ -17,10 +17,25 @@ val create :
   policy:Sched.Sched_intf.t ->
   ?on_depart:(Net.Packet.t -> float -> unit) ->
   ?on_drop:(Net.Packet.t -> float -> unit) ->
+  ?burst_max:int ->
   unit ->
   t
 (** [rate] is the link rate in bits/second. [on_depart pkt time] fires when
-    the last bit of [pkt] leaves the link. *)
+    the last bit of [pkt] leaves the link.
+
+    [burst_max] (default 1) bounds how many consecutive departures one
+    simulator event may execute while the link stays backlogged: at 1 every
+    packet costs one event (the classic per-packet loop); larger values
+    amortize event-set traffic over bursts. Departure times, stamps and
+    callback order are bit-identical at every setting — a departure only
+    runs inline when it would have been the very next event anyway.
+    @raise Invalid_argument if [burst_max < 1]. *)
+
+val set_burst_max : t -> int -> unit
+(** Change the burst cap; takes effect from the next drain activation.
+    @raise Invalid_argument if the argument is [< 1]. *)
+
+val burst_max : t -> int
 
 val open_session :
   t -> rate:float -> ?queue_capacity_bits:float -> unit -> Sched.Session_handle.t
@@ -54,6 +69,14 @@ val inject : t -> session:int -> size_bits:float -> Net.Packet.t
 val inject_handle : t -> handle:Sched.Session_handle.t -> size_bits:float -> Net.Packet.t
 (** Handle-taking {!inject}.
     @raise Sched.Session_pool.Stale_handle on a stale handle. *)
+
+val inject_batch : t -> session:int -> size_bits:float -> count:int -> unit
+(** [count] packets of [size_bits] arrive back-to-back on [session] at the
+    current simulation time, stamped with one clock read and kicking the
+    transmission chain once. Per-packet drop callbacks still fire for
+    packets the queue rejects.
+    @raise Invalid_argument if the session is closed or [count] is
+    negative. *)
 
 val queue_bits : t -> session:int -> float
 (** Current backlog Q_i(t) of the session, excluding any packet already

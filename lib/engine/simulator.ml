@@ -119,6 +119,11 @@ type t = {
   mutable live : int; (* pending and not cancelled *)
   mutable compactions : int;
   mutable probe : probe option; (* observability hook; None must stay free *)
+  mutable horizon : float;
+      (* the [until] of the [run] currently draining this simulator
+         (infinity otherwise). Burst-draining handlers consult it so an
+         inline departure never crosses a boundary a scheduled event
+         would not have crossed. *)
 }
 
 let create ?backend () =
@@ -140,12 +145,14 @@ let create ?backend () =
     live = 0;
     compactions = 0;
     probe = None;
+    horizon = infinity;
   }
 
 let create_configured config = create ~backend:config.cfg_backend ()
 
 let backend t = match t.es with Heap _ -> Slot_heap | Cal _ -> Calendar
 let now t = t.clock
+let run_horizon t = t.horizon
 
 let es_add t slot =
   match t.es with Heap h -> Slot_heap.add h slot | Cal c -> Calendar_queue.add c slot
@@ -230,6 +237,27 @@ let cancel t id =
 
 let pending t = t.live
 
+let peek_time t =
+  let slot = es_peek_live t in
+  if slot < 0 then infinity else t.pool.Event_pool.times.(slot)
+
+(* Burst-draining handlers move the clock themselves between inline
+   departures. The two bounds make the motion indistinguishable from
+   firing the equivalent scheduled events: never backwards, and never
+   past the earliest pending event (which would have fired first). *)
+let advance_clock t ~to_ =
+  if to_ < t.clock then
+    invalid_arg
+      (Printf.sprintf "Simulator.advance_clock: time %g is before now %g" to_
+         t.clock);
+  if to_ > peek_time t then
+    invalid_arg
+      (Printf.sprintf
+         "Simulator.advance_clock: time %g is past the earliest pending event \
+          at %g"
+         to_ (peek_time t));
+  t.clock <- to_
+
 let step t =
   let slot = es_pop_live t in
   if slot < 0 then false
@@ -253,14 +281,24 @@ let run ?until t =
   match until with
   | None -> while step t do () done
   | Some horizon ->
-    let continue = ref true in
-    while !continue do
-      let slot = es_peek_live t in
-      if slot < 0 then continue := false
-      else if t.pool.Event_pool.times.(slot) <= horizon then ignore (step t)
-      else continue := false
-    done;
-    if t.clock < horizon then t.clock <- horizon
+    (* Publish the horizon for the duration of the drain so burst-draining
+       handlers stop inlining departures exactly where the per-event loop
+       would have stopped firing them. Restore the caller's horizon (nested
+       [run]s from handlers are legal) even if a handler raises. *)
+    let saved = t.horizon in
+    t.horizon <- horizon;
+    Fun.protect
+      ~finally:(fun () -> t.horizon <- saved)
+      (fun () ->
+        let continue = ref true in
+        while !continue do
+          let slot = es_peek_live t in
+          if slot < 0 then continue := false
+          else if t.pool.Event_pool.times.(slot) <= horizon then
+            ignore (step t)
+          else continue := false
+        done;
+        if t.clock < horizon then t.clock <- horizon)
 
 let events_processed t = t.fired
 let set_probe t p = t.probe <- p

@@ -82,6 +82,32 @@ val cancel : t -> event_id -> unit
 val pending : t -> int
 (** Number of not-yet-fired, not-cancelled events. *)
 
+(** {2 Burst-drain support}
+
+    A handler that knows its next k actions (e.g. a backlogged link whose
+    next departures are already determined) may execute them inline in one
+    activation instead of scheduling k events, provided the observable
+    outcome is identical. These three primitives carry the safety
+    conditions: never act past the earliest pending event ({!peek_time}),
+    never act past the horizon of an enclosing [run ~until]
+    ({!run_horizon}), and move the clock explicitly ({!advance_clock}) so
+    [now] reads during the inlined work match what the scheduled events
+    would have seen. *)
+
+val peek_time : t -> float
+(** Fire time of the earliest live pending event, or [infinity] when the
+    pending set is empty. Does not advance the clock. *)
+
+val advance_clock : t -> to_:float -> unit
+(** Move the clock forward to [to_] without firing anything.
+    @raise Invalid_argument if [to_] is before [now] or strictly past
+    {!peek_time} (skipping a pending event would reorder history). *)
+
+val run_horizon : t -> float
+(** The [until] horizon of the innermost {!run} currently draining this
+    simulator, or [infinity] when none is active (including [run] without
+    [~until]). Burst-draining handlers must not act strictly past it. *)
+
 val step : t -> bool
 (** Fire the earliest pending event. Returns [false] if none remain. *)
 

@@ -1,0 +1,343 @@
+(* Trace-replay benchmark (bench id "replay").
+
+   One synthetic "internet mix" trace (heavy-tailed sizes, on/off bursts
+   superposed on Poisson background — Traffic.Trace.internet_mix) replayed
+   through the same H-WF2Q+ hierarchy at every rung of a burst_max ladder:
+   1 (the classic per-packet event loop), 2, 8, 64 and unbounded. Arrivals
+   are pre-scheduled from the trace — per-event at burst_max 1, grouped by
+   timestamp (Trace.replay ~batched:true) above it — so the ladder measures
+   the end-to-end cost of event-set traffic that burst-draining amortizes.
+
+   Every rung must produce the identical departure sequence: the run folds
+   (flow, seq, time) of each departure into an order-sensitive hash and
+   refuses to write a report if any rung disagrees — the determinism
+   contract (bit-identical schedules at every burst_max) enforced on the
+   real workload, not just the property tests. [guard] re-measures the
+   per-packet and batched rungs against the committed BENCH_replay.json:
+   wall-clock within HPFQ_REPLAY_TOL of baseline, batched/per-packet
+   speedup at least HPFQ_REPLAY_RATIO, and the fresh hash equal to the
+   committed one (hash equality has no tolerance knob — the trace and the
+   schedule are machine-independent). *)
+
+module Perf = Bench_kit.Perf
+module Json = Bench_kit.Json
+module Trace = Traffic.Trace
+
+type workload = {
+  depth : int;
+  fanout : int;
+  seed : int64;
+  duration : float;
+  mean_pkts_per_leaf : float;
+  headroom : float; (* link rate / offered load *)
+}
+
+let full_workload =
+  {
+    depth = 2;
+    fanout = 32 (* 1024 leaves *);
+    seed = 0x7e9157a11L;
+    duration = 1.0;
+    mean_pkts_per_leaf = 100.0;
+    headroom = 1.25;
+  }
+
+let quick_workload =
+  { full_workload with fanout = 8 (* 64 leaves *); mean_pkts_per_leaf = 16.0 }
+
+let workload ~quick = if quick then quick_workload else full_workload
+
+(* The ladder's batched rung used for the headline speedup. *)
+let batched_burst = 64
+let ladder = [ 1; 2; 8; batched_burst; max_int ]
+
+let burst_label burst = if burst = max_int then "inf" else string_of_int burst
+
+(* Rate-1 spec; the real link rate is applied by scaling after the trace's
+   offered load is known, keeping per-node shares identical. *)
+let rec scale_rates factor spec =
+  let open Hpfq.Class_tree in
+  if is_leaf spec then leaf (name spec) ~rate:(rate spec *. factor)
+  else node (name spec) ~rate:(rate spec *. factor)
+         (List.map (scale_rates factor) (children spec))
+
+let setup w =
+  let unit_spec =
+    Perf.uniform_spec ~depth:w.depth ~fanout:w.fanout ~name:"root" ~rate:1.0
+  in
+  let leaves = List.map fst (Hpfq.Class_tree.leaves unit_spec) in
+  let trace =
+    Trace.internet_mix ~seed:w.seed ~leaves ~duration:w.duration
+      ~mean_pkts_per_leaf:w.mean_pkts_per_leaf ()
+  in
+  let total_bits =
+    List.fold_left (fun acc e -> acc +. e.Trace.size_bits) 0.0 trace
+  in
+  let rate = w.headroom *. total_bits /. w.duration in
+  (scale_rates rate unit_spec, trace)
+
+(* -- order-sensitive departure hash -------------------------------------- *)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let fold_hash h k = Engine.Rng.mix64 (Int64.add (Int64.mul h golden) k)
+
+let depart_key ~flow ~seq ~time =
+  Engine.Rng.mix64
+    (Int64.logxor
+       (Int64.of_int ((flow * 0x3779) + seq))
+       (Int64.bits_of_float time))
+
+type row = {
+  burst : int;
+  arrivals : int;
+  departures : int;
+  pkts_per_sec : float;
+  minor_words_per_pkt : float;
+  depart_hash : string;
+}
+
+let measure ?config ?(engine = `Auto) ~spec ~trace ~burst () =
+  let sim =
+    match config with
+    | Some c -> Engine.Simulator.create_configured c
+    | None -> Engine.Simulator.create ()
+  in
+  let departures = ref 0 in
+  let hash = ref golden in
+  let hier =
+    Hpfq.Hier_engine.create ~sim ~spec ~factory:Hpfq.Disciplines.wf2q_plus
+      ~engine
+      ~on_depart:(fun pkt ~leaf:_ time ->
+        incr departures;
+        hash :=
+          fold_hash !hash
+            (depart_key ~flow:pkt.Net.Packet.flow ~seq:pkt.Net.Packet.seq ~time))
+      ~burst_max:burst ()
+  in
+  let leaf_ids = Hashtbl.create 256 in
+  List.iter
+    (fun (name, id) -> Hashtbl.replace leaf_ids name id)
+    (Hpfq.Hier_engine.leaf_ids hier);
+  let emit_for ~leaf =
+    match Hashtbl.find_opt leaf_ids leaf with
+    | None -> None
+    | Some id ->
+      Some
+        (fun ~size_bits -> ignore (Hpfq.Hier_engine.inject hier ~leaf:id ~size_bits))
+  in
+  let arrivals = Trace.replay ~batched:(burst > 1) ~sim ~emit_for trace in
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  Engine.Simulator.run sim;
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor = Gc.minor_words () -. m0 in
+  let pkts = float_of_int !departures in
+  {
+    burst;
+    arrivals;
+    departures = !departures;
+    pkts_per_sec = pkts /. wall;
+    minor_words_per_pkt = minor /. Float.max 1.0 pkts;
+    depart_hash = Printf.sprintf "%016Lx" !hash;
+  }
+
+(* -- JSON report --------------------------------------------------------- *)
+
+let row_json r =
+  Json.Obj
+    [
+      ("burst_max", Json.Num (if r.burst = max_int then -1.0 else float_of_int r.burst));
+      ("burst_label", Json.Str (burst_label r.burst));
+      ("arrivals", Json.Num (float_of_int r.arrivals));
+      ("departures", Json.Num (float_of_int r.departures));
+      ("pkts_per_sec", Json.Num r.pkts_per_sec);
+      ("minor_words_per_pkt", Json.Num r.minor_words_per_pkt);
+      ("depart_hash", Json.Str r.depart_hash);
+    ]
+
+let find_row rows burst = List.find_opt (fun r -> r.burst = burst) rows
+
+let json_of_run ~quick ~w rows =
+  let headline =
+    match (find_row rows 1, find_row rows batched_burst) with
+    | Some per_pkt, Some batched ->
+      Json.Obj
+        [
+          ("workload", Json.Str "internet_mix_replay");
+          ("burst_max", Json.Num (float_of_int batched_burst));
+          ("per_packet_pkts_per_sec", Json.Num per_pkt.pkts_per_sec);
+          ("batched_pkts_per_sec", Json.Num batched.pkts_per_sec);
+          ("speedup", Json.Num (batched.pkts_per_sec /. per_pkt.pkts_per_sec));
+          ("depart_hash", Json.Str batched.depart_hash);
+        ]
+    | _ -> Json.Null
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "hpfq-bench-replay-v1");
+      ("bench", Json.Str "replay");
+      ("quick", Json.Bool quick);
+      ( "workload",
+        Json.Obj
+          [
+            ("generator", Json.Str "internet_mix");
+            ("seed", Json.Num (Int64.to_float w.seed));
+            ("leaves", Json.Num (float_of_int w.fanout ** float_of_int w.depth));
+            ("depth", Json.Num (float_of_int w.depth));
+            ("fanout", Json.Num (float_of_int w.fanout));
+            ("duration", Json.Num w.duration);
+            ("mean_pkts_per_leaf", Json.Num w.mean_pkts_per_leaf);
+            ("headroom", Json.Num w.headroom);
+          ] );
+      ("headline", headline);
+      ("rows", Json.Arr (List.map row_json rows));
+    ]
+
+let required_keys = [ "schema"; "workload"; "headline"; "rows" ]
+let required_row_keys = [ "burst_max"; "pkts_per_sec"; "depart_hash" ]
+
+let validate json =
+  let missing =
+    List.filter (fun k -> Json.member k json = None) required_keys
+    @
+    match Json.member "rows" json with
+    | Some rows -> (
+      match Json.to_list rows with
+      | Some (row :: _) ->
+        List.filter (fun k -> Json.member k row = None) required_row_keys
+      | Some [] | None -> [ "rows entries" ])
+    | None -> []
+  in
+  if missing = [] then Ok () else Error missing
+
+let check_hashes rows =
+  match rows with
+  | [] -> Ok ()
+  | first :: rest -> (
+    match
+      List.find_opt
+        (fun r ->
+          r.depart_hash <> first.depart_hash
+          || r.departures <> first.departures)
+        rest
+    with
+    | None -> Ok ()
+    | Some bad ->
+      Error
+        (Printf.sprintf
+           "burst_max %s departed %d packets with hash %s; burst_max %s \
+            departed %d with hash %s"
+           (burst_label first.burst) first.departures first.depart_hash
+           (burst_label bad.burst) bad.departures bad.depart_hash))
+
+let run ?(quick = false) ?(out = "BENCH_replay.json") () =
+  Printf.printf
+    "\n================ REPLAY: internet-mix trace, burst_max ladder \
+     ================\n%!";
+  let w = workload ~quick in
+  let config = Engine.Simulator.snapshot_config () in
+  let spec, trace = setup w in
+  Printf.printf "trace: %d arrivals over %d leaves, %.3gs horizon\n%!"
+    (List.length trace)
+    (List.length (Hpfq.Class_tree.leaves spec))
+    w.duration;
+  (* the ladder runs sequentially on purpose: rungs share the machine the
+     same way, so the speedup column is internally consistent *)
+  let rows = List.map (fun burst -> measure ~config ~spec ~trace ~burst ()) ladder in
+  Printf.printf "%10s %10s %10s %16s %12s  %s\n" "burst_max" "arrivals"
+    "departs" "pkts/sec" "words/pkt" "depart_hash";
+  List.iter
+    (fun r ->
+      Printf.printf "%10s %10d %10d %16.0f %12.2f  %s\n" (burst_label r.burst)
+        r.arrivals r.departures r.pkts_per_sec r.minor_words_per_pkt
+        r.depart_hash)
+    rows;
+  (match check_hashes rows with
+  | Ok () -> ()
+  | Error msg ->
+    failwith ("Replay_bench.run: determinism violated across the ladder: " ^ msg));
+  let json = json_of_run ~quick ~w rows in
+  Json.to_file out json;
+  (match validate json with
+  | Ok () -> ()
+  | Error missing ->
+    failwith
+      ("Replay_bench.run: emitted JSON is missing keys: "
+      ^ String.concat ", " missing));
+  Printf.printf "\nwrote %s\n%!" out;
+  rows
+
+(* -- regression guard ----------------------------------------------------- *)
+
+let headline_of_report json =
+  match Json.member "headline" json with
+  | None -> Error "report has no \"headline\" object"
+  | Some h -> (
+    match (Json.member "batched_pkts_per_sec" h, Json.member "depart_hash" h) with
+    | Some pps, Some hash -> (
+      match (Json.to_float pps, hash) with
+      | Some f, Json.Str s when f > 0.0 -> Ok (f, s)
+      | _ -> Error "headline \"batched_pkts_per_sec\"/\"depart_hash\" malformed")
+    | _ ->
+      Error "headline lacks \"batched_pkts_per_sec\" or \"depart_hash\" fields")
+
+type guard_result = {
+  baseline_pps : float;
+  fresh_pps : float;
+  perf_ratio : float;
+  speedup : float; (* fresh batched / fresh per-packet *)
+  hash_ok : bool; (* fresh batched hash = committed hash *)
+  tol : float;
+  min_speedup : float;
+  within : bool;
+}
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+    match float_of_string_opt s with Some t when t >= 0.0 -> t | _ -> default)
+  | None -> default
+
+let guard ?(baseline = "BENCH_replay.json") ?tol ?min_speedup ?(quick = false) () =
+  let tol = match tol with Some t -> t | None -> env_float "HPFQ_REPLAY_TOL" 0.2 in
+  let min_speedup =
+    match min_speedup with
+    | Some r -> r
+    | None -> env_float "HPFQ_REPLAY_RATIO" 1.0
+  in
+  if not (Sys.file_exists baseline) then
+    Error (Printf.sprintf "baseline %s not found (run `bench replay` first)" baseline)
+  else
+    let parsed =
+      match Json.of_file baseline with
+      | json -> headline_of_report json
+      | exception Json.Parse_error msg -> Error msg
+      | exception Sys_error msg -> Error msg
+    in
+    match parsed with
+    | Error e -> Error (Printf.sprintf "%s: %s" baseline e)
+    | Ok (baseline_pps, baseline_hash) ->
+      let spec, trace = setup (workload ~quick) in
+      let per_pkt = measure ~spec ~trace ~burst:1 () in
+      let batched = measure ~spec ~trace ~burst:batched_burst () in
+      let fresh_pps = batched.pkts_per_sec in
+      let speedup = batched.pkts_per_sec /. per_pkt.pkts_per_sec in
+      let hash_ok =
+        String.equal batched.depart_hash baseline_hash
+        && String.equal per_pkt.depart_hash baseline_hash
+      in
+      Ok
+        {
+          baseline_pps;
+          fresh_pps;
+          perf_ratio = fresh_pps /. baseline_pps;
+          speedup;
+          hash_ok;
+          tol;
+          min_speedup;
+          within =
+            hash_ok
+            && fresh_pps /. baseline_pps >= 1.0 -. tol
+            && speedup >= min_speedup;
+        }

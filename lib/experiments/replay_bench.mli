@@ -1,0 +1,84 @@
+(** Trace-replay benchmark backing `dune exec bench/main.exe -- replay`.
+
+    Replays one synthetic internet-mix trace (see
+    {!Traffic.Trace.internet_mix}) through the same H-WF²Q+ hierarchy at
+    every rung of a burst_max ladder (1, 2, 8, 64, unbounded), checks the
+    departure hash is identical on every rung — the burst-drain
+    determinism contract on a realistic workload — and writes
+    BENCH_replay.json with the batched-vs-per-packet speedup headline. *)
+
+type row = {
+  burst : int;  (** burst_max for this rung ([max_int] = unbounded) *)
+  arrivals : int;
+  departures : int;
+  pkts_per_sec : float;
+  minor_words_per_pkt : float;
+  depart_hash : string;  (** order-sensitive hash of (flow, seq, time) *)
+}
+
+val batched_burst : int
+(** The ladder rung the headline speedup compares against burst 1 (64). *)
+
+val scale_rates : float -> Hpfq.Class_tree.t -> Hpfq.Class_tree.t
+(** Multiply every node's rate by a factor, preserving relative shares —
+    how a unit-rate spec is sized to a trace's offered load. *)
+
+val measure :
+  ?config:Engine.Simulator.config ->
+  ?engine:Hpfq.Hier_engine.choice ->
+  spec:Hpfq.Class_tree.t ->
+  trace:Traffic.Trace.event list ->
+  burst:int ->
+  unit ->
+  row
+(** Replay [trace] through one H-WF²Q+ hierarchy built from [spec] at the
+    given burst cap and drain it to completion: arrivals are pre-scheduled
+    (per-event at burst 1, grouped by timestamp above it), trace events
+    naming leaves absent from [spec] are skipped, and the row carries the
+    departure count, throughput and order-sensitive departure hash. The
+    hash is a pure function of ([spec], [trace]) — identical at every
+    [burst] and on every machine. *)
+
+val run : ?quick:bool -> ?out:string -> unit -> row list
+(** Run the ladder and write the JSON report to [out] (default
+    ["BENCH_replay.json"]). [quick] shrinks the trace to smoke-test size.
+    @raise Failure if any rung's departure hash or count disagrees with
+    the others, or the emitted report fails {!validate}. *)
+
+val required_keys : string list
+val required_row_keys : string list
+
+val validate : Bench_kit.Json.t -> (unit, string list) result
+(** Check a parsed report for the required top-level and per-row keys. *)
+
+val headline_of_report : Bench_kit.Json.t -> (float * string, string) result
+(** Extract [(headline.batched_pkts_per_sec, headline.depart_hash)]. *)
+
+type guard_result = {
+  baseline_pps : float;  (** batched headline recorded in the baseline *)
+  fresh_pps : float;  (** batched headline measured just now *)
+  perf_ratio : float;  (** [fresh_pps /. baseline_pps] *)
+  speedup : float;  (** fresh batched / fresh per-packet *)
+  hash_ok : bool;  (** both fresh hashes equal the committed one *)
+  tol : float;  (** relative slowdown tolerated (HPFQ_REPLAY_TOL) *)
+  min_speedup : float;  (** speedup floor (HPFQ_REPLAY_RATIO) *)
+  within : bool;  (** [hash_ok] and both ratio gates passed *)
+}
+
+val guard :
+  ?baseline:string ->
+  ?tol:float ->
+  ?min_speedup:float ->
+  ?quick:bool ->
+  unit ->
+  (guard_result, string) result
+(** Regression gate: re-measure the per-packet and batched rungs on the
+    full workload ([quick] swaps in the smoke-test trace — the baseline
+    must then come from a quick run too, or the hash gate fires) and
+    compare against [baseline] (default ["BENCH_replay.json"]). Fails when the batched throughput drops more
+    than [tol] (HPFQ_REPLAY_TOL, default 0.2) below the committed number,
+    when the batched/per-packet speedup is under [min_speedup]
+    (HPFQ_REPLAY_RATIO, default 1.0 — batching must never lose), or —
+    with no tolerance knob — when either fresh departure hash differs
+    from the committed one. [Error] means the baseline is missing or
+    unreadable, not a gate failure. *)

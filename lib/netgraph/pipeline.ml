@@ -18,7 +18,7 @@ type t = {
 }
 
 let create ~sim ~hops ~make_policy ?(propagation_delay = 0.001)
-    ?(on_deliver = fun ~flow:_ _ ~injected:_ ~delivered:_ -> ()) () =
+    ?(on_deliver = fun ~flow:_ _ ~injected:_ ~delivered:_ -> ()) ?burst_max () =
   if hops = [] then invalid_arg "Pipeline.create: no hops";
   let t =
     {
@@ -32,7 +32,11 @@ let create ~sim ~hops ~make_policy ?(propagation_delay = 0.001)
   in
   let rec build index (name, spec) =
     let on_depart pkt ~leaf:_ time = hop_departure t index pkt time in
-    { name; spec; server = Hpfq.Hier.create ~sim ~spec ~make_policy ~on_depart () }
+    {
+      name;
+      spec;
+      server = Hpfq.Hier.create ~sim ~spec ~make_policy ~on_depart ?burst_max ();
+    }
   and hop_departure t index pkt time =
     match
       Hashtbl.find_opt t.routing (index, Hpfq.Hier.unsafe_leaf_of_int pkt.Net.Packet.flow)

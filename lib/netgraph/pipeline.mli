@@ -20,11 +20,14 @@ val create :
   make_policy:(level:int -> name:string -> rate:float -> Sched.Sched_intf.t) ->
   ?propagation_delay:float ->
   ?on_deliver:(flow:string -> Net.Packet.t -> injected:float -> delivered:float -> unit) ->
+  ?burst_max:int ->
   unit ->
   t
 (** [hops] are (server name, class tree) in path order; every server uses
     [make_policy] for its interior nodes. [propagation_delay] (default
-    1 ms) applies between consecutive hops. *)
+    1 ms) applies between consecutive hops. [burst_max] (default 1) is
+    each hop's burst-drain cap (see {!Hpfq.Server.create}); departure and
+    delivery times are bit-identical at every setting. *)
 
 val add_flow : t -> name:string -> route:string list -> unit
 (** [route] names the leaf the flow occupies at each hop (one per hop, in

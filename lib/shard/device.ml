@@ -170,8 +170,12 @@ let make_link_state t ~config ~link =
       trace := (pkt.Net.Packet.flow, pkt.Net.Packet.seq, time) :: !trace
   in
   let engine =
+    (* the workload's ingress burst cap doubles as the link's drain cap:
+       backlogged shards retire whole bursts per simulator event (the
+       determinism contract keeps the device hash unchanged) *)
     Hpfq.Hier_engine.create ~sim ~spec:t.spec
-      ~factory:Hpfq.Disciplines.wf2q_plus ~engine:t.engine ~on_depart ()
+      ~factory:Hpfq.Disciplines.wf2q_plus ~engine:t.engine ~on_depart
+      ~burst_max:(max 1 t.workload.burst_max) ()
   in
   let leaf_ids =
     Array.of_list

@@ -2,6 +2,8 @@ type event = { time : float; leaf : string; size_bits : float }
 
 let compare_event a b = compare (a.time, a.leaf, a.size_bits) (b.time, b.leaf, b.size_bits)
 
+(* %.17g prints the shortest-or-full decimal that parses back to the exact
+   same float, so save -> load -> save is byte-stable. *)
 let save ~path events =
   let oc = open_out path in
   Fun.protect
@@ -9,7 +11,7 @@ let save ~path events =
     (fun () ->
       output_string oc "time,leaf,size_bits\n";
       List.iter
-        (fun e -> Printf.fprintf oc "%.9f,%s,%.9g\n" e.time e.leaf e.size_bits)
+        (fun e -> Printf.fprintf oc "%.17g,%s,%.17g\n" e.time e.leaf e.size_bits)
         (List.stable_sort compare_event events))
 
 let load ~path =
@@ -18,21 +20,220 @@ let load ~path =
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let events = ref [] in
+      let line_no = ref 1 in
+      let field name line raw =
+        match float_of_string_opt raw with
+        | Some v -> v
+        | None ->
+          failwith
+            (Printf.sprintf "Trace.load: %s, line %d: bad %s field %S in %S"
+               path !line_no name raw line)
+      in
       (try
          let header = input_line ic in
          if not (String.equal header "time,leaf,size_bits") then
-           failwith ("Trace.load: bad header in " ^ path);
+           failwith
+             (Printf.sprintf "Trace.load: %s, line 1: bad header %S" path header);
          while true do
            let line = input_line ic in
-           match String.split_on_char ',' line with
+           incr line_no;
+           (match String.split_on_char ',' line with
            | [ time; leaf; size ] ->
              events :=
-               { time = float_of_string time; leaf; size_bits = float_of_string size }
+               {
+                 time = field "time" line time;
+                 leaf;
+                 size_bits = field "size_bits" line size;
+               }
                :: !events
-           | _ -> failwith ("Trace.load: malformed line: " ^ line)
+           | fields ->
+             failwith
+               (Printf.sprintf
+                  "Trace.load: %s, line %d: expected 3 fields \
+                   (time,leaf,size_bits), got %d in %S"
+                  path !line_no (List.length fields) line))
          done
        with End_of_file -> ());
       List.rev !events)
+
+(* ---- binary format (v2) ------------------------------------------------ *)
+
+(* Fixed-record layout, little-endian throughout:
+
+     magic   "HPFQTRC2"                      8 bytes
+     L       leaf-table entries              u32
+     N       records                         u32
+     L x     leaf name: u16 length + bytes   variable
+     N x     f64 time | u32 leaf | f64 size  20 bytes each
+
+   The record section is a flat array of 20-byte cells — seekable /
+   mmap-friendly — with leaf names factored into the header table so a
+   million-packet trace does not repeat a thousand flow names. *)
+
+let binary_magic = "HPFQTRC2"
+let record_bytes = 20
+
+let save_binary ~path events =
+  let events = List.stable_sort compare_event events in
+  let leaf_index = Hashtbl.create 64 in
+  let leaves = ref [] in
+  let n_leaves = ref 0 in
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem leaf_index e.leaf) then begin
+        Hashtbl.add leaf_index e.leaf !n_leaves;
+        leaves := e.leaf :: !leaves;
+        incr n_leaves
+      end)
+    events;
+  let leaves = List.rev !leaves in
+  let n = List.length events in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc binary_magic;
+      let b4 = Bytes.create 4 in
+      let put_u32 v =
+        Bytes.set_int32_le b4 0 (Int32.of_int v);
+        output_bytes oc b4
+      in
+      put_u32 !n_leaves;
+      put_u32 n;
+      let b2 = Bytes.create 2 in
+      List.iter
+        (fun name ->
+          if String.length name > 0xFFFF then
+            invalid_arg ("Trace.save_binary: leaf name too long: " ^ name);
+          Bytes.set_uint16_le b2 0 (String.length name);
+          output_bytes oc b2;
+          output_string oc name)
+        leaves;
+      let rec_buf = Bytes.create record_bytes in
+      List.iter
+        (fun e ->
+          Bytes.set_int64_le rec_buf 0 (Int64.bits_of_float e.time);
+          Bytes.set_int32_le rec_buf 8
+            (Int32.of_int (Hashtbl.find leaf_index e.leaf));
+          Bytes.set_int64_le rec_buf 12 (Int64.bits_of_float e.size_bits);
+          output_bytes oc rec_buf)
+        events)
+
+let load_binary ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let fail fmt =
+        Printf.ksprintf (fun m -> failwith ("Trace.load_binary: " ^ path ^ ": " ^ m)) fmt
+      in
+      let len = in_channel_length ic in
+      if len < 16 then fail "truncated header (%d bytes)" len;
+      let magic = really_input_string ic 8 in
+      if not (String.equal magic binary_magic) then
+        fail "bad magic %S (expected %S)" magic binary_magic;
+      let b4 = Bytes.create 4 in
+      let get_u32 what =
+        really_input ic b4 0 4;
+        let v = Int32.to_int (Bytes.get_int32_le b4 0) in
+        if v < 0 then fail "negative %s count" what;
+        v
+      in
+      let n_leaves = get_u32 "leaf" in
+      let n = get_u32 "record" in
+      let b2 = Bytes.create 2 in
+      let leaves =
+        Array.init n_leaves (fun _ ->
+            really_input ic b2 0 2;
+            let l = Bytes.get_uint16_le b2 0 in
+            really_input_string ic l)
+      in
+      let remaining = len - pos_in ic in
+      if remaining <> n * record_bytes then
+        fail "record section is %d bytes, expected %d (%d records of %d)"
+          remaining (n * record_bytes) n record_bytes;
+      let rec_buf = Bytes.create record_bytes in
+      let events = ref [] in
+      for _ = 1 to n do
+        really_input ic rec_buf 0 record_bytes;
+        let time = Int64.float_of_bits (Bytes.get_int64_le rec_buf 0) in
+        let leaf_idx = Int32.to_int (Bytes.get_int32_le rec_buf 8) in
+        if leaf_idx < 0 || leaf_idx >= n_leaves then
+          fail "record references leaf %d of %d" leaf_idx n_leaves;
+        let size_bits = Int64.float_of_bits (Bytes.get_int64_le rec_buf 12) in
+        events := { time; leaf = leaves.(leaf_idx); size_bits } :: !events
+      done;
+      List.rev !events)
+
+let load_any ~path =
+  let ic = open_in_bin path in
+  let is_binary =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        in_channel_length ic >= 8
+        && String.equal (really_input_string ic 8) binary_magic)
+  in
+  if is_binary then load_binary ~path else load ~path
+
+(* ---- synthetic "internet mix" workload --------------------------------- *)
+
+(* Heavy-tailed sizes: a spike of minimum-size packets (TCP acks) over a
+   bounded Pareto body — the classic bimodal-with-tail internet mix. *)
+let mix_size rng =
+  let min_bits = 320.0 (* 40 B *) and max_bits = 12_000.0 (* 1500 B *) in
+  if Engine.Rng.uniform rng < 0.3 then min_bits
+  else begin
+    (* bounded Pareto, alpha = 1.2: inverse CDF over [min, max] *)
+    let alpha = 1.2 in
+    let u = Engine.Rng.uniform rng in
+    let ratio = (min_bits /. max_bits) ** alpha in
+    let x = min_bits /. ((1.0 -. (u *. (1.0 -. ratio))) ** (1.0 /. alpha)) in
+    Float.min x max_bits
+  end
+
+let internet_mix ~seed ~leaves ~duration ?(mean_pkts_per_leaf = 64.0) () =
+  if duration <= 0.0 then invalid_arg "Trace.internet_mix: duration must be positive";
+  if mean_pkts_per_leaf <= 0.0 then
+    invalid_arg "Trace.internet_mix: mean_pkts_per_leaf must be positive";
+  let root = Engine.Rng.create seed in
+  let events = ref [] in
+  List.iteri
+    (fun i leaf ->
+      let rng = Engine.Rng.for_task root i in
+      let emit time = events := { time; leaf; size_bits = mix_size rng } :: !events in
+      if Engine.Rng.uniform rng < 0.6 then begin
+        (* Poisson background flow *)
+        let gap = duration /. mean_pkts_per_leaf in
+        let t = ref (Engine.Rng.exponential rng ~mean:gap) in
+        while !t < duration do
+          emit !t;
+          t := !t +. Engine.Rng.exponential rng ~mean:gap
+        done
+      end
+      else begin
+        (* on/off burst flow: same mean packet count concentrated into ON
+           periods covering ~a quarter of the horizon, so bursts run at
+           roughly 4x the background intensity *)
+        let on_mean = duration /. 8.0 and off_mean = 3.0 *. duration /. 8.0 in
+        let burst_gap = duration /. (4.0 *. mean_pkts_per_leaf) in
+        let t = ref (Engine.Rng.exponential rng ~mean:off_mean) in
+        while !t < duration do
+          let on_end =
+            Float.min duration (!t +. Engine.Rng.exponential rng ~mean:on_mean)
+          in
+          t := !t +. Engine.Rng.exponential rng ~mean:burst_gap;
+          while !t < on_end do
+            emit !t;
+            t := !t +. Engine.Rng.exponential rng ~mean:burst_gap
+          done;
+          t := on_end +. Engine.Rng.exponential rng ~mean:off_mean
+        done
+      end)
+    leaves;
+  List.stable_sort compare_event !events
+
+(* ---- capture / replay -------------------------------------------------- *)
 
 let recorder ~sim =
   let events = ref [] in
@@ -43,14 +244,50 @@ let recorder ~sim =
   let dump () = List.stable_sort compare_event (List.rev !events) in
   (wrap, dump)
 
-let replay ~sim ~emit_for events =
-  List.fold_left
-    (fun count e ->
-      match emit_for ~leaf:e.leaf with
-      | None -> count
-      | Some emit ->
-        ignore
-          (Engine.Simulator.schedule sim ~at:e.time (fun () ->
-               emit ~size_bits:e.size_bits));
-        count + 1)
-    0 events
+let replay ?(batched = false) ~sim ~emit_for events =
+  if not batched then
+    List.fold_left
+      (fun count e ->
+        match emit_for ~leaf:e.leaf with
+        | None -> count
+        | Some emit ->
+          ignore
+            (Engine.Simulator.schedule sim ~at:e.time (fun () ->
+                 emit ~size_bits:e.size_bits));
+          count + 1)
+      0 events
+  else begin
+    (* One event per run of equal timestamps. Equivalent to per-event
+       scheduling when the trace is installed before the run starts: setup
+       seqs precede every runtime seq, so all arrivals at time T fire
+       before any other event at T either way, and grouping preserves
+       their relative order. *)
+    let scheduled = ref 0 in
+    let rec take_run time acc = function
+      | e :: rest when e.time = time -> take_run time (e :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let rec loop = function
+      | [] -> ()
+      | e :: _ as evs ->
+        let run, rest = take_run e.time [] evs in
+        let actions =
+          List.filter_map
+            (fun ev ->
+              match emit_for ~leaf:ev.leaf with
+              | None -> None
+              | Some emit -> Some (emit, ev.size_bits))
+            run
+        in
+        (match actions with
+        | [] -> ()
+        | acts ->
+          scheduled := !scheduled + List.length acts;
+          ignore
+            (Engine.Simulator.schedule sim ~at:e.time (fun () ->
+                 List.iter (fun (emit, size_bits) -> emit ~size_bits) acts)));
+        loop rest
+    in
+    loop events;
+    !scheduled
+  end

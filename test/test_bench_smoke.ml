@@ -188,6 +188,75 @@ let test_hier_guard_verdicts () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing baseline should be an error"
 
+(* -- trace-replay suite ---------------------------------------------------- *)
+
+module Rbench = Experiments.Replay_bench
+
+let test_replay_quick_run_emits_valid_report () =
+  let out = Filename.temp_file "bench_replay_smoke" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let rows = Rbench.run ~quick:true ~out () in
+      (* ladder: 1, 2, 8, 64, unbounded *)
+      Alcotest.(check int) "row count" 5 (List.length rows);
+      List.iter
+        (fun r ->
+          if r.Rbench.pkts_per_sec <= 0.0 then
+            Alcotest.fail "pkts_per_sec not positive";
+          if r.Rbench.departures <> r.Rbench.arrivals then
+            Alcotest.fail "trace did not fully drain")
+        rows;
+      (* run () itself fails on divergence; assert the invariant where a
+         reader looks first: one distinct hash across the whole ladder *)
+      Alcotest.(check int) "one distinct departure hash" 1
+        (List.length
+           (List.sort_uniq compare (List.map (fun r -> r.Rbench.depart_hash) rows)));
+      let report = Json.of_file out in
+      match Rbench.validate report with
+      | Ok () -> ()
+      | Error problems ->
+        Alcotest.failf "invalid replay report: %s" (String.concat "; " problems))
+
+let test_replay_guard_verdicts () =
+  let with_file f =
+    let path = Filename.temp_file "bench_replay_guard" ".json" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () -> f path)
+  in
+  (* a real quick run as its own baseline: the hashes match by
+     construction, so the guard must pass outright *)
+  with_file (fun path ->
+      ignore (Rbench.run ~quick:true ~out:path ());
+      (match Rbench.guard ~baseline:path ~tol:0.99 ~min_speedup:0.0 ~quick:true () with
+      | Ok g ->
+        Alcotest.(check bool) "hash matches its own run" true g.Rbench.hash_ok;
+        Alcotest.(check bool) "passes against its own run" true g.Rbench.within
+      | Error e -> Alcotest.failf "replay guard errored: %s" e);
+      (* doctor the committed hash: the gate must fire with no tolerance *)
+      let doctored =
+        Json.Obj
+          [
+            ("schema", Json.Str "hpfq-bench-replay-v1");
+            ( "headline",
+              Json.Obj
+                [
+                  ("batched_pkts_per_sec", Json.Num 1.0);
+                  ("depart_hash", Json.Str "ffffffffffffffff");
+                ] );
+          ]
+      in
+      Json.to_file path doctored;
+      match Rbench.guard ~baseline:path ~tol:0.99 ~min_speedup:0.0 ~quick:true () with
+      | Ok g ->
+        Alcotest.(check bool) "doctored hash detected" false g.Rbench.hash_ok;
+        Alcotest.(check bool) "doctored hash fails the gate" false g.Rbench.within
+      | Error e -> Alcotest.failf "replay guard errored: %s" e);
+  match Rbench.guard ~baseline:"/nonexistent/BENCH_replay.json" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing baseline should be an error"
+
 (* -- session-lifecycle churn suite ---------------------------------------- *)
 
 module Cbench = Experiments.Churn_bench
@@ -535,6 +604,12 @@ let () =
           Alcotest.test_case "quick run emits valid report" `Quick
             test_hier_quick_run_emits_valid_report;
           Alcotest.test_case "guard verdicts" `Quick test_hier_guard_verdicts;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "quick run emits valid report" `Quick
+            test_replay_quick_run_emits_valid_report;
+          Alcotest.test_case "guard verdicts" `Quick test_replay_guard_verdicts;
         ] );
       ( "churn",
         [

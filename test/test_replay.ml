@@ -1,0 +1,402 @@
+(* Burst-drained execution and the trace layer.
+
+   The burst-drain contract (Server/Hier/Hier_flat [burst_max]): departure
+   order, times and every public clock are *bit-identical* at every cap —
+   a departure only runs inline when it would have been the very next
+   event anyway. Property-tested here against the per-packet reference on
+   random trees with churn, then end-to-end through Netgraph.Pipeline.
+
+   The trace layer: lossless CSV (%.17g round-trip, byte-stable re-save),
+   the HPFQTRC2 binary format, format sniffing, malformed-input
+   diagnostics, internet-mix determinism, and batched replay grouping. *)
+
+module Q = QCheck
+module Sim = Engine.Simulator
+module HE = Hpfq.Hier_engine
+module CT = Hpfq.Class_tree
+module Trace = Traffic.Trace
+
+let wf2q_plus = Hpfq.Disciplines.wf2q_plus
+
+let with_temp_file f =
+  let path = Filename.temp_file "hpfq_trace" ".tmp" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- CSV: lossless floats, byte-stable re-save, diagnostics ---- *)
+
+(* sorted upfront: save writes in time order, so load returns this order *)
+let awkward_events =
+  List.sort compare
+    [
+      { Trace.time = 0.1; leaf = "a"; size_bits = 1.0 /. 3.0 };
+      { Trace.time = Float.pi *. 1e-7; leaf = "b"; size_bits = 320.0 };
+      { Trace.time = 1.0 +. epsilon_float; leaf = "a"; size_bits = 0x1.fffffffffffffp+10 };
+      { Trace.time = 2.0; leaf = "c/with odd-name?"; size_bits = 1e-300 };
+      { Trace.time = 7.300000000000001; leaf = "b"; size_bits = 12_000.0 };
+    ]
+
+let test_csv_roundtrip () =
+  with_temp_file (fun path ->
+      Trace.save ~path awkward_events;
+      let loaded = Trace.load ~path in
+      Alcotest.(check bool) "floats survive exactly" true (loaded = awkward_events))
+
+let test_csv_byte_stable () =
+  with_temp_file (fun p1 ->
+      with_temp_file (fun p2 ->
+          Trace.save ~path:p1 awkward_events;
+          Trace.save ~path:p2 (Trace.load ~path:p1);
+          Alcotest.(check string) "save . load = identity on bytes"
+            (read_file p1) (read_file p2)))
+
+let write_lines path lines =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) lines)
+
+let contains_substring ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+  scan 0
+
+let expect_failure_mentioning ~parts f =
+  match f () with
+  | _ -> Alcotest.failf "expected Failure mentioning %s" (String.concat ", " parts)
+  | exception Failure msg ->
+    List.iter
+      (fun part ->
+        if not (contains_substring ~needle:part msg) then
+          Alcotest.failf "message %S lacks %S" msg part)
+      parts
+
+let test_csv_malformed () =
+  with_temp_file (fun path ->
+      write_lines path [ "time,leaf,size_bits"; "0.5,a,100"; "0.7,b,oops" ];
+      expect_failure_mentioning ~parts:[ "line 3"; "size_bits"; "oops" ] (fun () ->
+          Trace.load ~path));
+  with_temp_file (fun path ->
+      write_lines path [ "time,leaf,size_bits"; "nope,a,100" ];
+      expect_failure_mentioning ~parts:[ "line 2"; "time"; "nope" ] (fun () ->
+          Trace.load ~path));
+  with_temp_file (fun path ->
+      write_lines path [ "time,leaf,size_bits"; "0.5,a" ];
+      expect_failure_mentioning ~parts:[ "line 2"; "expected 3 fields" ] (fun () ->
+          Trace.load ~path));
+  with_temp_file (fun path ->
+      write_lines path [ "when,who,how_big" ];
+      expect_failure_mentioning ~parts:[ "line 1"; "bad header" ] (fun () ->
+          Trace.load ~path))
+
+(* ---- binary v2: bit-exact round-trip, sniffing, diagnostics ---- *)
+
+let test_binary_roundtrip () =
+  with_temp_file (fun path ->
+      Trace.save_binary ~path awkward_events;
+      Alcotest.(check bool) "bit-exact round-trip" true
+        (Trace.load_binary ~path = awkward_events))
+
+let test_load_any_sniffs () =
+  with_temp_file (fun path ->
+      Trace.save_binary ~path awkward_events;
+      Alcotest.(check bool) "binary sniffed" true (Trace.load_any ~path = awkward_events));
+  with_temp_file (fun path ->
+      Trace.save ~path awkward_events;
+      Alcotest.(check bool) "csv sniffed" true (Trace.load_any ~path = awkward_events))
+
+let test_binary_malformed () =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "HPFQTRC9________";
+      close_out oc;
+      expect_failure_mentioning ~parts:[ "bad magic" ] (fun () ->
+          Trace.load_binary ~path));
+  with_temp_file (fun path ->
+      Trace.save_binary ~path awkward_events;
+      (* drop the last byte: the record section length no longer matches *)
+      let bytes = read_file path in
+      let oc = open_out_bin path in
+      output_string oc (String.sub bytes 0 (String.length bytes - 1));
+      close_out oc;
+      expect_failure_mentioning ~parts:[ "record section" ] (fun () ->
+          Trace.load_binary ~path))
+
+(* ---- internet mix: deterministic in the seed ---- *)
+
+let test_internet_mix_deterministic () =
+  let gen seed =
+    Trace.internet_mix ~seed ~leaves:[ "a"; "b"; "c"; "d" ] ~duration:2.0
+      ~mean_pkts_per_leaf:32.0 ()
+  in
+  Alcotest.(check bool) "same seed, same trace" true (gen 7L = gen 7L);
+  Alcotest.(check bool) "different seed, different trace" false (gen 7L = gen 8L);
+  let t = gen 7L in
+  Alcotest.(check bool) "non-empty" true (t <> []);
+  Alcotest.(check bool) "time-ordered" true
+    (List.sort compare (List.map (fun e -> e.Trace.time) t)
+    = List.map (fun e -> e.Trace.time) t);
+  List.iter
+    (fun e ->
+      if e.Trace.size_bits < 320.0 || e.Trace.size_bits > 12_000.0 then
+        Alcotest.failf "size %g outside the mix bounds" e.Trace.size_bits)
+    t
+
+(* ---- lockstep: burst-drained replay = per-packet replay ---- *)
+
+(* Random trees (depth <= 5, fan-out <= 8, node budget 48) with random
+   arrivals and leaf close/reopen churn, mirroring test_hier_flat's
+   generator; the property replays each scenario per-packet (burst 1) and
+   at each larger cap, requiring the exact same departure log, drops and
+   final clock — on both engines. *)
+
+type scenario = {
+  spec : CT.t;
+  leaves : string list;
+  packets : (float * int * float) list; (* (time, leaf index, size_bits) *)
+  churn : (float * int * bool * float) list;
+      (* (close time, leaf index, drop?, reopen delay) *)
+}
+
+let scenario_gen rng =
+  let budget = ref 48 in
+  let fresh = ref 0 in
+  let rec gen ~depth rate =
+    decr budget;
+    let name =
+      let id = !fresh in
+      incr fresh;
+      Printf.sprintf "n%d" id
+    in
+    let leaf () =
+      let cap =
+        if Random.State.int rng 6 = 0 then Some (1.0 +. Random.State.float rng 6.0)
+        else None
+      in
+      CT.leaf ?queue_capacity_bits:cap name ~rate
+    in
+    if depth >= 5 || !budget <= 0 || (depth > 0 && Random.State.int rng 3 = 0) then
+      leaf ()
+    else begin
+      let k = min (1 + Random.State.int rng 8) (max 1 !budget) in
+      let weights = Array.init k (fun _ -> 0.2 +. Random.State.float rng 0.8) in
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      let scale = 0.999 *. rate /. total in
+      CT.node name ~rate
+        (List.init k (fun i -> gen ~depth:(depth + 1) (weights.(i) *. scale)))
+    end
+  in
+  let spec = gen ~depth:0 1.0 in
+  let leaves = List.map fst (CT.leaves spec) in
+  let n_leaves = List.length leaves in
+  let n_packets = 1 + Random.State.int rng 120 in
+  let packets =
+    List.init n_packets (fun _ ->
+        ( Random.State.float rng 12.0,
+          Random.State.int rng n_leaves,
+          0.1 +. Random.State.float rng 1.9 ))
+  in
+  let churn =
+    List.init (Random.State.int rng 4) (fun _ ->
+        ( Random.State.float rng 10.0,
+          Random.State.int rng n_leaves,
+          Random.State.bool rng,
+          0.2 +. Random.State.float rng 4.0 ))
+  in
+  { spec; leaves; packets; churn }
+
+let print_scenario s =
+  Format.asprintf "%a@ packets=[%s]@ churn=[%s]" CT.pp s.spec
+    (String.concat "; "
+       (List.map (fun (t, l, z) -> Printf.sprintf "(%h,%d,%h)" t l z) s.packets))
+    (String.concat "; "
+       (List.map
+          (fun (t, l, d, r) -> Printf.sprintf "(%h,%d,%b,%h)" t l d r)
+          s.churn))
+
+let replay engine ~burst s =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let on_depart pkt ~leaf t = log := (leaf, pkt.Net.Packet.seq, t) :: !log in
+  let h =
+    HE.create ~sim ~spec:s.spec ~factory:wf2q_plus ~engine ~on_depart
+      ~burst_max:burst ()
+  in
+  let ids = Array.of_list (List.map (HE.leaf_id h) s.leaves) in
+  List.iter
+    (fun (at, leaf, size) ->
+      ignore
+        (Sim.schedule sim ~at (fun () ->
+             (* the leaf may be closed by churn at this instant; a rejected
+                arrival is part of the scenario, identically in every run *)
+             try ignore (HE.inject h ~leaf:ids.(leaf) ~size_bits:size)
+             with Invalid_argument _ -> ())))
+    s.packets;
+  List.iter
+    (fun (at, leaf, drop, reopen_after) ->
+      let policy = if drop then `Drop else `Drain in
+      ignore
+        (Sim.schedule sim ~at (fun () ->
+             try HE.close_leaf h ~leaf:ids.(leaf) ~policy
+             with Invalid_argument _ -> ()));
+      ignore
+        (Sim.schedule sim ~at:(at +. reopen_after) (fun () ->
+             try HE.reopen_leaf h ~leaf:ids.(leaf)
+             with Invalid_argument _ -> ())))
+    s.churn;
+  Sim.run sim;
+  (List.rev !log, HE.drops h, HE.departed_bits h ~node:(HE.root_name h), Sim.now sim)
+
+let bursts = [ 2; 8; 64; max_int ]
+
+let prop_burst_lockstep engine name =
+  Q.Test.make ~count:400 ~name
+    (Q.make scenario_gen ~print:print_scenario)
+    (fun s ->
+      let reference = replay engine ~burst:1 s in
+      List.for_all (fun burst -> replay engine ~burst s = reference) bursts)
+
+(* ---- batched trace replay = per-event trace replay ---- *)
+
+(* A trace with deliberate timestamp collisions across leaves: grouped
+   scheduling must reproduce the per-event departure log exactly. *)
+let test_batched_replay_grouping () =
+  let trace =
+    Trace.internet_mix ~seed:11L ~leaves:[ "a1"; "a2"; "b1"; "b2"; "b3" ]
+      ~duration:1.0 ~mean_pkts_per_leaf:40.0 ()
+  in
+  let trace =
+    (* collide timestamps: duplicate every 3rd event onto another leaf *)
+    List.concat
+      (List.mapi
+         (fun i e ->
+           if i mod 3 = 0 then [ e; { e with Trace.leaf = "b1" } ] else [ e ])
+         trace)
+  in
+  let spec =
+    CT.node "link" ~rate:20_000.0
+      [
+        CT.node "A" ~rate:12_000.0
+          [ CT.leaf "a1" ~rate:8_000.0; CT.leaf "a2" ~rate:4_000.0 ];
+        CT.node "B" ~rate:8_000.0
+          [
+            CT.leaf "b1" ~rate:4_000.0;
+            CT.leaf "b2" ~rate:2_000.0;
+            CT.leaf "b3" ~rate:2_000.0;
+          ];
+      ]
+  in
+  let run batched =
+    let sim = Sim.create () in
+    let log = ref [] in
+    let h =
+      HE.create ~sim ~spec ~factory:wf2q_plus
+        ~on_depart:(fun pkt ~leaf t -> log := (leaf, pkt.Net.Packet.seq, t) :: !log)
+        ~burst_max:8 ()
+    in
+    let emit_for ~leaf =
+      let id = HE.leaf_id h leaf in
+      Some (fun ~size_bits -> ignore (HE.inject h ~leaf:id ~size_bits))
+    in
+    let n = Trace.replay ~batched ~sim ~emit_for trace in
+    Sim.run sim;
+    (n, List.rev !log)
+  in
+  let n1, per_event = run false in
+  let n2, grouped = run true in
+  Alcotest.(check int) "same arrivals scheduled" n1 n2;
+  Alcotest.(check bool) "identical departure logs" true (per_event = grouped)
+
+(* ---- pipeline: end-to-end delays identical at burst_max > 1 ---- *)
+
+let test_pipeline_burst_invariance () =
+  let hop_spec name =
+    CT.node name ~rate:1.0
+      [ CT.leaf (name ^ "/flow") ~rate:0.4; CT.leaf (name ^ "/cross") ~rate:0.6 ]
+  in
+  let run burst_max =
+    let sim = Sim.create () in
+    let deliveries = ref [] in
+    let hops = List.init 3 (fun k -> (Printf.sprintf "h%d" k, hop_spec (Printf.sprintf "h%d" k))) in
+    let p =
+      Netgraph.Pipeline.create ~sim ~hops
+        ~make_policy:(Hpfq.Hier.uniform wf2q_plus)
+        ~propagation_delay:0.01
+        ~on_deliver:(fun ~flow pkt ~injected ~delivered ->
+          deliveries := (flow, pkt.Net.Packet.seq, injected, delivered) :: !deliveries)
+        ~burst_max ()
+    in
+    Netgraph.Pipeline.add_flow p ~name:"f"
+      ~route:(List.init 3 (fun k -> Printf.sprintf "h%d/flow" k));
+    (* the guaranteed flow plus saturating cross traffic at every hop *)
+    for i = 0 to 19 do
+      ignore
+        (Sim.schedule sim ~at:(0.37 *. float_of_int i) (fun () ->
+             Netgraph.Pipeline.inject p ~flow:"f" ~size_bits:1.0))
+    done;
+    List.iteri
+      (fun k _ ->
+        let server = Netgraph.Pipeline.hop_server p (Printf.sprintf "h%d" k) in
+        let leaf = Hpfq.Hier.leaf_id server (Printf.sprintf "h%d/cross" k) in
+        ignore
+          (Sim.schedule sim ~at:0.0 (fun () ->
+               for _ = 1 to 40 do
+                 ignore (Hpfq.Hier.inject server ~leaf ~size_bits:1.0)
+               done)))
+      hops;
+    Sim.run ~until:60.0 sim;
+    List.rev !deliveries
+  in
+  let reference = run 1 in
+  Alcotest.(check int) "all packets delivered" 20 (List.length reference);
+  List.iter
+    (fun burst ->
+      Alcotest.(check bool)
+        (Printf.sprintf "burst_max=%d delivers identically" burst)
+        true
+        (run burst = reference))
+    [ 2; 4; 64 ]
+
+let () =
+  let seeded = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xf1a7; 42 |]) in
+  Alcotest.run "replay"
+    [
+      ( "trace_csv",
+        [
+          Alcotest.test_case "lossless roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "byte-stable re-save" `Quick test_csv_byte_stable;
+          Alcotest.test_case "malformed diagnostics" `Quick test_csv_malformed;
+        ] );
+      ( "trace_binary",
+        [
+          Alcotest.test_case "bit-exact roundtrip" `Quick test_binary_roundtrip;
+          Alcotest.test_case "load_any sniffs format" `Quick test_load_any_sniffs;
+          Alcotest.test_case "malformed diagnostics" `Quick test_binary_malformed;
+        ] );
+      ( "internet_mix",
+        [
+          Alcotest.test_case "deterministic in seed" `Quick
+            test_internet_mix_deterministic;
+        ] );
+      ( "lockstep",
+        [
+          seeded
+            (prop_burst_lockstep `Flat
+               "flat: burst-drained replay = per-packet replay");
+          seeded
+            (prop_burst_lockstep `Generic
+               "generic: burst-drained replay = per-packet replay");
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "batched grouping = per-event" `Quick
+            test_batched_replay_grouping;
+          Alcotest.test_case "pipeline delays burst-invariant" `Quick
+            test_pipeline_burst_invariance;
+        ] );
+    ]
