@@ -210,3 +210,62 @@ if [ -f BENCH_shard.json ]; then
 else
   echo "check_bench: no BENCH_shard.json baseline; skipping shard-guard"
 fi
+
+# Subtree-sharded hierarchy: quick run of the shards x epoch grid (the
+# run itself fails if any epoch=1 cell's departure hash diverges from
+# the sequential Hier_flat reference, or any epoch>1 cell is not
+# worker-count invariant), then verify the report shape the
+# hiershard-guard reads.
+hiershard_out=BENCH_hiershard_quick.json
+rm -f "$hiershard_out"
+
+dune exec bench/main.exe -- hiershard-quick
+
+[ -f "$hiershard_out" ] || { echo "check_bench: $hiershard_out was not produced" >&2; exit 1; }
+
+for key in schema cores rows shards epoch workers pkts_per_sec ratio_vs_flat depart_hash; do
+  grep -q "\"$key\"" "$hiershard_out" || {
+    echo "check_bench: $hiershard_out is missing key \"$key\"" >&2
+    exit 1
+  }
+done
+
+echo "check_bench: OK ($hiershard_out)"
+
+# Subtree sharding guard: every (shards, epoch) cell whose coordinator +
+# workers fit the host's cores must keep its throughput within
+# HPFQ_HIERSHARD_TOL (default 35%) of the sequential flat reference;
+# oversubscribed cells are informational. The epoch=1 exactness and
+# epoch>1 worker-invariance hash contracts are enforced by the run
+# itself on any host. Skipped when no baseline is committed.
+if [ -f BENCH_hiershard.json ]; then
+  dune exec bench/main.exe -- hiershard-guard
+else
+  echo "check_bench: no BENCH_hiershard.json baseline; skipping hiershard-guard"
+fi
+
+# Committed-baseline shape check: every BENCH_*.json baseline that IS
+# committed must still carry the keys its guard diffs. A refactor that
+# regenerates a baseline with a silently-renamed or dropped key would
+# otherwise turn the guard into a no-op — make that a hard, named
+# failure here instead.
+check_committed_keys() {
+  file=$1; shift
+  [ -f "$file" ] || return 0
+  for key in "$@"; do
+    grep -q "\"$key\"" "$file" || {
+      echo "check_bench: committed baseline $file is missing required key \"$key\"" >&2
+      exit 1
+    }
+  done
+  echo "check_bench: committed $file carries all required keys"
+}
+
+check_committed_keys BENCH_hotpath.json schema one_level hier pkts_per_sec ns_per_select minor_words_per_pkt
+check_committed_keys BENCH_events.json schema headline rows ratios events_per_sec minor_words_per_event calendar_over_heap
+check_committed_keys BENCH_hier.json schema headline rows speedups flat_pkts_per_sec generic_pkts_per_sec flat_over_generic
+check_committed_keys BENCH_replay.json schema workload headline rows burst_max depart_hash batched_pkts_per_sec per_packet_pkts_per_sec speedup
+check_committed_keys BENCH_churn.json schema headline rows sessions ramp_opens_per_sec churn_events_per_sec floor_events_per_sec
+check_committed_keys BENCH_parallel.json schema cores rows jobs wall_s speedup expected_floor
+check_committed_keys BENCH_shard.json schema cores rows links jobs pkts_per_sec speedup expected_floor device_hash
+check_committed_keys BENCH_hiershard.json schema cores rows shards epoch workers pkts_per_sec ratio_vs_flat depart_hash

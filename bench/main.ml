@@ -635,6 +635,38 @@ let shard_guard () =
     end
 
 (* ------------------------------------------------------------------ *)
+(* HIERSHARD: one wide hierarchy, subtree shards x root-sync epoch    *)
+(* ------------------------------------------------------------------ *)
+
+let hiershard () = ignore (Experiments.Hiershard_bench.run ())
+let hiershard_quick () =
+  ignore
+    (Experiments.Hiershard_bench.run ~quick:true ~out:"BENCH_hiershard_quick.json" ())
+
+let hiershard_guard () =
+  section "HIERSHARD-GUARD: subtree sharding vs cores-aware floor";
+  match Experiments.Hiershard_bench.guard () with
+  | Error e ->
+    Printf.eprintf "hiershard-guard: %s\n" e;
+    exit 1
+  | Ok g ->
+    Printf.printf "cores=%d tolerance=%.0f%%\n%7s %6s %8s %10s %14s %6s\n" g.g_cores
+      (g.Experiments.Hiershard_bench.g_tol *. 100.0) "shards" "epoch" "workers"
+      "ratio" "floor(1-tol)" "ok";
+    List.iter
+      (fun (r : Experiments.Hiershard_bench.guard_row) ->
+        Printf.printf "%7d %6d %8d %9.2fx %13.2fx %6s\n" r.g_shards r.g_epoch
+          r.g_workers r.g_ratio r.g_floor
+          (if not r.g_enforced then "info" else if r.g_ok then "yes" else "NO"))
+      g.g_rows;
+    if g.g_within then print_endline "hiershard-guard: OK"
+    else begin
+      Printf.eprintf
+        "hiershard-guard: FAIL — sharded throughput fell below the cores-aware floor\n";
+      exit 1
+    end
+
+(* ------------------------------------------------------------------ *)
 (* TRACE-OVERHEAD: cost of the observer hook, off and on              *)
 (* ------------------------------------------------------------------ *)
 
@@ -810,6 +842,9 @@ let extra_benches =
     ("shard", shard);
     ("shard-quick", shard_quick);
     ("shard-guard", shard_guard);
+    ("hiershard", hiershard);
+    ("hiershard-quick", hiershard_quick);
+    ("hiershard-guard", hiershard_guard);
   ]
 
 let () =

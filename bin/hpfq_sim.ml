@@ -74,12 +74,55 @@ let hier_engine_arg =
   Arg.(
     value
     & opt hier_engine_conv `Auto
-    & info [ "hier-engine" ] ~docv:"generic|flat|auto"
+    & info [ "hier-engine" ] ~docv:"generic|flat|auto|subtree"
         ~doc:
           "Hierarchy engine: $(b,generic) composes one-level policies per \
            node, $(b,flat) is the monomorphic flattened H-WF2Q+ fast path \
-           (bit-identical schedules). $(b,auto) picks flat for WF2Q+ and \
+           (bit-identical schedules), $(b,subtree) partitions the root's \
+           child subtrees over worker domains with epoch-batched root sync \
+           (see --shards/--epoch). $(b,auto) picks flat for WF2Q+ and \
            generic otherwise.")
+
+(* [`Subtree] knobs. Like --event-set, the experiment drivers build their
+   engines internally, so these set the process-wide defaults that
+   Hier_engine.create falls back on; they only matter with
+   --hier-engine subtree. *)
+let subtree_shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Subtree engine: root-child subtree shards (default: one per root \
+           child; clamped to the root's child count).")
+
+let subtree_epoch_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "epoch" ] ~docv:"K"
+        ~doc:
+          "Subtree engine: integrate staged arrivals at the root every \
+           $(docv) departures. $(docv)=1 is bit-identical to the flat \
+           engine; $(docv)>1 trades exactness for throughput with \
+           per-session service lag at most ($(docv)-1)*l_max/r.")
+
+let subtree_workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "epoch-workers" ] ~docv:"N"
+        ~doc:
+          "Subtree engine: worker domains flushing shard mailboxes at each \
+           sync (default: cores-1; 0 runs the flushes inline, still \
+           bit-identical for a given epoch).")
+
+let set_subtree_config shards epoch workers =
+  Hpfq.Hier_engine.set_default_subtree_config ?shards ?workers ~epoch ()
+
+let subtree_term =
+  Term.(
+    const set_subtree_config $ subtree_shards_arg $ subtree_epoch_arg
+    $ subtree_workers_arg)
 
 let horizon_arg default =
   Arg.(value & opt float default & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Simulated time.")
@@ -211,7 +254,7 @@ let trace_cmd =
 (* -- delay --------------------------------------------------------------- *)
 
 let delay_cmd =
-  let run event_set engine pool discipline scenario_id horizon seed replications csv =
+  let run event_set () engine pool discipline scenario_id horizon seed replications csv =
     set_event_set event_set;
     if replications < 1 then
       invalid_arg (Printf.sprintf "replications must be >= 1, got %d" replications);
@@ -265,13 +308,14 @@ let delay_cmd =
   in
   Cmd.v (Cmd.info "delay" ~doc:"RT-1 delay experiment (paper Figs. 4-7).")
     Term.(
-      const run $ event_set_arg $ hier_engine_arg $ pool_term $ discipline_arg
-      $ scenario_arg $ horizon_arg 10.0 $ seed_arg $ replications_arg $ csv_arg)
+      const run $ event_set_arg $ subtree_term $ hier_engine_arg $ pool_term
+      $ discipline_arg $ scenario_arg $ horizon_arg 10.0 $ seed_arg
+      $ replications_arg $ csv_arg)
 
 (* -- link-sharing -------------------------------------------------------- *)
 
 let link_sharing_cmd =
-  let run event_set engine pool discipline horizon csv =
+  let run event_set () engine pool discipline horizon csv =
     set_event_set event_set;
     let result =
       Experiments.Link_sharing.run ~pool ~engine ~factory:discipline ~horizon ()
@@ -289,7 +333,8 @@ let link_sharing_cmd =
   in
   Cmd.v (Cmd.info "link-sharing" ~doc:"Hierarchical link sharing with TCP (paper Figs. 8-9).")
     Term.(
-      const run $ event_set_arg $ hier_engine_arg $ pool_term $ discipline_arg
+      const run $ event_set_arg $ subtree_term $ hier_engine_arg $ pool_term
+      $ discipline_arg
       $ horizon_arg Experiments.Paper_hierarchies.fig8_horizon $ csv_arg)
 
 (* -- wfi ----------------------------------------------------------------- *)
@@ -316,7 +361,7 @@ let wfi_cmd =
 (* -- custom -------------------------------------------------------------- *)
 
 let custom_cmd =
-  let run event_set engine pool discipline tree_file horizon =
+  let run event_set () engine pool discipline tree_file horizon =
     set_event_set event_set;
     match Hpfq.Tree_syntax.parse_file tree_file with
     | Error e ->
@@ -382,8 +427,8 @@ let custom_cmd =
     (Cmd.info "custom"
        ~doc:"Saturate every leaf of a user-defined hierarchy and compare shares to H-GPS.")
     Term.(
-      const run $ event_set_arg $ hier_engine_arg $ pool_term $ discipline_arg
-      $ tree_arg $ horizon_arg 2.0)
+      const run $ event_set_arg $ subtree_term $ hier_engine_arg $ pool_term
+      $ discipline_arg $ tree_arg $ horizon_arg 2.0)
 
 (* -- shard --------------------------------------------------------------- *)
 
@@ -539,7 +584,7 @@ let shard_cmd =
 (* -- replay -------------------------------------------------------------- *)
 
 let replay_cmd =
-  let run event_set engine trace_file tree_file burst seed duration mean_pkts
+  let run event_set () engine trace_file tree_file burst seed duration mean_pkts
       headroom save =
     set_event_set event_set;
     if burst < 1 then begin
@@ -679,9 +724,9 @@ let replay_cmd =
           H-WF2Q+ hierarchy with burst-drained departures, printing the \
           deterministic departure hash.")
     Term.(
-      const run $ event_set_arg $ hier_engine_arg $ trace_arg $ tree_arg
-      $ burst_arg $ seed_arg $ duration_arg $ mean_pkts_arg $ headroom_arg
-      $ save_arg)
+      const run $ event_set_arg $ subtree_term $ hier_engine_arg $ trace_arg
+      $ tree_arg $ burst_arg $ seed_arg $ duration_arg $ mean_pkts_arg
+      $ headroom_arg $ save_arg)
 
 (* -- churn --------------------------------------------------------------- *)
 
@@ -738,6 +783,7 @@ let tree_cmd =
     Term.(const run $ const ())
 
 let () =
+  Shard.Subtree.register ();
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval

@@ -30,7 +30,10 @@ val make :
     sessions to open immediately; [handles.(i)] is the handle of the
     session opened with [initial_sessions.(i)] (slots are dense from 0 on a
     fresh policy). [observer] is installed before any session opens.
-    @raise Invalid_argument if [rate] or any session rate is non-positive. *)
+    @raise Invalid_argument if [rate] or any session rate is non-positive,
+    or if the session rates sum to more than [rate] — they are guaranteed
+    rates and an oversubscribed link cannot honour them. Nothing is
+    constructed when the check fails. *)
 
 val of_kind :
   ?observer:Sched.Sched_intf.observer ->
@@ -63,10 +66,17 @@ val hier :
   ?root_clock:[ `Real_time | `Reference_time ] ->
   ?on_depart:(Net.Packet.t -> leaf:string -> float -> unit) ->
   ?on_drop:(Net.Packet.t -> leaf:string -> float -> unit) ->
+  ?burst_max:int ->
+  ?shards:int ->
+  ?workers:int ->
+  ?epoch:int ->
+  ?mailbox_capacity:int ->
   unit ->
   Hier_engine.t
 (** A hierarchical server over [spec] with a uniform discipline at every
     interior node (default WF²Q+, giving H-WF²Q+ on the fast flat engine
     via [`Auto]). Delegates to {!Hier_engine.create}; mixed-discipline
     trees still call {!Hier.create} directly. Leaf lifecycle (close /
-    reopen) is on the returned engine: {!Hier_engine.close_leaf}. *)
+    reopen) is on the returned engine: {!Hier_engine.close_leaf}.
+    [shards]/[workers]/[epoch]/[mailbox_capacity] configure the [`Subtree]
+    engine (see {!Hier_engine.create}) and are ignored by the others. *)

@@ -8,7 +8,8 @@ type session = {
   mutable has_head : bool;   (* a packet of ours is registered with the policy *)
   mutable in_service : bool; (* our head is currently on the link *)
   mutable closing : Sched_intf.close_policy option; (* Some = close requested *)
-  mutable departed_bits : float;
+  departed_bits : float array; (* 1-element: a mutable float field in this
+                                  mixed record would box on every store *)
 }
 
 type t = {
@@ -20,7 +21,7 @@ type t = {
   mutable on_drop : Net.Packet.t -> float -> unit;
   mutable on_transmit_start : Net.Packet.t -> float -> unit;
   mutable busy : bool;
-  mutable departed_total : float;
+  departed_total : float array; (* 1-element, same unboxing trick *)
   (* Burst-drain state. While a drain activation is running ([in_batch]),
      [start_transmission] records its commitment into the [batch_*] slots
      instead of scheduling a completion event; the drain loop then decides
@@ -32,7 +33,7 @@ type t = {
   mutable batch_has : bool;
   mutable batch_session : int;
   mutable batch_pkt : Net.Packet.t;
-  mutable batch_due : float;
+  batch_due : float array; (* 1-element: written once per departed packet *)
 }
 
 let nop2 _ _ = ()
@@ -51,14 +52,14 @@ let create ~sim ~rate ~policy ?on_depart ?on_drop ?(burst_max = 1) () =
     on_drop;
     on_transmit_start = nop2;
     busy = false;
-    departed_total = 0.0;
+    departed_total = [| 0.0 |];
     burst_max;
     in_batch = false;
     batch_has = false;
     batch_session = -1;
     (* placeholder until the first batched commitment overwrites it *)
     batch_pkt = Net.Packet.make ~flow:0 ~seq:0 ~size_bits:1.0 ~arrival:0.0 ();
-    batch_due = 0.0;
+    batch_due = [| 0.0 |];
   }
 
 let set_burst_max t n =
@@ -87,7 +88,7 @@ let open_session t ~rate ?queue_capacity_bits () =
       has_head = false;
       in_service = false;
       closing = None;
-      departed_bits = 0.0;
+      departed_bits = [| 0.0 |];
     }
   in
   (* The policy may hand back a recycled slot; mirror its slot table. *)
@@ -100,14 +101,11 @@ let add_session t ~rate ?queue_capacity_bits () =
 
 let drop_queue t s =
   let now = Engine.Simulator.now t.sim in
-  let rec loop () =
-    match Net.Fifo.pop s.fifo with
-    | Some pkt ->
-      t.on_drop pkt now;
-      loop ()
-    | None -> ()
-  in
-  loop ()
+  while not (Net.Fifo.is_empty s.fifo) do
+    let pkt = Net.Fifo.peek_exn s.fifo in
+    Net.Fifo.drop_head s.fifo;
+    t.on_drop pkt now
+  done
 
 (* Close semantics (deterministic in every state):
    - idle session: the policy slot is freed immediately;
@@ -145,11 +143,10 @@ let rec start_transmission t =
     | None -> ()
     | Some session ->
       let s = Vec.get t.sessions session in
-      let pkt =
-        match Net.Fifo.pop s.fifo with
-        | Some p -> p
-        | None -> invalid_arg "Server: policy selected an empty session"
-      in
+      if Net.Fifo.is_empty s.fifo then
+        invalid_arg "Server: policy selected an empty session";
+      let pkt = Net.Fifo.peek_exn s.fifo in
+      Net.Fifo.drop_head s.fifo;
       s.in_service <- true;
       t.busy <- true;
       t.on_transmit_start pkt now;
@@ -161,7 +158,7 @@ let rec start_transmission t =
         t.batch_has <- true;
         t.batch_session <- session;
         t.batch_pkt <- pkt;
-        t.batch_due <- due
+        t.batch_due.(0) <- due
       end
       else
         ignore
@@ -190,7 +187,7 @@ and drain t session pkt =
     t.in_batch <- false;
     if not t.batch_has then continue := false
     else begin
-      let due = t.batch_due in
+      let due = t.batch_due.(0) in
       if
         !steps < t.burst_max
         && due <= Engine.Simulator.run_horizon sim
@@ -213,8 +210,8 @@ and complete t session pkt =
   let now = Engine.Simulator.now t.sim in
   let s = Vec.get t.sessions session in
   s.in_service <- false;
-  s.departed_bits <- s.departed_bits +. pkt.Net.Packet.size_bits;
-  t.departed_total <- t.departed_total +. pkt.Net.Packet.size_bits;
+  s.departed_bits.(0) <- s.departed_bits.(0) +. pkt.Net.Packet.size_bits;
+  t.departed_total.(0) <- t.departed_total.(0) +. pkt.Net.Packet.size_bits;
   t.busy <- false;
   (match s.closing with
   | Some `Drop ->
@@ -224,13 +221,14 @@ and complete t session pkt =
     s.has_head <- false;
     t.policy.Sched_intf.set_idle ~now ~session;
     t.policy.Sched_intf.close_session ~now ~policy:`Drop s.handle
-  | Some `Drain | None -> (
-    match Net.Fifo.peek s.fifo with
-    | Some next ->
-      t.policy.Sched_intf.requeue ~now ~session ~head_bits:next.Net.Packet.size_bits
-    | None ->
+  | Some `Drain | None ->
+    if Net.Fifo.is_empty s.fifo then begin
       s.has_head <- false;
-      t.policy.Sched_intf.set_idle ~now ~session));
+      t.policy.Sched_intf.set_idle ~now ~session
+    end
+    else
+      t.policy.Sched_intf.requeue ~now ~session
+        ~head_bits:(Net.Fifo.peek_exn s.fifo).Net.Packet.size_bits);
   t.on_depart pkt now;
   start_transmission t
 
@@ -289,5 +287,5 @@ let session_count t = Vec.length t.sessions
 let live_sessions t = t.policy.Sched_intf.live_sessions ()
 let busy t = t.busy
 let policy t = t.policy
-let departed_bits t ~session = (Vec.get t.sessions session).departed_bits
-let departed_bits_total t = t.departed_total
+let departed_bits t ~session = (Vec.get t.sessions session).departed_bits.(0)
+let departed_bits_total t = t.departed_total.(0)

@@ -77,3 +77,9 @@ let hier_delay_bound_via_wfi ~tree ~leaf ~sigma ~l_max =
            both sums share the same terms scaled by r_i. *)
         (sigma /. r_i) +. (alpha /. r_i))
       (hier_bwfi ~tree ~leaf ~alpha_of)
+
+let epoch_lag_bound ~epoch ~l_max ~rate =
+  if epoch < 1 then invalid_arg "Theory.epoch_lag_bound: epoch must be >= 1";
+  if l_max <= 0.0 then invalid_arg "Theory.epoch_lag_bound: l_max must be positive";
+  if rate <= 0.0 then invalid_arg "Theory.epoch_lag_bound: rate must be positive";
+  float_of_int (epoch - 1) *. l_max /. rate

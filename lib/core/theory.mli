@@ -51,3 +51,21 @@ val hier_delay_bound_via_wfi :
 val path_rates : tree:Class_tree.t -> leaf:string -> (float list, string) result
 (** Rates [r_{p^0(i)} … r_{p^H(i)}] from the leaf up to and including the
     root; building block for custom bounds. *)
+
+val epoch_lag_bound : epoch:int -> l_max:float -> rate:float -> float
+(** [(epoch − 1) · L_max / rate]: per-session service lag of the
+    subtree-sharded engine's epoch-batched root sync ([Shard.Subtree],
+    [epoch = k]) against the sequential H-WF²Q+ schedule.
+
+    Derivation, in the paper's service-lag algebra: with epoch [k] the
+    engine integrates a staged arrival at latest [k−1] link departures
+    after the sequential schedule saw it (the in-flight packet blocks both
+    schedules, the sync fires before the root's next selection), so every
+    eq. 28 stamp on the packet's path shifts by at most the real time those
+    departures occupy — at most [k−1] maximal packets' worth of link time —
+    and a session guaranteed rate [rate] converts that shift into at most
+    [(k−1) · L_max / rate] of service lag. At [k = 1] the bound is [0]:
+    the engine is bit-identical to the sequential schedule. Asserted
+    against measured per-packet departure-time lag on random trees in
+    test/test_subtree.ml.
+    @raise Invalid_argument if [epoch < 1], [l_max <= 0] or [rate <= 0]. *)

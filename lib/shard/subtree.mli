@@ -1,0 +1,132 @@
+(** Subtree-sharded H-WF²Q+: one hierarchy, its root-child subtrees
+    partitioned across shards, the root's WF²Q+ run in epochs.
+
+    {!Hpfq.Hier_flat} keeps every interior node's eq. 27–29 machinery on
+    the node's post-dated reference clock [T_n] — only the root reads the
+    simulator — so a root-child subtree's state is a pure function of the
+    operation sequence applied to it, and the preorder numbering makes each
+    subtree a contiguous node-id range. This engine exploits both facts:
+    shards own disjoint index regions of the flat arenas (private arenas in
+    the data-race-free sense of the OCaml memory model), worker Domains
+    from a {!Parallel.Pool.Persistent} integrate staged arrivals through
+    the shard-local part of ARRIVE / RESTART-NODE, and per-shard {!Spsc}
+    mailboxes carry the staged packets.
+
+    [epoch] selects the regime:
+
+    - [epoch = 1] (default): fully synchronous — bit-identical to
+      {!Hpfq.Hier_flat} in departures, stamps, drops and clocks at any
+      shard/worker count (qcheck lockstep differential in the test suite).
+    - [epoch = k > 1]: arrivals landing while the link transmits are
+      staged; at latest every [k-1] departures — and always before the
+      link would go idle — a sync integrates them in parallel and applies
+      each shard's eligible-head proposal to the root in canonical slot
+      order. Per-session service lag vs the sequential schedule is bounded
+      by [(k-1) * l_max / r] ({!Hpfq.Theory.epoch_lag_bound}); with the
+      shard partition fixed, results are bit-identical at any worker
+      count. *)
+
+type t
+
+val create :
+  sim:Engine.Simulator.t ->
+  spec:Hpfq.Class_tree.t ->
+  ?root_clock:[ `Real_time | `Reference_time ] ->
+  ?on_depart:(Net.Packet.t -> leaf:string -> float -> unit) ->
+  ?on_drop:(Net.Packet.t -> leaf:string -> float -> unit) ->
+  ?burst_max:int ->
+  ?shards:int ->
+  ?workers:int ->
+  ?epoch:int ->
+  ?mailbox_capacity:int ->
+  unit ->
+  t
+(** [root_clock], [on_depart], [on_drop] and [burst_max] as in
+    {!Hpfq.Hier_flat.create}. [shards] (default: one per root child) is
+    clamped to the number of root children; [workers] (default [0]) worker
+    Domains integrate flush rounds — [0] runs them inline on the calling
+    domain, bit-identical to any positive count. [epoch] (default [1]) is
+    the root sync period in departures; [mailbox_capacity] (default 256)
+    bounds each shard's staging mailbox — a full mailbox forces an early
+    sync. Worker Domains are spawned only when [epoch > 1] and
+    [workers > 0]; release them with {!shutdown}.
+    @raise Invalid_argument on an invalid [spec], a leaf root,
+    [burst_max < 1], [shards < 1], [workers < 0], [epoch < 1] or
+    [mailbox_capacity < 1]. *)
+
+val shutdown : t -> unit
+(** Join the worker Domains (idempotent; a no-op for pool-less engines).
+    Pools left open are closed by {!Parallel.Pool.Persistent}'s [at_exit]
+    hook, but long-lived processes building many engines should shut each
+    one down. *)
+
+val shards : t -> int
+(** Effective shard count after clamping. *)
+
+val epoch : t -> int
+val workers : t -> int
+
+val sync_rounds : t -> int
+(** Number of epoch syncs that integrated at least one staged arrival
+    (always [0] at [epoch = 1]). *)
+
+val node_shard : t -> int -> int
+(** Owning shard of a node id; [-1] for the root (coordinator-owned). *)
+
+(** {2 The Hier_flat surface}
+
+    Same contracts as the function of the same name in {!Hpfq.Hier_flat};
+    at [epoch > 1], lifecycle operations and state accessors first run an
+    epoch boundary so they observe every staged arrival. *)
+
+val set_burst_max : t -> int -> unit
+val burst_max : t -> int
+val leaf_id : t -> string -> Hpfq.Hier.leaf
+val leaf_name : t -> Hpfq.Hier.leaf -> string
+val leaf_ids : t -> (string * Hpfq.Hier.leaf) list
+
+val inject :
+  ?mark:int -> t -> leaf:Hpfq.Hier.leaf -> size_bits:float -> Net.Packet.t
+
+val inject_many :
+  ?mark:int -> t -> leaf:Hpfq.Hier.leaf -> size_bits:float -> count:int -> unit
+
+val close_leaf :
+  t -> leaf:Hpfq.Hier.leaf -> policy:Sched.Sched_intf.close_policy -> unit
+
+val reopen_leaf : ?rate:float -> t -> leaf:Hpfq.Hier.leaf -> unit
+val leaf_state : t -> leaf:Hpfq.Hier.leaf -> [ `Open | `Closing | `Closed ]
+val queue_bits : t -> leaf:Hpfq.Hier.leaf -> float
+val departed_bits : t -> node:string -> float
+val ref_time : t -> node:string -> float
+val node_virtual_time : t -> node:string -> float
+val link_busy : t -> bool
+val drops : t -> int
+val add_depart_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
+val add_drop_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
+
+val add_transmit_start_hook :
+  t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
+
+val root_name : t -> string
+val node_name : t -> int -> string
+val node_count : t -> int
+val leaf_path : t -> leaf:Hpfq.Hier.leaf -> int array
+
+val iter_interior :
+  t -> (id:int -> name:string -> level:int -> children:int array -> unit) -> unit
+
+val set_node_observer : t -> node:string -> Sched.Sched_intf.observer option -> unit
+(** @raise Invalid_argument when installing an observer at [epoch > 1]:
+    backlog/requeue events would fire on worker domains. *)
+
+val set_node_observer_id : t -> node:int -> Sched.Sched_intf.observer option -> unit
+
+val register : unit -> unit
+(** Install this engine as {!Hpfq.Hier_engine}'s [`Subtree] builder.
+    Explicit registration (rather than a module-initialisation side
+    effect) keeps the wiring robust under native linking, which may drop
+    unreferenced modules; executables that want
+    [--hier-engine subtree] call this once at startup. *)
+
+val log_src : Logs.src

@@ -506,6 +506,108 @@ let test_shard_guard_verdicts () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing baseline should be an error"
 
+(* -- subtree-sharded hierarchy suite -------------------------------------- *)
+
+module Hsb = Experiments.Hiershard_bench
+
+let test_hiershard_quick_run_emits_valid_report () =
+  let out = Filename.temp_file "bench_hiershard_smoke" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let rows = Hsb.run ~quick:true ~out () in
+      Alcotest.(check int)
+        "one row per (shards, epoch) cell"
+        (List.length (Hsb.shards_ladder ()) * List.length (Hsb.epoch_ladder ()))
+        (List.length rows);
+      List.iter
+        (fun r ->
+          if r.Hsb.pkts_per_sec <= 0.0 then
+            Alcotest.fail "pkts_per_sec not positive";
+          if r.Hsb.pkts <= 0 then Alcotest.fail "no packets departed";
+          Alcotest.(check bool)
+            "exact flag marks exactly the epoch=1 rows"
+            (r.Hsb.epoch = 1)
+            r.Hsb.exact)
+        rows;
+      (* the suite itself enforces exactness vs the flat reference; assert
+         the visible consequences: one hash across all epoch=1 cells, and
+         each epoch's hash independent of the shard count *)
+      List.iter
+        (fun epoch ->
+          let hashes =
+            List.filter_map
+              (fun r ->
+                if r.Hsb.epoch = epoch then Some r.Hsb.depart_hash else None)
+              rows
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "epoch=%d: one distinct hash across shard counts" epoch)
+            1
+            (List.length (List.sort_uniq Int64.compare hashes)))
+        (Hsb.epoch_ladder ());
+      let report = Json.of_file out in
+      match Hsb.validate report with
+      | Ok () -> ()
+      | Error problems ->
+        Alcotest.failf "invalid hiershard report: %s" (String.concat "; " problems))
+
+let fake_hiershard_report () =
+  Json.Obj
+    [
+      ("schema", Json.Str "hpfq-bench-hiershard-v1");
+      ("cores", Json.Num 8.0);
+      ("flat_pkts_per_sec", Json.Num 1.0);
+      ("flat_depart_hash", Json.Str "0000000000000000");
+      ( "rows",
+        Json.Arr
+          [
+            Json.Obj
+              [
+                ("shards", Json.Num 16.0);
+                ("epoch", Json.Num 1.0);
+                ("workers", Json.Num 0.0);
+                ("pkts_per_sec", Json.Num 1.0);
+                ("ratio_vs_flat", Json.Num 1.0);
+                ("depart_hash", Json.Str "0000000000000000");
+              ];
+          ] );
+    ]
+
+let test_hiershard_guard_verdicts () =
+  let with_baseline json f =
+    let path = Filename.temp_file "bench_hiershard_guard" ".json" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Json.to_file path json;
+        f path)
+  in
+  with_baseline (fake_hiershard_report ()) (fun path ->
+      match Hsb.guard ~baseline:path ~tol:0.5 ~quick:true () with
+      | Ok g ->
+        Alcotest.(check int)
+          "one verdict per (shards, epoch) cell"
+          (List.length (Hsb.shards_ladder ()) * List.length (Hsb.epoch_ladder ()))
+          (List.length g.Hsb.g_rows);
+        List.iter
+          (fun r ->
+            if r.Hsb.g_workers + 1 > g.Hsb.g_cores then
+              Alcotest.(check bool)
+                "oversubscribed cell not enforced" false r.Hsb.g_enforced)
+          g.Hsb.g_rows;
+        Alcotest.(check bool)
+          "healthy sharding clears the cores-aware floor" true g.Hsb.g_within
+      | Error e -> Alcotest.failf "hiershard guard errored: %s" e);
+  with_baseline (Json.Obj [ ("schema", Json.Str "hpfq-bench-hiershard-v1") ])
+    (fun path ->
+      match Hsb.guard ~baseline:path ~quick:true () with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "schema-invalid baseline should be an error");
+  match Hsb.guard ~baseline:"/nonexistent/BENCH_hiershard.json" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing baseline should be an error"
+
 (* -- perf-regression guard ------------------------------------------------ *)
 
 let fake_report pps =
@@ -628,6 +730,12 @@ let () =
           Alcotest.test_case "quick run emits valid report" `Quick
             test_shard_quick_run_emits_valid_report;
           Alcotest.test_case "guard verdicts" `Quick test_shard_guard_verdicts;
+        ] );
+      ( "hiershard",
+        [
+          Alcotest.test_case "quick run emits valid report" `Quick
+            test_hiershard_quick_run_emits_valid_report;
+          Alcotest.test_case "guard verdicts" `Quick test_hiershard_guard_verdicts;
         ] );
       ( "guard",
         [

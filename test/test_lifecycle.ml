@@ -514,9 +514,81 @@ let test_flow_sessions () =
   Alcotest.(check int) "policy live count matches the table" 2
     (policy.Intf.live_sessions ())
 
+(* ---- Schedulers facade error paths: bad specs must raise, not
+   half-construct ---- *)
+
+let raises_invalid f =
+  match f () with exception Invalid_argument _ -> true | _ -> false
+
+let test_facade_error_paths () =
+  (* unknown discipline kind: the error names the kind and the known ones *)
+  (match Hpfq.Schedulers.of_kind ~rate:1.0 "no-such-discipline" with
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "unknown kind named in the error" true
+      (let contains s sub =
+         let n = String.length sub in
+         let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+         go 0
+       in
+       contains msg "no-such-discipline" && contains msg "WF2Q+")
+  | _ -> Alcotest.fail "unknown kind must raise");
+  (* every registered kind still resolves (case-insensitively) *)
+  List.iter
+    (fun kind ->
+      let p, _ = Hpfq.Schedulers.of_kind ~rate:1.0 (String.lowercase_ascii kind) in
+      Alcotest.(check int)
+        (kind ^ ": resolved and constructed") 0 (p.Intf.live_sessions ()))
+    (Hpfq.Schedulers.kinds ());
+  (* non-positive link rate, on every constructor *)
+  Alcotest.(check bool) "make rejects rate 0" true
+    (raises_invalid (fun () ->
+         Hpfq.Schedulers.make ~rate:0.0 Hpfq.Disciplines.wf2q_plus));
+  Alcotest.(check bool) "make rejects negative rate" true
+    (raises_invalid (fun () ->
+         Hpfq.Schedulers.make ~rate:(-1.0) Hpfq.Disciplines.wf2q_plus));
+  Alcotest.(check bool) "of_kind rejects rate 0" true
+    (raises_invalid (fun () -> Hpfq.Schedulers.of_kind ~rate:0.0 "WF2Q+"));
+  Alcotest.(check bool) "server rejects rate 0" true
+    (raises_invalid (fun () ->
+         Hpfq.Schedulers.server ~sim:(Sim.create ()) ~rate:0.0
+           Hpfq.Disciplines.wf2q_plus ()));
+  (* non-positive session rate inside initial_sessions *)
+  Alcotest.(check bool) "zero session rate rejected" true
+    (raises_invalid (fun () ->
+         Hpfq.Schedulers.make ~rate:1.0 ~initial_sessions:[| 0.5; 0.0 |]
+           Hpfq.Disciplines.wf2q_plus));
+  (* guaranteed rates beyond the link's capacity: rejected up front, with
+     nothing constructed (no sessions leak into a half-built policy) *)
+  Alcotest.(check bool) "oversubscribed initial_sessions rejected" true
+    (raises_invalid (fun () ->
+         Hpfq.Schedulers.make ~rate:1.0 ~initial_sessions:[| 0.75; 0.5 |]
+           Hpfq.Disciplines.wf2q_plus));
+  Alcotest.(check bool) "oversubscribed server rejected" true
+    (raises_invalid (fun () ->
+         Hpfq.Schedulers.server ~sim:(Sim.create ()) ~rate:1.0
+           ~initial_sessions:[| 0.75; 0.5 |] Hpfq.Disciplines.wf2q_plus ()));
+  (* exactly-full is admissible, on every discipline *)
+  List.iter
+    (fun factory ->
+      let p, hs =
+        Hpfq.Schedulers.make ~rate:1.0 ~initial_sessions:[| 0.5; 0.5 |] factory
+      in
+      Alcotest.(check int)
+        (factory.Intf.kind ^ ": full subscription admitted")
+        2 (Array.length hs);
+      Alcotest.(check int)
+        (factory.Intf.kind ^ ": both sessions live")
+        2 (p.Intf.live_sessions ()))
+    Hpfq.Disciplines.all
+
 let () =
   Alcotest.run "lifecycle"
     [
+      ( "facade",
+        [
+          Alcotest.test_case "constructor error paths" `Quick
+            test_facade_error_paths;
+        ] );
       ( "differential",
         List.map QCheck_alcotest.to_alcotest
           [ prop_fixed_float_differential; prop_stamped_differential ] );

@@ -1,0 +1,449 @@
+(* Subtree-sharded H-WF2Q+ engine: epoch = 1 lockstep differential against
+   [Hier_flat], epoch > 1 determinism across worker and shard counts, the
+   (k-1) * l_max / r service-lag bound as a measurement, and the facade /
+   validation surface.
+
+   The engine promises *bit-identical* behaviour to [Hier_flat.create] at
+   [epoch = 1] — same departure order and times, same drops, same per-node
+   W_n / T_n / V clocks — at any shard/worker count. Every epoch = 1
+   comparison below is exact structural equality, no tolerance. *)
+
+module Q = QCheck
+module Sim = Engine.Simulator
+module HF = Hpfq.Hier_flat
+module HE = Hpfq.Hier_engine
+module CT = Hpfq.Class_tree
+module ST = Shard.Subtree
+
+let wf2q_plus = Hpfq.Disciplines.wf2q_plus
+
+(* ---- random trees + arrival programs (test_hier_flat's generator with a
+   forced fan-out >= 2 at the root, so the shard partition is non-trivial) *)
+
+type scenario = {
+  spec : CT.t;
+  leaves : string list;
+  packets : (float * int * float) list; (* (time, leaf index, size_bits) *)
+  root_ref : bool; (* drive the root on `Reference_time *)
+}
+
+let scenario_gen rng =
+  let budget = ref 48 in
+  let fresh = ref 0 in
+  let rec gen ~depth rate =
+    decr budget;
+    let name =
+      let id = !fresh in
+      incr fresh;
+      Printf.sprintf "n%d" id
+    in
+    let leaf () =
+      let cap =
+        if Random.State.int rng 6 = 0 then Some (1.0 +. Random.State.float rng 6.0)
+        else None
+      in
+      CT.leaf ?queue_capacity_bits:cap name ~rate
+    in
+    if depth >= 5 || !budget <= 0 || (depth > 0 && Random.State.int rng 3 = 0) then
+      leaf ()
+    else begin
+      let k =
+        let k = min (1 + Random.State.int rng 8) (max 1 !budget) in
+        if depth = 0 then max 2 k else k
+      in
+      let weights = Array.init k (fun _ -> 0.2 +. Random.State.float rng 0.8) in
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      let scale = 0.999 *. rate /. total in
+      CT.node name ~rate
+        (List.init k (fun i -> gen ~depth:(depth + 1) (weights.(i) *. scale)))
+    end
+  in
+  let spec = gen ~depth:0 1.0 in
+  let leaves = List.map fst (CT.leaves spec) in
+  let n_packets = 1 + Random.State.int rng 120 in
+  let packets =
+    List.init n_packets (fun _ ->
+        ( Random.State.float rng 12.0,
+          Random.State.int rng (List.length leaves),
+          0.1 +. Random.State.float rng 1.9 ))
+  in
+  { spec; leaves; packets; root_ref = Random.State.int rng 4 = 0 }
+
+let print_scenario s =
+  Format.asprintf "root_ref=%b@ %a@ packets=[%s]" s.root_ref CT.pp s.spec
+    (String.concat "; "
+       (List.map (fun (t, l, z) -> Printf.sprintf "(%h,%d,%h)" t l z) s.packets))
+
+let rec node_names spec =
+  CT.name spec :: List.concat_map node_names (CT.children spec)
+
+let rec interior_names spec =
+  if CT.is_leaf spec then []
+  else CT.name spec :: List.concat_map interior_names (CT.children spec)
+
+(* Everything observable through the public surface, with exact floats:
+   departures in order, the drop log in order, and per-node W_n / T_n / V
+   at the end. *)
+type observed = {
+  o_departs : (string * int * float) list;
+  o_drop_log : (string * int * float) list;
+  o_drops : int;
+  o_clocks : (string * float * float) list;
+  o_vtimes : (string * float) list;
+}
+
+let run_observed s ~mk ~leaf_id ~inject ~observe =
+  let sim = Sim.create () in
+  let dep = ref [] and drp = ref [] in
+  let on_depart pkt ~leaf t = dep := (leaf, pkt.Net.Packet.seq, t) :: !dep in
+  let on_drop pkt ~leaf t = drp := (leaf, pkt.Net.Packet.seq, t) :: !drp in
+  let root_clock = if s.root_ref then `Reference_time else `Real_time in
+  let h = mk sim ~root_clock ~on_depart ~on_drop in
+  let ids = Array.of_list (List.map (leaf_id h) s.leaves) in
+  List.iter
+    (fun (at, leaf, size) ->
+      ignore
+        (Sim.schedule sim ~at (fun () -> inject h ~leaf:ids.(leaf) ~size_bits:size)))
+    s.packets;
+  Sim.run sim;
+  let drops, clocks, vtimes = observe h in
+  {
+    o_departs = List.rev !dep;
+    o_drop_log = List.rev !drp;
+    o_drops = drops;
+    o_clocks = clocks;
+    o_vtimes = vtimes;
+  }
+
+let replay_flat s =
+  run_observed s
+    ~mk:(fun sim ~root_clock ~on_depart ~on_drop ->
+      HF.create ~sim ~spec:s.spec ~root_clock ~on_depart ~on_drop ())
+    ~leaf_id:HF.leaf_id
+    ~inject:(fun h ~leaf ~size_bits -> ignore (HF.inject h ~leaf ~size_bits))
+    ~observe:(fun h ->
+      ( HF.drops h,
+        List.map
+          (fun n -> (n, HF.departed_bits h ~node:n, HF.ref_time h ~node:n))
+          (node_names s.spec),
+        List.map (fun n -> (n, HF.node_virtual_time h ~node:n)) (interior_names s.spec)
+      ))
+
+let replay_subtree ?(epoch = 1) ~shards ~workers s =
+  let engine = ref None in
+  let r =
+    run_observed s
+      ~mk:(fun sim ~root_clock ~on_depart ~on_drop ->
+        let t =
+          ST.create ~sim ~spec:s.spec ~root_clock ~on_depart ~on_drop ~shards
+            ~workers ~epoch ()
+        in
+        engine := Some t;
+        t)
+      ~leaf_id:ST.leaf_id
+      ~inject:(fun h ~leaf ~size_bits -> ignore (ST.inject h ~leaf ~size_bits))
+      ~observe:(fun h ->
+        ( ST.drops h,
+          List.map
+            (fun n -> (n, ST.departed_bits h ~node:n, ST.ref_time h ~node:n))
+            (node_names s.spec),
+          List.map (fun n -> (n, ST.node_virtual_time h ~node:n)) (interior_names s.spec)
+        ))
+  in
+  Option.iter ST.shutdown !engine;
+  r
+
+(* ---- epoch = 1: bit-identical to the flat engine at every shard/worker
+   count tested ---- *)
+
+let prop_lockstep =
+  Q.Test.make ~count:320
+    ~name:"subtree engine at epoch=1 replays flat bit-for-bit (shards 1/2/3)"
+    (Q.make scenario_gen ~print:print_scenario)
+    (fun s ->
+      let reference = replay_flat s in
+      List.for_all
+        (fun (shards, workers) -> replay_subtree ~shards ~workers s = reference)
+        [ (1, 0); (2, 0); (3, 2) ])
+
+(* ---- epoch > 1: with the partition fixed, worker count is invisible;
+   with the partition varied, only the drop-callback grouping may move
+   (drops are accounted per shard at the sync) ---- *)
+
+let prop_epoch_worker_invariance =
+  Q.Test.make ~count:120
+    ~name:"epoch>1 schedules are bit-identical across worker counts"
+    (Q.make scenario_gen ~print:print_scenario)
+    (fun s ->
+      List.for_all
+        (fun epoch ->
+          replay_subtree ~epoch ~shards:2 ~workers:0 s
+          = replay_subtree ~epoch ~shards:2 ~workers:2 s)
+        [ 2; 5 ])
+
+let sort_drop_log o = { o with o_drop_log = List.sort compare o.o_drop_log }
+
+let prop_epoch_shard_invariance =
+  Q.Test.make ~count:120
+    ~name:"epoch>1 schedules are shard-count invariant (drop log as a set)"
+    (Q.make scenario_gen ~print:print_scenario)
+    (fun s ->
+      sort_drop_log (replay_subtree ~epoch:4 ~shards:1 ~workers:0 s)
+      = sort_drop_log (replay_subtree ~epoch:4 ~shards:3 ~workers:0 s))
+
+(* ---- the (k-1) * l_max / r lag bound, measured ----
+
+   Shallow trees with substantial leaf shares (so the bound is as tight as
+   it gets) and a heavily overloaded arrival burst (so arrivals land while
+   the link transmits and really get staged), no queue caps (so both
+   engines serve the same packet set). Every packet must depart no later
+   than the sequential schedule plus the session's
+   [Theory.epoch_lag_bound]. *)
+
+let lag_scenario rng =
+  let k = 2 + Random.State.int rng 3 in
+  let weights = Array.init k (fun _ -> 0.5 +. Random.State.float rng 0.5) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let scale = 0.999 /. total in
+  let child i =
+    let r = weights.(i) *. scale in
+    if Random.State.int rng 3 = 0 then
+      let a = 0.4 +. Random.State.float rng 0.2 in
+      CT.node (Printf.sprintf "c%d" i) ~rate:r
+        [
+          CT.leaf (Printf.sprintf "c%dx" i) ~rate:(a *. 0.999 *. r);
+          CT.leaf (Printf.sprintf "c%dy" i) ~rate:((1.0 -. a) *. 0.999 *. r);
+        ]
+    else CT.leaf (Printf.sprintf "c%d" i) ~rate:r
+  in
+  let spec = CT.node "root" ~rate:1.0 (List.init k child) in
+  let leaves = List.map fst (CT.leaves spec) in
+  let n_packets = 80 + Random.State.int rng 120 in
+  let packets =
+    List.init n_packets (fun _ ->
+        ( Random.State.float rng 4.0,
+          Random.State.int rng (List.length leaves),
+          0.1 +. Random.State.float rng 1.9 ))
+  in
+  { spec; leaves; packets; root_ref = false }
+
+let by_key departs =
+  List.sort compare (List.map (fun (l, q, t) -> ((l, q), t)) departs)
+
+let test_epoch_lag_bound () =
+  let rng = Random.State.make [| 0x1a9; 0xb0d |] in
+  let scenarios = List.init 10 (fun _ -> lag_scenario rng) in
+  let staged_syncs = ref 0 in
+  List.iter
+    (fun epoch ->
+      (* one epoch value also runs with a worker domain, so the pooled
+         flush path is under the bound too *)
+      let workers = if epoch = 8 then 1 else 0 in
+      List.iter
+        (fun s ->
+          let rates = CT.leaves s.spec in
+          let l_max =
+            List.fold_left (fun a (_, _, z) -> Float.max a z) 0.0 s.packets
+          in
+          let seq = replay_flat s in
+          let sim = Sim.create () in
+          let dep = ref [] in
+          let t =
+            ST.create ~sim ~spec:s.spec ~shards:2 ~workers ~epoch
+              ~on_depart:(fun pkt ~leaf t ->
+                dep := (leaf, pkt.Net.Packet.seq, t) :: !dep)
+              ()
+          in
+          let ids = Array.of_list (List.map (ST.leaf_id t) s.leaves) in
+          List.iter
+            (fun (at, leaf, size) ->
+              ignore
+                (Sim.schedule sim ~at (fun () ->
+                     ignore (ST.inject t ~leaf:ids.(leaf) ~size_bits:size))))
+            s.packets;
+          Sim.run sim;
+          staged_syncs := !staged_syncs + ST.sync_rounds t;
+          Alcotest.(check int) "no drops without queue caps" 0 (ST.drops t);
+          ST.shutdown t;
+          let seq_d = by_key seq.o_departs and ep_d = by_key (List.rev !dep) in
+          Alcotest.(check int) "same departure count" (List.length seq_d)
+            (List.length ep_d);
+          List.iter2
+            (fun ((leaf, q), t_seq) ((leaf', q'), t_ep) ->
+              Alcotest.(check (pair string int)) "same packet set" (leaf, q)
+                (leaf', q');
+              let rate = List.assoc leaf rates in
+              let bound = Hpfq.Theory.epoch_lag_bound ~epoch ~l_max ~rate in
+              if t_ep -. t_seq > bound +. 1e-9 then
+                Alcotest.failf
+                  "epoch=%d leaf=%s seq#%d late by %.6f > bound %.6f (rate %.4f)"
+                  epoch leaf q (t_ep -. t_seq) bound rate)
+            seq_d ep_d)
+        scenarios)
+    [ 2; 8; 64 ];
+  (* the measurement is vacuous if nothing was ever staged *)
+  Alcotest.(check bool) "staged syncs occurred" true (!staged_syncs > 0)
+
+(* ---- construction validation, partition, observers ---- *)
+
+let fig3ish =
+  CT.node "link" ~rate:1.0
+    [
+      CT.node "A" ~rate:0.6 [ CT.leaf "a1" ~rate:0.4; CT.leaf "a2" ~rate:0.2 ];
+      CT.node "B" ~rate:0.4
+        [ CT.leaf "b1" ~rate:0.2; CT.leaf "b2" ~rate:0.1; CT.leaf "b3" ~rate:0.1 ];
+    ]
+
+let raises_invalid f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+let test_create_validation () =
+  let sim = Sim.create () in
+  let mk ?shards ?workers ?epoch ?mailbox_capacity () =
+    ST.create ~sim ~spec:fig3ish ?shards ?workers ?epoch ?mailbox_capacity ()
+  in
+  Alcotest.(check bool) "epoch 0 rejected" true (raises_invalid (mk ~epoch:0));
+  Alcotest.(check bool) "shards 0 rejected" true (raises_invalid (mk ~shards:0));
+  Alcotest.(check bool) "workers -1 rejected" true (raises_invalid (mk ~workers:(-1)));
+  Alcotest.(check bool) "mailbox 0 rejected" true
+    (raises_invalid (mk ~mailbox_capacity:0));
+  Alcotest.(check bool) "leaf root rejected" true
+    (raises_invalid (fun () ->
+         ST.create ~sim ~spec:(CT.leaf "only" ~rate:1.0) ()))
+
+let test_partition () =
+  let sim = Sim.create () in
+  let t = ST.create ~sim ~spec:fig3ish ~shards:8 () in
+  Alcotest.(check int) "shards clamp to root children" 2 (ST.shards t);
+  Alcotest.(check int) "epoch default" 1 (ST.epoch t);
+  Alcotest.(check int) "workers default" 0 (ST.workers t);
+  Alcotest.(check int) "sync_rounds starts at 0" 0 (ST.sync_rounds t);
+  Alcotest.(check string) "node 0 is the root" (ST.root_name t) (ST.node_name t 0);
+  Alcotest.(check int) "root is coordinator-owned" (-1) (ST.node_shard t 0);
+  for id = 1 to ST.node_count t - 1 do
+    let s = ST.node_shard t id in
+    if s < 0 || s >= ST.shards t then
+      Alcotest.failf "node %d (%s) landed on shard %d" id (ST.node_name t id) s
+  done;
+  (* subtree-contiguous: a node shares its non-root parent's shard *)
+  ST.iter_interior t (fun ~id ~name:_ ~level:_ ~children ->
+      Array.iter
+        (fun c ->
+          if id <> 0 && ST.node_shard t c <> ST.node_shard t id then
+            Alcotest.failf "node %d not on parent %d's shard" c id)
+        children)
+
+let test_observer_gate () =
+  let sim = Sim.create () in
+  let observer = Sched.Sched_intf.null_observer in
+  let t1 = ST.create ~sim ~spec:fig3ish ~epoch:1 () in
+  ST.set_node_observer t1 ~node:"A" (Some observer);
+  ST.set_node_observer t1 ~node:"A" None;
+  let t2 = ST.create ~sim ~spec:fig3ish ~epoch:4 () in
+  Alcotest.(check bool) "observer rejected at epoch>1" true
+    (raises_invalid (fun () -> ST.set_node_observer t2 ~node:"A" (Some observer)));
+  ST.set_node_observer t2 ~node:"A" None (* clearing is always allowed *)
+
+let test_lag_bound_formula () =
+  let b = Hpfq.Theory.epoch_lag_bound in
+  Alcotest.(check (float 0.0)) "epoch 1 is exact" 0.0 (b ~epoch:1 ~l_max:2.0 ~rate:0.5);
+  Alcotest.(check (float 1e-12)) "(k-1) l_max / r" 16.0 (b ~epoch:5 ~l_max:2.0 ~rate:0.5);
+  Alcotest.(check bool) "epoch 0 rejected" true
+    (raises_invalid (fun () -> b ~epoch:0 ~l_max:1.0 ~rate:1.0));
+  Alcotest.(check bool) "l_max 0 rejected" true
+    (raises_invalid (fun () -> b ~epoch:2 ~l_max:0.0 ~rate:1.0));
+  Alcotest.(check bool) "rate 0 rejected" true
+    (raises_invalid (fun () -> b ~epoch:2 ~l_max:1.0 ~rate:0.0))
+
+(* ---- the Hier_engine facade ----
+
+   Registration order matters in this file: the unregistered-error test
+   must run before anything calls [ST.register], and alcotest runs cases
+   in declaration order. *)
+
+let test_unregistered () =
+  let sim = Sim.create () in
+  Alcotest.(check bool) "subtree choice parses" true
+    (HE.choice_of_string "subtree" = Ok `Subtree);
+  Alcotest.(check bool) "unregistered builder is Invalid_argument" true
+    (raises_invalid (fun () ->
+         HE.create ~sim ~spec:fig3ish ~factory:wf2q_plus ~engine:`Subtree ()))
+
+let test_facade () =
+  ST.register ();
+  let sim = Sim.create () in
+  let log = ref [] in
+  let h =
+    HE.create ~sim ~spec:fig3ish ~factory:wf2q_plus ~engine:`Subtree ~shards:2
+      ~epoch:1
+      ~on_depart:(fun pkt ~leaf t -> log := (leaf, pkt.Net.Packet.seq, t) :: !log)
+      ()
+  in
+  Alcotest.(check bool) "kind is `Subtree" true (HE.kind h = `Subtree);
+  Alcotest.(check bool) "kind_name self-describes" true
+    (String.length (HE.kind_name h) >= 7
+    && String.sub (HE.kind_name h) 0 7 = "subtree");
+  Alcotest.(check bool) "generic projection is None" true (HE.generic h = None);
+  Alcotest.(check bool) "flat projection is None" true (HE.flat h = None);
+  let a1 = HE.leaf_id h "a1" in
+  ignore
+    (Sim.schedule sim ~at:0.0 (fun () ->
+         HE.inject_many h ~leaf:a1 ~size_bits:1.0 ~count:3));
+  Sim.run sim;
+  Alcotest.(check int) "three departures through the facade" 3 (List.length !log);
+  Alcotest.(check bool) "non-WF2Q+ rejected" true
+    (raises_invalid (fun () ->
+         HE.create ~sim ~spec:fig3ish ~factory:Hpfq.Disciplines.wfq
+           ~engine:`Subtree ()));
+  Alcotest.(check bool) "trace attach rejected" true
+    (raises_invalid (fun () -> Obs.Trace.attach_engine h))
+
+let test_schedulers_and_default_config () =
+  ST.register ();
+  let sim = Sim.create () in
+  let h =
+    Hpfq.Schedulers.hier ~sim ~spec:fig3ish ~engine:`Subtree ~shards:2 ~epoch:3 ()
+  in
+  Alcotest.(check string) "knobs reach the engine" "subtree(shards=2,epoch=3,workers=0)"
+    (HE.kind_name h);
+  (* the process-wide default (the CLI's --shards/--epoch) fills omitted knobs *)
+  HE.set_default_subtree_config ~shards:2 ~epoch:2 ();
+  let d = HE.create ~sim ~spec:fig3ish ~factory:wf2q_plus ~engine:`Subtree () in
+  Alcotest.(check string) "defaults fill omitted knobs"
+    "subtree(shards=2,epoch=2,workers=0)" (HE.kind_name d);
+  HE.set_default_subtree_config ();
+  let e = HE.create ~sim ~spec:fig3ish ~factory:wf2q_plus ~engine:`Subtree () in
+  Alcotest.(check string) "reset restores epoch 1"
+    "subtree(shards=2,epoch=1,workers=0)" (HE.kind_name e);
+  Alcotest.(check bool) "default config validates epoch" true
+    (raises_invalid (fun () -> HE.set_default_subtree_config ~epoch:0 ()))
+
+let () =
+  let seeded = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5b7; 96 |]) in
+  Alcotest.run "subtree"
+    [
+      ( "facade",
+        [
+          Alcotest.test_case "unregistered error" `Quick test_unregistered;
+          Alcotest.test_case "registered dispatch" `Quick test_facade;
+          Alcotest.test_case "schedulers + default config" `Quick
+            test_schedulers_and_default_config;
+        ] );
+      ("lockstep", [ seeded prop_lockstep ]);
+      ( "epoch",
+        [
+          seeded prop_epoch_worker_invariance;
+          seeded prop_epoch_shard_invariance;
+          Alcotest.test_case "lag bound measured" `Quick test_epoch_lag_bound;
+          Alcotest.test_case "lag bound formula" `Quick test_lag_bound_formula;
+        ] );
+      ( "surface",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "partition" `Quick test_partition;
+          Alcotest.test_case "observer gate" `Quick test_observer_gate;
+        ] );
+    ]
