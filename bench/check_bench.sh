@@ -10,8 +10,14 @@ cd "$(dirname "$0")/.."
 out=BENCH_hotpath_quick.json
 rm -f "$out"
 
-dune build bench/main.exe
-dune exec bench/main.exe -- perf-quick
+# Benches and guards build in the release profile: the dev profile passes
+# -opaque, which discards cross-module inlining info and so defeats every
+# [@inline] on the float hot paths (boxed args/returns roughly double the
+# measured minor words per packet). Committed baselines are release-profile
+# numbers; measuring a dev build against them would trip the allocation
+# ceilings spuriously.
+dune build --profile release bench/main.exe
+dune exec --profile release bench/main.exe -- perf-quick
 
 [ -f "$out" ] || { echo "check_bench: $out was not produced" >&2; exit 1; }
 
@@ -29,7 +35,7 @@ echo "check_bench: OK ($out)"
 events_out=BENCH_events_quick.json
 rm -f "$events_out"
 
-dune exec bench/main.exe -- events-quick
+dune exec --profile release bench/main.exe -- events-quick
 
 [ -f "$events_out" ] || { echo "check_bench: $events_out was not produced" >&2; exit 1; }
 
@@ -45,9 +51,13 @@ echo "check_bench: OK ($events_out)"
 # Tracing-disabled overhead guard: with no observer installed, the scheduler
 # hot path must stay within HPFQ_PERF_TOL (default 5%) of the committed
 # perf baseline — the observability layer is free unless switched on.
+# The committed headline minor_words_per_pkt is additionally a hard
+# allocation ceiling: the fresh one-level measurement may not exceed it
+# by more than HPFQ_WORDS_TOL (default 10% — allocation is deterministic
+# per packet, the band only absorbs ring-growth amortisation noise).
 # Skipped when no baseline has been committed yet.
 if [ -f BENCH_hotpath.json ]; then
-  dune exec bench/main.exe -- perf-guard
+  dune exec --profile release bench/main.exe -- perf-guard
 else
   echo "check_bench: no BENCH_hotpath.json baseline; skipping perf-guard"
 fi
@@ -57,7 +67,7 @@ fi
 # BENCH_events.json, and the fresh calendar/heap speedup must clear
 # HPFQ_EVENTS_RATIO (default 1.0). Skipped when no baseline is committed.
 if [ -f BENCH_events.json ]; then
-  dune exec bench/main.exe -- events-guard
+  dune exec --profile release bench/main.exe -- events-guard
 else
   echo "check_bench: no BENCH_events.json baseline; skipping events-guard"
 fi
@@ -67,7 +77,7 @@ fi
 hier_out=BENCH_hier_quick.json
 rm -f "$hier_out"
 
-dune exec bench/main.exe -- hier-quick
+dune exec --profile release bench/main.exe -- hier-quick
 
 [ -f "$hier_out" ] || { echo "check_bench: $hier_out was not produced" >&2; exit 1; }
 
@@ -81,11 +91,13 @@ done
 echo "check_bench: OK ($hier_out)"
 
 # Hierarchy engine guard: the flat Fig. 3 headline must stay within
-# HPFQ_HIER_TOL (default 20%) of the committed BENCH_hier.json, and the
+# HPFQ_HIER_TOL (default 20%) of the committed BENCH_hier.json, the
 # fresh flat/generic speedup must clear HPFQ_HIER_RATIO (default 1.0 —
-# flat must never be slower). Skipped when no baseline is committed.
+# flat must never be slower), and the fresh flat allocation rate must
+# stay under the committed flat_minor_words_per_pkt ceiling plus
+# HPFQ_WORDS_TOL (default 10%). Skipped when no baseline is committed.
 if [ -f BENCH_hier.json ]; then
-  dune exec bench/main.exe -- hier-guard
+  dune exec --profile release bench/main.exe -- hier-guard
 else
   echo "check_bench: no BENCH_hier.json baseline; skipping hier-guard"
 fi
@@ -97,7 +109,7 @@ fi
 replay_out=BENCH_replay_quick.json
 rm -f "$replay_out"
 
-dune exec bench/main.exe -- replay-quick
+dune exec --profile release bench/main.exe -- replay-quick
 
 [ -f "$replay_out" ] || { echo "check_bench: $replay_out was not produced" >&2; exit 1; }
 
@@ -113,11 +125,13 @@ echo "check_bench: OK ($replay_out)"
 # Replay guard: the batched headline must stay within HPFQ_REPLAY_TOL
 # (default 20%) of the committed BENCH_replay.json, the fresh
 # batched/per-packet speedup must clear HPFQ_REPLAY_RATIO (default 1.0 —
-# batching must never lose), and both fresh departure hashes must equal
-# the committed one (no tolerance: the schedule is machine-independent).
-# Skipped when no baseline is committed.
+# batching must never lose), the fresh batched allocation rate must stay
+# under the committed batched_minor_words_per_pkt ceiling plus
+# HPFQ_WORDS_TOL (default 10%), and both fresh departure hashes must
+# equal the committed one (no tolerance: the schedule is
+# machine-independent). Skipped when no baseline is committed.
 if [ -f BENCH_replay.json ]; then
-  dune exec bench/main.exe -- replay-guard
+  dune exec --profile release bench/main.exe -- replay-guard
 else
   echo "check_bench: no BENCH_replay.json baseline; skipping replay-guard"
 fi
@@ -127,7 +141,7 @@ fi
 churn_out=BENCH_churn_quick.json
 rm -f "$churn_out"
 
-dune exec bench/main.exe -- churn-quick
+dune exec --profile release bench/main.exe -- churn-quick
 
 [ -f "$churn_out" ] || { echo "check_bench: $churn_out was not produced" >&2; exit 1; }
 
@@ -146,7 +160,7 @@ echo "check_bench: OK ($churn_out)"
 # open/close events/s — the acceptance number). Skipped when no baseline
 # is committed.
 if [ -f BENCH_churn.json ]; then
-  dune exec bench/main.exe -- churn-guard
+  dune exec --profile release bench/main.exe -- churn-guard
 else
   echo "check_bench: no BENCH_churn.json baseline; skipping churn-guard"
 fi
@@ -156,7 +170,7 @@ fi
 parallel_out=BENCH_parallel_quick.json
 rm -f "$parallel_out"
 
-dune exec bench/main.exe -- parallel-quick
+dune exec --profile release bench/main.exe -- parallel-quick
 
 [ -f "$parallel_out" ] || { echo "check_bench: $parallel_out was not produced" >&2; exit 1; }
 
@@ -176,7 +190,7 @@ echo "check_bench: OK ($parallel_out)"
 # contract) — that part holds on any host. Skipped when no baseline is
 # committed.
 if [ -f BENCH_parallel.json ]; then
-  dune exec bench/main.exe -- parallel-guard
+  dune exec --profile release bench/main.exe -- parallel-guard
 else
   echo "check_bench: no BENCH_parallel.json baseline; skipping parallel-guard"
 fi
@@ -186,7 +200,7 @@ fi
 shard_out=BENCH_shard_quick.json
 rm -f "$shard_out"
 
-dune exec bench/main.exe -- shard-quick
+dune exec --profile release bench/main.exe -- shard-quick
 
 [ -f "$shard_out" ] || { echo "check_bench: $shard_out was not produced" >&2; exit 1; }
 
@@ -206,7 +220,7 @@ echo "check_bench: OK ($shard_out)"
 # device's determinism contract) — that part holds on any host. Skipped
 # when no baseline is committed.
 if [ -f BENCH_shard.json ]; then
-  dune exec bench/main.exe -- shard-guard
+  dune exec --profile release bench/main.exe -- shard-guard
 else
   echo "check_bench: no BENCH_shard.json baseline; skipping shard-guard"
 fi
@@ -219,7 +233,7 @@ fi
 hiershard_out=BENCH_hiershard_quick.json
 rm -f "$hiershard_out"
 
-dune exec bench/main.exe -- hiershard-quick
+dune exec --profile release bench/main.exe -- hiershard-quick
 
 [ -f "$hiershard_out" ] || { echo "check_bench: $hiershard_out was not produced" >&2; exit 1; }
 
@@ -239,7 +253,7 @@ echo "check_bench: OK ($hiershard_out)"
 # epoch>1 worker-invariance hash contracts are enforced by the run
 # itself on any host. Skipped when no baseline is committed.
 if [ -f BENCH_hiershard.json ]; then
-  dune exec bench/main.exe -- hiershard-guard
+  dune exec --profile release bench/main.exe -- hiershard-guard
 else
   echo "check_bench: no BENCH_hiershard.json baseline; skipping hiershard-guard"
 fi
@@ -263,8 +277,8 @@ check_committed_keys() {
 
 check_committed_keys BENCH_hotpath.json schema one_level hier pkts_per_sec ns_per_select minor_words_per_pkt
 check_committed_keys BENCH_events.json schema headline rows ratios events_per_sec minor_words_per_event calendar_over_heap
-check_committed_keys BENCH_hier.json schema headline rows speedups flat_pkts_per_sec generic_pkts_per_sec flat_over_generic
-check_committed_keys BENCH_replay.json schema workload headline rows burst_max depart_hash batched_pkts_per_sec per_packet_pkts_per_sec speedup
+check_committed_keys BENCH_hier.json schema headline rows speedups flat_pkts_per_sec generic_pkts_per_sec flat_over_generic flat_minor_words_per_pkt
+check_committed_keys BENCH_replay.json schema workload headline rows burst_max depart_hash batched_pkts_per_sec per_packet_pkts_per_sec speedup batched_minor_words_per_pkt
 check_committed_keys BENCH_churn.json schema headline rows sessions ramp_opens_per_sec churn_events_per_sec floor_events_per_sec
 check_committed_keys BENCH_parallel.json schema cores rows jobs wall_s speedup expected_floor
 check_committed_keys BENCH_shard.json schema cores rows links jobs pkts_per_sec speedup expected_floor device_hash

@@ -483,12 +483,20 @@ let hier_guard () =
        words/pkt %14.3f flat vs %.3f generic\n"
       g.Experiments.Hier_bench.baseline_pps g.fresh_pps g.perf_ratio
       (g.tol *. 100.0) g.speedup g.min_speedup g.flat_words g.generic_words;
+    (match g.baseline_flat_words with
+    | Some b ->
+      Printf.printf "ceiling  %16.3f flat words/pkt (+%.0f%% band)\n"
+        (b *. (1.0 +. g.words_tol))
+        (g.words_tol *. 100.0)
+    | None ->
+      print_endline "ceiling  baseline has no flat words key; gate vacuous");
     if g.within then print_endline "hier-guard: OK"
     else begin
       Printf.eprintf
-        "hier-guard: FAIL — flat headline regressed beyond %.0f%% or the flat \
-         engine fell under %.2fx the generic one\n"
-        (g.tol *. 100.0) g.min_speedup;
+        "hier-guard: FAIL — flat headline regressed beyond %.0f%%, the flat \
+         engine fell under %.2fx the generic one, or flat allocation exceeds \
+         its committed ceiling by more than %.0f%%\n"
+        (g.tol *. 100.0) g.min_speedup (g.words_tol *. 100.0);
       exit 1
     end
 
@@ -516,13 +524,24 @@ let replay_guard () =
       g.Experiments.Replay_bench.baseline_pps g.fresh_pps g.perf_ratio
       (g.tol *. 100.0) g.speedup g.min_speedup
       (if g.hash_ok then "OK" else "MISMATCH");
+    (match g.baseline_words with
+    | Some b ->
+      Printf.printf "words/pkt %15.2f batched vs %.2f ceiling (+%.0f%% band)\n"
+        g.fresh_words
+        (b *. (1.0 +. g.words_tol))
+        (g.words_tol *. 100.0)
+    | None ->
+      Printf.printf
+        "words/pkt %15.2f batched (baseline has no ceiling; gate vacuous)\n"
+        g.fresh_words);
     if g.within then print_endline "replay-guard: OK"
     else begin
       Printf.eprintf
         "replay-guard: FAIL — departure hash diverged from the committed \
-         baseline, the batched headline regressed beyond %.0f%%, or batching \
-         fell under %.2fx the per-packet path\n"
-        (g.tol *. 100.0) g.min_speedup;
+         baseline, the batched headline regressed beyond %.0f%%, batching \
+         fell under %.2fx the per-packet path, or batched allocation exceeds \
+         its committed ceiling by more than %.0f%%\n"
+        (g.tol *. 100.0) g.min_speedup (g.words_tol *. 100.0);
       exit 1
     end
 
@@ -786,11 +805,23 @@ let perf_guard () =
     Printf.printf
       "baseline %16.0f pkts/sec\nfresh    %16.0f pkts/sec\nratio    %16.3f (tolerance -%.0f%%)\n"
       g.Bench_kit.Perf.baseline_pps g.fresh_pps g.ratio (g.tol *. 100.0);
+    (match g.baseline_words with
+    | Some b ->
+      Printf.printf "words/pkt %15.2f fresh vs %.2f ceiling (+%.0f%% band)\n"
+        g.fresh_words
+        (b *. (1.0 +. g.words_tol))
+        (g.words_tol *. 100.0)
+    | None ->
+      Printf.printf
+        "words/pkt %15.2f fresh (baseline has no ceiling; gate vacuous)\n"
+        g.fresh_words);
     if g.within then print_endline "perf-guard: OK"
     else begin
       Printf.eprintf
-        "perf-guard: FAIL — untraced hot path is more than %.0f%% below the committed baseline\n"
-        (g.tol *. 100.0);
+        "perf-guard: FAIL — untraced hot path is more than %.0f%% below the \
+         committed baseline, or allocates more than %.0f%% above its committed \
+         minor-words ceiling\n"
+        (g.tol *. 100.0) (g.words_tol *. 100.0);
       exit 1
     end
 

@@ -15,6 +15,11 @@ type kind =
    head was on the wire — it completes at that packet's departure. *)
 type lifecycle = [ `Open | `Draining | `Drop_pending | `Closed ]
 
+(* [logical] holds the pool handle of the packet at the head of this
+   subtree's logical queue, or [Net.Packet_pool.none]. A handle is an
+   immediate int, so committing a head up the tree (RESTART-NODE line 12)
+   is an int store — the option cell the boxed plane allocated per commit
+   is gone. *)
 type node = {
   id : int;
   name : string;
@@ -27,12 +32,13 @@ type node = {
   mutable handle_in_parent : Session_handle.t;
   mutable lifecycle : lifecycle;
   mutable busy : bool;
-  mutable logical : Net.Packet.t option; (* Q_n: head of this subtree *)
+  mutable logical : Net.Packet_pool.handle; (* Q_n: head of this subtree *)
   mutable active_child : int;               (* node id, -1 when none *)
 }
 
 type t = {
   sim : Engine.Simulator.t;
+  pool : Net.Packet_pool.t; (* every packet in this hierarchy lives here *)
   nodes : node array;
   (* Per-node reference clocks T_n and work counters W_n live in plain
      float arrays indexed by node id, not in the (mixed) node records:
@@ -49,15 +55,18 @@ type t = {
   by_name : (string, int) Hashtbl.t;
   leaf_list : (string * int) list;
   root_clock : [ `Real_time | `Reference_time ];
-  mutable on_depart : Net.Packet.t -> leaf:string -> float -> unit;
-  mutable on_drop : Net.Packet.t -> leaf:string -> float -> unit;
-  mutable on_transmit_start : Net.Packet.t -> leaf:string -> float -> unit;
+  (* Hooks are handle-based internally; the boxed [Net.Packet.t] view is
+     materialised only inside the compat wrappers installed by
+     [add_depart_hook] and friends. *)
+  mutable on_depart : Net.Packet_pool.handle -> leaf:string -> float -> unit;
+  mutable on_drop : Net.Packet_pool.handle -> leaf:string -> float -> unit;
+  mutable on_transmit_start : Net.Packet_pool.handle -> leaf:string -> float -> unit;
   mutable link_busy : bool;
   mutable drops : int;
   (* The single packet on the wire (the link serves one packet at a time),
      plus a preallocated completion callback so steady-state transmission
      scheduling allocates nothing per packet. *)
-  mutable in_flight : Net.Packet.t option;
+  mutable in_flight : Net.Packet_pool.handle;
   mutable complete_cb : unit -> unit;
   (* Burst-drain state (see Server): while a drain activation runs
      ([in_batch]), [start_transmission] records its commitment here
@@ -86,6 +95,8 @@ let policy_of n =
   | Interior { policy } -> policy
   | Leaf_node _ -> invalid_arg "Hier: leaf has no policy"
 
+let no_pkt = Net.Packet_pool.none
+
 (* -- The three pseudocode procedures ------------------------------------ *)
 
 let rec restart_node t n =
@@ -94,22 +105,20 @@ let rec restart_node t n =
   match policy.Sched_intf.select ~now with
   | Some session ->
     let child = t.nodes.(n.children.(session)) in
-    let pkt =
-      match child.logical with
-      | Some p -> p
-      | None -> invalid_arg "Hier: policy selected a child with empty logical queue"
-    in
+    let pkt = child.logical in
+    if pkt < 0 then
+      invalid_arg "Hier: policy selected a child with empty logical queue";
     n.active_child <- child.id;
-    n.logical <- Some pkt;
+    n.logical <- pkt;
+    let bits = Net.Packet_pool.size_bits t.pool pkt in
     (* RESTART-NODE line 13: post-date this node's reference clock *)
-    t.tn.(n.id) <- t.tn.(n.id) +. (pkt.Net.Packet.size_bits /. n.rate);
+    t.tn.(n.id) <- t.tn.(n.id) +. (bits /. n.rate);
     let was_busy = n.busy in
     n.busy <- true;
     if is_root t n then start_transmission t
     else begin
       let q = t.nodes.(n.parent) in
       let q_now = node_now t q in
-      let bits = pkt.Net.Packet.size_bits in
       (* the committed head is a fresh logical packet in the parent's system *)
       (policy_of q).Sched_intf.arrive ~now:q_now ~session:n.session_in_parent ~size_bits:bits;
       if was_busy then
@@ -119,7 +128,7 @@ let rec restart_node t n =
         (* line 9: s_n <- max(f_n, V_q) *)
         (policy_of q).Sched_intf.backlog ~now:q_now ~session:n.session_in_parent ~head_bits:bits;
       (* line 17: keep restarting upward while the parent has no head *)
-      if q.logical = None then restart_node t q
+      if q.logical < 0 then restart_node t q
     end
   | None ->
     n.active_child <- -1;
@@ -129,23 +138,21 @@ let rec restart_node t n =
       let q = t.nodes.(n.parent) in
       if was_busy then
         (policy_of q).Sched_intf.set_idle ~now:(node_now t q) ~session:n.session_in_parent;
-      if was_busy && q.logical = None then restart_node t q
+      if was_busy && q.logical < 0 then restart_node t q
     end
 
 and start_transmission t =
   if not t.link_busy then begin
     let root = t.nodes.(t.root) in
-    match root.logical with
-    | None -> ()
-    | Some pkt ->
+    let pkt = root.logical in
+    if pkt >= 0 then begin
       t.link_busy <- true;
-      (* reuse [root.logical]'s option cell and the preallocated callback:
-         no closure or option allocation per transmitted packet *)
-      t.in_flight <- root.logical;
+      t.in_flight <- pkt;
       if t.on_transmit_start != nop_leaf_cb then
-        t.on_transmit_start pkt ~leaf:t.nodes.(pkt.Net.Packet.flow).name
+        t.on_transmit_start pkt
+          ~leaf:t.nodes.(Net.Packet_pool.flow t.pool pkt).name
           (Engine.Simulator.now t.sim);
-      let duration = pkt.Net.Packet.size_bits /. root.rate in
+      let duration = Net.Packet_pool.size_bits t.pool pkt /. root.rate in
       (* [now +. duration] is the exact float [schedule_after ~delay]
          computes — batched and per-packet fire times must agree bitwise. *)
       let due = Engine.Simulator.now t.sim +. duration in
@@ -154,6 +161,7 @@ and start_transmission t =
         t.batch_due <- due
       end
       else ignore (Engine.Simulator.schedule t.sim ~at:due t.complete_cb)
+    end
   end
 
 (* One event activation drains up to [burst_max] consecutive departures.
@@ -183,11 +191,9 @@ and drain t pkt0 =
       then begin
         Engine.Simulator.advance_clock sim ~to_:due;
         incr steps;
-        match t.in_flight with
-        | Some p ->
-          t.in_flight <- None;
-          pkt := p
-        | None -> invalid_arg "Hier: drain lost the in-flight packet"
+        if t.in_flight < 0 then invalid_arg "Hier: drain lost the in-flight packet";
+        pkt := t.in_flight;
+        t.in_flight <- no_pkt
       end
       else begin
         ignore (Engine.Simulator.schedule sim ~at:due t.complete_cb);
@@ -200,20 +206,23 @@ and complete_transmission t pkt =
   t.link_busy <- false;
   let now = Engine.Simulator.now t.sim in
   (* account W_n along the transmitted packet's precomputed leaf-to-root path *)
-  let leaf = t.nodes.(pkt.Net.Packet.flow) in
+  let leaf = t.nodes.(Net.Packet_pool.flow t.pool pkt) in
   let path = t.paths.(leaf.id) in
-  let bits = pkt.Net.Packet.size_bits in
+  let bits = Net.Packet_pool.size_bits t.pool pkt in
   for k = 0 to Array.length path - 1 do
     t.departed_bits.(path.(k)) <- t.departed_bits.(path.(k)) +. bits
   done;
   t.on_depart pkt ~leaf:leaf.name now;
-  reset_path t
+  reset_path t;
+  (* the departed packet's cell recycles only after its callbacks fired
+     and RESET-PATH dequeued it from the leaf ring *)
+  Net.Packet_pool.free t.pool pkt
 
 (* RESET-PATH: walk down the active path clearing logical queues, dequeue
    the transmitted packet at its leaf, then restart upward. *)
 and reset_path t =
   let rec descend n =
-    n.logical <- None;
+    n.logical <- no_pkt;
     match n.kind with
     | Interior _ ->
       let c = n.active_child in
@@ -221,9 +230,9 @@ and reset_path t =
       if c < 0 then invalid_arg "Hier: reset_path lost the active child";
       descend t.nodes.(c)
     | Leaf_node { fifo; _ } ->
-      (match Net.Fifo.pop fifo with
-      | Some _served -> ()
-      | None -> invalid_arg "Hier: transmitted packet missing from its leaf queue");
+      if Net.Fifo.is_empty fifo then
+        invalid_arg "Hier: transmitted packet missing from its leaf queue";
+      Net.Fifo.drop_head fifo;
       let q = t.nodes.(n.parent) in
       let q_now = node_now t q in
       (match n.lifecycle with
@@ -235,41 +244,39 @@ and reset_path t =
         (policy_of q).Sched_intf.close_session ~now:q_now ~policy:`Drop
           n.handle_in_parent;
         n.lifecycle <- `Closed
-      | `Open | `Draining | `Closed -> (
-        match Net.Fifo.peek fifo with
-        | Some next ->
-          n.logical <- Some next;
+      | `Open | `Draining | `Closed ->
+        if not (Net.Fifo.is_empty fifo) then begin
+          let next = Net.Fifo.peek_exn fifo in
+          n.logical <- next;
           (policy_of q).Sched_intf.requeue ~now:q_now ~session:n.session_in_parent
-            ~head_bits:next.Net.Packet.size_bits
-        | None ->
+            ~head_bits:(Net.Packet_pool.size_bits t.pool next)
+        end
+        else begin
           (* a draining leaf's pool slot frees inside the policy's set_idle *)
           (policy_of q).Sched_intf.set_idle ~now:q_now ~session:n.session_in_parent;
-          if n.lifecycle = `Draining then n.lifecycle <- `Closed));
+          if n.lifecycle = `Draining then n.lifecycle <- `Closed
+        end);
       restart_node t q
   in
   descend t.nodes.(t.root)
 
 and drop_queue t n fifo =
   let now = Engine.Simulator.now t.sim in
-  let rec loop () =
-    match Net.Fifo.pop fifo with
-    | Some p ->
-      t.drops <- t.drops + 1;
-      t.on_drop p ~leaf:n.name now;
-      loop ()
-    | None -> ()
-  in
-  loop ()
+  while not (Net.Fifo.is_empty fifo) do
+    let p = Net.Fifo.pop_exn fifo in
+    t.drops <- t.drops + 1;
+    t.on_drop p ~leaf:n.name now;
+    Net.Packet_pool.free t.pool p
+  done
 
 let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?on_depart ?on_drop
     ?(burst_max = 1) () =
-  let on_depart = Option.value on_depart ~default:nop_leaf_cb in
-  let on_drop = Option.value on_drop ~default:nop_leaf_cb in
   if burst_max < 1 then invalid_arg "Hier.create: burst_max must be >= 1";
   (match Class_tree.validate spec with
   | Ok () -> ()
   | Error errors ->
     invalid_arg ("Hier.create: invalid tree: " ^ String.concat "; " errors));
+  let pool = Net.Packet_pool.create () in
   let nodes = ref [] in
   let counter = ref 0 in
   let by_name = Hashtbl.create 16 in
@@ -283,7 +290,10 @@ let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?on_depart ?on_dro
       | Class_tree.Leaf { queue_capacity_bits; _ } ->
         leaf_list := (name, id) :: !leaf_list;
         Leaf_node
-          { fifo = Net.Fifo.create ?capacity_bits:queue_capacity_bits (); next_seq = 1 }
+          {
+            fifo = Net.Fifo.create ?capacity_bits:queue_capacity_bits ~pool ();
+            next_seq = 1;
+          }
       | Class_tree.Node _ -> Interior { policy = make_policy ~level ~name ~rate }
     in
     let n =
@@ -299,7 +309,7 @@ let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?on_depart ?on_dro
         handle_in_parent = Session_handle.of_int_unsafe (-1);
         lifecycle = `Open;
         busy = false;
-        logical = None;
+        logical = no_pkt;
         active_child = -1;
       }
     in
@@ -348,6 +358,7 @@ let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?on_depart ?on_dro
   let t =
     {
       sim;
+      pool;
       nodes = arr;
       tn = Array.make !counter 0.0;
       departed_bits = Array.make !counter 0.0;
@@ -356,12 +367,12 @@ let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?on_depart ?on_dro
       by_name;
       leaf_list = List.rev !leaf_list;
       root_clock;
-      on_depart;
-      on_drop;
+      on_depart = nop_leaf_cb;
+      on_drop = nop_leaf_cb;
       on_transmit_start = nop_leaf_cb;
       link_busy = false;
       drops = 0;
-      in_flight = None;
+      in_flight = no_pkt;
       complete_cb = ignore;
       burst_max;
       in_batch = false;
@@ -369,16 +380,27 @@ let create ~sim ~spec ~make_policy ?(root_clock = `Real_time) ?on_depart ?on_dro
       batch_due = 0.0;
     }
   in
+  (match on_depart with
+  | None -> ()
+  | Some f ->
+    t.on_depart <-
+      (fun h ~leaf now -> f (Net.Packet_pool.to_packet pool h) ~leaf now));
+  (match on_drop with
+  | None -> ()
+  | Some f ->
+    t.on_drop <- (fun h ~leaf now -> f (Net.Packet_pool.to_packet pool h) ~leaf now));
   t.complete_cb <-
     (fun () ->
-      match t.in_flight with
-      | Some pkt ->
-        t.in_flight <- None;
-        drain t pkt
-      | None -> invalid_arg "Hier: transmission completed with nothing in flight");
+      let pkt = t.in_flight in
+      if pkt < 0 then
+        invalid_arg "Hier: transmission completed with nothing in flight";
+      t.in_flight <- no_pkt;
+      drain t pkt);
   t
 
 (* -- Public operations --------------------------------------------------- *)
+
+let pool t = t.pool
 
 let leaf_id t name =
   match Hashtbl.find_opt t.by_name name with
@@ -403,7 +425,7 @@ let leaf_state t ~leaf =
   | `Closed -> `Closed
 
 (* CLOSE-LEAF. The subtle case is [`Drop] of a backlogged leaf whose head
-   has already been committed up the tree: the head reference may sit in
+   has already been committed up the tree: the head's handle may sit in
    the logical queue of every ancestor on the path (the chain built by
    RESTART-NODE line 12). Retract deterministically:
 
@@ -430,41 +452,41 @@ let close_leaf t ~leaf ~policy =
   let q = t.nodes.(n.parent) in
   let qp = policy_of q in
   let q_now = node_now t q in
-  match n.logical with
-  | None ->
+  let pkt = n.logical in
+  if pkt < 0 then begin
     (* idle leaf: the parent's slot frees immediately *)
     qp.Sched_intf.close_session ~now:q_now ~policy n.handle_in_parent;
     n.lifecycle <- `Closed
-  | Some pkt -> (
+  end
+  else
     match policy with
     | `Drain ->
       qp.Sched_intf.close_session ~now:q_now ~policy:`Drain n.handle_in_parent;
       n.lifecycle <- `Draining
     | `Drop ->
-      let on_wire =
-        t.link_busy && (match t.in_flight with Some p -> p == pkt | None -> false)
-      in
+      (* handle equality replaces the boxed plane's physical equality: a
+         handle names one allocation, so [=] is exact identity *)
+      let on_wire = t.link_busy && t.in_flight = pkt in
       if on_wire then n.lifecycle <- `Drop_pending
       else begin
         drop_queue t n fifo;
-        n.logical <- None;
+        n.logical <- no_pkt;
         (* erase the committed chain: every ancestor whose logical head IS
            this packet committed it via RESTART-NODE *)
         let rec clear_up m =
-          match m.logical with
-          | Some p when p == pkt ->
-            m.logical <- None;
+          if m.logical = pkt then begin
+            m.logical <- no_pkt;
             m.active_child <- -1;
             if not (is_root t m) then clear_up t.nodes.(m.parent)
-          | Some _ | None -> ()
+          end
         in
         clear_up q;
         qp.Sched_intf.close_session ~now:q_now ~policy:`Drop n.handle_in_parent;
         n.lifecycle <- `Closed;
         (* if the parent lost its committed head, the restart cascade
            repairs it and every cleared ancestor above it *)
-        if q.logical = None then restart_node t q
-      end)
+        if q.logical < 0 then restart_node t q
+      end
 
 let reopen_leaf ?rate t ~leaf =
   let n = t.nodes.(leaf) in
@@ -505,7 +527,8 @@ let inject ?(mark = 0) t ~leaf ~size_bits =
   | Leaf_node l ->
     let now = Engine.Simulator.now t.sim in
     let pkt =
-      Net.Packet.make ~mark ~flow:leaf ~seq:l.next_seq ~size_bits ~arrival:now ()
+      Net.Packet_pool.alloc ~mark t.pool ~flow:leaf ~seq:l.next_seq ~size_bits
+        ~arrival:now
     in
     l.next_seq <- l.next_seq + 1;
     if not (Net.Fifo.push l.fifo pkt) then begin
@@ -514,19 +537,20 @@ let inject ?(mark = 0) t ~leaf ~size_bits =
           m "drop at leaf %s: %g bits, queue %g bits full" n.name size_bits
             (Net.Fifo.bits l.fifo));
       t.on_drop pkt ~leaf:n.name now;
+      Net.Packet_pool.free t.pool pkt;
       pkt
     end
     else begin
       let q = t.nodes.(n.parent) in
       let q_now = node_now t q in
       (policy_of q).Sched_intf.arrive ~now:q_now ~session:n.session_in_parent ~size_bits;
-      (match n.logical with
-      | Some _ -> () (* ARRIVE lines 2-3: subtree already has a head *)
-      | None ->
-        n.logical <- Some pkt;
+      if n.logical < 0 then begin
+        (* ARRIVE lines 2-3: otherwise the subtree already has a head *)
+        n.logical <- pkt;
         (policy_of q).Sched_intf.backlog ~now:q_now ~session:n.session_in_parent
           ~head_bits:size_bits;
-        if not q.busy then restart_node t q);
+        if not q.busy then restart_node t q
+      end;
       pkt
     end
 
@@ -545,25 +569,26 @@ let inject_many ?(mark = 0) t ~leaf ~size_bits ~count =
     let now = Engine.Simulator.now t.sim in
     for _ = 1 to count do
       let pkt =
-        Net.Packet.make ~mark ~flow:leaf ~seq:l.next_seq ~size_bits ~arrival:now ()
+        Net.Packet_pool.alloc ~mark t.pool ~flow:leaf ~seq:l.next_seq ~size_bits
+          ~arrival:now
       in
       l.next_seq <- l.next_seq + 1;
       if not (Net.Fifo.push l.fifo pkt) then begin
         t.drops <- t.drops + 1;
-        t.on_drop pkt ~leaf:n.name now
+        t.on_drop pkt ~leaf:n.name now;
+        Net.Packet_pool.free t.pool pkt
       end
       else begin
         let q = t.nodes.(n.parent) in
         let q_now = node_now t q in
         (policy_of q).Sched_intf.arrive ~now:q_now ~session:n.session_in_parent
           ~size_bits;
-        match n.logical with
-        | Some _ -> ()
-        | None ->
-          n.logical <- Some pkt;
+        if n.logical < 0 then begin
+          n.logical <- pkt;
           (policy_of q).Sched_intf.backlog ~now:q_now ~session:n.session_in_parent
             ~head_bits:size_bits;
           if not q.busy then restart_node t q
+        end
       end
     done
 
@@ -598,9 +623,17 @@ let drops t = t.drops
 let compose_leaf_cb f g =
   if f == nop_leaf_cb then g else fun pkt ~leaf now -> f pkt ~leaf now; g pkt ~leaf now
 
-let add_depart_hook t f = t.on_depart <- compose_leaf_cb t.on_depart f
-let add_drop_hook t f = t.on_drop <- compose_leaf_cb t.on_drop f
-let add_transmit_start_hook t f = t.on_transmit_start <- compose_leaf_cb t.on_transmit_start f
+let add_depart_handle_hook t f = t.on_depart <- compose_leaf_cb t.on_depart f
+let add_drop_handle_hook t f = t.on_drop <- compose_leaf_cb t.on_drop f
+let add_transmit_start_handle_hook t f =
+  t.on_transmit_start <- compose_leaf_cb t.on_transmit_start f
+
+let boxed t f =
+  fun h ~leaf now -> f (Net.Packet_pool.to_packet t.pool h) ~leaf now
+
+let add_depart_hook t f = add_depart_handle_hook t (boxed t f)
+let add_drop_hook t f = add_drop_handle_hook t (boxed t f)
+let add_transmit_start_hook t f = add_transmit_start_handle_hook t (boxed t f)
 let root_name t = t.nodes.(t.root).name
 let node_name t id = t.nodes.(id).name
 

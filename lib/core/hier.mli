@@ -20,7 +20,12 @@
     [`Reference_time] passes the stored post-dated T_R, matching the
     pseudocode to the letter. The two coincide whenever the server is busy
     (paper eq. 32) and differ only across idle gaps; a bench quantifies the
-    difference. *)
+    difference.
+
+    Packets live in a per-hierarchy {!Net.Packet_pool}; logical queues and
+    the wire hold immediate int handles, and a boxed {!Net.Packet.t} is
+    materialised only inside the boxed hook wrappers. Handle hooks see the
+    raw handle, valid for the duration of the callback. *)
 
 type t
 
@@ -73,10 +78,16 @@ val unsafe_leaf_of_int : int -> leaf
     field, which is its leaf's node id). The int is NOT validated — prefer
     {!leaf_id}. *)
 
-val inject : ?mark:int -> t -> leaf:leaf -> size_bits:float -> Net.Packet.t
+val pool : t -> Net.Packet_pool.t
+(** The hierarchy's packet arena (to read fields of a handle inside a
+    [_handle_] hook, or to materialise a boxed view). *)
+
+val inject : ?mark:int -> t -> leaf:leaf -> size_bits:float -> Net.Packet_pool.handle
 (** A packet arrives at the leaf at the current simulation time. Its [flow]
     field is the leaf id; [mark] is a free-form tag (e.g. a TCP sequence
-    number) carried through to the departure callback.
+    number) carried through to the departure callback. Returns the packet's
+    pool handle; if the queue was full the drop callback has already fired
+    and the handle is already recycled (stale).
     @raise Invalid_argument if the leaf is closed or closing. *)
 
 val inject_many :
@@ -133,13 +144,25 @@ val drops : t -> int
     creation; with none installed the hot path is unchanged. *)
 
 val add_depart_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
-(** Append a departure callback (fires when the last bit leaves the link). *)
+(** Append a departure callback (fires when the last bit leaves the link).
+    Materialises a boxed packet per departure. *)
 
 val add_drop_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
 (** Append a drop callback. *)
 
 val add_transmit_start_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
 (** Append a callback fired when a packet's first bit goes onto the link. *)
+
+val add_depart_handle_hook :
+  t -> (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit
+(** Allocation-free {!add_depart_hook}: the callback receives the pool
+    handle, valid for the duration of the call only. *)
+
+val add_drop_handle_hook :
+  t -> (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit
+
+val add_transmit_start_handle_hook :
+  t -> (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit
 
 val root_name : t -> string
 

@@ -10,7 +10,7 @@ type subtree_ops = {
   st_leaf_id : string -> Hier.leaf;
   st_leaf_name : Hier.leaf -> string;
   st_leaf_ids : unit -> (string * Hier.leaf) list;
-  st_inject : mark:int -> leaf:Hier.leaf -> size_bits:float -> Net.Packet.t;
+  st_inject : mark:int -> leaf:Hier.leaf -> size_bits:float -> Net.Packet_pool.handle;
   st_inject_many : mark:int -> leaf:Hier.leaf -> size_bits:float -> count:int -> unit;
   st_close_leaf : leaf:Hier.leaf -> policy:Sched.Sched_intf.close_policy -> unit;
   st_reopen_leaf : rate:float option -> leaf:Hier.leaf -> unit;
@@ -24,6 +24,13 @@ type subtree_ops = {
   st_add_depart_hook : (Net.Packet.t -> leaf:string -> float -> unit) -> unit;
   st_add_drop_hook : (Net.Packet.t -> leaf:string -> float -> unit) -> unit;
   st_add_transmit_start_hook : (Net.Packet.t -> leaf:string -> float -> unit) -> unit;
+  st_add_depart_handle_hook :
+    (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit;
+  st_add_drop_handle_hook :
+    (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit;
+  st_add_transmit_start_handle_hook :
+    (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit;
+  st_pool : unit -> Net.Packet_pool.t;
   st_root_name : unit -> string;
   st_node_name : int -> string;
   st_node_count : unit -> int;
@@ -247,6 +254,29 @@ let add_transmit_start_hook t f =
   | Generic h -> Hier.add_transmit_start_hook h f
   | Flat h -> Hier_flat.add_transmit_start_hook h f
   | Subtree_sharded ops -> ops.st_add_transmit_start_hook f
+
+let add_depart_handle_hook t f =
+  match t with
+  | Generic h -> Hier.add_depart_handle_hook h f
+  | Flat h -> Hier_flat.add_depart_handle_hook h f
+  | Subtree_sharded ops -> ops.st_add_depart_handle_hook f
+
+let add_drop_handle_hook t f =
+  match t with
+  | Generic h -> Hier.add_drop_handle_hook h f
+  | Flat h -> Hier_flat.add_drop_handle_hook h f
+  | Subtree_sharded ops -> ops.st_add_drop_handle_hook f
+
+let add_transmit_start_handle_hook t f =
+  match t with
+  | Generic h -> Hier.add_transmit_start_handle_hook h f
+  | Flat h -> Hier_flat.add_transmit_start_handle_hook h f
+  | Subtree_sharded ops -> ops.st_add_transmit_start_handle_hook f
+
+let pool = function
+  | Generic h -> Hier.pool h
+  | Flat h -> Hier_flat.pool h
+  | Subtree_sharded ops -> ops.st_pool ()
 
 let root_name = function
   | Generic h -> Hier.root_name h

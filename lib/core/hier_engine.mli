@@ -21,7 +21,7 @@ type subtree_ops = {
   st_leaf_id : string -> Hier.leaf;
   st_leaf_name : Hier.leaf -> string;
   st_leaf_ids : unit -> (string * Hier.leaf) list;
-  st_inject : mark:int -> leaf:Hier.leaf -> size_bits:float -> Net.Packet.t;
+  st_inject : mark:int -> leaf:Hier.leaf -> size_bits:float -> Net.Packet_pool.handle;
   st_inject_many : mark:int -> leaf:Hier.leaf -> size_bits:float -> count:int -> unit;
   st_close_leaf : leaf:Hier.leaf -> policy:Sched.Sched_intf.close_policy -> unit;
   st_reopen_leaf : rate:float option -> leaf:Hier.leaf -> unit;
@@ -35,6 +35,13 @@ type subtree_ops = {
   st_add_depart_hook : (Net.Packet.t -> leaf:string -> float -> unit) -> unit;
   st_add_drop_hook : (Net.Packet.t -> leaf:string -> float -> unit) -> unit;
   st_add_transmit_start_hook : (Net.Packet.t -> leaf:string -> float -> unit) -> unit;
+  st_add_depart_handle_hook :
+    (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit;
+  st_add_drop_handle_hook :
+    (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit;
+  st_add_transmit_start_handle_hook :
+    (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit;
+  st_pool : unit -> Net.Packet_pool.t;
   st_root_name : unit -> string;
   st_node_name : int -> string;
   st_node_count : unit -> int;
@@ -131,7 +138,13 @@ val flat : t -> Hier_flat.t option
 val leaf_id : t -> string -> Hier.leaf
 val leaf_name : t -> Hier.leaf -> string
 val leaf_ids : t -> (string * Hier.leaf) list
-val inject : ?mark:int -> t -> leaf:Hier.leaf -> size_bits:float -> Net.Packet.t
+val pool : t -> Net.Packet_pool.t
+(** The engine's packet arena (to read fields of a handle inside a
+    [_handle_] hook). *)
+
+val inject : ?mark:int -> t -> leaf:Hier.leaf -> size_bits:float -> Net.Packet_pool.handle
+(** Returns the packet's pool handle; stale already if the queue dropped
+    it (the drop callback has fired). *)
 
 val inject_many : ?mark:int -> t -> leaf:Hier.leaf -> size_bits:float -> count:int -> unit
 (** Batched arrivals stamped with one clock read — the [enqueue_batch]
@@ -154,6 +167,18 @@ val drops : t -> int
 val add_depart_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
 val add_drop_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
 val add_transmit_start_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
+
+val add_depart_handle_hook :
+  t -> (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit
+(** Allocation-free hook variants: the callback sees the pool handle, valid
+    for the duration of the call only. *)
+
+val add_drop_handle_hook :
+  t -> (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit
+
+val add_transmit_start_handle_hook :
+  t -> (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit
+
 val root_name : t -> string
 val node_name : t -> int -> string
 val node_count : t -> int

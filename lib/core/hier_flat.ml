@@ -31,6 +31,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type t = {
   sim : Engine.Simulator.t;
+  pool : Net.Packet_pool.t; (* every packet in this hierarchy lives here *)
   n_nodes : int;
   root : int;
   root_real : bool; (* root policy runs on simulation time (`Real_time) *)
@@ -89,9 +90,12 @@ type t = {
      so stores stay unboxed. *)
   now_cache : float array;
   (* -- link state -- *)
-  mutable on_depart : Net.Packet.t -> leaf:string -> float -> unit;
-  mutable on_drop : Net.Packet.t -> leaf:string -> float -> unit;
-  mutable on_transmit_start : Net.Packet.t -> leaf:string -> float -> unit;
+  (* Hooks are handle-based internally; boxed [Net.Packet.t] views are
+     materialised only inside the compat wrappers installed by
+     [add_depart_hook] and friends. *)
+  mutable on_depart : Net.Packet_pool.handle -> leaf:string -> float -> unit;
+  mutable on_drop : Net.Packet_pool.handle -> leaf:string -> float -> unit;
+  mutable on_transmit_start : Net.Packet_pool.handle -> leaf:string -> float -> unit;
   mutable link_busy : bool;
   mutable drops : int;
   mutable in_flight_leaf : int; (* the wire packet is that leaf's fifo head *)
@@ -118,6 +122,11 @@ let[@inline] node_now t n =
 
 let[@inline] linear_v t node ~now = t.v.(node) +. (now -. t.v_time.(node))
 
+(* [Float.max] is an external call whose float arguments box without
+   flambda. Bit-identical for this code's value domain (no NaNs, no mixed
+   signed zeros; ties return the first argument in both). *)
+let[@inline] fmax (x : float) y = if y > x then y else x
+
 let[@inline] place t node slot =
   let i = t.sbase.(node) + slot in
   if Float_cmp.le_with_slack t.s_start.(i) t.v.(node) then
@@ -139,7 +148,7 @@ let p_backlog t node ~child =
   let now = node_now t node in
   let i = t.sbase.(node) + slot in
   (* eq. 28, empty-queue branch: S = max(F, V(now)) *)
-  let start = Float.max t.s_finish.(i) (linear_v t node ~now) in
+  let start = fmax t.s_finish.(i) (linear_v t node ~now) in
   t.s_start.(i) <- start;
   t.s_finish.(i) <- start +. (head_bits /. t.s_rate.(i));
   t.s_head.(i) <- head_bits;
@@ -201,7 +210,7 @@ let p_select t node =
     let e = t.eligible.(node) and w = t.waiting.(node) in
     let threshold =
       if Ih.is_empty e && not (Ih.is_empty w) then
-        Float.max lin (Ih.min_prio_unsafe w)
+        fmax lin (Ih.min_prio_unsafe w)
       else lin
     in
     (* promote: move every waiting session with S <= threshold; the loop is
@@ -239,15 +248,12 @@ let drop_leaf_queue t leaf =
   let now = Engine.Simulator.now t.sim in
   let fifo = t.fifos.(leaf) in
   let name = t.names.(leaf) in
-  let rec loop () =
-    match Net.Fifo.pop fifo with
-    | Some p ->
-      t.drops <- t.drops + 1;
-      t.on_drop p ~leaf:name now;
-      loop ()
-    | None -> ()
-  in
-  loop ()
+  while not (Net.Fifo.is_empty fifo) do
+    let p = Net.Fifo.pop_exn fifo in
+    t.drops <- t.drops + 1;
+    t.on_drop p ~leaf:name now;
+    Net.Packet_pool.free t.pool p
+  done
 
 let rec restart_node t n =
   let slot = p_select t n in
@@ -308,7 +314,7 @@ and start_transmission t =
       t.in_flight_leaf <- leaf;
       if t.on_transmit_start != nop_leaf_cb then
         t.on_transmit_start pkt ~leaf:t.names.(leaf) (Engine.Simulator.now t.sim);
-      let duration = pkt.Net.Packet.size_bits /. t.rate.(t.root) in
+      let duration = Net.Packet_pool.size_bits t.pool pkt /. t.rate.(t.root) in
       (* [now +. duration] is the exact float [schedule_after ~delay]
          computes — batched and per-packet fire times must agree bitwise. *)
       let due = Engine.Simulator.now t.sim +. duration in
@@ -364,8 +370,8 @@ and complete_transmission t pkt =
   t.link_busy <- false;
   let now = Engine.Simulator.now t.sim in
   Array.unsafe_set t.now_cache 0 now;
-  let leaf = pkt.Net.Packet.flow in
-  let bits = pkt.Net.Packet.size_bits in
+  let leaf = Net.Packet_pool.flow t.pool pkt in
+  let bits = Net.Packet_pool.size_bits t.pool pkt in
   (* account W_n along the precomputed leaf-to-root path *)
   let off = t.path_off.(leaf) and len = t.path_len.(leaf) in
   for k = 0 to len - 1 do
@@ -373,7 +379,10 @@ and complete_transmission t pkt =
     t.departed_bits.(n) <- t.departed_bits.(n) +. bits
   done;
   t.on_depart pkt ~leaf:t.names.(leaf) now;
-  reset_path t leaf
+  reset_path t leaf;
+  (* the handle outlives RESET-PATH (which pops it from the leaf fifo) and
+     every callback; only now is the slot safe to recycle *)
+  Net.Packet_pool.free t.pool pkt
 
 (* RESET-PATH: clear the logical queues down the transmitted packet's path
    (it IS the active path — every logical head on it is this packet),
@@ -399,7 +408,7 @@ and reset_path t leaf =
     if not (Net.Fifo.is_empty fifo) then begin
       let next = Net.Fifo.peek_exn fifo in
       t.logical.(leaf) <- leaf;
-      t.logical_bits.(leaf) <- next.Net.Packet.size_bits;
+      t.logical_bits.(leaf) <- Net.Packet_pool.size_bits t.pool next;
       p_requeue t q ~child:leaf
     end
     else begin
@@ -412,8 +421,6 @@ and reset_path t leaf =
 
 let create ~sim ~spec ?(root_clock = `Real_time) ?on_depart ?on_drop
     ?(burst_max = 1) () =
-  let on_depart = Option.value on_depart ~default:nop_leaf_cb in
-  let on_drop = Option.value on_drop ~default:nop_leaf_cb in
   if burst_max < 1 then invalid_arg "Hier_flat.create: burst_max must be >= 1";
   (match Class_tree.validate spec with
   | Ok () -> ()
@@ -508,11 +515,12 @@ let create ~sim ~spec ?(root_clock = `Real_time) ?on_depart ?on_drop
       done
     end
   done;
-  let dummy_fifo = Net.Fifo.create () in
+  let pool = Net.Packet_pool.create () in
+  let dummy_fifo = Net.Fifo.create ~pool () in
   let dummy_heap = Ih.create 1 in
   let fifos =
     Array.init n_nodes (fun id ->
-        if is_leaf.(id) then Net.Fifo.create ?capacity_bits:capacity.(id) ()
+        if is_leaf.(id) then Net.Fifo.create ?capacity_bits:capacity.(id) ~pool ()
         else dummy_fifo)
   in
   let eligible =
@@ -526,6 +534,7 @@ let create ~sim ~spec ?(root_clock = `Real_time) ?on_depart ?on_drop
   let t =
     {
       sim;
+      pool;
       n_nodes;
       root;
       root_real = (root_clock = `Real_time);
@@ -564,8 +573,8 @@ let create ~sim ~spec ?(root_clock = `Real_time) ?on_depart ?on_drop
       s_head = Array.make (max 1 total_sessions) 0.0;
       s_backlogged = Bytes.make (max 1 total_sessions) '\000';
       now_cache = [| 0.0 |];
-      on_depart;
-      on_drop;
+      on_depart = nop_leaf_cb;
+      on_drop = nop_leaf_cb;
       on_transmit_start = nop_leaf_cb;
       link_busy = false;
       drops = 0;
@@ -577,6 +586,16 @@ let create ~sim ~spec ?(root_clock = `Real_time) ?on_depart ?on_drop
       batch_due = 0.0;
     }
   in
+  (match on_depart with
+  | None -> ()
+  | Some f ->
+    t.on_depart <-
+      (fun h ~leaf now -> f (Net.Packet_pool.to_packet pool h) ~leaf now));
+  (match on_drop with
+  | None -> ()
+  | Some f ->
+    t.on_drop <-
+      (fun h ~leaf now -> f (Net.Packet_pool.to_packet pool h) ~leaf now));
   t.complete_cb <-
     (fun () ->
       let leaf = t.in_flight_leaf in
@@ -612,7 +631,8 @@ let inject_at t ~mark ~leaf ~size_bits ~now =
   if Bytes.get t.lifecycle leaf <> '\000' then
     invalid_arg "Hier_flat.inject: leaf is closed";
   let pkt =
-    Net.Packet.make ~mark ~flow:leaf ~seq:t.next_seq.(leaf) ~size_bits ~arrival:now ()
+    Net.Packet_pool.alloc t.pool ~mark ~flow:leaf ~seq:t.next_seq.(leaf) ~size_bits
+      ~arrival:now
   in
   t.next_seq.(leaf) <- t.next_seq.(leaf) + 1;
   if not (Net.Fifo.push t.fifos.(leaf) pkt) then begin
@@ -621,6 +641,7 @@ let inject_at t ~mark ~leaf ~size_bits ~now =
         m "drop at leaf %s: %g bits, queue %g bits full" t.names.(leaf) size_bits
           (Net.Fifo.bits t.fifos.(leaf)));
     t.on_drop pkt ~leaf:t.names.(leaf) now;
+    Net.Packet_pool.free t.pool pkt;
     pkt
   end
   else begin
@@ -778,11 +799,19 @@ let compose_leaf_cb f g =
     f pkt ~leaf now;
     g pkt ~leaf now
 
-let add_depart_hook t f = t.on_depart <- compose_leaf_cb t.on_depart f
-let add_drop_hook t f = t.on_drop <- compose_leaf_cb t.on_drop f
+let add_depart_handle_hook t f = t.on_depart <- compose_leaf_cb t.on_depart f
+let add_drop_handle_hook t f = t.on_drop <- compose_leaf_cb t.on_drop f
 
-let add_transmit_start_hook t f =
+let add_transmit_start_handle_hook t f =
   t.on_transmit_start <- compose_leaf_cb t.on_transmit_start f
+
+(* Boxed compat wrappers: materialise a [Net.Packet.t] per event. *)
+let boxed t f = fun h ~leaf now -> f (Net.Packet_pool.to_packet t.pool h) ~leaf now
+let add_depart_hook t f = add_depart_handle_hook t (boxed t f)
+let add_drop_hook t f = add_drop_handle_hook t (boxed t f)
+let add_transmit_start_hook t f = add_transmit_start_handle_hook t (boxed t f)
+
+let pool t = t.pool
 
 let root_name t = t.names.(t.root)
 let node_name t id = t.names.(id)

@@ -20,7 +20,11 @@
     {!Hier}. The {!Hier_engine} facade picks automatically.
 
     Node ids are assigned in the same preorder as {!Hier.create}, so ids,
-    names, and per-node counters line up across engines. *)
+    names, and per-node counters line up across engines.
+
+    Packets live in a per-hierarchy {!Net.Packet_pool}; the engine moves
+    immediate int handles and a boxed {!Net.Packet.t} is materialised only
+    inside the boxed hook wrappers. *)
 
 type t
 
@@ -55,8 +59,14 @@ val leaf_id : t -> string -> Hier.leaf
 val leaf_name : t -> Hier.leaf -> string
 val leaf_ids : t -> (string * Hier.leaf) list
 
-val inject : ?mark:int -> t -> leaf:Hier.leaf -> size_bits:float -> Net.Packet.t
-(** Same contract as {!Hier.inject}.
+val pool : t -> Net.Packet_pool.t
+(** The hierarchy's packet arena (to read fields of a handle inside a
+    [_handle_] hook, or to materialise a boxed view). *)
+
+val inject : ?mark:int -> t -> leaf:Hier.leaf -> size_bits:float -> Net.Packet_pool.handle
+(** Same contract as {!Hier.inject}: returns the packet's pool handle; if
+    the queue was full the drop callback has already fired and the handle
+    is already recycled (stale).
     @raise Invalid_argument if the leaf is closed or closing. *)
 
 val inject_many : ?mark:int -> t -> leaf:Hier.leaf -> size_bits:float -> count:int -> unit
@@ -96,8 +106,23 @@ val drops : t -> int
     branch. *)
 
 val add_depart_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
+(** Materialises a boxed packet per departure; prefer the [_handle_]
+    variant on hot paths. *)
+
 val add_drop_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
 val add_transmit_start_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
+
+val add_depart_handle_hook :
+  t -> (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit
+(** Allocation-free {!add_depart_hook}: the callback receives the pool
+    handle, valid for the duration of the call only. *)
+
+val add_drop_handle_hook :
+  t -> (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit
+
+val add_transmit_start_handle_hook :
+  t -> (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit
+
 val root_name : t -> string
 val node_name : t -> int -> string
 val node_count : t -> int

@@ -12,55 +12,84 @@ type session = {
                                   mixed record would box on every store *)
 }
 
+(* The hot path moves [Net.Packet_pool.handle]s (immediate ints); hooks are
+   handle-based internally, and the boxed [Net.Packet.t] view is
+   materialised only inside the compat wrappers that [add_depart_hook]
+   etc. install — a server with no boxed hooks never builds a box. *)
 type t = {
   sim : Engine.Simulator.t;
   rate : float;
   policy : Sched_intf.t;
+  pool : Net.Packet_pool.t;
   sessions : session Vec.t;
-  mutable on_depart : Net.Packet.t -> float -> unit;
-  mutable on_drop : Net.Packet.t -> float -> unit;
-  mutable on_transmit_start : Net.Packet.t -> float -> unit;
+  mutable on_depart : Net.Packet_pool.handle -> float -> unit;
+  mutable on_drop : Net.Packet_pool.handle -> float -> unit;
+  mutable on_transmit_start : Net.Packet_pool.handle -> float -> unit;
   mutable busy : bool;
   departed_total : float array; (* 1-element, same unboxing trick *)
+  (* Completion-event state. Only one transmission commitment can exist at
+     a time ([busy] blocks re-entry until its completion runs), so the
+     scheduled callback is preallocated once and reads the committed
+     session/handle from these slots — no per-packet closure. *)
+  mutable ev_session : int;
+  mutable ev_handle : Net.Packet_pool.handle;
+  mutable ev_cb : unit -> unit;
   (* Burst-drain state. While a drain activation is running ([in_batch]),
      [start_transmission] records its commitment into the [batch_*] slots
      instead of scheduling a completion event; the drain loop then decides
-     whether to execute that completion inline or fall back to an event.
-     Only one commitment can exist per completion ([busy] blocks
-     re-entry), so a single slot suffices. *)
+     whether to execute that completion inline or fall back to an event. *)
   mutable burst_max : int;
   mutable in_batch : bool;
   mutable batch_has : bool;
   mutable batch_session : int;
-  mutable batch_pkt : Net.Packet.t;
+  mutable batch_pkt : Net.Packet_pool.handle;
   batch_due : float array; (* 1-element: written once per departed packet *)
 }
 
 let nop2 _ _ = ()
 
+(* Sentinel for "no completion callback installed yet". A named top-level
+   function, NOT [ignore]: referencing an external like [ignore] as a value
+   eta-expands to a fresh closure at each use site, so [t.ev_cb == ignore]
+   would never be true and the real callback would never be installed. *)
+let nop_unit () = ()
+
 let create ~sim ~rate ~policy ?on_depart ?on_drop ?(burst_max = 1) () =
-  let on_depart = Option.value on_depart ~default:nop2 in
-  let on_drop = Option.value on_drop ~default:nop2 in
   if rate <= 0.0 then invalid_arg "Server.create: rate must be positive";
   if burst_max < 1 then invalid_arg "Server.create: burst_max must be >= 1";
-  {
-    sim;
-    rate;
-    policy;
-    sessions = Vec.create ();
-    on_depart;
-    on_drop;
-    on_transmit_start = nop2;
-    busy = false;
-    departed_total = [| 0.0 |];
-    burst_max;
-    in_batch = false;
-    batch_has = false;
-    batch_session = -1;
-    (* placeholder until the first batched commitment overwrites it *)
-    batch_pkt = Net.Packet.make ~flow:0 ~seq:0 ~size_bits:1.0 ~arrival:0.0 ();
-    batch_due = [| 0.0 |];
-  }
+  let pool = Net.Packet_pool.create () in
+  let t =
+    {
+      sim;
+      rate;
+      policy;
+      pool;
+      sessions = Vec.create ();
+      on_depart = nop2;
+      on_drop = nop2;
+      on_transmit_start = nop2;
+      busy = false;
+      departed_total = [| 0.0 |];
+      ev_session = -1;
+      ev_handle = Net.Packet_pool.none;
+      ev_cb = nop_unit;
+      burst_max;
+      in_batch = false;
+      batch_has = false;
+      batch_session = -1;
+      batch_pkt = Net.Packet_pool.none;
+      batch_due = [| 0.0 |];
+    }
+  in
+  (match on_depart with
+  | None -> ()
+  | Some f -> t.on_depart <- (fun h now -> f (Net.Packet_pool.to_packet pool h) now));
+  (match on_drop with
+  | None -> ()
+  | Some f -> t.on_drop <- (fun h now -> f (Net.Packet_pool.to_packet pool h) now));
+  t
+
+let pool t = t.pool
 
 let set_burst_max t n =
   if n < 1 then invalid_arg "Server.set_burst_max: burst_max must be >= 1";
@@ -69,16 +98,24 @@ let set_burst_max t n =
 let burst_max t = t.burst_max
 
 (* Hook setters compose with (run after) whatever is installed, so tracing
-   can piggyback on a server whose owner already registered callbacks. *)
+   can piggyback on a server whose owner already registered callbacks.
+   The boxed variants materialise the packet per hook invocation; the
+   [_handle_] variants are allocation-free. *)
 let compose2 f g = if f == nop2 then g else fun a b -> f a b; g a b
-let add_depart_hook t f = t.on_depart <- compose2 t.on_depart f
-let add_drop_hook t f = t.on_drop <- compose2 t.on_drop f
-let add_transmit_start_hook t f = t.on_transmit_start <- compose2 t.on_transmit_start f
+let add_depart_handle_hook t f = t.on_depart <- compose2 t.on_depart f
+let add_drop_handle_hook t f = t.on_drop <- compose2 t.on_drop f
+let add_transmit_start_handle_hook t f =
+  t.on_transmit_start <- compose2 t.on_transmit_start f
+
+let boxed t f = fun h now -> f (Net.Packet_pool.to_packet t.pool h) now
+let add_depart_hook t f = add_depart_handle_hook t (boxed t f)
+let add_drop_hook t f = add_drop_handle_hook t (boxed t f)
+let add_transmit_start_hook t f = add_transmit_start_handle_hook t (boxed t f)
 
 let open_session t ~rate ?queue_capacity_bits () =
   let handle = t.policy.Sched_intf.open_session ~rate in
   let slot = t.policy.Sched_intf.session_of_handle handle in
-  let fifo = Net.Fifo.create ?capacity_bits:queue_capacity_bits () in
+  let fifo = Net.Fifo.create ?capacity_bits:queue_capacity_bits ~pool:t.pool () in
   let fresh =
     {
       rate;
@@ -102,9 +139,9 @@ let add_session t ~rate ?queue_capacity_bits () =
 let drop_queue t s =
   let now = Engine.Simulator.now t.sim in
   while not (Net.Fifo.is_empty s.fifo) do
-    let pkt = Net.Fifo.peek_exn s.fifo in
-    Net.Fifo.drop_head s.fifo;
-    t.on_drop pkt now
+    let h = Net.Fifo.pop_exn s.fifo in
+    t.on_drop h now;
+    Net.Packet_pool.free t.pool h
   done
 
 (* Close semantics (deterministic in every state):
@@ -150,7 +187,7 @@ let rec start_transmission t =
       s.in_service <- true;
       t.busy <- true;
       t.on_transmit_start pkt now;
-      let duration = pkt.Net.Packet.size_bits /. t.rate in
+      let duration = Net.Packet_pool.size_bits t.pool pkt /. t.rate in
       (* [now +. duration] is the exact float [schedule_after ~delay]
          computes — the two paths must agree bit-for-bit on fire times. *)
       let due = now +. duration in
@@ -160,10 +197,15 @@ let rec start_transmission t =
         t.batch_pkt <- pkt;
         t.batch_due.(0) <- due
       end
-      else
-        ignore
-          (Engine.Simulator.schedule t.sim ~at:due (fun () ->
-               drain t session pkt))
+      else begin
+        t.ev_session <- session;
+        t.ev_handle <- pkt;
+        (* installed on first use: [create] runs before [drain] is in
+           scope; one closure per server for the whole run *)
+        if t.ev_cb == nop_unit then
+          t.ev_cb <- (fun () -> drain t t.ev_session t.ev_handle);
+        ignore (Engine.Simulator.schedule t.sim ~at:due t.ev_cb)
+      end
   end
 
 (* One event activation drains up to [burst_max] consecutive departures.
@@ -199,8 +241,9 @@ and drain t session pkt =
         pkt := t.batch_pkt
       end
       else begin
-        let ns = t.batch_session and np = t.batch_pkt in
-        ignore (Engine.Simulator.schedule sim ~at:due (fun () -> drain t ns np));
+        t.ev_session <- t.batch_session;
+        t.ev_handle <- t.batch_pkt;
+        ignore (Engine.Simulator.schedule sim ~at:due t.ev_cb);
         continue := false
       end
     end
@@ -209,9 +252,10 @@ and drain t session pkt =
 and complete t session pkt =
   let now = Engine.Simulator.now t.sim in
   let s = Vec.get t.sessions session in
+  let size_bits = Net.Packet_pool.size_bits t.pool pkt in
   s.in_service <- false;
-  s.departed_bits.(0) <- s.departed_bits.(0) +. pkt.Net.Packet.size_bits;
-  t.departed_total.(0) <- t.departed_total.(0) +. pkt.Net.Packet.size_bits;
+  s.departed_bits.(0) <- s.departed_bits.(0) +. size_bits;
+  t.departed_total.(0) <- t.departed_total.(0) +. size_bits;
   t.busy <- false;
   (match s.closing with
   | Some `Drop ->
@@ -228,8 +272,9 @@ and complete t session pkt =
     end
     else
       t.policy.Sched_intf.requeue ~now ~session
-        ~head_bits:(Net.Fifo.peek_exn s.fifo).Net.Packet.size_bits);
+        ~head_bits:(Net.Packet_pool.size_bits t.pool (Net.Fifo.peek_exn s.fifo)));
   t.on_depart pkt now;
+  Net.Packet_pool.free t.pool pkt;
   start_transmission t
 
 let inject t ~session ~size_bits =
@@ -237,11 +282,13 @@ let inject t ~session ~size_bits =
   let s = Vec.get t.sessions session in
   if s.closing <> None then invalid_arg "Server.inject: session is closed";
   let pkt =
-    Net.Packet.make ~flow:session ~seq:s.next_seq ~size_bits ~arrival:now ()
+    Net.Packet_pool.alloc t.pool ~flow:session ~seq:s.next_seq ~size_bits
+      ~arrival:now
   in
   s.next_seq <- s.next_seq + 1;
   if not (Net.Fifo.push s.fifo pkt) then begin
     t.on_drop pkt now;
+    Net.Packet_pool.free t.pool pkt;
     pkt
   end
   else begin
@@ -268,10 +315,14 @@ let inject_batch t ~session ~size_bits ~count =
   if s.closing <> None then invalid_arg "Server.inject_batch: session is closed";
   for _ = 1 to count do
     let pkt =
-      Net.Packet.make ~flow:session ~seq:s.next_seq ~size_bits ~arrival:now ()
+      Net.Packet_pool.alloc t.pool ~flow:session ~seq:s.next_seq ~size_bits
+        ~arrival:now
     in
     s.next_seq <- s.next_seq + 1;
-    if not (Net.Fifo.push s.fifo pkt) then t.on_drop pkt now
+    if not (Net.Fifo.push s.fifo pkt) then begin
+      t.on_drop pkt now;
+      Net.Packet_pool.free t.pool pkt
+    end
     else begin
       t.policy.Sched_intf.arrive ~now ~session ~size_bits;
       if not s.has_head then begin

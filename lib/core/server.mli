@@ -7,7 +7,14 @@
     selected by the policy, serialised onto the link at the server rate, and
     handed to the departure callback. Used directly by the one-level
     experiments (Fig. 2, WFI measurements) and as the reference semantics
-    the hierarchical server must reduce to on a one-level tree. *)
+    the hierarchical server must reduce to on a one-level tree.
+
+    Packets live in a per-server {!Net.Packet_pool}; the engine moves
+    immediate int handles and allocates no boxes on the hot path. Boxed
+    {!Net.Packet.t} views are materialised only inside the boxed hook
+    wrappers; the [_handle_] hook variants observe raw handles (valid
+    during the callback — a departed/dropped packet's handle is recycled
+    as soon as its callbacks return). *)
 
 type t
 
@@ -60,13 +67,18 @@ val add_session : t -> rate:float -> ?queue_capacity_bits:float -> unit -> int
     @deprecated [open_session]'s handle is the supported identity; this
     int-returning alias remains for the static pre-lifecycle drivers. *)
 
-val inject : t -> session:int -> size_bits:float -> Net.Packet.t
+val pool : t -> Net.Packet_pool.t
+(** The server's packet arena (to read fields of a handle inside a
+    [_handle_] hook, or to materialise a boxed view). *)
+
+val inject : t -> session:int -> size_bits:float -> Net.Packet_pool.handle
 (** A packet of [size_bits] arrives on [session] at the current simulation
-    time. Returns the packet (possibly dropped if the queue is full; the
-    drop callback fires in that case).
+    time. Returns its pool handle. If the queue was full the drop callback
+    has already fired and the handle is already recycled (stale).
     @raise Invalid_argument if the session is closed or closing. *)
 
-val inject_handle : t -> handle:Sched.Session_handle.t -> size_bits:float -> Net.Packet.t
+val inject_handle :
+  t -> handle:Sched.Session_handle.t -> size_bits:float -> Net.Packet_pool.handle
 (** Handle-taking {!inject}.
     @raise Sched.Session_pool.Stale_handle on a stale handle. *)
 
@@ -93,7 +105,8 @@ val live_sessions : t -> int
 
 val add_depart_hook : t -> (Net.Packet.t -> float -> unit) -> unit
 (** Append a departure callback, composed after any existing ones (including
-    the [on_depart] given at creation). Used by the tracing layer. *)
+    the [on_depart] given at creation). Used by the tracing layer.
+    Materialises a boxed packet per departure. *)
 
 val add_drop_hook : t -> (Net.Packet.t -> float -> unit) -> unit
 (** Append a drop callback; same composition rule as {!add_depart_hook}. *)
@@ -101,6 +114,14 @@ val add_drop_hook : t -> (Net.Packet.t -> float -> unit) -> unit
 val add_transmit_start_hook : t -> (Net.Packet.t -> float -> unit) -> unit
 (** Append a callback fired when a packet's first bit goes onto the link
     (i.e. right after the policy selected it and the server committed). *)
+
+val add_depart_handle_hook : t -> (Net.Packet_pool.handle -> float -> unit) -> unit
+(** Allocation-free {!add_depart_hook}: the callback receives the pool
+    handle, valid for the duration of the call only. *)
+
+val add_drop_handle_hook : t -> (Net.Packet_pool.handle -> float -> unit) -> unit
+val add_transmit_start_handle_hook :
+  t -> (Net.Packet_pool.handle -> float -> unit) -> unit
 
 val departed_bits : t -> session:int -> float
 (** Cumulative W_i(0, now): bits of the session fully transmitted. *)

@@ -35,6 +35,12 @@ type state = {
    leak guaranteed bandwidth (caught by the Thm 4.3 property test). *)
 let linear_v t ~now = t.vv.(0) +. (now -. t.vv.(1))
 
+(* Local max: [Stdlib.Float.max] is a cross-module call that boxes both
+   arguments and the result without flambda. Identical to [Float.max] for
+   the non-NaN, non-negative stamps used here (ties return the first
+   argument in both). *)
+let[@inline] fmax (x : float) y = if y > x then y else x
+
 let check_session t session =
   if not (Session_pool.is_live t.pool session) then
     invalid_arg "Wf2q_plus: unknown session"
@@ -133,7 +139,7 @@ let make ~rate =
     if Bytes.get t.backlogged session <> '\000' then
       invalid_arg "Wf2q_plus: backlog of backlogged session";
     (* eq. 28, empty-queue branch: S = max(F, V(now)) *)
-    let start = Float.max t.finishes.(session) (linear_v t ~now) in
+    let start = fmax t.finishes.(session) (linear_v t ~now) in
     t.starts.(session) <- start;
     t.finishes.(session) <- start +. (head_bits /. t.rates.(session));
     t.head_bits.(session) <- head_bits;
@@ -194,7 +200,7 @@ let make ~rate =
         if
           Prioq.Indexed_heap4.is_empty t.eligible
           && not (Prioq.Indexed_heap4.is_empty t.waiting)
-        then Float.max lin (Prioq.Indexed_heap4.min_prio_unsafe t.waiting)
+        then fmax lin (Prioq.Indexed_heap4.min_prio_unsafe t.waiting)
         else lin
       in
       promote t ~threshold;

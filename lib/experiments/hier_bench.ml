@@ -208,6 +208,17 @@ let headline_of_report json =
       | Some f when f > 0.0 -> Ok f
       | _ -> Error "headline \"flat_pkts_per_sec\" is not a positive number"))
 
+(* Committed allocation ceiling: the flat headline's minor words/packet,
+   when the baseline carries it (older baselines do not). *)
+let headline_words_of_report json =
+  match Json.member "headline" json with
+  | None -> None
+  | Some h -> (
+    match Json.member "flat_minor_words_per_pkt" h with
+    | None -> None
+    | Some v -> (
+      match Json.to_float v with Some w when w > 0.0 -> Some w | _ -> None))
+
 type guard_result = {
   baseline_pps : float;
   fresh_pps : float;
@@ -215,8 +226,11 @@ type guard_result = {
   speedup : float; (* fresh flat / fresh generic on Fig. 3 *)
   flat_words : float;
   generic_words : float;
+  baseline_flat_words : float option;
   tol : float;
   min_speedup : float;
+  words_tol : float;
+  words_within : bool;
   within : bool;
 }
 
@@ -235,25 +249,34 @@ let env_float name default =
    per-packet cycle is simulator/fifo/heap work common to both engines;
    the flat engine's decisive win is allocation (~1.6x fewer minor words
    per packet). CI relaxes both knobs on shared runners. *)
-let guard ?(baseline = "BENCH_hier.json") ?tol ?min_speedup ?target_pkts () =
+let guard ?(baseline = "BENCH_hier.json") ?tol ?min_speedup ?words_tol
+    ?target_pkts () =
   let tol = match tol with Some t -> t | None -> env_float "HPFQ_HIER_TOL" 0.2 in
   let min_speedup =
     match min_speedup with
     | Some r -> r
     | None -> env_float "HPFQ_HIER_RATIO" 1.0
   in
+  let words_tol =
+    match words_tol with
+    | Some t -> t
+    | None -> env_float "HPFQ_WORDS_TOL" 0.1
+  in
   if not (Sys.file_exists baseline) then
     Error (Printf.sprintf "baseline %s not found (run `bench hier` first)" baseline)
   else
     let parsed =
       match Json.of_file baseline with
-      | json -> headline_of_report json
+      | json ->
+        Result.map
+          (fun pps -> (pps, headline_words_of_report json))
+          (headline_of_report json)
       | exception Json.Parse_error msg -> Error msg
       | exception Sys_error msg -> Error msg
     in
     match parsed with
     | Error e -> Error (Printf.sprintf "%s: %s" baseline e)
-    | Ok baseline_pps ->
+    | Ok (baseline_pps, baseline_flat_words) ->
       let target_pkts =
         match target_pkts with
         | Some t -> t
@@ -269,6 +292,11 @@ let guard ?(baseline = "BENCH_hier.json") ?tol ?min_speedup ?target_pkts () =
       in
       let fresh_pps = flat.pkts_per_sec in
       let speedup = flat.pkts_per_sec /. generic.pkts_per_sec in
+      let words_within =
+        match baseline_flat_words with
+        | None -> true
+        | Some b -> flat.minor_words_per_pkt <= b *. (1.0 +. words_tol)
+      in
       Ok
         {
           baseline_pps;
@@ -277,7 +305,12 @@ let guard ?(baseline = "BENCH_hier.json") ?tol ?min_speedup ?target_pkts () =
           speedup;
           flat_words = flat.minor_words_per_pkt;
           generic_words = generic.minor_words_per_pkt;
+          baseline_flat_words;
           tol;
           min_speedup;
-          within = fresh_pps /. baseline_pps >= 1.0 -. tol && speedup >= min_speedup;
+          words_tol;
+          words_within;
+          within =
+            fresh_pps /. baseline_pps >= 1.0 -. tol
+            && speedup >= min_speedup && words_within;
         }

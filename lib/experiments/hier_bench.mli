@@ -37,6 +37,10 @@ val validate : Bench_kit.Json.t -> (unit, string list) result
 val headline_of_report : Bench_kit.Json.t -> (float, string) result
 (** Extract [headline.flat_pkts_per_sec] from a parsed report. *)
 
+val headline_words_of_report : Bench_kit.Json.t -> float option
+(** Extract [headline.flat_minor_words_per_pkt] when the report carries
+    it (reports written before the allocation tier do not). *)
+
 type guard_result = {
   baseline_pps : float;  (** flat headline recorded in the baseline file *)
   fresh_pps : float;  (** flat Fig. 3 headline measured just now *)
@@ -44,16 +48,24 @@ type guard_result = {
   speedup : float;  (** fresh flat/generic ratio on Fig. 3 *)
   flat_words : float;  (** fresh flat minor words/packet *)
   generic_words : float;  (** fresh generic minor words/packet *)
+  baseline_flat_words : float option;
+      (** committed flat minor words/packet, when present *)
   tol : float;  (** relative slowdown tolerated vs the baseline *)
   min_speedup : float;  (** floor on [speedup] *)
+  words_tol : float;  (** relative allocation growth tolerated *)
+  words_within : bool;
+      (** [flat_words <= baseline_flat_words * (1 + words_tol)] (vacuous
+          when the baseline has no words key) *)
   within : bool;
-      (** [perf_ratio >= 1 - tol && speedup >= min_speedup] *)
+      (** [perf_ratio >= 1 - tol && speedup >= min_speedup
+          && words_within] *)
 }
 
 val guard :
   ?baseline:string ->
   ?tol:float ->
   ?min_speedup:float ->
+  ?words_tol:float ->
   ?target_pkts:int ->
   unit ->
   (guard_result, string) result
@@ -61,5 +73,8 @@ val guard :
     headline on both engines and compare the flat number against the
     committed [baseline] (default ["BENCH_hier.json"]). [tol] defaults to
     [HPFQ_HIER_TOL] or 0.2; [min_speedup] to [HPFQ_HIER_RATIO] or 1.0 —
-    the flat engine must never fall behind the generic one. [Error] means
-    the baseline is missing or unreadable, not a perf failure. *)
+    the flat engine must never fall behind the generic one. The committed
+    [headline.flat_minor_words_per_pkt] is additionally a hard allocation
+    ceiling with band [words_tol] ([HPFQ_WORDS_TOL], default 0.1).
+    [Error] means the baseline is missing or unreadable, not a perf
+    failure. *)

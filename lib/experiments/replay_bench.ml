@@ -107,14 +107,16 @@ let measure ?config ?(engine = `Auto) ~spec ~trace ~burst () =
   let hash = ref golden in
   let hier =
     Hpfq.Hier_engine.create ~sim ~spec ~factory:Hpfq.Disciplines.wf2q_plus
-      ~engine
-      ~on_depart:(fun pkt ~leaf:_ time ->
-        incr departures;
-        hash :=
-          fold_hash !hash
-            (depart_key ~flow:pkt.Net.Packet.flow ~seq:pkt.Net.Packet.seq ~time))
-      ~burst_max:burst ()
+      ~engine ~burst_max:burst ()
   in
+  (* handle hook: flow/seq are pool reads, no packet record per departure *)
+  let pool = Hpfq.Hier_engine.pool hier in
+  Hpfq.Hier_engine.add_depart_handle_hook hier (fun h ~leaf:_ time ->
+      incr departures;
+      hash :=
+        fold_hash !hash
+          (depart_key ~flow:(Net.Packet_pool.flow pool h)
+             ~seq:(Net.Packet_pool.seq pool h) ~time));
   let leaf_ids = Hashtbl.create 256 in
   List.iter
     (fun (name, id) -> Hashtbl.replace leaf_ids name id)
@@ -169,6 +171,7 @@ let json_of_run ~quick ~w rows =
           ("per_packet_pkts_per_sec", Json.Num per_pkt.pkts_per_sec);
           ("batched_pkts_per_sec", Json.Num batched.pkts_per_sec);
           ("speedup", Json.Num (batched.pkts_per_sec /. per_pkt.pkts_per_sec));
+          ("batched_minor_words_per_pkt", Json.Num batched.minor_words_per_pkt);
           ("depart_hash", Json.Str batched.depart_hash);
         ]
     | _ -> Json.Null
@@ -282,14 +285,29 @@ let headline_of_report json =
     | _ ->
       Error "headline lacks \"batched_pkts_per_sec\" or \"depart_hash\" fields")
 
+(* Committed allocation ceiling: the batched headline's minor
+   words/packet, when the baseline carries it (older baselines do not). *)
+let headline_words_of_report json =
+  match Json.member "headline" json with
+  | None -> None
+  | Some h -> (
+    match Json.member "batched_minor_words_per_pkt" h with
+    | None -> None
+    | Some v -> (
+      match Json.to_float v with Some w when w > 0.0 -> Some w | _ -> None))
+
 type guard_result = {
   baseline_pps : float;
   fresh_pps : float;
   perf_ratio : float;
   speedup : float; (* fresh batched / fresh per-packet *)
   hash_ok : bool; (* fresh batched hash = committed hash *)
+  baseline_words : float option;
+  fresh_words : float;
   tol : float;
   min_speedup : float;
+  words_tol : float;
+  words_within : bool;
   within : bool;
 }
 
@@ -299,33 +317,59 @@ let env_float name default =
     match float_of_string_opt s with Some t when t >= 0.0 -> t | _ -> default)
   | None -> default
 
-let guard ?(baseline = "BENCH_replay.json") ?tol ?min_speedup ?(quick = false) () =
+let guard ?(baseline = "BENCH_replay.json") ?tol ?min_speedup ?words_tol
+    ?(quick = false) () =
   let tol = match tol with Some t -> t | None -> env_float "HPFQ_REPLAY_TOL" 0.2 in
   let min_speedup =
     match min_speedup with
     | Some r -> r
     | None -> env_float "HPFQ_REPLAY_RATIO" 1.0
   in
+  let words_tol =
+    match words_tol with
+    | Some t -> t
+    | None -> env_float "HPFQ_WORDS_TOL" 0.1
+  in
   if not (Sys.file_exists baseline) then
     Error (Printf.sprintf "baseline %s not found (run `bench replay` first)" baseline)
   else
     let parsed =
       match Json.of_file baseline with
-      | json -> headline_of_report json
+      | json ->
+        Result.map
+          (fun hd -> (hd, headline_words_of_report json))
+          (headline_of_report json)
       | exception Json.Parse_error msg -> Error msg
       | exception Sys_error msg -> Error msg
     in
     match parsed with
     | Error e -> Error (Printf.sprintf "%s: %s" baseline e)
-    | Ok (baseline_pps, baseline_hash) ->
+    | Ok ((baseline_pps, baseline_hash), baseline_words) ->
       let spec, trace = setup (workload ~quick) in
-      let per_pkt = measure ~spec ~trace ~burst:1 () in
-      let batched = measure ~spec ~trace ~burst:batched_burst () in
+      (* Each rung is best-of-3: machine interference only slows a replay
+         down, and the batched/per-packet speedup of this workload (~1.1x)
+         sits close enough to the floor that single samples gate on noise.
+         Hash and words are identical across samples (determinism). *)
+      let best ~burst =
+        let first = measure ~spec ~trace ~burst () in
+        List.fold_left
+          (fun acc () ->
+            let r = measure ~spec ~trace ~burst () in
+            if r.pkts_per_sec > acc.pkts_per_sec then r else acc)
+          first [ (); () ]
+      in
+      let per_pkt = best ~burst:1 in
+      let batched = best ~burst:batched_burst in
       let fresh_pps = batched.pkts_per_sec in
       let speedup = batched.pkts_per_sec /. per_pkt.pkts_per_sec in
       let hash_ok =
         String.equal batched.depart_hash baseline_hash
         && String.equal per_pkt.depart_hash baseline_hash
+      in
+      let words_within =
+        match baseline_words with
+        | None -> true
+        | Some b -> batched.minor_words_per_pkt <= b *. (1.0 +. words_tol)
       in
       Ok
         {
@@ -334,10 +378,14 @@ let guard ?(baseline = "BENCH_replay.json") ?tol ?min_speedup ?(quick = false) (
           perf_ratio = fresh_pps /. baseline_pps;
           speedup;
           hash_ok;
+          baseline_words;
+          fresh_words = batched.minor_words_per_pkt;
           tol;
           min_speedup;
+          words_tol;
+          words_within;
           within =
             hash_ok
             && fresh_pps /. baseline_pps >= 1.0 -. tol
-            && speedup >= min_speedup;
+            && speedup >= min_speedup && words_within;
         }

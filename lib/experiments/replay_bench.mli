@@ -54,21 +54,33 @@ val validate : Bench_kit.Json.t -> (unit, string list) result
 val headline_of_report : Bench_kit.Json.t -> (float * string, string) result
 (** Extract [(headline.batched_pkts_per_sec, headline.depart_hash)]. *)
 
+val headline_words_of_report : Bench_kit.Json.t -> float option
+(** Extract [headline.batched_minor_words_per_pkt] when the report
+    carries it (reports written before the allocation tier do not). *)
+
 type guard_result = {
   baseline_pps : float;  (** batched headline recorded in the baseline *)
   fresh_pps : float;  (** batched headline measured just now *)
   perf_ratio : float;  (** [fresh_pps /. baseline_pps] *)
   speedup : float;  (** fresh batched / fresh per-packet *)
   hash_ok : bool;  (** both fresh hashes equal the committed one *)
+  baseline_words : float option;
+      (** committed batched minor words/packet, when present *)
+  fresh_words : float;  (** fresh batched minor words/packet *)
   tol : float;  (** relative slowdown tolerated (HPFQ_REPLAY_TOL) *)
   min_speedup : float;  (** speedup floor (HPFQ_REPLAY_RATIO) *)
-  within : bool;  (** [hash_ok] and both ratio gates passed *)
+  words_tol : float;  (** allocation growth tolerated (HPFQ_WORDS_TOL) *)
+  words_within : bool;
+      (** [fresh_words <= baseline_words * (1 + words_tol)] (vacuous when
+          the baseline has no words key) *)
+  within : bool;  (** [hash_ok] and all ratio/ceiling gates passed *)
 }
 
 val guard :
   ?baseline:string ->
   ?tol:float ->
   ?min_speedup:float ->
+  ?words_tol:float ->
   ?quick:bool ->
   unit ->
   (guard_result, string) result
@@ -78,7 +90,9 @@ val guard :
     compare against [baseline] (default ["BENCH_replay.json"]). Fails when the batched throughput drops more
     than [tol] (HPFQ_REPLAY_TOL, default 0.2) below the committed number,
     when the batched/per-packet speedup is under [min_speedup]
-    (HPFQ_REPLAY_RATIO, default 1.0 — batching must never lose), or —
-    with no tolerance knob — when either fresh departure hash differs
-    from the committed one. [Error] means the baseline is missing or
-    unreadable, not a gate failure. *)
+    (HPFQ_REPLAY_RATIO, default 1.0 — batching must never lose), when
+    the fresh batched allocation rate exceeds the committed
+    [headline.batched_minor_words_per_pkt] by more than [words_tol]
+    ([HPFQ_WORDS_TOL], default 0.1), or — with no tolerance knob — when
+    either fresh departure hash differs from the committed one. [Error]
+    means the baseline is missing or unreadable, not a gate failure. *)

@@ -1,45 +1,91 @@
+(* Growable intrusive ring of pool handles. The queue owns no boxes: each
+   element is an immediate int naming a [Packet_pool] cell, so push/pop
+   touch only the int ring and the 1-element float accumulator. Capacity
+   is a power of two (index masking); the ring doubles when full. [bits]
+   accounting reads sizes from the pool, and — exactly like the boxed
+   queue it replaces — snaps to 0.0 whenever the queue empties so float
+   cancellation error cannot accumulate across busy periods. *)
+
 type t = {
-  q : Packet.t Queue.t;
+  pool : Packet_pool.t;
+  mutable buf : int array;
+  mutable head : int; (* index of the front element *)
+  mutable len : int;
+  mutable mask : int; (* ring capacity - 1 (power of two) *)
   capacity_bits : float;
-  mutable bits : float;
+  bits : float array; (* 1-element: a mutable float field here would box *)
   mutable drops : int;
 }
 
-let create ?(capacity_bits = infinity) () =
-  if capacity_bits <= 0.0 then invalid_arg "Fifo.create: capacity must be positive";
-  { q = Queue.create (); capacity_bits; bits = 0.0; drops = 0 }
+let initial_ring = 8
 
-let push t p =
-  if t.bits +. p.Packet.size_bits > t.capacity_bits then begin
+let create ?(capacity_bits = infinity) ~pool () =
+  if capacity_bits <= 0.0 then invalid_arg "Fifo.create: capacity must be positive";
+  {
+    pool;
+    buf = Array.make initial_ring Packet_pool.none;
+    head = 0;
+    len = 0;
+    mask = initial_ring - 1;
+    capacity_bits;
+    bits = [| 0.0 |];
+    drops = 0;
+  }
+
+let pool t = t.pool
+
+let grow t =
+  let old_cap = t.mask + 1 in
+  let cap = 2 * old_cap in
+  let buf = Array.make cap Packet_pool.none in
+  (* unroll the ring so the front lands at index 0 *)
+  for i = 0 to t.len - 1 do
+    buf.(i) <- t.buf.((t.head + i) land t.mask)
+  done;
+  t.buf <- buf;
+  t.head <- 0;
+  t.mask <- cap - 1
+
+let push t h =
+  let sz = Packet_pool.size_bits t.pool h in
+  if t.bits.(0) +. sz > t.capacity_bits then begin
     t.drops <- t.drops + 1;
     false
   end
   else begin
-    Queue.push p t.q;
-    t.bits <- t.bits +. p.Packet.size_bits;
+    if t.len > t.mask then grow t;
+    t.buf.((t.head + t.len) land t.mask) <- h;
+    t.len <- t.len + 1;
+    t.bits.(0) <- t.bits.(0) +. sz;
     true
   end
 
-let pop t =
-  match Queue.take_opt t.q with
-  | None -> None
-  | Some p ->
-    t.bits <- t.bits -. p.Packet.size_bits;
-    if Queue.is_empty t.q then t.bits <- 0.0;
-    Some p
+let[@inline] peek_exn t =
+  if t.len = 0 then raise Queue.Empty;
+  t.buf.(t.head)
 
-let peek t = Queue.peek_opt t.q
-let peek_exn t = Queue.peek t.q
+let pop_exn t =
+  if t.len = 0 then raise Queue.Empty;
+  let h = t.buf.(t.head) in
+  t.head <- (t.head + 1) land t.mask;
+  t.len <- t.len - 1;
+  if t.len = 0 then begin
+    t.head <- 0;
+    t.bits.(0) <- 0.0
+  end
+  else t.bits.(0) <- t.bits.(0) -. Packet_pool.size_bits t.pool h;
+  h
 
-let drop_head t =
-  let p = Queue.pop t.q in
-  t.bits <- t.bits -. p.Packet.size_bits;
-  if Queue.is_empty t.q then t.bits <- 0.0
-let length t = Queue.length t.q
-let bits t = t.bits
-let is_empty t = Queue.is_empty t.q
+let drop_head t = ignore (pop_exn t : int)
+
+let[@inline] length t = t.len
+let[@inline] bits t = t.bits.(0)
+let[@inline] is_empty t = t.len = 0
 let drops t = t.drops
 
+(* Empties the ring WITHOUT freeing the handles — callers that want the
+   cells recycled must drain with [pop_exn] and free each handle. *)
 let clear t =
-  Queue.clear t.q;
-  t.bits <- 0.0
+  t.head <- 0;
+  t.len <- 0;
+  t.bits.(0) <- 0.0

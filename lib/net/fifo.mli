@@ -1,31 +1,48 @@
-(** Per-session FIFO packet queue with byte accounting and drop-tail limit.
+(** Per-session FIFO queue of pooled packet handles, with bit accounting
+    and a drop-tail limit.
 
     This is the physical queue at a leaf node (the paper's Q̂_i). It tracks
     [bits] = Q_i(t), the backlog in bits including the head packet, which is
-    the quantity appearing in the T-WFI definition (paper eq. 10). *)
+    the quantity appearing in the T-WFI definition (paper eq. 10).
+
+    The queue is an intrusive int ring over a {!Packet_pool}: elements are
+    immediate handles, so no cons cells, boxes or options are allocated on
+    the push/pop path. The queue never frees handles — ownership stays with
+    the engine that allocated them. *)
 
 type t
 
-val create : ?capacity_bits:float -> unit -> t
-(** Unbounded unless [capacity_bits] is given (drop-tail beyond it). *)
+val create : ?capacity_bits:float -> pool:Packet_pool.t -> unit -> t
+(** Unbounded unless [capacity_bits] is given (drop-tail beyond it). Sizes
+    for the accounting are read from [pool]. *)
 
-val push : t -> Packet.t -> bool
-(** Append. Returns [false] (and drops the packet) if it would exceed the
-    capacity; the drop counter is incremented. *)
+val pool : t -> Packet_pool.t
+(** The arena this queue's handles live in. *)
 
-val pop : t -> Packet.t option
-val peek : t -> Packet.t option
+val push : t -> Packet_pool.handle -> bool
+(** Append. Returns [false] (without enqueueing) if the packet's bits would
+    exceed the capacity; the drop counter is incremented and the caller
+    keeps ownership of the handle. *)
 
-val peek_exn : t -> Packet.t
-(** Allocation-free {!peek}. @raise Queue.Empty when the queue is empty. *)
+val peek_exn : t -> Packet_pool.handle
+(** @raise Queue.Empty when the queue is empty. *)
+
+val pop_exn : t -> Packet_pool.handle
+(** Remove and return the head. @raise Queue.Empty when empty. *)
 
 val drop_head : t -> unit
-(** Allocation-free head removal. @raise Queue.Empty when the queue is empty. *)
+(** [pop_exn] with the result discarded (the handle is NOT freed).
+    @raise Queue.Empty when the queue is empty. *)
 
 val length : t -> int
+
 val bits : t -> float
-(** Current backlog in bits. *)
+(** Current backlog in bits (snaps to 0.0 exactly when the queue empties,
+    so float error cannot accumulate across busy periods). *)
 
 val is_empty : t -> bool
 val drops : t -> int
+
 val clear : t -> unit
+(** Empty the ring without freeing handles; the caller is responsible for
+    recycling them (or leaking them deliberately, e.g. at teardown). *)

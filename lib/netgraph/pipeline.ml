@@ -30,23 +30,28 @@ let create ~sim ~hops ~make_policy ?(propagation_delay = 0.001)
       on_deliver;
     }
   in
+  (* Departures are observed through the handle hook: flow id and size are
+     read from the hop's pool while the handle is still live (it is recycled
+     as soon as the hook returns), and captured BY VALUE in the forwarding
+     closure — the handle itself must never outlive the callback. A boxed
+     packet is materialised only for the end-of-route [on_deliver]. *)
   let rec build index (name, spec) =
-    let on_depart pkt ~leaf:_ time = hop_departure t index pkt time in
-    {
-      name;
-      spec;
-      server = Hpfq.Hier.create ~sim ~spec ~make_policy ~on_depart ?burst_max ();
-    }
-  and hop_departure t index pkt time =
+    let server = Hpfq.Hier.create ~sim ~spec ~make_policy ?burst_max () in
+    let pool = Hpfq.Hier.pool server in
+    Hpfq.Hier.add_depart_handle_hook server (fun h ~leaf:_ time ->
+        hop_departure t index pool h time);
+    { name; spec; server }
+  and hop_departure t index pool h time =
     match
-      Hashtbl.find_opt t.routing (index, Hpfq.Hier.unsafe_leaf_of_int pkt.Net.Packet.flow)
+      Hashtbl.find_opt t.routing
+        (index, Hpfq.Hier.unsafe_leaf_of_int (Net.Packet_pool.flow pool h))
     with
     | None -> () (* leaf not owned by a pipeline flow: local traffic *)
     | Some flow ->
       if index + 1 < Array.length t.hops then begin
         (* forward to the next hop after the propagation delay *)
         let _, next_leaf = flow.route.(index + 1) in
-        let size_bits = pkt.Net.Packet.size_bits in
+        let size_bits = Net.Packet_pool.size_bits pool h in
         ignore
           (Engine.Simulator.schedule_after t.sim ~delay:t.propagation_delay (fun () ->
                ignore
@@ -55,7 +60,8 @@ let create ~sim ~hops ~make_policy ?(propagation_delay = 0.001)
       else begin
         let injected = Queue.pop flow.pending_origins in
         flow.delivered <- flow.delivered + 1;
-        t.on_deliver ~flow:flow.name pkt ~injected ~delivered:time
+        t.on_deliver ~flow:flow.name (Net.Packet_pool.to_packet pool h) ~injected
+          ~delivered:time
       end
   in
   let hop_array = Array.of_list (List.mapi build hops) in

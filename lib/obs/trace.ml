@@ -124,18 +124,23 @@ let attach_hier ?(capacity = 65536) ?(on_full = Recorder.Drop_oldest) h =
   Hpfq.Hier.iter_interior h (fun ~id ~name:_ ~level:_ ~children:_ ~policy ->
       policy.Sched_intf.set_observer (Some (observer t ~node:id));
       t.detach_fns <- (fun () -> policy.Sched_intf.set_observer None) :: t.detach_fns);
-  Hpfq.Hier.add_transmit_start_hook h (fun pkt ~leaf:_ time ->
-      record_link t ~kind:Event.Transmit_start ~leaf_node:pkt.Net.Packet.flow ~time
-        ~bits:pkt.Net.Packet.size_bits);
-  Hpfq.Hier.add_depart_hook h (fun pkt ~leaf:_ time ->
-      let leaf_node = pkt.Net.Packet.flow in
-      let bits = pkt.Net.Packet.size_bits in
+  (* handle hooks: the tracing layer fires per packet, so it reads the
+     pool directly instead of materialising boxed packets *)
+  let pool = Hpfq.Hier.pool h in
+  Hpfq.Hier.add_transmit_start_handle_hook h (fun p ~leaf:_ time ->
+      record_link t ~kind:Event.Transmit_start
+        ~leaf_node:(Net.Packet_pool.flow pool p) ~time
+        ~bits:(Net.Packet_pool.size_bits pool p));
+  Hpfq.Hier.add_depart_handle_hook h (fun p ~leaf:_ time ->
+      let leaf_node = Net.Packet_pool.flow pool p in
+      let bits = Net.Packet_pool.size_bits pool p in
       record_link t ~kind:Event.Depart ~leaf_node ~time ~bits;
       credit_path t ~leaf_node ~bits);
-  Hpfq.Hier.add_drop_hook h (fun pkt ~leaf:_ time ->
-      record_link t ~kind:Event.Drop ~leaf_node:pkt.Net.Packet.flow ~time
-        ~bits:pkt.Net.Packet.size_bits;
-      Metrics.on_drop t.metrics ~node:pkt.Net.Packet.flow);
+  Hpfq.Hier.add_drop_handle_hook h (fun p ~leaf:_ time ->
+      let leaf_node = Net.Packet_pool.flow pool p in
+      record_link t ~kind:Event.Drop ~leaf_node ~time
+        ~bits:(Net.Packet_pool.size_bits pool p);
+      Metrics.on_drop t.metrics ~node:leaf_node);
   t
 
 let attach_hier_flat ?(capacity = 65536) ?(on_full = Recorder.Drop_oldest) h =
@@ -159,18 +164,21 @@ let attach_hier_flat ?(capacity = 65536) ?(on_full = Recorder.Drop_oldest) h =
       Hpfq.Hier_flat.set_node_observer_id h ~node:id (Some (observer t ~node:id));
       t.detach_fns <-
         (fun () -> Hpfq.Hier_flat.set_node_observer_id h ~node:id None) :: t.detach_fns);
-  Hpfq.Hier_flat.add_transmit_start_hook h (fun pkt ~leaf:_ time ->
-      record_link t ~kind:Event.Transmit_start ~leaf_node:pkt.Net.Packet.flow ~time
-        ~bits:pkt.Net.Packet.size_bits);
-  Hpfq.Hier_flat.add_depart_hook h (fun pkt ~leaf:_ time ->
-      let leaf_node = pkt.Net.Packet.flow in
-      let bits = pkt.Net.Packet.size_bits in
+  let pool = Hpfq.Hier_flat.pool h in
+  Hpfq.Hier_flat.add_transmit_start_handle_hook h (fun p ~leaf:_ time ->
+      record_link t ~kind:Event.Transmit_start
+        ~leaf_node:(Net.Packet_pool.flow pool p) ~time
+        ~bits:(Net.Packet_pool.size_bits pool p));
+  Hpfq.Hier_flat.add_depart_handle_hook h (fun p ~leaf:_ time ->
+      let leaf_node = Net.Packet_pool.flow pool p in
+      let bits = Net.Packet_pool.size_bits pool p in
       record_link t ~kind:Event.Depart ~leaf_node ~time ~bits;
       credit_path t ~leaf_node ~bits);
-  Hpfq.Hier_flat.add_drop_hook h (fun pkt ~leaf:_ time ->
-      record_link t ~kind:Event.Drop ~leaf_node:pkt.Net.Packet.flow ~time
-        ~bits:pkt.Net.Packet.size_bits;
-      Metrics.on_drop t.metrics ~node:pkt.Net.Packet.flow);
+  Hpfq.Hier_flat.add_drop_handle_hook h (fun p ~leaf:_ time ->
+      let leaf_node = Net.Packet_pool.flow pool p in
+      record_link t ~kind:Event.Drop ~leaf_node ~time
+        ~bits:(Net.Packet_pool.size_bits pool p);
+      Metrics.on_drop t.metrics ~node:leaf_node);
   t
 
 let attach_engine ?capacity ?on_full e =
@@ -205,18 +213,21 @@ let attach_server ?(capacity = 65536) ?(on_full = Recorder.Drop_oldest)
   let policy = Hpfq.Server.policy srv in
   policy.Sched_intf.set_observer (Some (observer t ~node:0));
   t.detach_fns <- [ (fun () -> policy.Sched_intf.set_observer None) ];
-  Hpfq.Server.add_transmit_start_hook srv (fun pkt time ->
-      record_link t ~kind:Event.Transmit_start ~leaf_node:(1 + pkt.Net.Packet.flow)
-        ~time ~bits:pkt.Net.Packet.size_bits);
-  Hpfq.Server.add_depart_hook srv (fun pkt time ->
-      let leaf_node = 1 + pkt.Net.Packet.flow in
-      let bits = pkt.Net.Packet.size_bits in
+  let pool = Hpfq.Server.pool srv in
+  Hpfq.Server.add_transmit_start_handle_hook srv (fun p time ->
+      record_link t ~kind:Event.Transmit_start
+        ~leaf_node:(1 + Net.Packet_pool.flow pool p)
+        ~time ~bits:(Net.Packet_pool.size_bits pool p));
+  Hpfq.Server.add_depart_handle_hook srv (fun p time ->
+      let leaf_node = 1 + Net.Packet_pool.flow pool p in
+      let bits = Net.Packet_pool.size_bits pool p in
       record_link t ~kind:Event.Depart ~leaf_node ~time ~bits;
       credit_path t ~leaf_node ~bits);
-  Hpfq.Server.add_drop_hook srv (fun pkt time ->
-      record_link t ~kind:Event.Drop ~leaf_node:(1 + pkt.Net.Packet.flow) ~time
-        ~bits:pkt.Net.Packet.size_bits;
-      Metrics.on_drop t.metrics ~node:(1 + pkt.Net.Packet.flow));
+  Hpfq.Server.add_drop_handle_hook srv (fun p time ->
+      let leaf_node = 1 + Net.Packet_pool.flow pool p in
+      record_link t ~kind:Event.Drop ~leaf_node ~time
+        ~bits:(Net.Packet_pool.size_bits pool p);
+      Metrics.on_drop t.metrics ~node:leaf_node);
   t
 
 (* A reporting-only trace: no engine, no observers, no probes — just a

@@ -43,8 +43,15 @@ let create capacity =
   done;
   { data; pos = Array.make capacity (-1); size = 0; scratch = [| nan; -1.0 |] }
 
-let length h = h.size
-let is_empty h = h.size = 0
+(* The loop-free entry points below carry [@inline]: without flambda,
+   a float argument ([~prio]) or float return crossing a non-inlined call
+   boundary is boxed on the minor heap. Inlining the wrappers lets the
+   floats flow straight into/out of the arrays; the sift loops themselves
+   stay out-of-line (Closure refuses to inline loops) and are reached
+   through the [scratch] handoff, which was already allocation-free. *)
+
+let[@inline] length h = h.size
+let[@inline] is_empty h = h.size = 0
 
 let ensure_key_capacity h key =
   let n = Array.length h.pos in
@@ -66,7 +73,7 @@ let ensure_slot_capacity h =
     h.data <- data
   end
 
-let mem h key = key >= 0 && key < Array.length h.pos && h.pos.(key) >= 0
+let[@inline] mem h key = key >= 0 && key < Array.length h.pos && h.pos.(key) >= 0
 
 (* Both sifts move the element waiting in [scratch]. Indices stay within
    [0, size) and keys within [0, length pos) by the structure's
@@ -137,7 +144,7 @@ let sift_down h i =
   Array.unsafe_set data ((2 * !i) + 1) keyf;
   Array.unsafe_set pos (int_of_float keyf) !i
 
-let add h ~key ~prio =
+let[@inline] add h ~key ~prio =
   if key < 0 then invalid_arg "Indexed_heap4.add: negative key";
   ensure_key_capacity h key;
   if h.pos.(key) >= 0 then invalid_arg "Indexed_heap4.add: key present";
@@ -148,7 +155,7 @@ let add h ~key ~prio =
   h.scratch.(1) <- float_of_int key;
   ignore (sift_up h i)
 
-let update h ~key ~prio =
+let[@inline] update h ~key ~prio =
   if not (mem h key) then invalid_arg "Indexed_heap4.update: key absent";
   let i = h.pos.(key) in
   h.scratch.(0) <- prio;
@@ -175,7 +182,7 @@ let remove_slot h i =
   h.data.(2 * last) <- nan;
   h.data.((2 * last) + 1) <- -1.0
 
-let remove h key = if mem h key then remove_slot h h.pos.(key)
+let[@inline] remove h key = if mem h key then remove_slot h h.pos.(key)
 
 let min_key h = if h.size = 0 then None else Some (int_of_float h.data.(1))
 let min_prio h = if h.size = 0 then None else Some h.data.(0)
@@ -186,10 +193,10 @@ let min_binding h =
 (* Allocation-free variants for hot paths: slots beyond [size] always hold
    the (nan, -1.) sentinels, so reading slot 0 of an empty heap yields
    them directly. *)
-let min_key_unsafe h = int_of_float h.data.(1)
-let min_prio_unsafe h = h.data.(0)
+let[@inline] min_key_unsafe h = int_of_float h.data.(1)
+let[@inline] min_prio_unsafe h = h.data.(0)
 
-let drop_min h = if h.size > 0 then remove_slot h 0
+let[@inline] drop_min h = if h.size > 0 then remove_slot h 0
 
 let pop_min h =
   match min_binding h with

@@ -2,7 +2,7 @@ type discipline = Sff | Seff
 
 type session = {
   rate : float;
-  stamps : (float * float) Queue.t; (* (S, F) per queued packet, FIFO *)
+  stamps : Stamp_queue.t; (* (S, F) per queued packet, FIFO, unboxed *)
   mutable backlogged : bool;
 }
 
@@ -22,16 +22,20 @@ type state = {
 
 let head_stamps t session =
   let s = Vec.get t.sessions session in
-  match Queue.peek_opt s.stamps with
-  | Some stamps -> stamps
-  | None -> invalid_arg "Gps_based: session has no stamped packet"
+  if Stamp_queue.is_empty s.stamps then
+    invalid_arg "Gps_based: session has no stamped packet";
+  s.stamps
+
+let head_finish t session = Stamp_queue.peek_finish (head_stamps t session)
 
 (* Eligibility comparisons tolerate float noise: a start time within
    {!Float_cmp.epsilon} relative of V counts as eligible. *)
 let le_with_slack = Float_cmp.le_with_slack
 
 let enqueue_session t ~now session =
-  let start, finish = head_stamps t session in
+  let stamps = head_stamps t session in
+  let start = Stamp_queue.peek_start stamps
+  and finish = Stamp_queue.peek_finish stamps in
   match t.discipline with
   | Sff -> Prioq.Indexed_heap4.add t.ready ~key:session ~prio:finish
   | Seff ->
@@ -48,8 +52,7 @@ let promote_eligible t ~v =
     match Prioq.Indexed_heap4.min_binding t.waiting with
     | Some (session, start) when le_with_slack start v ->
       ignore (Prioq.Indexed_heap4.pop_min t.waiting);
-      let _, finish = head_stamps t session in
-      Prioq.Indexed_heap4.add t.ready ~key:session ~prio:finish
+      Prioq.Indexed_heap4.add t.ready ~key:session ~prio:(head_finish t session)
     | Some _ | None -> continue := false
   done
 
@@ -74,7 +77,8 @@ let make ~discipline ~name ~rate =
     let slot = Session_pool.alloc t.pool in
     let idx = Gps_clock.add_session t.clock ~rate in
     let idx' =
-      Vec.push t.sessions { rate; stamps = Queue.create (); backlogged = false }
+      Vec.push t.sessions
+        { rate; stamps = Stamp_queue.create (); backlogged = false }
     in
     (* recycle:false means slots are dense: pool, clock and Vec agree. *)
     assert (idx = idx' && idx = slot);
@@ -97,8 +101,8 @@ let make ~discipline ~name ~rate =
   in
   let add_session ~rate = Session_handle.slot (open_session ~rate) in
   let arrive ~now ~session ~size_bits =
-    let stamps = Gps_clock.on_arrival t.clock ~now ~session ~size_bits in
-    Queue.push stamps (Vec.get t.sessions session).stamps;
+    let start, finish = Gps_clock.on_arrival t.clock ~now ~session ~size_bits in
+    Stamp_queue.push (Vec.get t.sessions session).stamps ~start ~finish;
     match t.observer with
     | None -> ()
     | Some o ->
@@ -120,8 +124,7 @@ let make ~discipline ~name ~rate =
         ~session ~head_bits
   in
   let drop_served_stamp session =
-    let s = Vec.get t.sessions session in
-    ignore (Queue.pop s.stamps)
+    Stamp_queue.drop (Vec.get t.sessions session).stamps
   in
   let remove_from_heaps session =
     Prioq.Indexed_heap4.remove t.ready session;
@@ -164,8 +167,7 @@ let make ~discipline ~name ~rate =
       if Prioq.Indexed_heap4.is_empty t.ready then begin
         match Prioq.Indexed_heap4.pop_min t.waiting with
         | Some (session, _) ->
-          let _, finish = head_stamps t session in
-          Prioq.Indexed_heap4.add t.ready ~key:session ~prio:finish
+          Prioq.Indexed_heap4.add t.ready ~key:session ~prio:(head_finish t session)
         | None -> ()
       end);
     match Prioq.Indexed_heap4.min_key t.ready with

@@ -2,7 +2,7 @@ type flavour = Scfq | Sfq
 
 type session = {
   rate : float;
-  stamps : (float * float) Queue.t;
+  stamps : Stamp_queue.t; (* (S, F) per queued packet, unboxed *)
   mutable last_finish : float;
   mutable stamp_epoch : int;
   mutable backlogged : bool;
@@ -20,8 +20,11 @@ type state = {
   mutable observer : Sched_intf.observer option;
 }
 
-let key_of state (start, finish) =
-  match state.flavour with Scfq -> finish | Sfq -> start
+(* Head-stamp key under the flavour: F for SCFQ, S for SFQ. *)
+let head_key_of state stamps =
+  match state.flavour with
+  | Scfq -> Stamp_queue.peek_finish stamps
+  | Sfq -> Stamp_queue.peek_start stamps
 
 let make ~flavour ~name ~rate:_ =
   let t =
@@ -43,7 +46,7 @@ let make ~flavour ~name ~rate:_ =
     let fresh =
       {
         rate;
-        stamps = Queue.create ();
+        stamps = Stamp_queue.create ();
         last_finish = 0.0;
         stamp_epoch = -1;
         backlogged = false;
@@ -61,7 +64,7 @@ let make ~flavour ~name ~rate:_ =
       | `Drain -> Session_pool.mark_draining t.pool slot
       | `Drop ->
         Prioq.Indexed_heap.remove t.ready slot;
-        Queue.clear s.stamps;
+        Stamp_queue.clear s.stamps;
         s.backlogged <- false;
         t.backlogged_count <- t.backlogged_count - 1;
         if t.backlogged_count = 0 then begin
@@ -82,16 +85,16 @@ let make ~flavour ~name ~rate:_ =
     let finish = start +. (size_bits /. s.rate) in
     s.last_finish <- finish;
     s.stamp_epoch <- t.epoch;
-    Queue.push (start, finish) s.stamps;
+    Stamp_queue.push s.stamps ~start ~finish;
     match t.observer with
     | None -> ()
     | Some o -> o.Sched_intf.on_arrive ~now ~vtime:t.v ~session ~size_bits
   in
   let head_key session =
     let s = Vec.get t.sessions session in
-    match Queue.peek_opt s.stamps with
-    | Some stamps -> key_of t stamps
-    | None -> invalid_arg (name ^ ": session has no stamped packet")
+    if Stamp_queue.is_empty s.stamps then
+      invalid_arg (name ^ ": session has no stamped packet");
+    head_key_of t s.stamps
   in
   let backlog ~now ~session ~head_bits =
     let s = Vec.get t.sessions session in
@@ -104,7 +107,7 @@ let make ~flavour ~name ~rate:_ =
   in
   let requeue ~now ~session ~head_bits =
     let s = Vec.get t.sessions session in
-    ignore (Queue.pop s.stamps);
+    Stamp_queue.drop s.stamps;
     Prioq.Indexed_heap.remove t.ready session;
     Prioq.Indexed_heap.add t.ready ~key:session ~prio:(head_key session);
     match t.observer with
@@ -113,7 +116,7 @@ let make ~flavour ~name ~rate:_ =
   in
   let set_idle ~now ~session =
     let s = Vec.get t.sessions session in
-    ignore (Queue.pop s.stamps);
+    Stamp_queue.drop s.stamps;
     Prioq.Indexed_heap.remove t.ready session;
     s.backlogged <- false;
     t.backlogged_count <- t.backlogged_count - 1;
@@ -133,9 +136,8 @@ let make ~flavour ~name ~rate:_ =
     | None -> None
     | Some session ->
       let s = Vec.get t.sessions session in
-      (match Queue.peek_opt s.stamps with
-      | Some stamps -> t.v <- key_of t stamps
-      | None -> assert false);
+      assert (not (Stamp_queue.is_empty s.stamps));
+      t.v <- head_key_of t s.stamps;
       t.in_service <- true;
       (match t.observer with
       | None -> ()

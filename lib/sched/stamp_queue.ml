@@ -1,0 +1,61 @@
+(* Unboxed FIFO of (start, finish) virtual-time stamp pairs.
+
+   The reference policies (GPS-based WFQ/WF²Q, SCFQ/SFQ, VirtualClock)
+   keep one stamp per queued packet. A [(float * float) Queue.t] costs a
+   boxed tuple plus a Queue cell per packet and an option per peek; this
+   ring stores the two coordinates in parallel [floatarray]s, so pushes,
+   peeks and drops allocate nothing. Same ring discipline as [Net.Fifo]:
+   power-of-two capacity, masked indices, grow by doubling. *)
+
+type t = {
+  mutable s : floatarray;
+  mutable f : floatarray;
+  mutable head : int;
+  mutable len : int;
+}
+
+let rec pow2_at_least n c = if c >= n then c else pow2_at_least n (c * 2)
+
+let create ?(capacity = 8) () =
+  let cap = pow2_at_least (max 2 capacity) 2 in
+  { s = Float.Array.create cap; f = Float.Array.create cap; head = 0; len = 0 }
+
+let[@inline] length t = t.len
+let[@inline] is_empty t = t.len = 0
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0
+
+let grow t =
+  let cap = Float.Array.length t.s in
+  let mask = cap - 1 in
+  let ns = Float.Array.create (2 * cap) and nf = Float.Array.create (2 * cap) in
+  for i = 0 to t.len - 1 do
+    let j = (t.head + i) land mask in
+    Float.Array.unsafe_set ns i (Float.Array.unsafe_get t.s j);
+    Float.Array.unsafe_set nf i (Float.Array.unsafe_get t.f j)
+  done;
+  t.s <- ns;
+  t.f <- nf;
+  t.head <- 0
+
+let[@inline] push t ~start ~finish =
+  if t.len = Float.Array.length t.s then grow t;
+  let i = (t.head + t.len) land (Float.Array.length t.s - 1) in
+  Float.Array.unsafe_set t.s i start;
+  Float.Array.unsafe_set t.f i finish;
+  t.len <- t.len + 1
+
+let[@inline] peek_start t =
+  if t.len = 0 then raise Queue.Empty;
+  Float.Array.unsafe_get t.s t.head
+
+let[@inline] peek_finish t =
+  if t.len = 0 then raise Queue.Empty;
+  Float.Array.unsafe_get t.f t.head
+
+let[@inline] drop t =
+  if t.len = 0 then raise Queue.Empty;
+  t.head <- (t.head + 1) land (Float.Array.length t.s - 1);
+  t.len <- t.len - 1

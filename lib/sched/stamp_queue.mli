@@ -1,0 +1,29 @@
+(** Allocation-free FIFO of (start, finish) virtual-time stamp pairs.
+
+    Backs the per-session stamp queues of the reference policies: the two
+    coordinates live in parallel unboxed [floatarray] rings (power-of-two
+    capacity, grow by doubling), so the per-packet path allocates nothing —
+    no tuples, no queue cells, no options. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 8) is rounded up to a power of two. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Empty the queue (O(1); the rings are kept). *)
+
+val push : t -> start:float -> finish:float -> unit
+(** Append a stamp pair, growing the rings if full. *)
+
+val peek_start : t -> float
+(** Start coordinate of the head stamp. @raise Queue.Empty when empty. *)
+
+val peek_finish : t -> float
+(** Finish coordinate of the head stamp. @raise Queue.Empty when empty. *)
+
+val drop : t -> unit
+(** Discard the head stamp. @raise Queue.Empty when empty. *)

@@ -1,6 +1,8 @@
 type session = {
   rate : float;
-  stamps : float Queue.t;
+  (* single-coordinate stamps: only the start ring of the pair queue is
+     meaningful (finish mirrors it) *)
+  stamps : Stamp_queue.t;
   mutable vc : float;
   mutable backlogged : bool;
 }
@@ -15,7 +17,9 @@ let make ~rate:_ =
   let open_session ~rate =
     if rate <= 0.0 then invalid_arg "Virtual_clock.open_session: bad rate";
     let slot = Session_pool.alloc pool in
-    let fresh = { rate; stamps = Queue.create (); vc = 0.0; backlogged = false } in
+    let fresh =
+      { rate; stamps = Stamp_queue.create (); vc = 0.0; backlogged = false }
+    in
     if slot = Vec.length sessions then ignore (Vec.push sessions fresh)
     else Vec.set sessions slot fresh;
     Session_pool.handle pool slot
@@ -28,7 +32,7 @@ let make ~rate:_ =
       | `Drain -> Session_pool.mark_draining pool slot
       | `Drop ->
         Prioq.Indexed_heap.remove ready slot;
-        Queue.clear s.stamps;
+        Stamp_queue.clear s.stamps;
         s.backlogged <- false;
         decr backlogged_count;
         Session_pool.free pool slot
@@ -39,16 +43,16 @@ let make ~rate:_ =
   let arrive ~now ~session ~size_bits =
     let s = Vec.get sessions session in
     s.vc <- Float.max now s.vc +. (size_bits /. s.rate);
-    Queue.push s.vc s.stamps;
+    Stamp_queue.push s.stamps ~start:s.vc ~finish:s.vc;
     match !observer with
     | None -> ()
     | Some o -> o.Sched_intf.on_arrive ~now ~vtime:!last_selected_stamp ~session ~size_bits
   in
   let head_stamp session =
     let s = Vec.get sessions session in
-    match Queue.peek_opt s.stamps with
-    | Some stamp -> stamp
-    | None -> invalid_arg "Virtual_clock: session has no stamped packet"
+    if Stamp_queue.is_empty s.stamps then
+      invalid_arg "Virtual_clock: session has no stamped packet";
+    Stamp_queue.peek_start s.stamps
   in
   let backlog ~now ~session ~head_bits =
     (Vec.get sessions session).backlogged <- true;
@@ -59,7 +63,7 @@ let make ~rate:_ =
     | Some o -> o.Sched_intf.on_backlog ~now ~vtime:!last_selected_stamp ~session ~head_bits
   in
   let requeue ~now ~session ~head_bits =
-    ignore (Queue.pop (Vec.get sessions session).stamps);
+    Stamp_queue.drop (Vec.get sessions session).stamps;
     Prioq.Indexed_heap.remove ready session;
     Prioq.Indexed_heap.add ready ~key:session ~prio:(head_stamp session);
     match !observer with
@@ -68,7 +72,7 @@ let make ~rate:_ =
   in
   let set_idle ~now ~session =
     let s = Vec.get sessions session in
-    ignore (Queue.pop s.stamps);
+    Stamp_queue.drop s.stamps;
     Prioq.Indexed_heap.remove ready session;
     s.backlogged <- false;
     decr backlogged_count;

@@ -160,23 +160,24 @@ let make_link_state t ~config ~link =
   let sim = Sim.create_configured config in
   let pkts = ref 0 and bits = ref 0.0 and hash = ref 0L in
   let trace = ref [] in
-  let on_depart (pkt : Net.Packet.t) ~leaf:_ time =
-    incr pkts;
-    bits := !bits +. pkt.Net.Packet.size_bits;
-    hash :=
-      fold_hash !hash
-        (depart_key ~flow:pkt.Net.Packet.flow ~seq:pkt.Net.Packet.seq ~time);
-    if t.record_traces then
-      trace := (pkt.Net.Packet.flow, pkt.Net.Packet.seq, time) :: !trace
-  in
   let engine =
     (* the workload's ingress burst cap doubles as the link's drain cap:
        backlogged shards retire whole bursts per simulator event (the
        determinism contract keeps the device hash unchanged) *)
     Hpfq.Hier_engine.create ~sim ~spec:t.spec
-      ~factory:Hpfq.Disciplines.wf2q_plus ~engine:t.engine ~on_depart
+      ~factory:Hpfq.Disciplines.wf2q_plus ~engine:t.engine
       ~burst_max:(max 1 t.workload.burst_max) ()
   in
+  (* handle hook: every field is read from the pool while the handle is
+     live, so no packet record is materialised per departure *)
+  let pool = Hpfq.Hier_engine.pool engine in
+  Hpfq.Hier_engine.add_depart_handle_hook engine (fun h ~leaf:_ time ->
+      incr pkts;
+      bits := !bits +. Net.Packet_pool.size_bits pool h;
+      let flow = Net.Packet_pool.flow pool h
+      and seq = Net.Packet_pool.seq pool h in
+      hash := fold_hash !hash (depart_key ~flow ~seq ~time);
+      if t.record_traces then trace := (flow, seq, time) :: !trace);
   let leaf_ids =
     Array.of_list
       (List.map

@@ -53,6 +53,11 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type t = {
   sim : Engine.Simulator.t;
+  (* Packet arena. Single-domain alloc/free contract: only the coordinator
+     allocates (inject/stage) and frees (departure/drop); shard workers
+     only READ pool fields of live handles during a sync round.
+     [Pool.Persistent.await] is the happens-before edge back. *)
+  pkt_pool : Net.Packet_pool.t;
   n_nodes : int;
   root : int;
   root_real : bool;
@@ -93,10 +98,11 @@ type t = {
   s_head : float array;
   s_backlogged : Bytes.t;
   now_cache : float array;
-  (* -- link state -- *)
-  mutable on_depart : Net.Packet.t -> leaf:string -> float -> unit;
-  mutable on_drop : Net.Packet.t -> leaf:string -> float -> unit;
-  mutable on_transmit_start : Net.Packet.t -> leaf:string -> float -> unit;
+  (* -- link state (hooks handle-based; boxed views only in the compat
+     wrappers) -- *)
+  mutable on_depart : Net.Packet_pool.handle -> leaf:string -> float -> unit;
+  mutable on_drop : Net.Packet_pool.handle -> leaf:string -> float -> unit;
+  mutable on_transmit_start : Net.Packet_pool.handle -> leaf:string -> float -> unit;
   mutable link_busy : bool;
   mutable drops : int;
   mutable in_flight_leaf : int;
@@ -110,7 +116,7 @@ type t = {
   epoch : int;
   pool : Pool.Persistent.t option; (* Some iff epoch > 1 and workers > 0 *)
   node_shard : int array; (* node id -> owning shard; -1 at the root *)
-  mailboxes : Net.Packet.t Spsc.t array; (* staged arrivals, per shard *)
+  mailboxes : int Spsc.t array; (* staged arrival handles, per shard *)
   mutable staged_total : int;
   mutable since_sync : int; (* departures since the last sync *)
   mutable syncs : int;
@@ -118,10 +124,11 @@ type t = {
      sync round, applied (and cleared) by the coordinator in slot order:
      '\000' none, 'b' backlog, 'r' requeue, 'i' idle *)
   eff_kind : Bytes.t;
-  (* per-shard drop scratch: counts plus the dropped packets (newest
-     first) so [on_drop] can fire from the coordinator after the round *)
+  (* per-shard drop scratch: counts plus the dropped handles (newest
+     first) so [on_drop] can fire — and the slots recycle — on the
+     coordinator after the round *)
   sh_drops : int array;
-  sh_dropped : Net.Packet.t list array;
+  sh_dropped : int list array;
 }
 
 let nop_leaf_cb _ ~leaf:_ _ = ()
@@ -135,6 +142,11 @@ let[@inline] node_now t n =
 
 let[@inline] linear_v t node ~now = t.v.(node) +. (now -. t.v_time.(node))
 
+(* [Float.max] boxes its float arguments without flambda; bit-identical
+   replacement for this code's value domain (no NaNs, no mixed signed
+   zeros). *)
+let[@inline] fmax (x : float) y = if y > x then y else x
+
 let[@inline] place t node slot =
   let i = t.sbase.(node) + slot in
   if Sched.Float_cmp.le_with_slack t.s_start.(i) t.v.(node) then
@@ -146,7 +158,7 @@ let p_backlog t node ~child =
   let head_bits = t.logical_bits.(child) in
   let now = node_now t node in
   let i = t.sbase.(node) + slot in
-  let start = Float.max t.s_finish.(i) (linear_v t node ~now) in
+  let start = fmax t.s_finish.(i) (linear_v t node ~now) in
   t.s_start.(i) <- start;
   t.s_finish.(i) <- start +. (head_bits /. t.s_rate.(i));
   t.s_head.(i) <- head_bits;
@@ -207,7 +219,7 @@ let p_select t node =
     let e = t.eligible.(node) and w = t.waiting.(node) in
     let threshold =
       if Ih.is_empty e && not (Ih.is_empty w) then
-        Float.max lin (Ih.min_prio_unsafe w)
+        fmax lin (Ih.min_prio_unsafe w)
       else lin
     in
     let base = t.sbase.(node) in
@@ -239,15 +251,12 @@ let drop_leaf_queue t leaf =
   let now = Engine.Simulator.now t.sim in
   let fifo = t.fifos.(leaf) in
   let name = t.names.(leaf) in
-  let rec loop () =
-    match Net.Fifo.pop fifo with
-    | Some p ->
-      t.drops <- t.drops + 1;
-      t.on_drop p ~leaf:name now;
-      loop ()
-    | None -> ()
-  in
-  loop ()
+  while not (Net.Fifo.is_empty fifo) do
+    let p = Net.Fifo.pop_exn fifo in
+    t.drops <- t.drops + 1;
+    t.on_drop p ~leaf:name now;
+    Net.Packet_pool.free t.pkt_pool p
+  done
 
 (* -- Worker-side flush path (epoch > 1 only) ----------------------------- *)
 (* RESTART-NODE confined to one shard's subtree: identical commits below
@@ -296,15 +305,17 @@ let rec restart_in_shard t n =
    and sequenced at stage time). Mirrors [inject_at]'s post-validation
    body, minus the coordinator-only pieces (drop counter/callback are
    deferred to per-shard scratch, the root backlog becomes a proposal). *)
-let flush_arrival t ~shard (pkt : Net.Packet.t) =
-  let leaf = pkt.Net.Packet.flow in
+let flush_arrival t ~shard (pkt : Net.Packet_pool.handle) =
+  let leaf = Net.Packet_pool.flow t.pkt_pool pkt in
   if not (Net.Fifo.push t.fifos.(leaf) pkt) then begin
+    (* the handle is parked in shard scratch; the coordinator fires
+       [on_drop] and frees it after the round (workers never free) *)
     t.sh_drops.(shard) <- t.sh_drops.(shard) + 1;
     t.sh_dropped.(shard) <- pkt :: t.sh_dropped.(shard)
   end
   else if t.logical.(leaf) < 0 then begin
     t.logical.(leaf) <- leaf;
-    t.logical_bits.(leaf) <- pkt.Net.Packet.size_bits;
+    t.logical_bits.(leaf) <- Net.Packet_pool.size_bits t.pkt_pool pkt;
     let q = t.parent.(leaf) in
     if q = t.root then Bytes.set t.eff_kind t.session_in_parent.(leaf) 'b'
     else begin
@@ -375,7 +386,7 @@ and start_transmission t =
       t.in_flight_leaf <- leaf;
       if t.on_transmit_start != nop_leaf_cb then
         t.on_transmit_start pkt ~leaf:t.names.(leaf) (Engine.Simulator.now t.sim);
-      let duration = pkt.Net.Packet.size_bits /. t.rate.(t.root) in
+      let duration = Net.Packet_pool.size_bits t.pkt_pool pkt /. t.rate.(t.root) in
       let due = Engine.Simulator.now t.sim +. duration in
       if t.in_batch then begin
         t.batch_has <- true;
@@ -430,8 +441,8 @@ and complete_transmission t pkt =
     t.since_sync <- t.since_sync + 1;
     if t.staged_total > 0 && t.since_sync >= t.epoch - 1 then sync_now t
   end;
-  let leaf = pkt.Net.Packet.flow in
-  let bits = pkt.Net.Packet.size_bits in
+  let leaf = Net.Packet_pool.flow t.pkt_pool pkt in
+  let bits = Net.Packet_pool.size_bits t.pkt_pool pkt in
   let off = t.path_off.(leaf) and len = t.path_len.(leaf) in
   for k = 0 to len - 1 do
     let n = t.path_nodes.(off + k) in
@@ -439,6 +450,8 @@ and complete_transmission t pkt =
   done;
   t.on_depart pkt ~leaf:t.names.(leaf) now;
   reset_path t leaf;
+  (* recycle only after callbacks fired and RESET-PATH dequeued the head *)
+  Net.Packet_pool.free t.pkt_pool pkt;
   (* never leave the link idle with staged work: the sequential schedule
      would have started one of those packets already *)
   if t.epoch > 1 && (not t.link_busy) && t.staged_total > 0 then sync_now t
@@ -462,7 +475,7 @@ and reset_path t leaf =
     if not (Net.Fifo.is_empty fifo) then begin
       let next = Net.Fifo.peek_exn fifo in
       t.logical.(leaf) <- leaf;
-      t.logical_bits.(leaf) <- next.Net.Packet.size_bits;
+      t.logical_bits.(leaf) <- Net.Packet_pool.size_bits t.pkt_pool next;
       p_requeue t q ~child:leaf
     end
     else begin
@@ -508,8 +521,11 @@ and apply_proposals t =
       t.drops <- t.drops + t.sh_drops.(s);
       t.sh_drops.(s) <- 0;
       List.iter
-        (fun (p : Net.Packet.t) ->
-          t.on_drop p ~leaf:t.names.(p.Net.Packet.flow) p.Net.Packet.arrival)
+        (fun (p : Net.Packet_pool.handle) ->
+          t.on_drop p
+            ~leaf:t.names.(Net.Packet_pool.flow t.pkt_pool p)
+            (Net.Packet_pool.arrival t.pkt_pool p);
+          Net.Packet_pool.free t.pkt_pool p)
         (List.rev t.sh_dropped.(s));
       t.sh_dropped.(s) <- []
     end
@@ -526,8 +542,6 @@ let sync_if_staged t =
 let create ~sim ~spec ?(root_clock = `Real_time) ?on_depart ?on_drop
     ?(burst_max = 1) ?shards ?(workers = 0) ?(epoch = 1)
     ?(mailbox_capacity = 256) () =
-  let on_depart = Option.value on_depart ~default:nop_leaf_cb in
-  let on_drop = Option.value on_drop ~default:nop_leaf_cb in
   if burst_max < 1 then invalid_arg "Subtree.create: burst_max must be >= 1";
   if epoch < 1 then invalid_arg "Subtree.create: epoch must be >= 1";
   if workers < 0 then invalid_arg "Subtree.create: workers must be >= 0";
@@ -626,11 +640,13 @@ let create ~sim ~spec ?(root_clock = `Real_time) ?on_depart ?on_drop
       done
     end
   done;
-  let dummy_fifo = Net.Fifo.create () in
+  let pkt_pool = Net.Packet_pool.create () in
+  let dummy_fifo = Net.Fifo.create ~pool:pkt_pool () in
   let dummy_heap = Ih.create 1 in
   let fifos =
     Array.init n_nodes (fun id ->
-        if is_leaf.(id) then Net.Fifo.create ?capacity_bits:capacity.(id) ()
+        if is_leaf.(id) then
+          Net.Fifo.create ?capacity_bits:capacity.(id) ~pool:pkt_pool ()
         else dummy_fifo)
   in
   let eligible =
@@ -664,6 +680,7 @@ let create ~sim ~spec ?(root_clock = `Real_time) ?on_depart ?on_drop
   let t =
     {
       sim;
+      pkt_pool;
       n_nodes;
       root;
       root_real = (root_clock = `Real_time);
@@ -702,8 +719,8 @@ let create ~sim ~spec ?(root_clock = `Real_time) ?on_depart ?on_drop
       s_head = Array.make (max 1 total_sessions) 0.0;
       s_backlogged = Bytes.make (max 1 total_sessions) '\000';
       now_cache = [| 0.0 |];
-      on_depart;
-      on_drop;
+      on_depart = nop_leaf_cb;
+      on_drop = nop_leaf_cb;
       on_transmit_start = nop_leaf_cb;
       link_busy = false;
       drops = 0;
@@ -726,6 +743,16 @@ let create ~sim ~spec ?(root_clock = `Real_time) ?on_depart ?on_drop
       sh_dropped = Array.make shards [];
     }
   in
+  (match on_depart with
+  | None -> ()
+  | Some f ->
+    t.on_depart <-
+      (fun h ~leaf now -> f (Net.Packet_pool.to_packet pkt_pool h) ~leaf now));
+  (match on_drop with
+  | None -> ()
+  | Some f ->
+    t.on_drop <-
+      (fun h ~leaf now -> f (Net.Packet_pool.to_packet pkt_pool h) ~leaf now));
   t.complete_cb <-
     (fun () ->
       let leaf = t.in_flight_leaf in
@@ -770,13 +797,14 @@ let inject_at t ~mark ~leaf ~size_bits ~now =
   if Bytes.get t.lifecycle leaf <> '\000' then
     invalid_arg "Subtree.inject: leaf is closed";
   let pkt =
-    Net.Packet.make ~mark ~flow:leaf ~seq:t.next_seq.(leaf) ~size_bits
-      ~arrival:now ()
+    Net.Packet_pool.alloc t.pkt_pool ~mark ~flow:leaf ~seq:t.next_seq.(leaf)
+      ~size_bits ~arrival:now
   in
   t.next_seq.(leaf) <- t.next_seq.(leaf) + 1;
   if not (Net.Fifo.push t.fifos.(leaf) pkt) then begin
     t.drops <- t.drops + 1;
     t.on_drop pkt ~leaf:t.names.(leaf) now;
+    Net.Packet_pool.free t.pkt_pool pkt;
     pkt
   end
   else begin
@@ -806,8 +834,8 @@ let inject_one t ~mark ~leaf ~size_bits =
    (stamped and sequenced now, integrated at the next sync); arrivals on an
    idle link take the exact inline path — the sequential schedule would
    start them immediately, and deferring them would break the lag bound. *)
-let stage t (pkt : Net.Packet.t) =
-  let s = t.node_shard.(pkt.Net.Packet.flow) in
+let stage t (pkt : Net.Packet_pool.handle) =
+  let s = t.node_shard.(Net.Packet_pool.flow t.pkt_pool pkt) in
   if not (Spsc.try_push t.mailboxes.(s) pkt) then begin
     (* mailbox full: an early epoch boundary, then the push must succeed *)
     Array.unsafe_set t.now_cache 0 (Engine.Simulator.now t.sim);
@@ -826,8 +854,8 @@ let inject ?(mark = 0) t ~(leaf : Hpfq.Hier.leaf) ~size_bits =
       invalid_arg "Subtree.inject: leaf is closed";
     let now = Engine.Simulator.now t.sim in
     let pkt =
-      Net.Packet.make ~mark ~flow:leaf ~seq:t.next_seq.(leaf) ~size_bits
-        ~arrival:now ()
+      Net.Packet_pool.alloc t.pkt_pool ~mark ~flow:leaf ~seq:t.next_seq.(leaf)
+        ~size_bits ~arrival:now
     in
     t.next_seq.(leaf) <- t.next_seq.(leaf) + 1;
     stage t pkt;
@@ -966,11 +994,20 @@ let compose_leaf_cb f g =
     f pkt ~leaf now;
     g pkt ~leaf now
 
-let add_depart_hook t f = t.on_depart <- compose_leaf_cb t.on_depart f
-let add_drop_hook t f = t.on_drop <- compose_leaf_cb t.on_drop f
+let add_depart_handle_hook t f = t.on_depart <- compose_leaf_cb t.on_depart f
+let add_drop_handle_hook t f = t.on_drop <- compose_leaf_cb t.on_drop f
 
-let add_transmit_start_hook t f =
+let add_transmit_start_handle_hook t f =
   t.on_transmit_start <- compose_leaf_cb t.on_transmit_start f
+
+(* Boxed compat wrappers: materialise a [Net.Packet.t] per event. *)
+let boxed t f =
+ fun h ~leaf now -> f (Net.Packet_pool.to_packet t.pkt_pool h) ~leaf now
+
+let add_depart_hook t f = add_depart_handle_hook t (boxed t f)
+let add_drop_hook t f = add_drop_handle_hook t (boxed t f)
+let add_transmit_start_hook t f = add_transmit_start_handle_hook t (boxed t f)
+let pool t = t.pkt_pool
 
 let root_name t = t.names.(t.root)
 let node_name t id = t.names.(id)
@@ -1032,6 +1069,10 @@ let ops_of t =
     st_add_depart_hook = add_depart_hook t;
     st_add_drop_hook = add_drop_hook t;
     st_add_transmit_start_hook = add_transmit_start_hook t;
+    st_add_depart_handle_hook = add_depart_handle_hook t;
+    st_add_drop_handle_hook = add_drop_handle_hook t;
+    st_add_transmit_start_handle_hook = add_transmit_start_handle_hook t;
+    st_pool = (fun () -> pool t);
     st_root_name = (fun () -> root_name t);
     st_node_name = node_name t;
     st_node_count = (fun () -> node_count t);

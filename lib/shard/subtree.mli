@@ -85,8 +85,12 @@ val leaf_id : t -> string -> Hpfq.Hier.leaf
 val leaf_name : t -> Hpfq.Hier.leaf -> string
 val leaf_ids : t -> (string * Hpfq.Hier.leaf) list
 
+val pool : t -> Net.Packet_pool.t
+(** The engine's packet arena. Alloc/free are coordinator-only; shard
+    workers only read fields of live handles during a sync round. *)
+
 val inject :
-  ?mark:int -> t -> leaf:Hpfq.Hier.leaf -> size_bits:float -> Net.Packet.t
+  ?mark:int -> t -> leaf:Hpfq.Hier.leaf -> size_bits:float -> Net.Packet_pool.handle
 
 val inject_many :
   ?mark:int -> t -> leaf:Hpfq.Hier.leaf -> size_bits:float -> count:int -> unit
@@ -107,6 +111,17 @@ val add_drop_hook : t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
 
 val add_transmit_start_hook :
   t -> (Net.Packet.t -> leaf:string -> float -> unit) -> unit
+
+val add_depart_handle_hook :
+  t -> (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit
+(** Allocation-free hook variants: the callback sees the pool handle,
+    valid for the duration of the call only. *)
+
+val add_drop_handle_hook :
+  t -> (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit
+
+val add_transmit_start_handle_hook :
+  t -> (Net.Packet_pool.handle -> leaf:string -> float -> unit) -> unit
 
 val root_name : t -> string
 val node_name : t -> int -> string

@@ -610,16 +610,22 @@ let test_hiershard_guard_verdicts () =
 
 (* -- perf-regression guard ------------------------------------------------ *)
 
-let fake_report pps =
+let fake_report ?words pps =
+  let words_field =
+    match words with
+    | Some w -> [ ("minor_words_per_pkt", Json.Num w) ]
+    | None -> []
+  in
   Json.Obj
     [
       ("schema", Json.Str "hpfq-bench-hotpath-v1");
       ( "headline",
         Json.Obj
-          [
-            ("workload", Json.Str "one_level_wf2q_plus_n4096");
-            ("pkts_per_sec", Json.Num pps);
-          ] );
+          ([
+             ("workload", Json.Str "one_level_wf2q_plus_n4096");
+             ("pkts_per_sec", Json.Num pps);
+           ]
+          @ words_field) );
     ]
 
 let test_headline_of_report () =
@@ -629,34 +635,59 @@ let test_headline_of_report () =
   (match Perf.headline_of_report (Json.Obj [ ("schema", Json.Str "x") ]) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing headline should be an error");
-  match Perf.headline_of_report (fake_report (-1.0)) with
+  (match Perf.headline_of_report (fake_report (-1.0)) with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "non-positive headline should be an error"
+  | Ok _ -> Alcotest.fail "non-positive headline should be an error");
+  (match Perf.headline_words_of_report (fake_report ~words:12.5 1.0) with
+  | Some w -> Alcotest.(check (float 1e-9)) "words extracted" 12.5 w
+  | None -> Alcotest.fail "words key should be extracted");
+  match Perf.headline_words_of_report (fake_report 1.0) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "absent words key should be None"
 
 (* The guard itself, at smoke scale: any real measurement beats a 1 pkt/sec
    baseline and loses to an absurd one; a missing baseline is a setup error,
    not a perf verdict. *)
 let test_guard_verdicts () =
-  let with_baseline pps f =
+  let with_baseline ?words pps f =
     let path = Filename.temp_file "bench_guard" ".json" in
     Fun.protect
       ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
       (fun () ->
-        Json.to_file path (fake_report pps);
+        Json.to_file path (fake_report ?words pps);
         f path)
   in
   let run_guard path =
-    Perf.guard ~baseline:path ~tol:0.05 ~n:64 ~iters:2_000 ~runs:1 ()
+    Perf.guard ~baseline:path ~tol:0.05 ~words_tol:0.1 ~n:64 ~iters:2_000
+      ~runs:1 ()
   in
   with_baseline 1.0 (fun path ->
       match run_guard path with
       | Ok g ->
-        Alcotest.(check bool) "beats trivial baseline" true g.Perf.within
+        Alcotest.(check bool) "beats trivial baseline" true g.Perf.within;
+        Alcotest.(check bool)
+          "no words key: ceiling vacuous" true g.Perf.words_within
       | Error e -> Alcotest.failf "guard errored: %s" e);
   with_baseline 1e15 (fun path ->
       match run_guard path with
       | Ok g ->
         Alcotest.(check bool) "loses to absurd baseline" false g.Perf.within
+      | Error e -> Alcotest.failf "guard errored: %s" e);
+  (* allocation tier: a generous committed ceiling passes, a sub-word one
+     (no real cycle allocates under 1e-6 words/pkt more than 10% of that)
+     must flip the overall verdict even though the pps gate passes *)
+  with_baseline ~words:1e9 1.0 (fun path ->
+      match run_guard path with
+      | Ok g ->
+        Alcotest.(check bool) "generous ceiling passes" true g.Perf.words_within;
+        Alcotest.(check bool) "overall verdict passes" true g.Perf.within
+      | Error e -> Alcotest.failf "guard errored: %s" e);
+  with_baseline ~words:1e-6 1.0 (fun path ->
+      match run_guard path with
+      | Ok g ->
+        Alcotest.(check bool) "tight ceiling trips" false g.Perf.words_within;
+        Alcotest.(check bool)
+          "words breach fails the guard" false g.Perf.within
       | Error e -> Alcotest.failf "guard errored: %s" e);
   match Perf.guard ~baseline:"/nonexistent/BENCH.json" ~tol:0.05 () with
   | Error _ -> ()

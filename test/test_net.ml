@@ -14,30 +14,80 @@ let test_packet_rejects_empty () =
        false
      with Invalid_argument _ -> true)
 
+(* Fifos hold pool handles; each test gets its own arena. *)
+let alloc pool ?(seq = 1) ?(bits = 100.0) () =
+  Net.Packet_pool.alloc pool ~flow:0 ~seq ~size_bits:bits ~arrival:0.0
+
 let test_fifo_order_and_accounting () =
-  let q = Net.Fifo.create () in
-  let p1 = mk ~seq:1 ~bits:100.0 () and p2 = mk ~seq:2 ~bits:50.0 () in
+  let pool = Net.Packet_pool.create () in
+  let q = Net.Fifo.create ~pool () in
+  let p1 = alloc pool ~seq:1 ~bits:100.0 () in
+  let p2 = alloc pool ~seq:2 ~bits:50.0 () in
   Alcotest.(check bool) "push1" true (Net.Fifo.push q p1);
   Alcotest.(check bool) "push2" true (Net.Fifo.push q p2);
   Alcotest.(check (float 1e-9)) "bits" 150.0 (Net.Fifo.bits q);
   Alcotest.(check int) "length" 2 (Net.Fifo.length q);
-  (match Net.Fifo.pop q with
-  | Some p -> Alcotest.(check int) "FIFO order" 1 p.Net.Packet.seq
-  | None -> Alcotest.fail "pop");
+  let p = Net.Fifo.pop_exn q in
+  Alcotest.(check int) "FIFO order" 1 (Net.Packet_pool.seq pool p);
   Alcotest.(check (float 1e-9)) "bits after pop" 50.0 (Net.Fifo.bits q)
 
 let test_fifo_drop_tail () =
-  let q = Net.Fifo.create ~capacity_bits:120.0 () in
-  Alcotest.(check bool) "fits" true (Net.Fifo.push q (mk ~bits:100.0 ()));
-  Alcotest.(check bool) "overflow dropped" false (Net.Fifo.push q (mk ~bits:100.0 ()));
+  let pool = Net.Packet_pool.create () in
+  let q = Net.Fifo.create ~capacity_bits:120.0 ~pool () in
+  Alcotest.(check bool) "fits" true (Net.Fifo.push q (alloc pool ~bits:100.0 ()));
+  Alcotest.(check bool)
+    "overflow dropped" false
+    (Net.Fifo.push q (alloc pool ~bits:100.0 ()));
   Alcotest.(check int) "drop count" 1 (Net.Fifo.drops q);
   Alcotest.(check int) "queue intact" 1 (Net.Fifo.length q);
-  Alcotest.(check bool) "small one still fits" true (Net.Fifo.push q (mk ~bits:20.0 ()))
+  Alcotest.(check bool)
+    "small one still fits" true
+    (Net.Fifo.push q (alloc pool ~bits:20.0 ()))
 
 let test_fifo_clear () =
-  let q = Net.Fifo.create () in
-  ignore (Net.Fifo.push q (mk ()));
+  let pool = Net.Packet_pool.create () in
+  let q = Net.Fifo.create ~pool () in
+  ignore (Net.Fifo.push q (alloc pool ()));
   Net.Fifo.clear q;
+  Alcotest.(check bool) "empty" true (Net.Fifo.is_empty q);
+  Alcotest.(check (float 1e-9)) "bits zero" 0.0 (Net.Fifo.bits q)
+
+let test_fifo_empty_raises () =
+  let pool = Net.Packet_pool.create () in
+  let q = Net.Fifo.create ~pool () in
+  Alcotest.(check bool) "pop_exn raises" true
+    (try
+       ignore (Net.Fifo.pop_exn q);
+       false
+     with Queue.Empty -> true);
+  Alcotest.(check bool) "peek_exn raises" true
+    (try
+       ignore (Net.Fifo.peek_exn q);
+       false
+     with Queue.Empty -> true)
+
+let test_fifo_ring_growth () =
+  (* push enough to force several ring doublings past the initial capacity,
+     interleaved with pops so the ring wraps *)
+  let pool = Net.Packet_pool.create () in
+  let q = Net.Fifo.create ~pool () in
+  let n = 1000 in
+  let popped = ref 0 in
+  for i = 1 to n do
+    ignore (Net.Fifo.push q (alloc pool ~seq:i ~bits:1.0 ()) : bool);
+    if i mod 3 = 0 then begin
+      incr popped;
+      let p = Net.Fifo.pop_exn q in
+      Alcotest.(check int) "wrap order" !popped (Net.Packet_pool.seq pool p);
+      Net.Packet_pool.free pool p
+    end
+  done;
+  Alcotest.(check int) "length" (n - !popped) (Net.Fifo.length q);
+  for i = !popped + 1 to n do
+    let p = Net.Fifo.pop_exn q in
+    Alcotest.(check int) "drain order" i (Net.Packet_pool.seq pool p);
+    Net.Packet_pool.free pool p
+  done;
   Alcotest.(check bool) "empty" true (Net.Fifo.is_empty q);
   Alcotest.(check (float 1e-9)) "bits zero" 0.0 (Net.Fifo.bits q)
 
@@ -54,5 +104,7 @@ let () =
           Alcotest.test_case "order and accounting" `Quick test_fifo_order_and_accounting;
           Alcotest.test_case "drop tail" `Quick test_fifo_drop_tail;
           Alcotest.test_case "clear" `Quick test_fifo_clear;
+          Alcotest.test_case "empty raises" `Quick test_fifo_empty_raises;
+          Alcotest.test_case "ring growth and wrap" `Quick test_fifo_ring_growth;
         ] );
     ]
